@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Fig 11: effect of the number of memory controllers on in-network
+ * latency for RADIX-like traffic, across routing x VCA choices.
+ * Five controllers relieve the single-controller hotspot
+ * substantially, but nowhere near five-fold — and with 5 MCs the
+ * spread between routing/VCA schemes shrinks, so a designer might
+ * pick the simplest switch (the paper's design-tradeoff point).
+ */
+#include <cstdio>
+
+#include "bench_util.h"
+#include "workloads/splash.h"
+
+using namespace hornet;
+using namespace hornet::benchutil;
+
+namespace {
+
+double
+run_config(const std::vector<NodeId> &mcs, const std::string &routing,
+           net::VcaMode mode)
+{
+    net::Topology topo = net::Topology::mesh2d(8, 8);
+    auto profile = workloads::splash_profile("radix");
+    // Keep the single-controller case congested but shy of deep
+    // saturation, as in the paper's trace replays.
+    profile.active_rate = 0.12;
+    auto events =
+        workloads::synthesize_trace(profile, topo, mcs, 60000, 31);
+    net::NetworkConfig cfg;
+    cfg.router.net_vcs = 4;
+    cfg.router.vca_mode = mode;
+    TraceRunOptions opts;
+    opts.cycles = 120000;
+    opts.stop_when_done = true;
+    opts.routing = routing;
+    auto r = run_trace(topo, cfg, events, opts);
+    return r.stats.avg_packet_latency();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("# Fig 11: in-network latency, 1 vs 5 memory "
+                "controllers (RADIX-like, 8x8)\n");
+    std::printf("mcs,routing,vca,avg_packet_latency\n");
+    const std::vector<NodeId> one_mc{0};            // corner (paper)
+    const std::vector<NodeId> five_mc{0, 7, 27, 56, 63};
+    for (const auto &mcs : {one_mc, five_mc}) {
+        for (const char *routing : {"xy", "o1turn", "romm"}) {
+            for (auto mode :
+                 {net::VcaMode::Dynamic, net::VcaMode::Edvca}) {
+                double lat = run_config(mcs, routing, mode);
+                std::printf("%zuMC,%s,%s,%.2f\n", mcs.size(), routing,
+                            net::to_string(mode), lat);
+            }
+        }
+    }
+    std::printf("# paper shape: 5 MCs much faster but < 5x; scheme "
+                "spread shrinks with 5 MCs\n");
+    return 0;
+}

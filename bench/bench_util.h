@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Shared helpers for the per-figure benchmark binaries.
+ *
+ * Every bench prints machine-readable CSV-ish rows plus a short
+ * human-readable summary, and is sized to run in seconds-to-minutes on
+ * a single host core (the paper's absolute numbers came from a 24-HT
+ * Xeon testbed; see EXPERIMENTS.md for the mapping).
+ */
+#ifndef HORNET_BENCH_BENCH_UTIL_H
+#define HORNET_BENCH_BENCH_UTIL_H
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/log.h"
+#include "net/routing/builders.h"
+#include "net/topology.h"
+#include "net/vca_builders.h"
+#include "sim/system.h"
+#include "traffic/flows.h"
+#include "traffic/synthetic.h"
+#include "traffic/trace.h"
+
+namespace hornet::benchutil {
+
+/** Wall-clock seconds of a callable. */
+template <typename Fn>
+double
+wall_seconds(Fn &&fn)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    fn();
+    auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/**
+ * Install routing tables by scheme name ("xy", "o1turn", "romm",
+ * "valiant") plus the matching phase-split VCA sets for multi-phase
+ * schemes (required for their deadlock freedom).
+ */
+inline void
+build_routing(net::Network &net, const std::string &scheme,
+              const std::vector<net::FlowSpec> &flows)
+{
+    if (scheme == "xy") {
+        net::routing::build_xy(net, flows);
+        return;
+    }
+    if (scheme == "o1turn") {
+        net::routing::build_o1turn(net, flows);
+        net::vca::build_phase_split(net);
+        return;
+    }
+    if (scheme == "romm") {
+        net::routing::build_romm(net, flows);
+        net::vca::build_phase_split(net);
+        return;
+    }
+    if (scheme == "valiant") {
+        net::routing::build_valiant(net, flows);
+        net::vca::build_phase_split(net);
+        return;
+    }
+    fatal("unknown routing scheme: " + scheme);
+}
+
+/** Result of one simulation run. */
+struct RunResult
+{
+    SystemStats stats;
+    Cycle end_cycle = 0;
+    double wall_s = 0.0;
+};
+
+/** Options for run_trace(). */
+struct TraceRunOptions
+{
+    Cycle cycles = 100000;
+    Cycle warmup = 0;
+    unsigned threads = 1;
+    std::uint32_t sync_period = 1;
+    bool fast_forward = false;
+    bool stop_when_done = false;
+    std::uint64_t seed = 1;
+    std::string routing = "xy";
+};
+
+/** Build a system from a whole-chip trace and run it. */
+inline RunResult
+run_trace(const net::Topology &topo, const net::NetworkConfig &cfg,
+          const std::vector<traffic::TraceEvent> &events,
+          const TraceRunOptions &opts)
+{
+    auto sys = std::make_unique<sim::System>(topo, cfg, opts.seed);
+    build_routing(sys->network(), opts.routing,
+                  traffic::flows_from_trace(events));
+    auto per_node =
+        traffic::split_trace_by_source(events, topo.num_nodes());
+    for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+        if (!per_node[n].empty())
+            sys->add_frontend(n, std::make_unique<traffic::TraceInjector>(
+                                     sys->tile(n), per_node[n]));
+    }
+    RunResult out;
+    out.wall_s = wall_seconds([&] {
+        sim::RunOptions ro;
+        ro.threads = opts.threads;
+        ro.sync_period = opts.sync_period;
+        ro.fast_forward = opts.fast_forward;
+        ro.stop_when_done = opts.stop_when_done;
+        if (opts.warmup != 0) {
+            ro.max_cycles = opts.warmup;
+            sys->run(ro);
+            sys->reset_stats();
+        }
+        ro.max_cycles = opts.cycles;
+        out.end_cycle = sys->run(ro);
+    });
+    out.stats = sys->collect_stats();
+    return out;
+}
+
+/** Build a synthetic-pattern system (one injector per node). */
+inline std::unique_ptr<sim::System>
+make_synthetic(const net::Topology &topo, const net::NetworkConfig &cfg,
+               const std::string &pattern_name, double rate,
+               std::uint32_t packet_size, std::uint64_t seed,
+               const std::string &routing = "xy",
+               Cycle burst_period = 0, std::uint32_t burst_size = 1)
+{
+    auto sys = std::make_unique<sim::System>(topo, cfg, seed);
+    auto pattern =
+        traffic::pattern_by_name(pattern_name, topo.num_nodes());
+    auto flows = pattern_name == "uniform"
+                     ? traffic::flows_all_pairs(topo.num_nodes())
+                     : traffic::flows_for_pattern(topo.num_nodes(),
+                                                  pattern);
+    build_routing(sys->network(), routing, flows);
+    for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+        traffic::SyntheticConfig sc;
+        sc.pattern = pattern;
+        sc.packet_size = packet_size;
+        sc.rate = rate;
+        sc.burst_period = burst_period;
+        sc.burst_size = burst_size;
+        sys->add_frontend(n, std::make_unique<traffic::SyntheticInjector>(
+                                 sys->tile(n), sc));
+    }
+    return sys;
+}
+
+} // namespace hornet::benchutil
+
+#endif // HORNET_BENCH_BENCH_UTIL_H

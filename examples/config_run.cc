@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Config-driven runner: describe an entire experiment in an INI file
+ * (topology, router parameters, routing scheme, traffic) and run it —
+ * no recompilation, exactly the "highly configurable" workflow the
+ * paper advertises.
+ *
+ *   $ ./examples/config_run experiment.ini [cycles] [threads] [sync]
+ *
+ * With no arguments a built-in demo config is used.
+ */
+#include <cstdio>
+#include <cstdlib>
+
+#include "traffic/system_builder.h"
+
+using namespace hornet;
+
+namespace {
+
+const char *kDemoConfig = R"(
+# demo: transpose on an 8x8 mesh with O1TURN and EDVCA
+[topology]
+kind = mesh
+width = 8
+height = 8
+
+[network]
+vcs = 4
+vc_capacity = 4
+vca = edvca
+
+[routing]
+scheme = o1turn
+
+[traffic]
+kind = synthetic
+pattern = transpose
+rate = 0.08
+packet_size = 8
+
+[sim]
+seed = 42
+)";
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Config cfg = argc > 1 ? Config::from_file(argv[1])
+                          : Config::from_string(kDemoConfig);
+    const Cycle cycles =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 0) : 20000;
+    const unsigned threads =
+        argc > 3 ? static_cast<unsigned>(std::atoi(argv[3])) : 1;
+    const std::uint32_t sync =
+        argc > 4 ? static_cast<std::uint32_t>(std::atoi(argv[4])) : 1;
+
+    auto sys = traffic::build_system(cfg);
+    std::printf("config_run: %u nodes, %llu cycles, %u thread(s), "
+                "sync period %u\n",
+                sys->num_tiles(),
+                static_cast<unsigned long long>(cycles), threads, sync);
+
+    sim::RunOptions opts;
+    opts.max_cycles = cycles;
+    opts.threads = threads;
+    opts.sync_period = sync;
+    sys->run(opts);
+
+    auto stats = sys->collect_stats();
+    std::printf("%s\n", stats.summary().c_str());
+    std::printf("offered load served: %llu packets, p90 latency %.1f "
+                "cycles\n",
+                static_cast<unsigned long long>(
+                    stats.total.packets_delivered),
+                stats.total.packet_latency_hist.percentile(0.9));
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Domain example: compare oblivious routing algorithms (XY, O1TURN,
+ * ROMM, Valiant) under transpose traffic — the adversarial pattern
+ * for dimension-ordered routing — across offered loads, printing the
+ * latency-vs-load curve for each.
+ */
+#include <cstdio>
+
+#include "net/routing/builders.h"
+#include "net/topology.h"
+#include "net/vca_builders.h"
+#include "sim/system.h"
+#include "traffic/flows.h"
+#include "traffic/synthetic.h"
+
+using namespace hornet;
+
+namespace {
+
+double
+run_one(const std::string &scheme, double rate)
+{
+    net::Topology topo = net::Topology::mesh2d(8, 8);
+    net::NetworkConfig cfg;
+    cfg.router.net_vcs = 4;
+    sim::System sys(topo, cfg, 3);
+
+    auto pattern = traffic::transpose(topo.num_nodes());
+    auto flows = traffic::flows_for_pattern(topo.num_nodes(), pattern);
+    if (scheme == "xy") {
+        net::routing::build_xy(sys.network(), flows);
+    } else if (scheme == "o1turn") {
+        net::routing::build_o1turn(sys.network(), flows);
+        net::vca::build_phase_split(sys.network());
+    } else if (scheme == "romm") {
+        net::routing::build_romm(sys.network(), flows);
+        net::vca::build_phase_split(sys.network());
+    } else {
+        net::routing::build_valiant(sys.network(), flows);
+        net::vca::build_phase_split(sys.network());
+    }
+
+    for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+        traffic::SyntheticConfig sc;
+        sc.pattern = pattern;
+        sc.packet_size = 8;
+        sc.rate = rate;
+        sys.add_frontend(n, std::make_unique<traffic::SyntheticInjector>(
+                                sys.tile(n), sc));
+    }
+    sim::RunOptions opts;
+    opts.max_cycles = 3000; // warmup
+    sys.run(opts);
+    sys.reset_stats();
+    opts.max_cycles = 18000;
+    sys.run(opts);
+    return sys.collect_stats().avg_packet_latency();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("# transpose on 8x8: avg packet latency by routing "
+                "scheme and offered load\n");
+    std::printf("rate,xy,o1turn,romm,valiant\n");
+    for (double rate : {0.02, 0.05, 0.10, 0.15}) {
+        std::printf("%.2f", rate);
+        for (const char *s : {"xy", "o1turn", "romm", "valiant"})
+            std::printf(",%.1f", run_one(s, rate));
+        std::printf("\n");
+    }
+    std::printf("# transpose concentrates XY traffic on the diagonal; "
+                "path-diverse schemes degrade more gracefully\n");
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Domain example: power and thermal profiling of an 8x8 NoC running a
+ * RADIX-like workload — per-tile router power from the ORION-like
+ * model feeding the HOTSPOT-like RC thermal solver, printed as a
+ * steady-state temperature map with the hotspot highlighted
+ * (paper II-B / IV-E).
+ */
+#include <algorithm>
+#include <cstdio>
+
+#include "net/routing/builders.h"
+#include "net/topology.h"
+#include "power/power_model.h"
+#include "sim/system.h"
+#include "thermal/thermal_model.h"
+#include "traffic/trace.h"
+#include "workloads/splash.h"
+
+using namespace hornet;
+
+int
+main()
+{
+    net::Topology topo = net::Topology::mesh2d(8, 8);
+    const Cycle duration = 60000;
+    auto events = workloads::synthesize_trace(
+        workloads::radix_profile(), topo, {0}, duration, 5);
+
+    sim::System sys(topo, {}, 5);
+    net::routing::build_xy(sys.network(),
+                           traffic::flows_from_trace(events));
+    auto per_node =
+        traffic::split_trace_by_source(events, topo.num_nodes());
+    for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+        if (!per_node[n].empty())
+            sys.add_frontend(n, std::make_unique<traffic::TraceInjector>(
+                                    sys.tile(n), per_node[n]));
+    }
+    sim::RunOptions opts;
+    opts.max_cycles = duration;
+    opts.stop_when_done = true;
+    Cycle end = sys.run(opts);
+    auto stats = sys.collect_stats();
+
+    // Router power per tile (plus a 3 W core baseline per tile).
+    power::PowerConfig pc;
+    pc.e_buffer_write_pj *= 60;
+    pc.e_buffer_read_pj *= 60;
+    pc.e_xbar_per_port_pj *= 60;
+    pc.e_link_pj *= 60;
+    power::PowerModel pm(net::RouterConfig{}, 5, pc);
+    std::vector<double> watts(topo.num_nodes());
+    for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+        auto d = power::activity_delta(TileStats{}, stats.per_tile[n]);
+        watts[n] = 3.0 + pm.epoch_power_mw(d, end) / 1000.0;
+    }
+
+    thermal::ThermalConfig tc;
+    tc.g_edge_per_missing_neighbor = 1.0 / tc.r_lateral;
+    thermal::ThermalModel tm(topo, tc);
+    auto temps = tm.steady_state(watts);
+    const std::uint32_t hot = thermal::ThermalModel::hottest(temps);
+
+    std::printf("radix-like on 8x8, %llu cycles; router power + 3 W "
+                "core baseline per tile\n",
+                static_cast<unsigned long long>(end));
+    std::printf("steady-state temperature map (deg C), hotspot at "
+                "(%u,%u):\n",
+                topo.x_of(hot), topo.y_of(hot));
+    for (std::uint32_t y = 0; y < 8; ++y) {
+        for (std::uint32_t x = 0; x < 8; ++x) {
+            NodeId n = topo.node_at(x, y);
+            std::printf("%6.2f%c", temps[n], n == hot ? '*' : ' ');
+        }
+        std::printf("\n");
+    }
+    std::printf("min %.2f C, max %.2f C\n",
+                *std::min_element(temps.begin(), temps.end()),
+                *std::max_element(temps.begin(), temps.end()));
+    return 0;
+}

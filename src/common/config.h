@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Key/value configuration store with typed accessors and an INI-style
+ * text parser. Used to drive whole-system construction so that every
+ * hardware parameter the paper calls configurable (Table I) is settable
+ * from a config file or from code.
+ */
+#ifndef HORNET_COMMON_CONFIG_H
+#define HORNET_COMMON_CONFIG_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hornet {
+
+/**
+ * Flat string key/value config with "section.key" naming.
+ *
+ * Values are stored as strings; typed getters parse on access and
+ * fatal() on malformed values. Getters with a default never fail on a
+ * missing key; require_* getters fatal() when the key is absent.
+ */
+class Config
+{
+  public:
+    Config() = default;
+
+    /** Parse INI-style text: [section] headers, key = value lines,
+     *  '#' or ';' comments. Later duplicates overwrite earlier ones. */
+    static Config from_string(const std::string &text);
+
+    /** Load and parse a config file. */
+    static Config from_file(const std::string &path);
+
+    /** Set (or overwrite) a value. */
+    void set(const std::string &key, const std::string &value);
+    void set(const std::string &key, std::int64_t value);
+    void set(const std::string &key, double value);
+    void set(const std::string &key, bool value);
+
+    /** True when @p key is present. */
+    bool has(const std::string &key) const;
+
+    std::string get_string(const std::string &key,
+                           const std::string &def) const;
+    std::int64_t get_int(const std::string &key, std::int64_t def) const;
+    double get_double(const std::string &key, double def) const;
+    bool get_bool(const std::string &key, bool def) const;
+
+    std::string require_string(const std::string &key) const;
+    std::int64_t require_int(const std::string &key) const;
+    double require_double(const std::string &key) const;
+
+    /** Parse a comma-separated integer list, e.g. "0,7,56,63". */
+    std::vector<std::int64_t> get_int_list(
+        const std::string &key, const std::vector<std::int64_t> &def) const;
+
+    /** All keys in sorted order (for dumps and tests). */
+    std::vector<std::string> keys() const;
+
+    /** Serialize back to INI text (sorted, sectionless keys first). */
+    std::string to_string() const;
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+} // namespace hornet
+
+#endif // HORNET_COMMON_CONFIG_H

@@ -1,0 +1,68 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+#include <stdexcept>
+
+namespace hornet {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::Normal};
+std::mutex g_io_mutex;
+
+void
+emit(const char *prefix, const std::string &msg)
+{
+    std::lock_guard<std::mutex> lk(g_io_mutex);
+    std::cerr << prefix << msg << "\n";
+}
+
+} // namespace
+
+LogLevel
+log_level()
+{
+    return g_level.load(std::memory_order_relaxed);
+}
+
+void
+set_log_level(LogLevel level)
+{
+    g_level.store(level, std::memory_order_relaxed);
+}
+
+void
+inform(const std::string &msg)
+{
+    if (log_level() != LogLevel::Quiet)
+        emit("info: ", msg);
+}
+
+void
+trace(const std::string &msg)
+{
+    if (log_level() == LogLevel::Verbose)
+        emit("trace: ", msg);
+}
+
+void
+warn(const std::string &msg)
+{
+    emit("warn: ", msg);
+}
+
+void
+fatal(const std::string &msg)
+{
+    throw std::runtime_error("fatal: " + msg);
+}
+
+void
+panic(const std::string &msg)
+{
+    throw std::logic_error("panic: " + msg);
+}
+
+} // namespace hornet

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Minimal logging / error-reporting helpers in the spirit of gem5's
+ * logging.hh: fatal() for user errors, panic() for simulator bugs,
+ * warn()/inform() for status messages.
+ */
+#ifndef HORNET_COMMON_LOG_H
+#define HORNET_COMMON_LOG_H
+
+#include <sstream>
+#include <string>
+
+namespace hornet {
+
+/** Verbosity levels for inform(). */
+enum class LogLevel { Quiet = 0, Normal = 1, Verbose = 2 };
+
+/** Global log verbosity (default Normal). */
+LogLevel log_level();
+
+/** Set global log verbosity. */
+void set_log_level(LogLevel level);
+
+/** Print an informational message (suppressed when Quiet). */
+void inform(const std::string &msg);
+
+/** Print a verbose debug message (printed only when Verbose). */
+void trace(const std::string &msg);
+
+/** Print a warning; never stops the simulation. */
+void warn(const std::string &msg);
+
+/**
+ * Abort due to a user-caused condition (bad configuration, invalid
+ * arguments). Throws std::runtime_error so tests can observe it.
+ */
+[[noreturn]] void fatal(const std::string &msg);
+
+/**
+ * Abort due to an internal simulator bug (invariant violation).
+ * Throws std::logic_error so tests can observe it.
+ */
+[[noreturn]] void panic(const std::string &msg);
+
+namespace detail {
+
+inline void format_into(std::ostringstream &) {}
+
+template <typename T, typename... Rest>
+void
+format_into(std::ostringstream &os, const T &v, const Rest &...rest)
+{
+    os << v;
+    format_into(os, rest...);
+}
+
+} // namespace detail
+
+/** Build a message from stream-formattable pieces. */
+template <typename... Args>
+std::string
+strcat(const Args &...args)
+{
+    std::ostringstream os;
+    detail::format_into(os, args...);
+    return os.str();
+}
+
+} // namespace hornet
+
+#endif // HORNET_COMMON_LOG_H

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Private per-tile pseudorandom number generator.
+ *
+ * Each simulated tile owns one Rng instance so that randomized arbitration
+ * decisions (paper II-A5) are reproducible and independent of thread
+ * scheduling. The generator is xoshiro256**, which is fast, has a 256-bit
+ * state, and passes BigCrush.
+ */
+#ifndef HORNET_COMMON_RNG_H
+#define HORNET_COMMON_RNG_H
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace hornet {
+
+/**
+ * Seedable xoshiro256** PRNG.
+ *
+ * Satisfies UniformRandomBitGenerator so it can be used with <random>
+ * distributions, but the common cases (range draw, weighted pick,
+ * permutation) are provided directly.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a 64-bit seed via splitmix64 expansion. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+    /** Reset the state deterministically from @p seed. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        // splitmix64 to fill the state; avoids the all-zero state.
+        std::uint64_t x = seed + 0x9e3779b97f4a7c15ull;
+        for (auto &s : state_) {
+            std::uint64_t z = (x += 0x9e3779b97f4a7c15ull);
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            s = z ^ (z >> 31);
+        }
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~result_type{0}; }
+
+    /** Next raw 64-bit draw. */
+    result_type
+    operator()()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform draw in [0, n). @p n must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t n)
+    {
+        // Lemire's multiply-shift rejection method.
+        std::uint64_t x = (*this)();
+        __uint128_t m = static_cast<__uint128_t>(x) * n;
+        auto lo = static_cast<std::uint64_t>(m);
+        if (lo < n) {
+            const std::uint64_t t = -n % n;
+            while (lo < t) {
+                x = (*this)();
+                m = static_cast<__uint128_t>(x) * n;
+                lo = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p of returning true. */
+    bool chance(double p) { return uniform() < p; }
+
+    /**
+     * Pick an index in [0, weights.size()) with probability proportional
+     * to the weights. Total weight must be positive.
+     */
+    std::size_t
+    pick_weighted(const std::vector<double> &weights)
+    {
+        double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+        double r = uniform() * total;
+        for (std::size_t i = 0; i < weights.size(); ++i) {
+            r -= weights[i];
+            if (r < 0.0)
+                return i;
+        }
+        return weights.size() - 1;
+    }
+
+    /** In-place Fisher-Yates shuffle used for randomized arbitration order. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            std::size_t j = below(i);
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace hornet
+
+#endif // HORNET_COMMON_RNG_H

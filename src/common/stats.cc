@@ -1,0 +1,57 @@
+#include "common/stats.h"
+
+#include <sstream>
+
+namespace hornet {
+
+double
+Histogram::percentile(double p) const
+{
+    std::uint64_t n = total();
+    if (n == 0)
+        return 0.0;
+    auto target = static_cast<std::uint64_t>(p * static_cast<double>(n));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (seen > target)
+            return (static_cast<double>(i) + 0.5) * width_;
+    }
+    return static_cast<double>(buckets_.size()) * width_;
+}
+
+void
+TileStats::merge(const TileStats &o)
+{
+    flits_injected += o.flits_injected;
+    flits_delivered += o.flits_delivered;
+    packets_injected += o.packets_injected;
+    packets_delivered += o.packets_delivered;
+    buffer_writes += o.buffer_writes;
+    buffer_reads += o.buffer_reads;
+    xbar_transits += o.xbar_transits;
+    link_transits += o.link_transits;
+    va_grants += o.va_grants;
+    sa_grants += o.sa_grants;
+    va_stalls += o.va_stalls;
+    sa_stalls += o.sa_stalls;
+    credit_stalls += o.credit_stalls;
+    flit_latency.merge(o.flit_latency);
+    packet_latency.merge(o.packet_latency);
+    packet_latency_hist.merge(o.packet_latency_hist);
+}
+
+std::string
+SystemStats::summary() const
+{
+    std::ostringstream os;
+    os << "packets injected=" << total.packets_injected
+       << " delivered=" << total.packets_delivered
+       << " flits injected=" << total.flits_injected
+       << " delivered=" << total.flits_delivered
+       << " avg packet latency=" << avg_packet_latency()
+       << " avg flit latency=" << avg_flit_latency();
+    return os.str();
+}
+
+} // namespace hornet

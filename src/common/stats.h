@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Statistics primitives.
+ *
+ * Per-tile statistics are kept thread-private during simulation (paper
+ * II-C: "accumulating statistics separately in each thread") and merged
+ * only at reporting time, so collection never introduces inter-thread
+ * communication.
+ */
+#ifndef HORNET_COMMON_STATS_H
+#define HORNET_COMMON_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace hornet {
+
+/** Mean/min/max/count accumulator for scalar samples. */
+class RunningStat
+{
+  public:
+    void
+    add(double x)
+    {
+        ++count_;
+        sum_ += x;
+        sum_sq_ += x * x;
+        if (count_ == 1 || x < min_)
+            min_ = x;
+        if (count_ == 1 || x > max_)
+            max_ = x;
+    }
+
+    void
+    merge(const RunningStat &o)
+    {
+        if (o.count_ == 0)
+            return;
+        if (count_ == 0) {
+            *this = o;
+            return;
+        }
+        count_ += o.count_;
+        sum_ += o.sum_;
+        sum_sq_ += o.sum_sq_;
+        if (o.min_ < min_)
+            min_ = o.min_;
+        if (o.max_ > max_)
+            max_ = o.max_;
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Population variance. */
+    double
+    variance() const
+    {
+        if (count_ == 0)
+            return 0.0;
+        double m = mean();
+        double v = sum_sq_ / count_ - m * m;
+        return v > 0.0 ? v : 0.0;
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double sum_sq_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Fixed-bucket histogram with overflow bucket. */
+class Histogram
+{
+  public:
+    /** Buckets of width @p bucket_width starting at 0; values beyond
+     *  num_buckets * bucket_width land in the overflow bucket. */
+    explicit Histogram(std::size_t num_buckets = 64,
+                       double bucket_width = 8.0)
+        : width_(bucket_width), buckets_(num_buckets, 0), overflow_(0)
+    {}
+
+    void
+    add(double x)
+    {
+        auto idx = static_cast<std::size_t>(x / width_);
+        if (idx < buckets_.size())
+            ++buckets_[idx];
+        else
+            ++overflow_;
+    }
+
+    void
+    merge(const Histogram &o)
+    {
+        for (std::size_t i = 0; i < buckets_.size() && i < o.buckets_.size();
+             ++i) {
+            buckets_[i] += o.buckets_[i];
+        }
+        overflow_ += o.overflow_;
+    }
+
+    std::uint64_t
+    total() const
+    {
+        std::uint64_t t = overflow_;
+        for (auto b : buckets_)
+            t += b;
+        return t;
+    }
+
+    /** Approximate p-th percentile (p in [0,1]) from bucket midpoints. */
+    double percentile(double p) const;
+
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+    std::uint64_t overflow() const { return overflow_; }
+    double bucket_width() const { return width_; }
+
+  private:
+    double width_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t overflow_;
+};
+
+/**
+ * Per-tile network statistics.
+ *
+ * Event counters double as the activity inputs of the power model
+ * (paper II-B: buffer reads/writes and crossbar transits are passed to
+ * ORION). Latency samples are taken from the counters *carried inside
+ * each flit* at delivery, never from cross-tile clock comparison.
+ */
+struct TileStats
+{
+    // Traffic.
+    std::uint64_t flits_injected = 0;
+    std::uint64_t flits_delivered = 0;
+    std::uint64_t packets_injected = 0;
+    std::uint64_t packets_delivered = 0;
+
+    // Router activity (power-model inputs).
+    std::uint64_t buffer_writes = 0;
+    std::uint64_t buffer_reads = 0;
+    std::uint64_t xbar_transits = 0;
+    std::uint64_t link_transits = 0;
+    std::uint64_t va_grants = 0;
+    std::uint64_t sa_grants = 0;
+
+    // Stalls (diagnostics).
+    std::uint64_t va_stalls = 0;
+    std::uint64_t sa_stalls = 0;
+    std::uint64_t credit_stalls = 0;
+
+    // Delivered-traffic latency, measured in cycles carried by the flit.
+    RunningStat flit_latency;
+    RunningStat packet_latency;
+    Histogram packet_latency_hist{128, 8.0};
+
+    void merge(const TileStats &o);
+};
+
+/** Per-flow delivery statistics (for fairness / starvation analysis). */
+struct FlowStats
+{
+    std::uint64_t packets_delivered = 0;
+    std::uint64_t flits_delivered = 0;
+    RunningStat packet_latency;
+};
+
+/** Whole-system statistics snapshot, merged from tiles at report time. */
+struct SystemStats
+{
+    TileStats total;
+    std::vector<TileStats> per_tile;
+    std::map<FlowId, FlowStats> per_flow;
+
+    /** Mean in-network latency of delivered packets, cycles. */
+    double
+    avg_packet_latency() const
+    {
+        return total.packet_latency.mean();
+    }
+
+    double
+    avg_flit_latency() const
+    {
+        return total.flit_latency.mean();
+    }
+
+    /** Render a short human-readable summary. */
+    std::string summary() const;
+};
+
+} // namespace hornet
+
+#endif // HORNET_COMMON_STATS_H

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the simulator.
+ */
+#ifndef HORNET_COMMON_TYPES_H
+#define HORNET_COMMON_TYPES_H
+
+#include <cstdint>
+#include <limits>
+
+namespace hornet {
+
+/** Simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Identifies a node (tile) in the simulated system. */
+using NodeId = std::uint32_t;
+
+/** Identifies a traffic flow. Flow ids may be renamed in flight (II-A2). */
+using FlowId = std::uint64_t;
+
+/** Identifies a virtual channel within an ingress port. */
+using VcId = std::uint32_t;
+
+/** Identifies an ingress or egress port on a router. */
+using PortId = std::uint32_t;
+
+/** Identifies a packet (unique per simulation). */
+using PacketId = std::uint64_t;
+
+/** Sentinel for "no node". */
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/** Sentinel for "no flow". */
+inline constexpr FlowId kInvalidFlow = std::numeric_limits<FlowId>::max();
+
+/** Sentinel for "no VC". */
+inline constexpr VcId kInvalidVc = std::numeric_limits<VcId>::max();
+
+/** Sentinel for "no port". */
+inline constexpr PortId kInvalidPort = std::numeric_limits<PortId>::max();
+
+/** Sentinel for "unknown cycle" (e.g. no pending event). */
+inline constexpr Cycle kNoEvent = std::numeric_limits<Cycle>::max();
+
+} // namespace hornet
+
+#endif // HORNET_COMMON_TYPES_H

@@ -1,0 +1,134 @@
+#include "mem/cache.h"
+
+#include "common/log.h"
+
+namespace hornet::mem {
+
+Cache::Cache(std::uint32_t sets, std::uint32_t ways,
+             std::uint32_t line_size)
+    : sets_(sets), ways_(ways), line_size_(line_size)
+{
+    if (sets == 0 || ways == 0)
+        fatal("cache: sets and ways must be nonzero");
+    if (line_size == 0 || (line_size & (line_size - 1)) != 0)
+        fatal("cache: line size must be a power of two");
+    if ((sets & (sets - 1)) != 0)
+        fatal("cache: set count must be a power of two");
+    lines_.resize(static_cast<std::size_t>(sets) * ways);
+}
+
+std::uint32_t
+Cache::set_of(std::uint64_t addr) const
+{
+    return static_cast<std::uint32_t>((addr / line_size_) & (sets_ - 1));
+}
+
+CacheLine *
+Cache::find(std::uint64_t addr)
+{
+    const std::uint64_t la = line_addr(addr);
+    const std::uint32_t s = set_of(addr);
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        CacheLine &l = lines_[static_cast<std::size_t>(s) * ways_ + w];
+        if (l.state != LineState::Invalid && l.tag == la)
+            return &l;
+    }
+    return nullptr;
+}
+
+const CacheLine *
+Cache::find(std::uint64_t addr) const
+{
+    return const_cast<Cache *>(this)->find(addr);
+}
+
+CacheLine *
+Cache::access(std::uint64_t addr)
+{
+    CacheLine *l = find(addr);
+    if (l != nullptr)
+        l->lru = ++lru_clock_;
+    return l;
+}
+
+std::optional<CacheLine>
+Cache::install(std::uint64_t addr, LineState state,
+               std::vector<std::uint8_t> data)
+{
+    if (state == LineState::Invalid)
+        fatal("cache install: cannot install an invalid line");
+    if (data.size() != line_size_)
+        fatal("cache install: data size mismatch");
+    if (find(addr) != nullptr)
+        panic("cache install: line already present");
+
+    const std::uint64_t la = line_addr(addr);
+    const std::uint32_t s = set_of(addr);
+    CacheLine *victim = nullptr;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        CacheLine &l = lines_[static_cast<std::size_t>(s) * ways_ + w];
+        if (l.state == LineState::Invalid) {
+            victim = &l;
+            break;
+        }
+        if (victim == nullptr || l.lru < victim->lru)
+            victim = &l;
+    }
+
+    std::optional<CacheLine> evicted;
+    if (victim->state != LineState::Invalid)
+        evicted = *victim;
+    victim->tag = la;
+    victim->state = state;
+    victim->lru = ++lru_clock_;
+    victim->data = std::move(data);
+    return evicted;
+}
+
+void
+Cache::invalidate(std::uint64_t addr)
+{
+    CacheLine *l = find(addr);
+    if (l != nullptr)
+        l->state = LineState::Invalid;
+}
+
+std::uint64_t
+Cache::read(std::uint64_t addr, std::uint32_t len) const
+{
+    const CacheLine *l = find(addr);
+    if (l == nullptr)
+        panic("cache read: miss on guaranteed-hit path");
+    const std::uint64_t off = addr - l->tag;
+    if (off + len > line_size_)
+        fatal("cache read: access crosses the line boundary");
+    std::uint64_t v = 0;
+    for (std::uint32_t i = 0; i < len; ++i)
+        v |= static_cast<std::uint64_t>(l->data[off + i]) << (8 * i);
+    return v;
+}
+
+void
+Cache::write(std::uint64_t addr, std::uint32_t len, std::uint64_t value)
+{
+    CacheLine *l = find(addr);
+    if (l == nullptr || l->state != LineState::Modified)
+        panic("cache write: line absent or not writable");
+    const std::uint64_t off = addr - l->tag;
+    if (off + len > line_size_)
+        fatal("cache write: access crosses the line boundary");
+    for (std::uint32_t i = 0; i < len; ++i)
+        l->data[off + i] =
+            static_cast<std::uint8_t>((value >> (8 * i)) & 0xff);
+}
+
+std::uint32_t
+Cache::valid_lines() const
+{
+    std::uint32_t n = 0;
+    for (const auto &l : lines_)
+        n += l.state != LineState::Invalid;
+    return n;
+}
+
+} // namespace hornet::mem

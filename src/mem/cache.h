@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Set-associative cache with MSI line states, LRU replacement, and
+ * backing data storage. Used as the private L1 of each tile.
+ */
+#ifndef HORNET_MEM_CACHE_H
+#define HORNET_MEM_CACHE_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+
+namespace hornet::mem {
+
+/** MSI line state. */
+enum class LineState : std::uint8_t { Invalid, Shared, Modified };
+
+/** One cache line. */
+struct CacheLine
+{
+    std::uint64_t tag = 0;
+    LineState state = LineState::Invalid;
+    std::uint64_t lru = 0;
+    std::vector<std::uint8_t> data;
+};
+
+/**
+ * Simple blocking set-associative cache.
+ * Addresses are byte addresses; the cache operates on aligned lines.
+ */
+class Cache
+{
+  public:
+    Cache(std::uint32_t sets, std::uint32_t ways, std::uint32_t line_size);
+
+    std::uint32_t line_size() const { return line_size_; }
+
+    std::uint64_t
+    line_addr(std::uint64_t addr) const
+    {
+        return addr & ~static_cast<std::uint64_t>(line_size_ - 1);
+    }
+
+    /** Line holding @p addr or nullptr when not present (any state). */
+    CacheLine *find(std::uint64_t addr);
+    const CacheLine *find(std::uint64_t addr) const;
+
+    /** find() + LRU touch. */
+    CacheLine *access(std::uint64_t addr);
+
+    /**
+     * Install a line for @p addr (must not be present). If the set is
+     * full, the LRU victim is evicted and returned (with its state and
+     * data) so the caller can write it back.
+     */
+    std::optional<CacheLine> install(std::uint64_t addr, LineState state,
+                                     std::vector<std::uint8_t> data);
+
+    /** Drop the line holding @p addr (no writeback); no-op if absent. */
+    void invalidate(std::uint64_t addr);
+
+    /** Read @p len bytes at @p addr (must hit; len within the line). */
+    std::uint64_t read(std::uint64_t addr, std::uint32_t len) const;
+
+    /** Write @p len bytes at @p addr (must hit in state Modified). */
+    void write(std::uint64_t addr, std::uint32_t len, std::uint64_t value);
+
+    std::uint32_t sets() const { return sets_; }
+    std::uint32_t ways() const { return ways_; }
+
+    /** Number of valid lines (tests). */
+    std::uint32_t valid_lines() const;
+
+  private:
+    std::uint32_t set_of(std::uint64_t addr) const;
+
+    std::uint32_t sets_;
+    std::uint32_t ways_;
+    std::uint32_t line_size_;
+    std::uint64_t lru_clock_ = 0;
+    std::vector<CacheLine> lines_; ///< sets_ x ways_, row-major
+};
+
+} // namespace hornet::mem
+
+#endif // HORNET_MEM_CACHE_H

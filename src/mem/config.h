@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Memory-hierarchy configuration (paper II-D2): private caches kept
+ * coherent with an MSI directory protocol, or a NUCA-style distributed
+ * shared memory with remote-access reads and stores; either option
+ * communicates over the simulated on-chip network.
+ */
+#ifndef HORNET_MEM_CONFIG_H
+#define HORNET_MEM_CONFIG_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace hornet::mem {
+
+/** Coherence/organization mode. */
+enum class MemMode
+{
+    /** Private L1s + MSI directory at the memory controllers. */
+    MsiDirectory,
+    /** No caching of remote lines: remote loads/stores become
+     *  request/reply packets to the line's home tile. */
+    Nuca,
+};
+
+struct MemConfig
+{
+    MemMode mode = MemMode::MsiDirectory;
+    /** Cache-line size in bytes (power of two). */
+    std::uint32_t line_size = 32;
+    /** L1 geometry. */
+    std::uint32_t l1_sets = 64;
+    std::uint32_t l1_ways = 4;
+    /** L1 hit latency in cycles. */
+    Cycle l1_hit_latency = 1;
+    /** Memory-controller (home/directory) tiles. */
+    std::vector<NodeId> mc_nodes{0};
+    /** DRAM access latency at the controller, cycles. */
+    Cycle dram_latency = 50;
+    /** Local (same-tile) NUCA access latency, cycles. */
+    Cycle nuca_local_latency = 2;
+    /** Flit payload width in bytes (data-packet sizing). */
+    std::uint32_t flit_bytes = 8;
+
+    /** Flits in a control message. */
+    std::uint32_t control_flits() const { return 1; }
+    /** Flits in a message carrying a full cache line. */
+    std::uint32_t
+    data_flits() const
+    {
+        return 1 + (line_size + flit_bytes - 1) / flit_bytes;
+    }
+    /** Flits in a word-granularity message (NUCA reads/writes). */
+    std::uint32_t word_flits() const { return 2; }
+};
+
+} // namespace hornet::mem
+
+#endif // HORNET_MEM_CONFIG_H

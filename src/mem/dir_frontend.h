@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Frontend for tiles that host a directory/memory-controller slice (or
+ * a NUCA home) but no processor core: it steps the tile's memory
+ * endpoint so coherence requests addressed to this home are serviced.
+ */
+#ifndef HORNET_MEM_DIR_FRONTEND_H
+#define HORNET_MEM_DIR_FRONTEND_H
+
+#include "mem/tile_mem.h"
+#include "sim/frontend.h"
+
+namespace hornet::mem {
+
+/** Home-only memory endpoint (no core attached). */
+class DirectoryFrontend : public sim::Frontend
+{
+  public:
+    DirectoryFrontend(sim::Tile &tile, Fabric *fabric)
+        : mem_(tile, fabric)
+    {}
+
+    void posedge(Cycle now) override { mem_.posedge(now); }
+    void negedge(Cycle now) override { mem_.negedge(now); }
+    bool idle(Cycle now) const override { return mem_.idle(now); }
+
+    Cycle
+    next_event_cycle(Cycle now) const override
+    {
+        return mem_.next_event_cycle(now);
+    }
+
+    bool done(Cycle now) const override { return mem_.idle(now); }
+
+    TileMemory &memory() { return mem_; }
+
+  private:
+    TileMemory mem_;
+};
+
+} // namespace hornet::mem
+
+#endif // HORNET_MEM_DIR_FRONTEND_H

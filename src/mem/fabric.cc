@@ -1,0 +1,82 @@
+#include "mem/fabric.h"
+
+#include "common/log.h"
+
+namespace hornet::mem {
+
+Fabric::Fabric(const MemConfig &cfg, std::uint32_t num_tiles)
+    : cfg_(cfg), num_tiles_(num_tiles), store_(num_tiles)
+{
+    if (num_tiles == 0)
+        fatal("memory fabric: need at least one tile");
+    if (cfg_.mode == MemMode::MsiDirectory && cfg_.mc_nodes.empty())
+        fatal("MSI mode needs at least one memory controller");
+    for (NodeId mc : cfg_.mc_nodes)
+        if (mc >= num_tiles)
+            fatal(strcat("memory controller ", mc, " out of range"));
+    if ((cfg_.line_size & (cfg_.line_size - 1)) != 0)
+        fatal("line size must be a power of two");
+}
+
+NodeId
+Fabric::home_of(std::uint64_t addr) const
+{
+    const std::uint64_t line = addr / cfg_.line_size;
+    if (cfg_.mode == MemMode::Nuca)
+        return static_cast<NodeId>(line % num_tiles_);
+    return cfg_.mc_nodes[line % cfg_.mc_nodes.size()];
+}
+
+std::vector<std::uint8_t> &
+Fabric::line_ref(std::uint64_t addr)
+{
+    const std::uint64_t la =
+        addr & ~static_cast<std::uint64_t>(cfg_.line_size - 1);
+    auto &map = store_[home_of(addr)];
+    auto it = map.find(la);
+    if (it == map.end())
+        it = map.emplace(la, std::vector<std::uint8_t>(cfg_.line_size))
+                 .first;
+    return it->second;
+}
+
+void
+Fabric::poke(std::uint64_t addr, const std::vector<std::uint8_t> &bytes)
+{
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+        auto &line = line_ref(addr + i);
+        const std::uint64_t la =
+            (addr + i) & ~static_cast<std::uint64_t>(cfg_.line_size - 1);
+        line[addr + i - la] = bytes[i];
+    }
+}
+
+std::uint64_t
+Fabric::peek(std::uint64_t addr, std::uint32_t len)
+{
+    std::uint64_t v = 0;
+    for (std::uint32_t i = 0; i < len; ++i) {
+        auto &line = line_ref(addr + i);
+        const std::uint64_t la =
+            (addr + i) & ~static_cast<std::uint64_t>(cfg_.line_size - 1);
+        v |= static_cast<std::uint64_t>(line[addr + i - la]) << (8 * i);
+    }
+    return v;
+}
+
+void
+Fabric::poke32(std::uint64_t addr, std::uint32_t value)
+{
+    poke(addr, {static_cast<std::uint8_t>(value & 0xff),
+                static_cast<std::uint8_t>((value >> 8) & 0xff),
+                static_cast<std::uint8_t>((value >> 16) & 0xff),
+                static_cast<std::uint8_t>((value >> 24) & 0xff)});
+}
+
+std::uint32_t
+Fabric::peek32(std::uint64_t addr)
+{
+    return static_cast<std::uint32_t>(peek(addr, 4));
+}
+
+} // namespace hornet::mem

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Shared memory fabric: address-to-home mapping, distributed backing
+ * store, and the in-flight message pool.
+ *
+ * During simulation each home tile's backing store is touched only by
+ * that tile's thread; poke()/peek() are for initialization and
+ * post-run inspection.
+ */
+#ifndef HORNET_MEM_FABRIC_H
+#define HORNET_MEM_FABRIC_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "mem/config.h"
+#include "mem/msg.h"
+
+namespace hornet::mem {
+
+/** One simulated shared address space distributed over home tiles. */
+class Fabric
+{
+  public:
+    Fabric(const MemConfig &cfg, std::uint32_t num_tiles);
+
+    const MemConfig &config() const { return cfg_; }
+    std::uint32_t num_tiles() const { return num_tiles_; }
+
+    /** Home tile of the line containing @p addr. MSI mode interleaves
+     *  lines across the memory controllers; NUCA across all tiles. */
+    NodeId home_of(std::uint64_t addr) const;
+
+    MessagePool &pool() { return pool_; }
+
+    /**
+     * Reference to the backing-store line containing @p addr at its
+     * home (allocated zeroed on first touch). Caller must be the home
+     * tile's thread during simulation.
+     */
+    std::vector<std::uint8_t> &line_ref(std::uint64_t addr);
+
+    /** Initialization/debug byte write through the home mapping. */
+    void poke(std::uint64_t addr, const std::vector<std::uint8_t> &bytes);
+
+    /** Initialization/debug read of @p len bytes (little-endian). */
+    std::uint64_t peek(std::uint64_t addr, std::uint32_t len);
+
+    /** Convenience 32-bit accessors for loaders and tests. */
+    void poke32(std::uint64_t addr, std::uint32_t value);
+    std::uint32_t peek32(std::uint64_t addr);
+
+  private:
+    MemConfig cfg_;
+    std::uint32_t num_tiles_;
+    MessagePool pool_;
+    /** Per home tile: line address -> line bytes. */
+    std::vector<std::unordered_map<std::uint64_t,
+                                   std::vector<std::uint8_t>>> store_;
+};
+
+} // namespace hornet::mem
+
+#endif // HORNET_MEM_FABRIC_H

@@ -1,0 +1,73 @@
+#include "mem/msg.h"
+
+#include "common/log.h"
+
+namespace hornet::mem {
+
+const char *
+to_string(MsgType t)
+{
+    switch (t) {
+      case MsgType::GetS:
+        return "GetS";
+      case MsgType::GetM:
+        return "GetM";
+      case MsgType::PutM:
+        return "PutM";
+      case MsgType::PutAck:
+        return "PutAck";
+      case MsgType::Data:
+        return "Data";
+      case MsgType::Inv:
+        return "Inv";
+      case MsgType::InvAck:
+        return "InvAck";
+      case MsgType::FwdGetS:
+        return "FwdGetS";
+      case MsgType::FwdGetM:
+        return "FwdGetM";
+      case MsgType::DataWb:
+        return "DataWb";
+      case MsgType::ChownDone:
+        return "ChownDone";
+      case MsgType::RdReq:
+        return "RdReq";
+      case MsgType::RdResp:
+        return "RdResp";
+      case MsgType::WrReq:
+        return "WrReq";
+      case MsgType::WrAck:
+        return "WrAck";
+    }
+    return "?";
+}
+
+void
+MessagePool::put(std::uint64_t id, MemMsg msg)
+{
+    std::lock_guard<std::mutex> lk(mx_);
+    auto [it, inserted] = msgs_.emplace(id, std::move(msg));
+    if (!inserted)
+        panic("message pool: duplicate message id");
+}
+
+MemMsg
+MessagePool::take(std::uint64_t id)
+{
+    std::lock_guard<std::mutex> lk(mx_);
+    auto it = msgs_.find(id);
+    if (it == msgs_.end())
+        panic("message pool: missing message id");
+    MemMsg m = std::move(it->second);
+    msgs_.erase(it);
+    return m;
+}
+
+std::size_t
+MessagePool::size() const
+{
+    std::lock_guard<std::mutex> lk(mx_);
+    return msgs_.size();
+}
+
+} // namespace hornet::mem

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Coherence/memory messages exchanged between tiles.
+ *
+ * Messages ride the simulated NoC as packets; the packet payload is a
+ * message id resolved through a shared MessagePool (the simulator's
+ * stand-in for packet data contents). Pool keys are generated per tile
+ * so allocation is deterministic regardless of thread interleaving.
+ */
+#ifndef HORNET_MEM_MSG_H
+#define HORNET_MEM_MSG_H
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace hornet::mem {
+
+/** Message kinds for the MSI directory protocol and NUCA mode. */
+enum class MsgType : std::uint8_t
+{
+    // MSI directory protocol.
+    GetS,      ///< read miss: request shared copy
+    GetM,      ///< write miss/upgrade: request exclusive copy
+    PutM,      ///< eviction of a modified line (carries data)
+    PutAck,    ///< home acknowledged a PutM
+    Data,      ///< line data grant (aux: 0 = shared, 1 = modified)
+    Inv,       ///< invalidate a shared copy
+    InvAck,    ///< sharer invalidated (sent to home)
+    FwdGetS,   ///< home asks the owner to service a GetS
+    FwdGetM,   ///< home asks the owner to hand off ownership
+    DataWb,    ///< old owner's writeback to home after FwdGetS
+    ChownDone, ///< old owner confirms ownership transfer after FwdGetM
+    // NUCA remote access.
+    RdReq,
+    RdResp,
+    WrReq,
+    WrAck,
+};
+
+const char *to_string(MsgType t);
+
+/** One memory-system message. */
+struct MemMsg
+{
+    MsgType type = MsgType::GetS;
+    std::uint64_t addr = 0; ///< line-aligned for coherence msgs
+    NodeId sender = kInvalidNode;
+    /** Original requester (forwarded transactions). */
+    NodeId requester = kInvalidNode;
+    /** Data grant state: 0 = S, 1 = M. For RdResp/WrReq: word value. */
+    std::uint64_t aux = 0;
+    /** Line contents for data-bearing messages. */
+    std::vector<std::uint8_t> data;
+};
+
+/**
+ * Maps message ids (packet payloads) to message bodies. Thread-safe:
+ * producers/consumers on different tiles touch disjoint keys, and the
+ * map itself is mutex-guarded.
+ */
+class MessagePool
+{
+  public:
+    /** Store @p msg under the caller-chosen unique @p id. */
+    void put(std::uint64_t id, MemMsg msg);
+
+    /** Remove and return the message stored under @p id. */
+    MemMsg take(std::uint64_t id);
+
+    /** Messages currently in flight (tests/leak detection). */
+    std::size_t size() const;
+
+  private:
+    mutable std::mutex mx_;
+    std::unordered_map<std::uint64_t, MemMsg> msgs_;
+};
+
+} // namespace hornet::mem
+
+#endif // HORNET_MEM_MSG_H

@@ -1,0 +1,753 @@
+#include "mem/tile_mem.h"
+
+#include "common/log.h"
+#include "traffic/flows.h"
+
+namespace hornet::mem {
+
+TileMemory::TileMemory(sim::Tile &tile, Fabric *fabric)
+    : node_(tile.id()), fabric_(fabric)
+{
+    if (fabric_ == nullptr)
+        fatal("tile memory needs a fabric");
+    traffic::BridgeConfig bc;
+    owned_bridge_ = std::make_unique<traffic::Bridge>(
+        tile.router(), &tile.rng(), &tile.stats(), bc);
+    bridge_ = owned_bridge_.get();
+    const MemConfig &mc = fabric_->config();
+    if (mc.mode == MemMode::MsiDirectory) {
+        l1_ = std::make_unique<Cache>(mc.l1_sets, mc.l1_ways,
+                                      mc.line_size);
+    }
+}
+
+TileMemory::TileMemory(sim::Tile &tile, Fabric *fabric,
+                       traffic::Bridge *bridge)
+    : node_(tile.id()), fabric_(fabric), bridge_(bridge)
+{
+    if (fabric_ == nullptr || bridge_ == nullptr)
+        fatal("tile memory needs a fabric and a bridge");
+    const MemConfig &mc = fabric_->config();
+    if (mc.mode == MemMode::MsiDirectory) {
+        l1_ = std::make_unique<Cache>(mc.l1_sets, mc.l1_ways,
+                                      mc.line_size);
+    }
+}
+
+void
+TileMemory::handle_network_packet(std::uint64_t payload, Cycle now)
+{
+    handle_message(fabric_->pool().take(payload), now);
+}
+
+// ----------------------------------------------------------------------
+// Messaging.
+// ----------------------------------------------------------------------
+
+void
+TileMemory::send_msg(NodeId dst, MemMsg msg, std::uint32_t flits)
+{
+    if (dst == node_)
+        panic("memory message to self should be handled locally");
+    msg.sender = node_;
+    const std::uint64_t id =
+        (static_cast<std::uint64_t>(node_) << 40) | msg_seq_++;
+    fabric_->pool().put(id, std::move(msg));
+    net::PacketDesc pkt;
+    pkt.flow = traffic::pair_flow(node_, dst);
+    pkt.src = node_;
+    pkt.dst = dst;
+    pkt.size = flits;
+    pkt.payload = id;
+    pkt.vc_class = 0; // memory/coherence class
+    bridge_->send(pkt);
+}
+
+void
+TileMemory::deliver(NodeId dst, MemMsg msg, std::uint32_t flits,
+                    Cycle now)
+{
+    if (dst == node_) {
+        // Same-tile transfer: no network traversal (e.g. the home
+        // forwarding to an owner core on the MC tile itself).
+        msg.sender = node_;
+        handle_message(std::move(msg), now);
+    } else {
+        send_msg(dst, std::move(msg), flits);
+    }
+}
+
+void
+TileMemory::posedge(Cycle now)
+{
+    if (owned_bridge_ != nullptr)
+        bridge_->posedge(now);
+    // Fire due delayed actions (DRAM completions).
+    while (!delayed_.empty() && delayed_.top().at <= now) {
+        Delayed d = delayed_.top();
+        delayed_.pop();
+        send_msg(d.dst, std::move(d.msg), d.flits);
+        if (d.clears_line != ~std::uint64_t{0}) {
+            auto it = dir_.find(d.clears_line);
+            if (it == dir_.end() ||
+                it->second.transient != DirLine::Transient::WaitDram)
+                panic("delayed send: directory transient mismatch");
+            it->second.transient = DirLine::Transient::None;
+            --dir_transients_;
+            dir_drain(it->second, d.clears_line, now);
+        }
+    }
+    // Consume arrived packets (standalone mode only; a shared
+    // bridge is drained by its owner, which forwards memory packets).
+    if (owned_bridge_ != nullptr) {
+        while (auto pkt = bridge_->receive())
+            handle_message(fabric_->pool().take(pkt->desc.payload), now);
+    }
+}
+
+void
+TileMemory::negedge(Cycle now)
+{
+    if (owned_bridge_ != nullptr)
+        bridge_->negedge(now);
+}
+
+bool
+TileMemory::idle(Cycle) const
+{
+    // In shared-bridge mode the owner accounts for bridge business.
+    const bool bridge_idle =
+        owned_bridge_ == nullptr || bridge_->idle();
+    return !txn_.valid && delayed_.empty() && dir_transients_ == 0 &&
+           pending_putm_.empty() && bridge_idle;
+}
+
+Cycle
+TileMemory::next_event_cycle(Cycle now) const
+{
+    Cycle best = kNoEvent;
+    if (!delayed_.empty())
+        best = std::min(best, delayed_.top().at);
+    if (txn_.valid && !txn_.waiting_net && !txn_.done)
+        best = std::min(best, txn_.ready_at);
+    if (txn_.valid && (txn_.waiting_net || txn_.done))
+        best = std::min(best, now + 1);
+    if (!bridge_->idle())
+        best = std::min(best, now + 1);
+    return best;
+}
+
+void
+TileMemory::handle_message(MemMsg msg, Cycle now)
+{
+    switch (msg.type) {
+      case MsgType::Data:
+        handle_data(msg, now);
+        break;
+      case MsgType::Inv:
+        handle_inv(msg, now);
+        break;
+      case MsgType::FwdGetS:
+      case MsgType::FwdGetM:
+        handle_fwd(msg, now);
+        break;
+      case MsgType::PutAck:
+        pending_putm_.erase(msg.addr);
+        break;
+      case MsgType::GetS:
+      case MsgType::GetM:
+      case MsgType::PutM:
+      case MsgType::DataWb:
+      case MsgType::ChownDone:
+      case MsgType::InvAck:
+        dir_handle(std::move(msg), now);
+        break;
+      case MsgType::RdReq:
+      case MsgType::WrReq:
+        nuca_handle(msg, now);
+        break;
+      case MsgType::RdResp:
+        if (!txn_.valid || !txn_.waiting_net)
+            panic("NUCA read response without outstanding request");
+        txn_.result = msg.aux;
+        txn_.waiting_net = false;
+        txn_.done = true;
+        stats_.miss_latency.add(static_cast<double>(now - txn_.issued_at));
+        break;
+      case MsgType::WrAck:
+        if (!txn_.valid || !txn_.waiting_net)
+            panic("NUCA write ack without outstanding request");
+        txn_.waiting_net = false;
+        txn_.done = true;
+        stats_.miss_latency.add(static_cast<double>(now - txn_.issued_at));
+        break;
+    }
+}
+
+// ----------------------------------------------------------------------
+// Core port.
+// ----------------------------------------------------------------------
+
+void
+TileMemory::request(bool is_write, std::uint64_t addr, std::uint32_t len,
+                    std::uint64_t wdata, Cycle now)
+{
+    if (txn_.valid)
+        panic("memory port: request while busy");
+    const MemConfig &mc = fabric_->config();
+    const std::uint64_t la =
+        addr & ~static_cast<std::uint64_t>(mc.line_size - 1);
+    if (((addr + len - 1) &
+         ~static_cast<std::uint64_t>(mc.line_size - 1)) != la)
+        fatal("memory access crosses a cache-line boundary");
+
+    txn_ = Txn{};
+    txn_.valid = true;
+    txn_.is_write = is_write;
+    txn_.addr = addr;
+    txn_.len = len;
+    txn_.wdata = wdata;
+    txn_.issued_at = now;
+    if (is_write)
+        ++stats_.stores;
+    else
+        ++stats_.loads;
+
+    if (mc.mode == MemMode::Nuca) {
+        const NodeId home = fabric_->home_of(addr);
+        if (home == node_) {
+            auto &line = fabric_->line_ref(addr);
+            const std::uint64_t off = addr - la;
+            if (is_write) {
+                for (std::uint32_t i = 0; i < len; ++i)
+                    line[off + i] = static_cast<std::uint8_t>(
+                        (wdata >> (8 * i)) & 0xff);
+            } else {
+                for (std::uint32_t i = 0; i < len; ++i)
+                    txn_.result |=
+                        static_cast<std::uint64_t>(line[off + i])
+                        << (8 * i);
+            }
+            txn_.ready_at = now + mc.nuca_local_latency;
+            return;
+        }
+        ++stats_.remote_accesses;
+        MemMsg m;
+        m.addr = addr;
+        m.requester = node_;
+        if (is_write) {
+            m.type = MsgType::WrReq;
+            m.aux = wdata;
+            // Length rides in the top byte of requester-known context:
+            // encode in data vector for clarity.
+            m.data.assign(1, static_cast<std::uint8_t>(len));
+            send_msg(home, std::move(m), mc.word_flits());
+        } else {
+            m.type = MsgType::RdReq;
+            m.data.assign(1, static_cast<std::uint8_t>(len));
+            send_msg(home, std::move(m), mc.control_flits());
+        }
+        txn_.waiting_net = true;
+        return;
+    }
+
+    // MSI mode: consult the L1.
+    CacheLine *line = l1_->access(addr);
+    if (line != nullptr &&
+        (!is_write || line->state == LineState::Modified)) {
+        ++stats_.l1_hits;
+        if (is_write)
+            l1_->write(addr, len, wdata);
+        else
+            txn_.result = l1_->read(addr, len);
+        txn_.ready_at = now + mc.l1_hit_latency;
+        return;
+    }
+    ++stats_.l1_misses;
+    start_miss(now);
+}
+
+void
+TileMemory::start_miss(Cycle now)
+{
+    (void)now;
+    const MemConfig &mc = fabric_->config();
+    const std::uint64_t la = l1_->line_addr(txn_.addr);
+    const NodeId home = fabric_->home_of(txn_.addr);
+
+    MemMsg m;
+    m.type = txn_.is_write ? MsgType::GetM : MsgType::GetS;
+    m.addr = la;
+    m.requester = node_;
+    // Mark the transaction as waiting *before* dispatch: a local home
+    // may complete it synchronously.
+    txn_.waiting_net = true;
+    if (home == node_) {
+        // Local home: hand the message to our own directory directly
+        // (no network traversal), preserving the protocol path.
+        m.sender = node_;
+        dir_handle(std::move(m), /*now=*/txn_.issued_at);
+    } else {
+        send_msg(home, std::move(m), mc.control_flits());
+    }
+}
+
+bool
+TileMemory::response_ready(Cycle now) const
+{
+    if (!txn_.valid)
+        return false;
+    if (txn_.done)
+        return true;
+    return !txn_.waiting_net && now >= txn_.ready_at;
+}
+
+std::uint64_t
+TileMemory::take_response(Cycle now)
+{
+    if (!response_ready(now))
+        panic("memory port: take_response before completion");
+    std::uint64_t v = txn_.result;
+    txn_ = Txn{};
+    return v;
+}
+
+// ----------------------------------------------------------------------
+// L1-side message handling (MSI).
+// ----------------------------------------------------------------------
+
+void
+TileMemory::install_line(std::uint64_t line_addr, LineState state,
+                         std::vector<std::uint8_t> data, Cycle now)
+{
+    auto evicted = l1_->install(line_addr, state, std::move(data));
+    if (evicted.has_value()) {
+        ++stats_.evictions;
+        if (evicted->state == LineState::Modified) {
+            // Write back the victim; keep its data until the PutAck in
+            // case a Fwd races with the PutM.
+            pending_putm_[evicted->tag] = evicted->data;
+            MemMsg m;
+            m.type = MsgType::PutM;
+            m.addr = evicted->tag;
+            m.requester = node_;
+            m.data = std::move(evicted->data);
+            const NodeId home = fabric_->home_of(evicted->tag);
+            if (home == node_) {
+                m.sender = node_;
+                dir_handle(std::move(m), now);
+            } else {
+                send_msg(home, std::move(m),
+                         fabric_->config().data_flits());
+            }
+        }
+    }
+}
+
+void
+TileMemory::complete_txn_local(Cycle now)
+{
+    if (txn_.is_write)
+        l1_->write(txn_.addr, txn_.len, txn_.wdata);
+    else
+        txn_.result = l1_->read(txn_.addr, txn_.len);
+    txn_.waiting_net = false;
+    txn_.done = true;
+    stats_.miss_latency.add(static_cast<double>(now - txn_.issued_at));
+}
+
+void
+TileMemory::handle_data(const MemMsg &msg, Cycle now)
+{
+    if (!txn_.valid || !txn_.waiting_net ||
+        l1_->line_addr(txn_.addr) != msg.addr)
+        panic("Data grant without a matching outstanding miss");
+    const bool modified = msg.aux == 1;
+
+    if (txn_.inv_pending) {
+        // An Inv overtook this Data: use the value once, do not cache.
+        if (txn_.is_write)
+            panic("inv_pending on a write transaction");
+        const std::uint64_t off = txn_.addr - msg.addr;
+        txn_.result = 0;
+        for (std::uint32_t i = 0; i < txn_.len; ++i)
+            txn_.result |=
+                static_cast<std::uint64_t>(msg.data[off + i]) << (8 * i);
+        txn_.waiting_net = false;
+        txn_.done = true;
+        stats_.miss_latency.add(static_cast<double>(now - txn_.issued_at));
+        return;
+    }
+
+    // A store to a line we held Shared: drop the stale copy first.
+    l1_->invalidate(msg.addr);
+    install_line(msg.addr, modified ? LineState::Modified
+                                    : LineState::Shared,
+                 msg.data, now);
+    complete_txn_local(now);
+
+    if (txn_.fwd_pending) {
+        // A Fwd overtook this Data grant: serve it now.
+        MemMsg fwd = txn_.fwd_msg;
+        txn_.fwd_pending = false;
+        handle_fwd(fwd, now);
+    }
+}
+
+void
+TileMemory::handle_inv(const MemMsg &msg, Cycle now)
+{
+    (void)now;
+    ++stats_.invalidations_received;
+    CacheLine *line = l1_->find(msg.addr);
+    if (line != nullptr) {
+        if (line->state == LineState::Modified)
+            panic("Inv received for a Modified line (protocol bug)");
+        l1_->invalidate(msg.addr);
+    } else if (txn_.valid && txn_.waiting_net && !txn_.is_write &&
+               l1_->line_addr(txn_.addr) == msg.addr) {
+        // Inv passed the Data grant in the network.
+        txn_.inv_pending = true;
+    }
+    MemMsg ack;
+    ack.type = MsgType::InvAck;
+    ack.addr = msg.addr;
+    ack.requester = msg.requester;
+    const NodeId home = fabric_->home_of(msg.addr);
+    if (home == node_) {
+        ack.sender = node_;
+        dir_handle(std::move(ack), now);
+    } else {
+        send_msg(home, std::move(ack), fabric_->config().control_flits());
+    }
+}
+
+void
+TileMemory::handle_fwd(const MemMsg &msg, Cycle now)
+{
+    const MemConfig &mc = fabric_->config();
+    const bool for_share = msg.type == MsgType::FwdGetS;
+    CacheLine *line = l1_->find(msg.addr);
+
+    std::vector<std::uint8_t> data;
+    if (line != nullptr && line->state == LineState::Modified) {
+        data = line->data;
+        if (for_share)
+            line->state = LineState::Shared;
+        else
+            l1_->invalidate(msg.addr);
+    } else if (auto it = pending_putm_.find(msg.addr);
+               it != pending_putm_.end()) {
+        // Our PutM is in flight; serve the Fwd from the kept data.
+        data = it->second;
+    } else if (txn_.valid && txn_.waiting_net && txn_.is_write &&
+               l1_->line_addr(txn_.addr) == msg.addr) {
+        // Fwd passed our own Data(M) grant: defer until it arrives.
+        txn_.fwd_pending = true;
+        txn_.fwd_msg = msg;
+        return;
+    } else {
+        panic("Fwd received but line is not owned here");
+    }
+
+    ++stats_.forwards_served;
+    // Data to the requester...
+    MemMsg d;
+    d.type = MsgType::Data;
+    d.addr = msg.addr;
+    d.requester = msg.requester;
+    d.aux = for_share ? 0 : 1;
+    d.data = data;
+    if (msg.requester == node_)
+        panic("Fwd requester is the owner itself");
+    send_msg(msg.requester, std::move(d), mc.data_flits());
+    // ...and the home-side completion.
+    MemMsg c;
+    c.addr = msg.addr;
+    c.requester = msg.requester;
+    if (for_share) {
+        c.type = MsgType::DataWb;
+        c.data = data;
+    } else {
+        c.type = MsgType::ChownDone;
+    }
+    const NodeId home = fabric_->home_of(msg.addr);
+    if (home == node_) {
+        c.sender = node_;
+        dir_handle(std::move(c), now);
+    } else {
+        send_msg(home, std::move(c),
+                 for_share ? mc.data_flits() : mc.control_flits());
+    }
+}
+
+// ----------------------------------------------------------------------
+// Directory side.
+// ----------------------------------------------------------------------
+
+void
+TileMemory::dir_send_data(std::uint64_t line_addr, NodeId req,
+                          bool modified, Cycle now, bool after_dram)
+{
+    const MemConfig &mc = fabric_->config();
+    MemMsg d;
+    d.type = MsgType::Data;
+    d.addr = line_addr;
+    d.requester = req;
+    d.aux = modified ? 1 : 0;
+    d.data = fabric_->line_ref(line_addr);
+
+    if (req == node_) {
+        // Local requester: bypass the network, apply the DRAM delay by
+        // making the transaction complete later.
+        if (!txn_.valid || !txn_.waiting_net ||
+            l1_->line_addr(txn_.addr) != line_addr)
+            panic("local data grant without outstanding miss");
+        l1_->invalidate(line_addr);
+        install_line(line_addr,
+                     modified ? LineState::Modified : LineState::Shared,
+                     d.data, now);
+        if (txn_.is_write)
+            l1_->write(txn_.addr, txn_.len, txn_.wdata);
+        else
+            txn_.result = l1_->read(txn_.addr, txn_.len);
+        txn_.waiting_net = false;
+        txn_.done = false;
+        txn_.ready_at = now + (after_dram ? mc.dram_latency : 1);
+        stats_.miss_latency.add(static_cast<double>(
+            txn_.ready_at - txn_.issued_at));
+        // Clear any WaitDram transient immediately (no delayed send).
+        auto it = dir_.find(line_addr);
+        if (it != dir_.end() &&
+            it->second.transient == DirLine::Transient::WaitDram) {
+            it->second.transient = DirLine::Transient::None;
+            --dir_transients_;
+            dir_drain(it->second, line_addr, now);
+        }
+        return;
+    }
+
+    if (after_dram) {
+        Delayed del;
+        del.at = now + mc.dram_latency;
+        del.seq = delayed_seq_++;
+        del.dst = req;
+        del.msg = std::move(d);
+        del.flits = mc.data_flits();
+        del.clears_line = line_addr;
+        delayed_.push(std::move(del));
+    } else {
+        send_msg(req, std::move(d), mc.data_flits());
+    }
+}
+
+void
+TileMemory::dir_handle(MemMsg msg, Cycle now)
+{
+    ++stats_.dir_requests;
+    const std::uint64_t la = msg.addr;
+    DirLine &dl = dir_[la];
+
+    if (dl.transient != DirLine::Transient::None) {
+        switch (msg.type) {
+          case MsgType::DataWb:
+            if (dl.transient != DirLine::Transient::WaitWb)
+                panic("unexpected DataWb");
+            fabric_->line_ref(la) = msg.data;
+            dl.sharers.insert(dl.owner);
+            dl.sharers.insert(msg.requester);
+            dl.owner = kInvalidNode;
+            dl.state = LineState::Shared;
+            dl.transient = DirLine::Transient::None;
+            --dir_transients_;
+            dir_drain(dl, la, now);
+            return;
+          case MsgType::ChownDone:
+            if (dl.transient != DirLine::Transient::WaitChown)
+                panic("unexpected ChownDone");
+            dl.owner = msg.requester;
+            dl.state = LineState::Modified;
+            dl.transient = DirLine::Transient::None;
+            --dir_transients_;
+            dir_drain(dl, la, now);
+            return;
+          case MsgType::InvAck:
+            if (dl.transient != DirLine::Transient::WaitInvAcks)
+                panic("unexpected InvAck");
+            if (--dl.acks_left == 0) {
+                dl.transient = DirLine::Transient::None;
+                --dir_transients_;
+                dl.state = LineState::Modified;
+                dl.owner = dl.pending_requester;
+                dl.sharers.clear();
+                dir_send_data(la, dl.pending_requester, /*modified=*/true,
+                              now, /*after_dram=*/false);
+                dir_drain(dl, la, now);
+            }
+            return;
+          case MsgType::PutM: {
+            // Eviction racing a Fwd: the kept copy at the evictor
+            // serves the Fwd; the PutM is superseded. Always ack.
+            MemMsg ack;
+            ack.type = MsgType::PutAck;
+            ack.addr = la;
+            if (msg.sender == node_)
+                pending_putm_.erase(la);
+            else
+                send_msg(msg.sender, std::move(ack),
+                         fabric_->config().control_flits());
+            return;
+          }
+          default:
+            dl.queue.push_back(std::move(msg));
+            return;
+        }
+    }
+    dir_process(dl, la, std::move(msg), now);
+}
+
+void
+TileMemory::dir_process(DirLine &dl, std::uint64_t la, MemMsg msg,
+                        Cycle now)
+{
+    const MemConfig &mc = fabric_->config();
+    switch (msg.type) {
+      case MsgType::GetS: {
+        if (dl.state == LineState::Modified) {
+            // Owner must service and write back.
+            MemMsg f;
+            f.type = MsgType::FwdGetS;
+            f.addr = la;
+            f.requester = msg.requester;
+            dl.transient = DirLine::Transient::WaitWb;
+            ++dir_transients_;
+            deliver(dl.owner, std::move(f), mc.control_flits(), now);
+            return;
+        }
+        dl.sharers.insert(msg.requester);
+        dl.state = LineState::Shared;
+        dl.transient = DirLine::Transient::WaitDram;
+        ++dir_transients_;
+        dir_send_data(la, msg.requester, /*modified=*/false, now,
+                      /*after_dram=*/true);
+        return;
+      }
+      case MsgType::GetM: {
+        if (dl.state == LineState::Modified) {
+            if (dl.owner == msg.requester)
+                panic("owner re-requesting GetM");
+            MemMsg f;
+            f.type = MsgType::FwdGetM;
+            f.addr = la;
+            f.requester = msg.requester;
+            dl.transient = DirLine::Transient::WaitChown;
+            ++dir_transients_;
+            deliver(dl.owner, std::move(f), mc.control_flits(), now);
+            return;
+        }
+        // Invalidate all other sharers, then grant.
+        std::vector<NodeId> to_inv;
+        for (NodeId s : dl.sharers)
+            if (s != msg.requester)
+                to_inv.push_back(s);
+        if (!to_inv.empty()) {
+            dl.transient = DirLine::Transient::WaitInvAcks;
+            ++dir_transients_;
+            dl.acks_left = static_cast<std::uint32_t>(to_inv.size());
+            dl.pending_requester = msg.requester;
+            for (NodeId s : to_inv) {
+                MemMsg inv;
+                inv.type = MsgType::Inv;
+                inv.addr = la;
+                inv.requester = msg.requester;
+                if (s == node_) {
+                    inv.sender = node_;
+                    handle_inv(inv, now);
+                } else {
+                    send_msg(s, std::move(inv), mc.control_flits());
+                }
+            }
+            return;
+        }
+        dl.sharers.clear();
+        dl.state = LineState::Modified;
+        dl.owner = msg.requester;
+        dl.transient = DirLine::Transient::WaitDram;
+        ++dir_transients_;
+        dir_send_data(la, msg.requester, /*modified=*/true, now,
+                      /*after_dram=*/true);
+        return;
+      }
+      case MsgType::PutM: {
+        MemMsg ack;
+        ack.type = MsgType::PutAck;
+        ack.addr = la;
+        if (dl.state == LineState::Modified &&
+            dl.owner == msg.sender) {
+            fabric_->line_ref(la) = msg.data;
+            dl.state = LineState::Invalid;
+            dl.owner = kInvalidNode;
+        }
+        if (msg.sender == node_)
+            pending_putm_.erase(la);
+        else
+            send_msg(msg.sender, std::move(ack), mc.control_flits());
+        return;
+      }
+      case MsgType::InvAck:
+        // Stale ack from a sharer that had already self-evicted.
+        return;
+      default:
+        panic(strcat("directory: unexpected stable-state message ",
+                     to_string(msg.type)));
+    }
+}
+
+void
+TileMemory::dir_drain(DirLine &dl, std::uint64_t la, Cycle now)
+{
+    while (dl.transient == DirLine::Transient::None && !dl.queue.empty()) {
+        MemMsg m = std::move(dl.queue.front());
+        dl.queue.pop_front();
+        dir_process(dl, la, std::move(m), now);
+    }
+}
+
+// ----------------------------------------------------------------------
+// NUCA home-side handling.
+// ----------------------------------------------------------------------
+
+void
+TileMemory::nuca_handle(const MemMsg &msg, Cycle now)
+{
+    const MemConfig &mc = fabric_->config();
+    const std::uint32_t len = msg.data.empty() ? 4 : msg.data[0];
+    auto &line = fabric_->line_ref(msg.addr);
+    const std::uint64_t la =
+        msg.addr & ~static_cast<std::uint64_t>(mc.line_size - 1);
+    const std::uint64_t off = msg.addr - la;
+
+    MemMsg r;
+    r.addr = msg.addr;
+    r.requester = msg.requester;
+    if (msg.type == MsgType::RdReq) {
+        r.type = MsgType::RdResp;
+        for (std::uint32_t i = 0; i < len; ++i)
+            r.aux |= static_cast<std::uint64_t>(line[off + i]) << (8 * i);
+    } else {
+        for (std::uint32_t i = 0; i < len; ++i)
+            line[off + i] =
+                static_cast<std::uint8_t>((msg.aux >> (8 * i)) & 0xff);
+        r.type = MsgType::WrAck;
+    }
+    Delayed del;
+    del.at = now + mc.dram_latency;
+    del.seq = delayed_seq_++;
+    del.dst = msg.requester;
+    del.msg = std::move(r);
+    del.flits = msg.type == MsgType::RdReq ? mc.word_flits()
+                                           : mc.control_flits();
+    delayed_.push(std::move(del));
+}
+
+} // namespace hornet::mem

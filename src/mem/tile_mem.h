@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Per-tile memory-system endpoint (paper II-D2).
+ *
+ * Combines, for one tile:
+ *  - the core-facing port (single outstanding request, blocking core);
+ *  - the private L1 with MSI states (MsiDirectory mode);
+ *  - the directory/memory-controller slice, when this tile is a home;
+ *  - the NUCA remote-access engine (Nuca mode);
+ *  - a Bridge for the coherence/memory packets, which therefore
+ *    contend on the simulated NoC like all other traffic.
+ *
+ * The protocol is a blocking MSI directory protocol: the home
+ * serializes transactions per line (transient states queue later
+ * requests), and the two reorderings the network can introduce
+ * (Inv passing Data; Fwd passing Data) are absorbed at the L1.
+ */
+#ifndef HORNET_MEM_TILE_MEM_H
+#define HORNET_MEM_TILE_MEM_H
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <set>
+
+#include "mem/cache.h"
+#include "mem/fabric.h"
+#include "sim/tile.h"
+#include "traffic/bridge.h"
+
+namespace hornet::mem {
+
+/** Memory-access statistics of one tile. */
+struct MemStats
+{
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t l1_hits = 0;
+    std::uint64_t l1_misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t invalidations_received = 0;
+    std::uint64_t forwards_served = 0;
+    std::uint64_t dir_requests = 0;
+    std::uint64_t remote_accesses = 0; ///< NUCA mode
+    RunningStat miss_latency;
+};
+
+/**
+ * One tile's memory endpoint. Owned and stepped by the tile's core
+ * frontend (MIPS, native, or a scripted test core).
+ */
+class TileMemory
+{
+  public:
+    /** Standalone endpoint: owns its own Bridge and drains all
+     *  arriving packets (they must all be memory messages). */
+    TileMemory(sim::Tile &tile, Fabric *fabric);
+
+    /**
+     * Shared-bridge endpoint: @p bridge is owned and pumped by the
+     * caller (e.g. a CPU frontend that multiplexes memory messages
+     * and network-syscall messages on one CPU port). The caller must
+     * forward memory packets via handle_network_packet().
+     */
+    TileMemory(sim::Tile &tile, Fabric *fabric, traffic::Bridge *bridge);
+
+    /** Process one arrived memory packet (shared-bridge mode). */
+    void handle_network_packet(std::uint64_t payload, Cycle now);
+
+    // ------------------------------------------------------------------
+    // Core-facing port: one outstanding request.
+    // ------------------------------------------------------------------
+
+    /** True when a new request may be issued. */
+    bool can_accept() const { return !txn_.valid; }
+
+    /**
+     * Issue a load (@p is_write false) or store. @p len in {1,2,4,8}
+     * and the access must not cross a cache line.
+     */
+    void request(bool is_write, std::uint64_t addr, std::uint32_t len,
+                 std::uint64_t wdata, Cycle now);
+
+    /** True when the outstanding request has completed. */
+    bool response_ready(Cycle now) const;
+
+    /** Consume the completed response; returns the loaded value
+     *  (stores return 0). */
+    std::uint64_t take_response(Cycle now);
+
+    // ------------------------------------------------------------------
+    // Clocking (called by the owning frontend).
+    // ------------------------------------------------------------------
+
+    void posedge(Cycle now);
+    void negedge(Cycle now);
+
+    /** No outstanding work of any kind on this endpoint. */
+    bool idle(Cycle now) const;
+
+    /** Earliest future local event (dram completions etc.). */
+    Cycle next_event_cycle(Cycle now) const;
+
+    const MemStats &stats() const { return stats_; }
+    const Cache &l1() const { return *l1_; }
+
+  private:
+    // -------------------- messaging --------------------
+    void send_msg(NodeId dst, MemMsg msg, std::uint32_t flits);
+    /** send_msg, or local handling when @p dst is this tile. */
+    void deliver(NodeId dst, MemMsg msg, std::uint32_t flits, Cycle now);
+    void handle_message(MemMsg msg, Cycle now);
+
+    // -------------------- L1 side --------------------
+    void start_miss(Cycle now);
+    void handle_data(const MemMsg &msg, Cycle now);
+    void handle_inv(const MemMsg &msg, Cycle now);
+    void handle_fwd(const MemMsg &msg, Cycle now);
+    void install_line(std::uint64_t line_addr, LineState state,
+                      std::vector<std::uint8_t> data, Cycle now);
+    void complete_txn_local(Cycle now);
+
+    // -------------------- directory side --------------------
+    struct DirLine
+    {
+        LineState state = LineState::Invalid; ///< I/S/M summary
+        std::set<NodeId> sharers;
+        NodeId owner = kInvalidNode;
+        enum class Transient
+        {
+            None,
+            WaitDram,
+            WaitWb,
+            WaitInvAcks,
+            WaitChown,
+        } transient = Transient::None;
+        std::uint32_t acks_left = 0;
+        NodeId pending_requester = kInvalidNode;
+        std::deque<MemMsg> queue;
+    };
+
+    void dir_handle(MemMsg msg, Cycle now);
+    void dir_process(DirLine &dl, std::uint64_t line_addr, MemMsg msg,
+                     Cycle now);
+    void dir_drain(DirLine &dl, std::uint64_t line_addr, Cycle now);
+    void dir_send_data(std::uint64_t line_addr, NodeId req, bool modified,
+                       Cycle now, bool after_dram);
+
+    // -------------------- NUCA side --------------------
+    void nuca_handle(const MemMsg &msg, Cycle now);
+
+    // -------------------- delayed actions (DRAM model) ----------------
+    struct Delayed
+    {
+        Cycle at;
+        std::uint64_t seq;
+        NodeId dst;
+        MemMsg msg;
+        std::uint32_t flits;
+        /** Line whose WaitDram transient this send clears (or ~0). */
+        std::uint64_t clears_line = ~std::uint64_t{0};
+        bool
+        operator>(const Delayed &o) const
+        {
+            return at != o.at ? at > o.at : seq > o.seq;
+        }
+    };
+
+    NodeId node_;
+    Fabric *fabric_;
+    std::unique_ptr<traffic::Bridge> owned_bridge_;
+    traffic::Bridge *bridge_;
+    std::unique_ptr<Cache> l1_;
+    MemStats stats_;
+    std::uint64_t msg_seq_ = 0;
+
+    /** Outstanding core transaction. */
+    struct Txn
+    {
+        bool valid = false;
+        bool is_write = false;
+        std::uint64_t addr = 0;
+        std::uint32_t len = 0;
+        std::uint64_t wdata = 0;
+        std::uint64_t result = 0;
+        bool waiting_net = false;
+        Cycle ready_at = 0;
+        bool done = false;
+        Cycle issued_at = 0;
+        // Race absorption (see file header).
+        bool inv_pending = false;
+        bool fwd_pending = false;
+        MemMsg fwd_msg;
+    } txn_;
+
+    /** Evicted-Modified lines awaiting PutAck (Fwd race handling). */
+    std::map<std::uint64_t, std::vector<std::uint8_t>> pending_putm_;
+
+    std::map<std::uint64_t, DirLine> dir_;
+    std::uint32_t dir_transients_ = 0;
+
+    std::priority_queue<Delayed, std::vector<Delayed>,
+                        std::greater<Delayed>> delayed_;
+    std::uint64_t delayed_seq_ = 0;
+};
+
+} // namespace hornet::mem
+
+#endif // HORNET_MEM_TILE_MEM_H

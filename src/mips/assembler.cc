@@ -1,0 +1,503 @@
+#include "mips/assembler.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/log.h"
+#include "mips/isa.h"
+
+namespace hornet::mips {
+
+std::uint32_t
+Program::label_addr(const std::string &name) const
+{
+    auto it = labels.find(name);
+    if (it == labels.end())
+        fatal("program has no label '" + name + "'");
+    return base + 4 * it->second;
+}
+
+namespace {
+
+const std::map<std::string, std::uint32_t> kRegNames = {
+    {"zero", 0}, {"at", 1},  {"v0", 2},  {"v1", 3},  {"a0", 4},
+    {"a1", 5},   {"a2", 6},  {"a3", 7},  {"t0", 8},  {"t1", 9},
+    {"t2", 10},  {"t3", 11}, {"t4", 12}, {"t5", 13}, {"t6", 14},
+    {"t7", 15},  {"s0", 16}, {"s1", 17}, {"s2", 18}, {"s3", 19},
+    {"s4", 20},  {"s5", 21}, {"s6", 22}, {"s7", 23}, {"t8", 24},
+    {"t9", 25},  {"k0", 26}, {"k1", 27}, {"gp", 28}, {"sp", 29},
+    {"fp", 30},  {"ra", 31},
+};
+
+struct Token
+{
+    std::string text;
+};
+
+std::string
+trim(const std::string &s)
+{
+    auto b = s.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos)
+        return "";
+    auto e = s.find_last_not_of(" \t\r\n");
+    return s.substr(b, e - b + 1);
+}
+
+/** Statement = op + comma-separated operands. */
+struct Stmt
+{
+    int line;
+    std::string op;
+    std::vector<std::string> args;
+};
+
+class Asm
+{
+  public:
+    explicit Asm(std::uint32_t base) : base_(base) {}
+
+    Program
+    run(const std::string &source)
+    {
+        parse(source);
+        // Pass 1: compute word index of every statement (some pseudo
+        // ops expand to 2 words) and bind labels.
+        std::uint32_t widx = 0;
+        stmt_word_.resize(stmts_.size());
+        for (std::size_t i = 0; i < stmts_.size(); ++i) {
+            stmt_word_[i] = widx;
+            widx += words_of(stmts_[i]);
+        }
+        // Resolve label word indices now that statement sizes are known.
+        for (const auto &[name, sidx] : label_stmt_) {
+            labels_[name] =
+                sidx >= stmt_word_.size() ? widx : stmt_word_[sidx];
+        }
+        // Pass 2: emit.
+        for (const auto &s : stmts_)
+            emit(s);
+        Program p;
+        p.text = std::move(out_);
+        p.labels = std::move(labels_);
+        p.base = base_;
+        return p;
+    }
+
+  private:
+    [[noreturn]] void
+    err(int line, const std::string &msg) const
+    {
+        fatal(strcat("asm line ", line, ": ", msg));
+    }
+
+    void
+    parse(const std::string &source)
+    {
+        std::istringstream in(source);
+        std::string raw;
+        int line = 0;
+        std::uint32_t pending_words = 0;
+        std::vector<std::pair<std::string, int>> pending_labels;
+        while (std::getline(in, raw)) {
+            ++line;
+            auto cut = raw.find_first_of("#;");
+            if (cut != std::string::npos)
+                raw = raw.substr(0, cut);
+            std::string s = trim(raw);
+            // Labels (possibly several per line).
+            while (true) {
+                auto colon = s.find(':');
+                if (colon == std::string::npos)
+                    break;
+                std::string lbl = trim(s.substr(0, colon));
+                if (lbl.empty() ||
+                    lbl.find_first_of(" \t,()") != std::string::npos)
+                    break; // ':' belongs to something else
+                pending_labels.emplace_back(lbl, line);
+                s = trim(s.substr(colon + 1));
+            }
+            if (s.empty())
+                continue;
+            Stmt st;
+            st.line = line;
+            auto sp = s.find_first_of(" \t");
+            st.op = s.substr(0, sp);
+            std::transform(st.op.begin(), st.op.end(), st.op.begin(),
+                           [](unsigned char c) { return std::tolower(c); });
+            if (sp != std::string::npos) {
+                std::string rest = trim(s.substr(sp));
+                std::string item;
+                std::istringstream rs(rest);
+                while (std::getline(rs, item, ','))
+                    st.args.push_back(trim(item));
+            }
+            // Bind pending labels to this statement's word index; we
+            // record them provisionally and fix in pass 1 by storing
+            // the statement index.
+            for (auto &[lbl, lline] : pending_labels) {
+                if (label_stmt_.count(lbl))
+                    err(lline, "duplicate label '" + lbl + "'");
+                label_stmt_[lbl] = stmts_.size();
+            }
+            pending_labels.clear();
+            stmts_.push_back(std::move(st));
+            (void)pending_words;
+        }
+        if (!pending_labels.empty()) {
+            // Labels at end of file point one past the last word.
+            for (auto &[lbl, lline] : pending_labels) {
+                if (label_stmt_.count(lbl))
+                    err(lline, "duplicate label '" + lbl + "'");
+                label_stmt_[lbl] = stmts_.size();
+            }
+        }
+    }
+
+    static bool
+    is_branch2(const std::string &op)
+    {
+        return op == "blt" || op == "bgt" || op == "ble" || op == "bge";
+    }
+
+    /** Words a statement expands to (pass 1). */
+    std::uint32_t
+    words_of(const Stmt &s) const
+    {
+        if (s.op == ".word")
+            return static_cast<std::uint32_t>(s.args.size());
+        if (s.op == ".space") {
+            return static_cast<std::uint32_t>(
+                (parse_imm_raw(s, 0) + 3) / 4);
+        }
+        if (s.op == "li" || s.op == "la") {
+            std::int64_t v = parse_imm_raw(s, 1);
+            return (v >= -32768 && v < 32768) ? 1 : 2;
+        }
+        if (is_branch2(s.op) || s.op == "mul")
+            return 2;
+        return 1;
+    }
+
+    /** Raw numeric immediate (labels resolved for 'la'). */
+    std::int64_t
+    parse_imm_raw(const Stmt &s, std::size_t idx) const
+    {
+        if (idx >= s.args.size())
+            err(s.line, "missing operand");
+        const std::string &a = s.args[idx];
+        if (!a.empty() &&
+            (std::isdigit(static_cast<unsigned char>(a[0])) ||
+             a[0] == '-' || a[0] == '+')) {
+            return std::strtoll(a.c_str(), nullptr, 0);
+        }
+        // Label reference: absolute byte address (resolved via pass-1
+        // statement indices; valid during pass 2).
+        auto it = label_stmt_.find(a);
+        if (it == label_stmt_.end())
+            err(s.line, "unknown label or bad immediate '" + a + "'");
+        std::uint32_t w = it->second >= stmt_word_.size()
+                              ? total_words()
+                              : stmt_word_[it->second];
+        return static_cast<std::int64_t>(base_ + 4 * w);
+    }
+
+    std::uint32_t
+    total_words() const
+    {
+        if (stmts_.empty())
+            return 0;
+        return stmt_word_.back() + words_of(stmts_.back());
+    }
+
+    std::uint32_t
+    reg(const Stmt &s, std::size_t idx) const
+    {
+        if (idx >= s.args.size())
+            err(s.line, "missing register operand");
+        const std::string &a = s.args[idx];
+        if (a.empty() || a[0] != '$')
+            err(s.line, "expected register, got '" + a + "'");
+        std::string name = a.substr(1);
+        if (!name.empty() &&
+            std::isdigit(static_cast<unsigned char>(name[0]))) {
+            long n = std::strtol(name.c_str(), nullptr, 10);
+            if (n < 0 || n > 31)
+                err(s.line, "register number out of range");
+            return static_cast<std::uint32_t>(n);
+        }
+        auto it = kRegNames.find(name);
+        if (it == kRegNames.end())
+            err(s.line, "unknown register '" + a + "'");
+        return it->second;
+    }
+
+    /** Memory operand "off($reg)". */
+    std::pair<std::int32_t, std::uint32_t>
+    memop(const Stmt &s, std::size_t idx) const
+    {
+        if (idx >= s.args.size())
+            err(s.line, "missing memory operand");
+        const std::string &a = s.args[idx];
+        auto lp = a.find('(');
+        auto rp = a.find(')');
+        if (lp == std::string::npos || rp == std::string::npos || rp < lp)
+            err(s.line, "expected off($reg), got '" + a + "'");
+        std::string offs = trim(a.substr(0, lp));
+        std::int32_t off =
+            offs.empty()
+                ? 0
+                : static_cast<std::int32_t>(
+                      std::strtol(offs.c_str(), nullptr, 0));
+        Stmt tmp;
+        tmp.line = s.line;
+        tmp.args = {trim(a.substr(lp + 1, rp - lp - 1))};
+        return {off, reg(tmp, 0)};
+    }
+
+    std::int32_t
+    imm16(const Stmt &s, std::size_t idx, bool sign) const
+    {
+        std::int64_t v = parse_imm_raw(s, idx);
+        if (sign && (v < -32768 || v > 32767))
+            err(s.line, strcat("immediate out of range: ", v));
+        if (!sign && (v < 0 || v > 65535))
+            err(s.line, strcat("immediate out of range: ", v));
+        return static_cast<std::int32_t>(v);
+    }
+
+    std::uint32_t
+    branch_off(const Stmt &s, std::size_t idx) const
+    {
+        if (idx >= s.args.size())
+            err(s.line, "missing branch target");
+        auto it = label_stmt_.find(s.args[idx]);
+        if (it == label_stmt_.end())
+            err(s.line, "unknown label '" + s.args[idx] + "'");
+        std::uint32_t target = it->second >= stmt_word_.size()
+                                   ? total_words()
+                                   : stmt_word_[it->second];
+        // Offset is relative to the instruction after the branch. The
+        // current emission index is out_.size(); branch word is about
+        // to be appended (possibly as the 2nd word of a pseudo-op).
+        std::int64_t off = static_cast<std::int64_t>(target) -
+                           (static_cast<std::int64_t>(out_.size()) + 1);
+        if (off < -32768 || off > 32767)
+            err(s.line, "branch target out of range");
+        return static_cast<std::uint32_t>(off) & 0xffff;
+    }
+
+    void push(std::uint32_t w) { out_.push_back(w); }
+
+    void
+    emit(const Stmt &s)
+    {
+        const std::string &op = s.op;
+        // Directives.
+        if (op == ".word") {
+            for (std::size_t i = 0; i < s.args.size(); ++i)
+                push(static_cast<std::uint32_t>(parse_imm_raw(s, i)));
+            return;
+        }
+        if (op == ".space") {
+            std::uint32_t n =
+                static_cast<std::uint32_t>((parse_imm_raw(s, 0) + 3) / 4);
+            for (std::uint32_t i = 0; i < n; ++i)
+                push(0);
+            return;
+        }
+        // Pseudo-instructions.
+        if (op == "nop") {
+            push(0);
+            return;
+        }
+        if (op == "move") {
+            push(enc_r(FN_ADDU, reg(s, 0), reg(s, 1), 0));
+            return;
+        }
+        if (op == "not") {
+            push(enc_r(FN_NOR, reg(s, 0), reg(s, 1), 0));
+            return;
+        }
+        if (op == "neg") {
+            push(enc_r(FN_SUBU, reg(s, 0), 0, reg(s, 1)));
+            return;
+        }
+        if (op == "b") {
+            push(enc_i(OP_BEQ, 0, 0, branch_off(s, 0)));
+            return;
+        }
+        if (op == "li" || op == "la") {
+            std::int64_t v = parse_imm_raw(s, 1);
+            std::uint32_t rt = reg(s, 0);
+            if (v >= -32768 && v < 32768) {
+                push(enc_i(OP_ADDIU, rt, 0, static_cast<std::uint32_t>(
+                                                v) & 0xffff));
+            } else {
+                auto uv = static_cast<std::uint32_t>(v);
+                push(enc_i(OP_LUI, rt, 0, uv >> 16));
+                push(enc_i(OP_ORI, rt, rt, uv & 0xffff));
+            }
+            return;
+        }
+        if (op == "mul") {
+            push(enc_r(FN_MULT, 0, reg(s, 1), reg(s, 2)));
+            push(enc_r(FN_MFLO, reg(s, 0), 0, 0));
+            return;
+        }
+        if (is_branch2(op)) {
+            std::uint32_t rs = reg(s, 0), rt = reg(s, 1);
+            if (op == "blt") { // slt $at, rs, rt; bne $at, $0, L
+                push(enc_r(FN_SLT, R_AT, rs, rt));
+                push(enc_i(OP_BNE, 0, R_AT, branch_off(s, 2)));
+            } else if (op == "bge") { // slt $at, rs, rt; beq $at, $0, L
+                push(enc_r(FN_SLT, R_AT, rs, rt));
+                push(enc_i(OP_BEQ, 0, R_AT, branch_off(s, 2)));
+            } else if (op == "bgt") { // slt $at, rt, rs; bne
+                push(enc_r(FN_SLT, R_AT, rt, rs));
+                push(enc_i(OP_BNE, 0, R_AT, branch_off(s, 2)));
+            } else { // ble: slt $at, rt, rs; beq
+                push(enc_r(FN_SLT, R_AT, rt, rs));
+                push(enc_i(OP_BEQ, 0, R_AT, branch_off(s, 2)));
+            }
+            return;
+        }
+        // R-type three-register ops.
+        static const std::map<std::string, std::uint32_t> r3 = {
+            {"add", FN_ADD},   {"addu", FN_ADDU}, {"sub", FN_SUB},
+            {"subu", FN_SUBU}, {"and", FN_AND},   {"or", FN_OR},
+            {"xor", FN_XOR},   {"nor", FN_NOR},   {"slt", FN_SLT},
+            {"sltu", FN_SLTU},
+        };
+        if (auto it = r3.find(op); it != r3.end()) {
+            push(enc_r(it->second, reg(s, 0), reg(s, 1), reg(s, 2)));
+            return;
+        }
+        static const std::map<std::string, std::uint32_t> shifts = {
+            {"sll", FN_SLL}, {"srl", FN_SRL}, {"sra", FN_SRA}};
+        if (auto it = shifts.find(op); it != shifts.end()) {
+            push(enc_r(it->second, reg(s, 0), 0, reg(s, 1),
+                       static_cast<std::uint32_t>(imm16(s, 2, true)) &
+                           31));
+            return;
+        }
+        static const std::map<std::string, std::uint32_t> shiftv = {
+            {"sllv", FN_SLLV}, {"srlv", FN_SRLV}, {"srav", FN_SRAV}};
+        if (auto it = shiftv.find(op); it != shiftv.end()) {
+            push(enc_r(it->second, reg(s, 0), reg(s, 2), reg(s, 1)));
+            return;
+        }
+        static const std::map<std::string, std::uint32_t> muldiv = {
+            {"mult", FN_MULT},
+            {"multu", FN_MULTU},
+            {"div", FN_DIV},
+            {"divu", FN_DIVU}};
+        if (auto it = muldiv.find(op); it != muldiv.end()) {
+            push(enc_r(it->second, 0, reg(s, 0), reg(s, 1)));
+            return;
+        }
+        if (op == "mfhi") {
+            push(enc_r(FN_MFHI, reg(s, 0), 0, 0));
+            return;
+        }
+        if (op == "mflo") {
+            push(enc_r(FN_MFLO, reg(s, 0), 0, 0));
+            return;
+        }
+        if (op == "jr") {
+            push(enc_r(FN_JR, 0, reg(s, 0), 0));
+            return;
+        }
+        if (op == "jalr") {
+            push(enc_r(FN_JALR, R_RA, reg(s, 0), 0));
+            return;
+        }
+        if (op == "syscall") {
+            push(enc_r(FN_SYSCALL, 0, 0, 0));
+            return;
+        }
+        // I-type ALU.
+        static const std::map<std::string, std::uint32_t> ialu = {
+            {"addi", OP_ADDI},   {"addiu", OP_ADDIU}, {"slti", OP_SLTI},
+            {"sltiu", OP_SLTIU}, {"andi", OP_ANDI},   {"ori", OP_ORI},
+            {"xori", OP_XORI},
+        };
+        if (auto it = ialu.find(op); it != ialu.end()) {
+            bool sign = op == "addi" || op == "addiu" || op == "slti" ||
+                        op == "sltiu";
+            push(enc_i(it->second, reg(s, 0), reg(s, 1),
+                       static_cast<std::uint32_t>(imm16(s, 2, sign)) &
+                           0xffff));
+            return;
+        }
+        if (op == "lui") {
+            push(enc_i(OP_LUI, reg(s, 0), 0,
+                       static_cast<std::uint32_t>(imm16(s, 1, false)) &
+                           0xffff));
+            return;
+        }
+        // Loads/stores.
+        static const std::map<std::string, std::uint32_t> mems = {
+            {"lb", OP_LB}, {"lbu", OP_LBU}, {"lh", OP_LH},
+            {"lhu", OP_LHU}, {"lw", OP_LW},  {"sb", OP_SB},
+            {"sh", OP_SH},  {"sw", OP_SW},
+        };
+        if (auto it = mems.find(op); it != mems.end()) {
+            auto [off, base] = memop(s, 1);
+            push(enc_i(it->second, reg(s, 0), base,
+                       static_cast<std::uint32_t>(off) & 0xffff));
+            return;
+        }
+        // Branches.
+        if (op == "beq" || op == "bne") {
+            push(enc_i(op == "beq" ? OP_BEQ : OP_BNE, reg(s, 1),
+                       reg(s, 0), branch_off(s, 2)));
+            return;
+        }
+        if (op == "blez" || op == "bgtz") {
+            push(enc_i(op == "blez" ? OP_BLEZ : OP_BGTZ, 0, reg(s, 0),
+                       branch_off(s, 1)));
+            return;
+        }
+        if (op == "bltz" || op == "bgez") {
+            push(enc_i(OP_REGIMM, op == "bltz" ? RI_BLTZ : RI_BGEZ,
+                       reg(s, 0), branch_off(s, 1)));
+            return;
+        }
+        // Jumps.
+        if (op == "j" || op == "jal") {
+            auto it = label_stmt_.find(
+                s.args.empty() ? std::string() : s.args[0]);
+            if (it == label_stmt_.end())
+                err(s.line, "unknown jump target");
+            std::uint32_t target = it->second >= stmt_word_.size()
+                                       ? total_words()
+                                       : stmt_word_[it->second];
+            push(enc_j(op == "j" ? OP_J : OP_JAL,
+                       (base_ / 4 + target) & 0x03ffffff));
+            return;
+        }
+        err(s.line, "unknown instruction '" + op + "'");
+    }
+
+    std::uint32_t base_;
+    std::vector<Stmt> stmts_;
+    std::vector<std::uint32_t> stmt_word_;
+    std::map<std::string, std::size_t> label_stmt_;
+    std::map<std::string, std::uint32_t> labels_;
+    std::vector<std::uint32_t> out_;
+};
+
+} // namespace
+
+Program
+assemble(const std::string &source, std::uint32_t base)
+{
+    Asm a(base);
+    Program p = a.run(source);
+    return p;
+}
+
+} // namespace hornet::mips

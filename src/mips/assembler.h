@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Two-pass MIPS assembler.
+ *
+ * Substitutes for the MIPS GCC cross-compiler toolchain the paper uses
+ * to build statically-linked binaries (II-D2): programs for the
+ * built-in core are written in assembly text and assembled to machine
+ * words at simulator start.
+ *
+ * Syntax:
+ *   label:            # define a label
+ *   op rd, rs, rt     # register instructions
+ *   op rt, rs, imm    # immediates (decimal, hex 0x.., negative)
+ *   lw rt, off(rs)    # memory operands
+ *   beq rs, rt, label # branch targets are labels
+ *   .word v [, v...]  # literal data words in the text stream
+ *   # comment         (also ';')
+ *
+ * Pseudo-instructions: nop, move, li, la, b, not, neg,
+ * blt/bgt/ble/bge (expand via $at), mul (mult+mflo).
+ */
+#ifndef HORNET_MIPS_ASSEMBLER_H
+#define HORNET_MIPS_ASSEMBLER_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hornet::mips {
+
+/** An assembled program (text words, word-indexed labels). */
+struct Program
+{
+    std::vector<std::uint32_t> text;
+    std::map<std::string, std::uint32_t> labels; ///< word index
+    /** Byte address the text is loaded at. */
+    std::uint32_t base = 0x00010000;
+
+    std::uint32_t
+    label_addr(const std::string &name) const;
+};
+
+/** Assemble @p source; fatal() with line info on any error. */
+Program assemble(const std::string &source,
+                 std::uint32_t base = 0x00010000);
+
+} // namespace hornet::mips
+
+#endif // HORNET_MIPS_ASSEMBLER_H

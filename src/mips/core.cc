@@ -1,0 +1,613 @@
+#include "mips/core.h"
+
+#include "common/log.h"
+#include "mips/isa.h"
+#include "net/routing/builders.h"
+#include "traffic/flows.h"
+
+namespace hornet::mips {
+
+CoreFrontend::CoreFrontend(sim::Tile &tile, mem::Fabric *fabric,
+                           MipsShared *shared, std::uint32_t num_cores,
+                           const traffic::BridgeConfig &bridge_cfg)
+    : node_(tile.id()), num_cores_(num_cores), shared_(shared),
+      bridge_(std::make_unique<traffic::Bridge>(
+          tile.router(), &tile.rng(), &tile.stats(), bridge_cfg)),
+      mem_(tile, fabric, bridge_.get())
+{
+    pc_ = shared_->program.base;
+    // ABI setup: $a0 = core id, $a1 = core count, $a2 = private data
+    // region base, $sp = top of the private region.
+    regs_[R_A0] = node_;
+    regs_[R_A1] = num_cores_;
+    regs_[R_A2] = data_base(node_);
+    regs_[R_SP] = data_base(node_) + 0x00040000u - 16;
+}
+
+std::uint32_t
+CoreFrontend::fetch(std::uint32_t pc) const
+{
+    const Program &p = shared_->program;
+    const std::uint32_t idx = (pc - p.base) / 4;
+    if (pc < p.base || idx >= p.text.size())
+        panic(strcat("core ", node_, ": PC out of text: 0x", std::hex,
+                     pc));
+    return p.text[idx];
+}
+
+void
+CoreFrontend::posedge(Cycle now)
+{
+    // Pump the shared bridge, then dispatch arrivals: bit 63 of the
+    // payload marks network-syscall messages; everything else is a
+    // memory-protocol packet.
+    bridge_->posedge(now);
+    while (auto pkt = bridge_->receive()) {
+        if (pkt->desc.payload & (1ull << 63)) {
+            mem::MemMsg body = shared_->msg_pool.take(pkt->desc.payload);
+            NetMessage m;
+            m.src = pkt->desc.src;
+            m.tag = body.aux;
+            m.bytes = std::move(body.data);
+            rx_queue_.push_back(std::move(m));
+        } else {
+            mem_.handle_network_packet(pkt->desc.payload, now);
+        }
+    }
+    mem_.posedge(now);
+    if (shared_->ideal_network) {
+        std::lock_guard<std::mutex> lk(shared_->ideal_mx);
+        auto &mbox = shared_->ideal_mailboxes[node_];
+        while (!mbox.empty()) {
+            rx_queue_.push_back(std::move(mbox.front()));
+            mbox.pop_front();
+        }
+    }
+    dma_step(now);
+    cpu_step(now);
+}
+
+void
+CoreFrontend::negedge(Cycle now)
+{
+    bridge_->negedge(now);
+    mem_.negedge(now);
+}
+
+bool
+CoreFrontend::idle(Cycle now) const
+{
+    return halted_ && mem_.idle(now) && send_jobs_.empty() &&
+           !recv_.active && bridge_->idle();
+}
+
+Cycle
+CoreFrontend::next_event_cycle(Cycle now) const
+{
+    // A running core acts every cycle: fast-forward is effectively
+    // disabled while programs execute (paper IV-B).
+    if (!idle(now))
+        return now + 1;
+    return kNoEvent;
+}
+
+bool
+CoreFrontend::done(Cycle now) const
+{
+    return idle(now);
+}
+
+// ----------------------------------------------------------------------
+// DMA engine: shares the memory port with the CPU; the CPU's own
+// requests take priority (the port is busy while the CPU waits).
+// ----------------------------------------------------------------------
+
+bool
+CoreFrontend::rx_available() const
+{
+    return !rx_queue_.empty();
+}
+
+NetMessage
+CoreFrontend::rx_pop()
+{
+    NetMessage m = std::move(rx_queue_.front());
+    rx_queue_.pop_front();
+    return m;
+}
+
+void
+CoreFrontend::finish_send(SendJob &job, Cycle now)
+{
+    ++stats_.sends;
+    const std::uint32_t flits =
+        1 + (job.bytes + shared_->flit_bytes - 1) / shared_->flit_bytes;
+    if (shared_->ideal_network) {
+        NetMessage m;
+        m.src = node_;
+        m.tag = job.tag;
+        m.bytes = std::move(job.buffer);
+        {
+            std::lock_guard<std::mutex> lk(shared_->ideal_mx);
+            shared_->ideal_mailboxes[job.dst].push_back(std::move(m));
+            shared_->trace.push_back(
+                {now, traffic::pair_flow(node_, job.dst), node_, job.dst,
+                 flits});
+        }
+        return;
+    }
+    mem::MemMsg body;
+    body.aux = job.tag;
+    body.data = std::move(job.buffer);
+    const std::uint64_t id = (1ull << 63) |
+                             (static_cast<std::uint64_t>(node_) << 40) |
+                             msg_seq_++;
+    shared_->msg_pool.put(id, std::move(body));
+    net::PacketDesc pkt;
+    pkt.flow = traffic::pair_flow(node_, job.dst);
+    pkt.src = node_;
+    pkt.dst = job.dst;
+    pkt.size = flits;
+    pkt.payload = id;
+    pkt.vc_class = 1; // MPI-style message class
+    bridge_->send(pkt);
+}
+
+void
+CoreFrontend::dma_step(Cycle now)
+{
+    // Receive-side DMA first (the CPU is blocked on it).
+    if (recv_.active) {
+        if (recv_.writing) {
+            if (mem_.response_ready(now)) {
+                mem_.take_response(now);
+                recv_.writing = false;
+                recv_.bytes_done += recv_.chunk;
+            }
+        }
+        if (!recv_.writing && recv_.bytes_done >= recv_.bytes) {
+            // Delivery complete: wake the CPU with $v0/$v1 set.
+            regs_[R_V0] = recv_.bytes;
+            regs_[R_V1] = recv_.msg.src;
+            recv_.active = false;
+            ++stats_.receives;
+            state_ = CpuState::Running;
+        } else if (!recv_.writing && mem_.can_accept() &&
+                   state_ != CpuState::WaitMem) {
+            // DMA bursts at 8-byte granularity when aligned.
+            std::uint32_t off = recv_.bytes_done;
+            std::uint32_t chunk = std::min<std::uint32_t>(
+                ((recv_.addr + off) % 8 == 0) ? 8 : 4,
+                recv_.bytes - off);
+            if (chunk > 4 && chunk < 8)
+                chunk = 4;
+            std::uint64_t word = 0;
+            for (std::uint32_t i = 0; i < chunk; ++i)
+                word |= static_cast<std::uint64_t>(
+                            recv_.msg.bytes[off + i])
+                        << (8 * i);
+            mem_.request(/*is_write=*/true, recv_.addr + off, chunk,
+                         word, now);
+            recv_.chunk = chunk;
+            recv_.writing = true;
+        }
+        return; // one port op per cycle
+    }
+
+    if (send_jobs_.empty())
+        return;
+    SendJob &job = send_jobs_.front();
+    if (job.reading) {
+        if (mem_.response_ready(now)) {
+            std::uint64_t word = mem_.take_response(now);
+            std::uint32_t off = job.bytes_done;
+            for (std::uint32_t i = 0; i < job.chunk; ++i)
+                job.buffer[off + i] = static_cast<std::uint8_t>(
+                    (word >> (8 * i)) & 0xff);
+            job.reading = false;
+            job.bytes_done += job.chunk;
+        }
+    }
+    if (!job.reading && job.bytes_done >= job.bytes) {
+        finish_send(job, now);
+        send_jobs_.pop_front();
+        return;
+    }
+    if (!job.reading && mem_.can_accept() &&
+        state_ != CpuState::WaitMem) {
+        std::uint32_t off = job.bytes_done;
+        std::uint32_t chunk = std::min<std::uint32_t>(
+            ((job.addr + off) % 8 == 0) ? 8 : 4, job.bytes - off);
+        if (chunk > 4 && chunk < 8)
+            chunk = 4;
+        mem_.request(/*is_write=*/false, job.addr + off, chunk, 0, now);
+        job.chunk = chunk;
+        job.reading = true;
+    }
+}
+
+// ----------------------------------------------------------------------
+// CPU.
+// ----------------------------------------------------------------------
+
+void
+CoreFrontend::cpu_step(Cycle now)
+{
+    if (halted_)
+        return;
+    switch (state_) {
+      case CpuState::WaitMem:
+        if (!mem_.response_ready(now)) {
+            ++stats_.mem_stall_cycles;
+            return;
+        }
+        {
+            std::uint64_t v = mem_.take_response(now);
+            if (mem_is_load_ && mem_rt_ != 0) {
+                std::uint32_t val = static_cast<std::uint32_t>(v);
+                if (mem_sign_ && mem_len_ == 1)
+                    val = static_cast<std::uint32_t>(
+                        static_cast<std::int32_t>(
+                            static_cast<std::int8_t>(val)));
+                else if (mem_sign_ && mem_len_ == 2)
+                    val = static_cast<std::uint32_t>(
+                        static_cast<std::int32_t>(
+                            static_cast<std::int16_t>(val)));
+                regs_[mem_rt_] = val;
+            }
+            state_ = CpuState::Running;
+        }
+        return; // writeback consumes the cycle
+      case CpuState::WaitRecvMsg:
+        if (!rx_available()) {
+            ++stats_.recv_stall_cycles;
+            return;
+        }
+        recv_.msg = rx_pop();
+        recv_.active = true;
+        recv_.bytes = std::min<std::uint32_t>(
+            recv_.bytes, static_cast<std::uint32_t>(
+                             recv_.msg.bytes.size()));
+        recv_.bytes_done = 0;
+        recv_.writing = false;
+        state_ = CpuState::WaitRecvDma;
+        return;
+      case CpuState::WaitRecvDma:
+        ++stats_.recv_stall_cycles;
+        return; // dma_step completes and flips to Running
+      case CpuState::WaitFlush:
+        if (send_jobs_.empty())
+            state_ = CpuState::Running;
+        return;
+      case CpuState::Running:
+        break;
+    }
+
+    const std::uint32_t insn = fetch(pc_);
+    exec(insn, now);
+}
+
+void
+CoreFrontend::do_syscall(Cycle now)
+{
+    ++stats_.syscalls;
+    switch (regs_[R_V0]) {
+      case SYS_EXIT:
+        halted_ = true;
+        return;
+      case SYS_PRINT_INT:
+        output_.push_back(
+            static_cast<std::int32_t>(regs_[R_A0]));
+        return;
+      case SYS_CYCLE:
+        regs_[R_V0] = static_cast<std::uint32_t>(now);
+        return;
+      case SYS_NET_SEND: {
+        SendJob job;
+        job.dst = regs_[R_A0];
+        job.addr = regs_[R_A1];
+        job.bytes = regs_[R_A2];
+        job.tag = regs_[R_A3];
+        if (job.dst >= num_cores_)
+            panic(strcat("core ", node_, ": send to bad core ",
+                         job.dst));
+        if (job.bytes == 0)
+            panic("net_send of zero bytes");
+        job.buffer.assign(job.bytes, 0);
+        send_jobs_.push_back(std::move(job));
+        regs_[R_V0] = 0;
+        return;
+      }
+      case SYS_NET_POLL:
+        regs_[R_V0] =
+            static_cast<std::uint32_t>(rx_queue_.size());
+        return;
+      case SYS_NET_RECV:
+        recv_ = RecvJob{};
+        recv_.addr = regs_[R_A0];
+        recv_.bytes = regs_[R_A1];
+        state_ = CpuState::WaitRecvMsg;
+        return;
+      case SYS_NET_FLUSH:
+        state_ = CpuState::WaitFlush;
+        return;
+      default:
+        panic(strcat("core ", node_, ": unknown syscall ",
+                     regs_[R_V0]));
+    }
+}
+
+void
+CoreFrontend::exec(std::uint32_t insn, Cycle now)
+{
+    ++stats_.instructions;
+    const std::uint32_t op = insn >> 26;
+    const std::uint32_t rs = (insn >> 21) & 31;
+    const std::uint32_t rt = (insn >> 16) & 31;
+    const std::uint32_t rd = (insn >> 11) & 31;
+    const std::uint32_t shamt = (insn >> 6) & 31;
+    const std::uint32_t funct = insn & 63;
+    const std::uint32_t uimm = insn & 0xffff;
+    const std::int32_t simm =
+        static_cast<std::int16_t>(insn & 0xffff);
+    std::uint32_t next_pc = pc_ + 4;
+
+    auto wr = [this](std::uint32_t r, std::uint32_t v) {
+        if (r != 0)
+            regs_[r] = v;
+    };
+
+    switch (op) {
+      case OP_SPECIAL:
+        switch (funct) {
+          case FN_SLL:
+            wr(rd, regs_[rt] << shamt);
+            break;
+          case FN_SRL:
+            wr(rd, regs_[rt] >> shamt);
+            break;
+          case FN_SRA:
+            wr(rd, static_cast<std::uint32_t>(
+                       static_cast<std::int32_t>(regs_[rt]) >> shamt));
+            break;
+          case FN_SLLV:
+            wr(rd, regs_[rt] << (regs_[rs] & 31));
+            break;
+          case FN_SRLV:
+            wr(rd, regs_[rt] >> (regs_[rs] & 31));
+            break;
+          case FN_SRAV:
+            wr(rd, static_cast<std::uint32_t>(
+                       static_cast<std::int32_t>(regs_[rt]) >>
+                       (regs_[rs] & 31)));
+            break;
+          case FN_JR:
+            next_pc = regs_[rs];
+            break;
+          case FN_JALR:
+            wr(rd == 0 ? R_RA : rd, pc_ + 4);
+            next_pc = regs_[rs];
+            break;
+          case FN_SYSCALL:
+            do_syscall(now);
+            if (halted_)
+                return;
+            break;
+          case FN_BREAK:
+            halted_ = true;
+            return;
+          case FN_MFHI:
+            wr(rd, hi_);
+            break;
+          case FN_MTHI:
+            hi_ = regs_[rs];
+            break;
+          case FN_MFLO:
+            wr(rd, lo_);
+            break;
+          case FN_MTLO:
+            lo_ = regs_[rs];
+            break;
+          case FN_MULT: {
+            std::int64_t p = static_cast<std::int64_t>(
+                                 static_cast<std::int32_t>(regs_[rs])) *
+                             static_cast<std::int32_t>(regs_[rt]);
+            lo_ = static_cast<std::uint32_t>(p);
+            hi_ = static_cast<std::uint32_t>(p >> 32);
+            break;
+          }
+          case FN_MULTU: {
+            std::uint64_t p = static_cast<std::uint64_t>(regs_[rs]) *
+                              regs_[rt];
+            lo_ = static_cast<std::uint32_t>(p);
+            hi_ = static_cast<std::uint32_t>(p >> 32);
+            break;
+          }
+          case FN_DIV:
+            if (regs_[rt] != 0) {
+                lo_ = static_cast<std::uint32_t>(
+                    static_cast<std::int32_t>(regs_[rs]) /
+                    static_cast<std::int32_t>(regs_[rt]));
+                hi_ = static_cast<std::uint32_t>(
+                    static_cast<std::int32_t>(regs_[rs]) %
+                    static_cast<std::int32_t>(regs_[rt]));
+            }
+            break;
+          case FN_DIVU:
+            if (regs_[rt] != 0) {
+                lo_ = regs_[rs] / regs_[rt];
+                hi_ = regs_[rs] % regs_[rt];
+            }
+            break;
+          case FN_ADD:
+          case FN_ADDU:
+            wr(rd, regs_[rs] + regs_[rt]);
+            break;
+          case FN_SUB:
+          case FN_SUBU:
+            wr(rd, regs_[rs] - regs_[rt]);
+            break;
+          case FN_AND:
+            wr(rd, regs_[rs] & regs_[rt]);
+            break;
+          case FN_OR:
+            wr(rd, regs_[rs] | regs_[rt]);
+            break;
+          case FN_XOR:
+            wr(rd, regs_[rs] ^ regs_[rt]);
+            break;
+          case FN_NOR:
+            wr(rd, ~(regs_[rs] | regs_[rt]));
+            break;
+          case FN_SLT:
+            wr(rd, static_cast<std::int32_t>(regs_[rs]) <
+                           static_cast<std::int32_t>(regs_[rt])
+                       ? 1
+                       : 0);
+            break;
+          case FN_SLTU:
+            wr(rd, regs_[rs] < regs_[rt] ? 1 : 0);
+            break;
+          default:
+            panic(strcat("core ", node_, ": bad funct ", funct));
+        }
+        break;
+      case OP_REGIMM:
+        if (rt == RI_BLTZ) {
+            if (static_cast<std::int32_t>(regs_[rs]) < 0)
+                next_pc = pc_ + 4 + (simm << 2);
+        } else if (rt == RI_BGEZ) {
+            if (static_cast<std::int32_t>(regs_[rs]) >= 0)
+                next_pc = pc_ + 4 + (simm << 2);
+        } else {
+            panic("bad regimm");
+        }
+        break;
+      case OP_J:
+        next_pc = (insn & 0x03ffffff) << 2;
+        break;
+      case OP_JAL:
+        regs_[R_RA] = pc_ + 4;
+        next_pc = (insn & 0x03ffffff) << 2;
+        break;
+      case OP_BEQ:
+        if (regs_[rs] == regs_[rt])
+            next_pc = pc_ + 4 + (simm << 2);
+        break;
+      case OP_BNE:
+        if (regs_[rs] != regs_[rt])
+            next_pc = pc_ + 4 + (simm << 2);
+        break;
+      case OP_BLEZ:
+        if (static_cast<std::int32_t>(regs_[rs]) <= 0)
+            next_pc = pc_ + 4 + (simm << 2);
+        break;
+      case OP_BGTZ:
+        if (static_cast<std::int32_t>(regs_[rs]) > 0)
+            next_pc = pc_ + 4 + (simm << 2);
+        break;
+      case OP_ADDI:
+      case OP_ADDIU:
+        wr(rt, regs_[rs] + static_cast<std::uint32_t>(simm));
+        break;
+      case OP_SLTI:
+        wr(rt, static_cast<std::int32_t>(regs_[rs]) < simm ? 1 : 0);
+        break;
+      case OP_SLTIU:
+        wr(rt, regs_[rs] < static_cast<std::uint32_t>(simm) ? 1 : 0);
+        break;
+      case OP_ANDI:
+        wr(rt, regs_[rs] & uimm);
+        break;
+      case OP_ORI:
+        wr(rt, regs_[rs] | uimm);
+        break;
+      case OP_XORI:
+        wr(rt, regs_[rs] ^ uimm);
+        break;
+      case OP_LUI:
+        wr(rt, uimm << 16);
+        break;
+      case OP_LB:
+      case OP_LBU:
+      case OP_LH:
+      case OP_LHU:
+      case OP_LW:
+      case OP_SB:
+      case OP_SH:
+      case OP_SW: {
+        const std::uint32_t addr =
+            regs_[rs] + static_cast<std::uint32_t>(simm);
+        const bool store = op == OP_SB || op == OP_SH || op == OP_SW;
+        std::uint32_t len = 4;
+        if (op == OP_LB || op == OP_LBU || op == OP_SB)
+            len = 1;
+        else if (op == OP_LH || op == OP_LHU || op == OP_SH)
+            len = 2;
+        if (!mem_.can_accept()) {
+            // DMA holds the port: retry this instruction next cycle.
+            --stats_.instructions;
+            return;
+        }
+        mem_.request(store, addr, len, regs_[rt], now);
+        mem_rt_ = rt;
+        mem_len_ = len;
+        mem_sign_ = op == OP_LB || op == OP_LH;
+        mem_is_load_ = !store;
+        state_ = CpuState::WaitMem;
+        pc_ = next_pc;
+        return;
+      }
+      default:
+        panic(strcat("core ", node_, ": bad opcode ", op));
+    }
+    pc_ = next_pc;
+}
+
+// ----------------------------------------------------------------------
+// MipsMachine.
+// ----------------------------------------------------------------------
+
+MipsMachine::MipsMachine(const net::Topology &topo,
+                         const MipsMachineConfig &cfg)
+{
+    sys_ = std::make_unique<sim::System>(topo, cfg.net, cfg.seed);
+    net::routing::build_xy(sys_->network(),
+                           traffic::flows_all_pairs(topo.num_nodes()));
+    fabric_ = std::make_unique<mem::Fabric>(cfg.mem, topo.num_nodes());
+    shared_.program = assemble(cfg.program);
+    shared_.ideal_network = cfg.ideal_network;
+    shared_.ideal_mailboxes.resize(topo.num_nodes());
+
+    cores_.resize(topo.num_nodes());
+    for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+        auto core = std::make_unique<CoreFrontend>(
+            sys_->tile(n), fabric_.get(), &shared_, topo.num_nodes(),
+            cfg.bridge);
+        cores_[n] = core.get();
+        sys_->add_frontend(n, std::move(core));
+    }
+}
+
+Cycle
+MipsMachine::run_until_done(Cycle limit, unsigned threads,
+                            std::uint32_t sync_period)
+{
+    sim::RunOptions opts;
+    opts.max_cycles = limit;
+    opts.threads = threads;
+    opts.sync_period = sync_period;
+    opts.stop_when_done = true;
+    return sys_->run(opts);
+}
+
+bool
+MipsMachine::all_halted() const
+{
+    for (const auto *c : cores_)
+        if (!c->halted())
+            return false;
+    return true;
+}
+
+} // namespace hornet::mips

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Built-in MIPS core model (paper II-D2).
+ *
+ * Each tile can be configured with a single-cycle in-order MIPS core.
+ * The core is connected to the configurable memory hierarchy
+ * (hornet::mem — MSI-coherent private L1s or NUCA), and the network is
+ * additionally exposed directly through a system-call interface: a
+ * program can send packets on specific flows, poll for packets waiting
+ * at the processor ingress, and receive packets. Sends and receives
+ * are executed by a modeled DMA engine that shares the tile's memory
+ * port, freeing the processor while packets move (paper II-D2).
+ *
+ * Instruction fetch is ideal (the text image is read directly), i.e.
+ * an always-hitting L1I; data accesses go through the simulated
+ * hierarchy and stall the core on misses.
+ */
+#ifndef HORNET_MIPS_CORE_H
+#define HORNET_MIPS_CORE_H
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "mem/dir_frontend.h"
+#include "mem/fabric.h"
+#include "mem/tile_mem.h"
+#include "mips/assembler.h"
+#include "net/topology.h"
+#include "sim/system.h"
+#include "traffic/bridge.h"
+#include "traffic/trace.h"
+
+namespace hornet::mips {
+
+/** A message delivered to a core's network ingress. */
+struct NetMessage
+{
+    NodeId src = kInvalidNode;
+    std::uint64_t tag = 0;
+    std::vector<std::uint8_t> bytes;
+};
+
+/** State shared by all cores of one machine. */
+struct MipsShared
+{
+    Program program;
+    /** In-flight network message bodies (packet payload = pool id). */
+    mem::MessagePool msg_pool;
+    /**
+     * Ideal-network mode (paper IV-D, Fig 12): sends bypass the NoC
+     * and appear at the destination next cycle, and every send is
+     * logged as a trace event for later replay. Single-threaded runs
+     * only (the mailboxes are then owner-accessed; a mutex guards
+     * against misuse).
+     */
+    bool ideal_network = false;
+    std::mutex ideal_mx;
+    std::vector<std::deque<NetMessage>> ideal_mailboxes;
+    std::vector<traffic::TraceEvent> trace;
+    /** Flit payload bytes (packet sizing for messages). */
+    std::uint32_t flit_bytes = 8;
+};
+
+/** Per-core execution statistics. */
+struct CoreStats
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t mem_stall_cycles = 0;
+    std::uint64_t recv_stall_cycles = 0;
+    std::uint64_t sends = 0;
+    std::uint64_t receives = 0;
+    std::uint64_t syscalls = 0;
+};
+
+/**
+ * One MIPS core + DMA engine + memory endpoint, as a tile frontend.
+ */
+class CoreFrontend : public sim::Frontend
+{
+  public:
+    CoreFrontend(sim::Tile &tile, mem::Fabric *fabric, MipsShared *shared,
+                 std::uint32_t num_cores,
+                 const traffic::BridgeConfig &bridge_cfg);
+
+    void posedge(Cycle now) override;
+    void negedge(Cycle now) override;
+    bool idle(Cycle now) const override;
+    Cycle next_event_cycle(Cycle now) const override;
+    bool done(Cycle now) const override;
+
+    bool halted() const { return halted_; }
+    const CoreStats &stats() const { return stats_; }
+    const std::vector<std::int64_t> &output() const { return output_; }
+    std::uint32_t reg(std::uint32_t r) const { return regs_[r]; }
+    mem::TileMemory &memory() { return mem_; }
+
+    /** Private data region base for core @p id (256 KiB per core). */
+    static std::uint32_t
+    data_base(NodeId id)
+    {
+        return 0x00100000u + 0x00040000u * id;
+    }
+
+  private:
+    // CPU execution.
+    void cpu_step(Cycle now);
+    void exec(std::uint32_t insn, Cycle now);
+    void do_syscall(Cycle now);
+    std::uint32_t fetch(std::uint32_t pc) const;
+
+    // DMA engine.
+    struct SendJob
+    {
+        NodeId dst = kInvalidNode;
+        std::uint32_t addr = 0;
+        std::uint32_t bytes = 0;
+        std::uint64_t tag = 0;
+        std::uint32_t bytes_done = 0;
+        std::uint32_t chunk = 0;
+        bool reading = false; ///< burst request outstanding
+        std::vector<std::uint8_t> buffer;
+    };
+    struct RecvJob
+    {
+        bool active = false;
+        std::uint32_t addr = 0;
+        std::uint32_t bytes = 0;
+        std::uint32_t bytes_done = 0;
+        std::uint32_t chunk = 0;
+        bool writing = false;
+        NetMessage msg;
+    };
+    void dma_step(Cycle now);
+    void finish_send(SendJob &job, Cycle now);
+    bool rx_available() const;
+    NetMessage rx_pop();
+
+    NodeId node_;
+    std::uint32_t num_cores_;
+    MipsShared *shared_;
+    /** One bridge shared by the memory endpoint and the network
+     *  syscalls (single CPU port on the router). Declared before
+     *  mem_, which borrows it. */
+    std::unique_ptr<traffic::Bridge> bridge_;
+    mem::TileMemory mem_;
+    CoreStats stats_;
+
+    // Architectural state.
+    std::uint32_t regs_[32] = {};
+    std::uint32_t hi_ = 0, lo_ = 0;
+    std::uint32_t pc_;
+    bool halted_ = false;
+
+    enum class CpuState
+    {
+        Running,
+        WaitMem,
+        WaitRecvMsg,  ///< blocking recv, no message yet
+        WaitRecvDma,  ///< blocking recv, DMA writing to memory
+        WaitFlush,    ///< net_flush, waiting for send queue drain
+    } state_ = CpuState::Running;
+
+    // WaitMem writeback info.
+    std::uint32_t mem_rt_ = 0;
+    std::uint32_t mem_len_ = 0;
+    bool mem_sign_ = false;
+    bool mem_is_load_ = false;
+
+    std::deque<SendJob> send_jobs_;
+    RecvJob recv_;
+    std::deque<NetMessage> rx_queue_;
+    std::vector<std::int64_t> output_;
+    std::uint64_t msg_seq_ = 0;
+};
+
+/** Machine-level configuration. */
+struct MipsMachineConfig
+{
+    MipsMachineConfig()
+    {
+        // MPI-style programs rely on per-flow in-order delivery:
+        // pin flows to injection VCs and use EDVCA in the network
+        // (exactly what EDVCA was designed for, paper II-A3 / [14]).
+        net.router.vca_mode = net::VcaMode::Edvca;
+        bridge.flow_pinned_injection = true;
+        // Coherence packets and DMA messages must not block each
+        // other at the injection port (endpoint-dependency deadlock).
+        bridge.vc_classes = 2;
+    }
+
+    net::NetworkConfig net;
+    mem::MemConfig mem;
+    std::string program;
+    bool ideal_network = false;
+    traffic::BridgeConfig bridge; ///< network-syscall bridge settings
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Convenience wrapper: a mesh of MIPS cores with all-pairs XY routing,
+ * the shared memory fabric, and directory frontends on MC-only tiles.
+ */
+class MipsMachine
+{
+  public:
+    MipsMachine(const net::Topology &topo, const MipsMachineConfig &cfg);
+
+    sim::System &system() { return *sys_; }
+    mem::Fabric &fabric() { return *fabric_; }
+    MipsShared &shared() { return shared_; }
+    CoreFrontend &core(NodeId n) { return *cores_.at(n); }
+    std::uint32_t num_cores() const
+    {
+        return static_cast<std::uint32_t>(cores_.size());
+    }
+
+    /** Run until every core halts (or the cycle limit). Returns the
+     *  finishing cycle. */
+    Cycle run_until_done(Cycle limit, unsigned threads = 1,
+                         std::uint32_t sync_period = 1);
+
+    /** True when all cores have halted. */
+    bool all_halted() const;
+
+  private:
+    std::unique_ptr<sim::System> sys_;
+    std::unique_ptr<mem::Fabric> fabric_;
+    MipsShared shared_;
+    std::vector<CoreFrontend *> cores_;
+};
+
+} // namespace hornet::mips
+
+#endif // HORNET_MIPS_CORE_H

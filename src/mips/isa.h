@@ -1,0 +1,129 @@
+/**
+ * @file
+ * MIPS32 instruction encodings and register conventions for the
+ * built-in core model (paper II-D2). The implemented subset covers the
+ * integer ISA used by statically-linked C-style programs: ALU ops,
+ * shifts, mult/div with HI/LO, loads/stores (byte/half/word), branches
+ * and jumps, and SYSCALL. Branch delay slots are not modeled (the
+ * assembler never schedules them), which matches common teaching
+ * simulators and keeps program text straightforward.
+ */
+#ifndef HORNET_MIPS_ISA_H
+#define HORNET_MIPS_ISA_H
+
+#include <cstdint>
+
+namespace hornet::mips {
+
+// Primary opcodes.
+enum Opcode : std::uint32_t
+{
+    OP_SPECIAL = 0x00,
+    OP_REGIMM = 0x01,
+    OP_J = 0x02,
+    OP_JAL = 0x03,
+    OP_BEQ = 0x04,
+    OP_BNE = 0x05,
+    OP_BLEZ = 0x06,
+    OP_BGTZ = 0x07,
+    OP_ADDI = 0x08,
+    OP_ADDIU = 0x09,
+    OP_SLTI = 0x0a,
+    OP_SLTIU = 0x0b,
+    OP_ANDI = 0x0c,
+    OP_ORI = 0x0d,
+    OP_XORI = 0x0e,
+    OP_LUI = 0x0f,
+    OP_LB = 0x20,
+    OP_LH = 0x21,
+    OP_LW = 0x23,
+    OP_LBU = 0x24,
+    OP_LHU = 0x25,
+    OP_SB = 0x28,
+    OP_SH = 0x29,
+    OP_SW = 0x2b,
+};
+
+// SPECIAL function codes.
+enum Funct : std::uint32_t
+{
+    FN_SLL = 0x00,
+    FN_SRL = 0x02,
+    FN_SRA = 0x03,
+    FN_SLLV = 0x04,
+    FN_SRLV = 0x06,
+    FN_SRAV = 0x07,
+    FN_JR = 0x08,
+    FN_JALR = 0x09,
+    FN_SYSCALL = 0x0c,
+    FN_BREAK = 0x0d,
+    FN_MFHI = 0x10,
+    FN_MTHI = 0x11,
+    FN_MFLO = 0x12,
+    FN_MTLO = 0x13,
+    FN_MULT = 0x18,
+    FN_MULTU = 0x19,
+    FN_DIV = 0x1a,
+    FN_DIVU = 0x1b,
+    FN_ADD = 0x20,
+    FN_ADDU = 0x21,
+    FN_SUB = 0x22,
+    FN_SUBU = 0x23,
+    FN_AND = 0x24,
+    FN_OR = 0x25,
+    FN_XOR = 0x26,
+    FN_NOR = 0x27,
+    FN_SLT = 0x2a,
+    FN_SLTU = 0x2b,
+};
+
+// REGIMM rt codes.
+enum Regimm : std::uint32_t
+{
+    RI_BLTZ = 0x00,
+    RI_BGEZ = 0x01,
+};
+
+/** Syscall selectors in $v0 (paper II-D2 network interface). */
+enum Syscall : std::uint32_t
+{
+    SYS_EXIT = 1,        ///< halt this core
+    SYS_PRINT_INT = 2,   ///< record $a0 in the core's output log
+    SYS_CYCLE = 3,       ///< $v0 = current local cycle (low 32 bits)
+    SYS_NET_SEND = 10,   ///< send($a0=dst, $a1=addr, $a2=bytes, $a3=tag)
+    SYS_NET_POLL = 11,   ///< $v0 = messages waiting at the ingress
+    SYS_NET_RECV = 12,   ///< blocking recv($a0=buf, $a1=max_bytes);
+                         ///< $v0 = bytes, $v1 = source core
+    SYS_NET_FLUSH = 13,  ///< block until all DMA sends completed
+};
+
+// Register conventions.
+inline constexpr std::uint32_t R_ZERO = 0, R_AT = 1, R_V0 = 2, R_V1 = 3,
+                               R_A0 = 4, R_A1 = 5, R_A2 = 6, R_A3 = 7,
+                               R_T0 = 8, R_SP = 29, R_FP = 30, R_RA = 31;
+
+// Field packers.
+constexpr std::uint32_t
+enc_r(std::uint32_t funct, std::uint32_t rd, std::uint32_t rs,
+      std::uint32_t rt, std::uint32_t shamt = 0)
+{
+    return (OP_SPECIAL << 26) | (rs << 21) | (rt << 16) | (rd << 11) |
+           (shamt << 6) | funct;
+}
+
+constexpr std::uint32_t
+enc_i(std::uint32_t op, std::uint32_t rt, std::uint32_t rs,
+      std::uint32_t imm16)
+{
+    return (op << 26) | (rs << 21) | (rt << 16) | (imm16 & 0xffff);
+}
+
+constexpr std::uint32_t
+enc_j(std::uint32_t op, std::uint32_t target_word_index)
+{
+    return (op << 26) | (target_word_index & 0x03ffffff);
+}
+
+} // namespace hornet::mips
+
+#endif // HORNET_MIPS_ISA_H

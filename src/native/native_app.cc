@@ -1,0 +1,103 @@
+#include "native/native_app.h"
+
+#include "common/log.h"
+
+namespace hornet::native {
+
+NativeAppFrontend::NativeAppFrontend(sim::Tile &tile, mem::Fabric *fabric,
+                                     AppThread thread, CostTable costs)
+    : mem_(tile, fabric), thread_(std::move(thread)), costs_(costs)
+{
+    if (!thread_)
+        fatal("native app frontend needs a thread body");
+}
+
+void
+NativeAppFrontend::issue_next(Cycle now)
+{
+    current_ = thread_();
+    ++stats_.ops;
+    switch (current_.kind) {
+      case AppOp::Kind::Done:
+        state_ = State::Finished;
+        finished_ = true;
+        --stats_.ops;
+        return;
+      case AppOp::Kind::Compute: {
+        const auto cost = static_cast<Cycle>(
+            static_cast<double>(current_.cycles) * costs_.cpi + 0.5);
+        stats_.compute_cycles += cost;
+        compute_until_ = now + (cost ? cost : 1);
+        state_ = State::Computing;
+        return;
+      }
+      case AppOp::Kind::Load:
+        ++stats_.loads;
+        mem_.request(false, current_.addr, current_.len, 0, now);
+        state_ = State::WaitMem;
+        return;
+      case AppOp::Kind::Store:
+        ++stats_.stores;
+        mem_.request(true, current_.addr, current_.len, current_.value,
+                     now);
+        state_ = State::WaitMem;
+        return;
+    }
+}
+
+void
+NativeAppFrontend::posedge(Cycle now)
+{
+    mem_.posedge(now);
+    switch (state_) {
+      case State::Finished:
+        return;
+      case State::Ready:
+        issue_next(now);
+        return;
+      case State::Computing:
+        if (now >= compute_until_)
+            issue_next(now);
+        return;
+      case State::WaitMem:
+        if (mem_.response_ready(now)) {
+            std::uint64_t v = mem_.take_response(now);
+            if (current_.kind == AppOp::Kind::Load && current_.on_load)
+                current_.on_load(v);
+            issue_next(now);
+        } else {
+            ++stats_.mem_stall_cycles;
+        }
+        return;
+    }
+}
+
+void
+NativeAppFrontend::negedge(Cycle now)
+{
+    mem_.negedge(now);
+}
+
+bool
+NativeAppFrontend::idle(Cycle now) const
+{
+    return state_ == State::Finished && mem_.idle(now);
+}
+
+Cycle
+NativeAppFrontend::next_event_cycle(Cycle now) const
+{
+    if (state_ == State::Finished)
+        return mem_.idle(now) ? kNoEvent : now + 1;
+    if (state_ == State::Computing && compute_until_ > now + 1)
+        return compute_until_;
+    return now + 1;
+}
+
+bool
+NativeAppFrontend::done(Cycle now) const
+{
+    return idle(now);
+}
+
+} // namespace hornet::native

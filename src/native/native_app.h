@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Pin-substitute native-application frontend (paper II-D3).
+ *
+ * HORNET can instrument native x86 executables under Pin: application
+ * threads map 1:1 to tiles, every memory access is serviced by the
+ * simulated hierarchy, and timing is a table-driven cost for the
+ * non-memory portion of each instruction plus the memory latencies the
+ * simulator reports. Pin is unavailable offline, so this module
+ * implements the same contract for applications written against a
+ * step-function API: the app emits a stream of abstract instructions
+ * (compute bursts and memory accesses); compute costs come from a
+ * latency table, memory operations go through hornet::mem with full
+ * timing feedback, and direct network access is not available — all
+ * traffic comes from the coherent memory hierarchy, exactly as in the
+ * paper's Pin mode.
+ */
+#ifndef HORNET_NATIVE_NATIVE_APP_H
+#define HORNET_NATIVE_NATIVE_APP_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "mem/fabric.h"
+#include "mem/tile_mem.h"
+#include "sim/frontend.h"
+#include "sim/tile.h"
+
+namespace hornet::native {
+
+/** One abstract instruction emitted by an instrumented app thread. */
+struct AppOp
+{
+    enum class Kind
+    {
+        Compute, ///< spend `cycles` cycles of non-memory work
+        Load,    ///< read `len` bytes at `addr` (value via callback)
+        Store,   ///< write `len` bytes of `value` at `addr`
+        Done,    ///< thread finished
+    } kind = Kind::Done;
+
+    Cycle cycles = 1;
+    std::uint64_t addr = 0;
+    std::uint32_t len = 4;
+    std::uint64_t value = 0;
+    /** For loads: receives the loaded value when it completes. */
+    std::function<void(std::uint64_t)> on_load;
+};
+
+/**
+ * The instrumented thread body: called whenever the previous operation
+ * has fully completed and must return the next one. State lives in the
+ * closure (this is the "thread of a native application" of Fig 1).
+ */
+using AppThread = std::function<AppOp()>;
+
+/** Per-thread non-memory timing table (paper II-D3). */
+struct CostTable
+{
+    /** Default cost of one compute step (CPI of non-memory code). */
+    double cpi = 1.0;
+};
+
+/** Execution statistics for one app thread. */
+struct NativeStats
+{
+    std::uint64_t ops = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t compute_cycles = 0;
+    std::uint64_t mem_stall_cycles = 0;
+};
+
+/**
+ * Frontend that drives one app thread against the simulated memory
+ * hierarchy.
+ */
+class NativeAppFrontend : public sim::Frontend
+{
+  public:
+    NativeAppFrontend(sim::Tile &tile, mem::Fabric *fabric,
+                      AppThread thread, CostTable costs = {});
+
+    void posedge(Cycle now) override;
+    void negedge(Cycle now) override;
+    bool idle(Cycle now) const override;
+    Cycle next_event_cycle(Cycle now) const override;
+    bool done(Cycle now) const override;
+
+    bool finished() const { return finished_; }
+    const NativeStats &stats() const { return stats_; }
+    mem::TileMemory &memory() { return mem_; }
+
+  private:
+    void issue_next(Cycle now);
+
+    mem::TileMemory mem_;
+    AppThread thread_;
+    CostTable costs_;
+    NativeStats stats_;
+
+    enum class State
+    {
+        Ready,       ///< fetch the next op
+        Computing,   ///< busy until compute_until_
+        WaitMem,     ///< memory operation outstanding
+        Finished,
+    } state_ = State::Ready;
+
+    Cycle compute_until_ = 0;
+    AppOp current_;
+    bool finished_ = false;
+};
+
+} // namespace hornet::native
+
+#endif // HORNET_NATIVE_NATIVE_APP_H

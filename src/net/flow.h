@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Flow specifications and the flow-id phase encoding used by
+ * multi-phase routing schemes.
+ *
+ * Multi-phase oblivious schemes (O1TURN, Valiant, ROMM; paper II-A2)
+ * rename the flow id in flight: the paper solves "remember whether the
+ * intermediate hop has been passed" by changing the flow id at the
+ * intermediate node and renaming it back at the destination. We encode
+ * the phase in the top byte of the 64-bit flow id; user-assigned base
+ * flow ids must stay below 2^56.
+ */
+#ifndef HORNET_NET_FLOW_H
+#define HORNET_NET_FLOW_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace hornet::net {
+
+/** One traffic flow to be routed (source, destination, relative load). */
+struct FlowSpec
+{
+    FlowId id = 0;
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;
+    /** Relative bandwidth demand; used by the BSOR-style builder. */
+    double demand = 1.0;
+};
+
+namespace flowid {
+
+inline constexpr int kPhaseShift = 56;
+inline constexpr FlowId kBaseMask = (FlowId{1} << kPhaseShift) - 1;
+
+/** Attach routing-phase @p phase (0 = unphased) to flow @p f. */
+constexpr FlowId
+with_phase(FlowId f, std::uint32_t phase)
+{
+    return (f & kBaseMask) | (static_cast<FlowId>(phase) << kPhaseShift);
+}
+
+/** Routing phase of @p f (0 = unphased). */
+constexpr std::uint32_t
+phase_of(FlowId f)
+{
+    return static_cast<std::uint32_t>(f >> kPhaseShift);
+}
+
+/** Flow id with the phase stripped. */
+constexpr FlowId
+base_of(FlowId f)
+{
+    return f & kBaseMask;
+}
+
+} // namespace flowid
+
+} // namespace hornet::net
+
+#endif // HORNET_NET_FLOW_H

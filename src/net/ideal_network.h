@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Congestion-oblivious network model (paper IV-C, Fig 8).
+ *
+ * High-level architectural simulators often approximate the
+ * interconnect with hop-count latencies. This model reproduces that
+ * configuration: injection bandwidth is limited exactly as in the
+ * cycle-accurate model (1 packet in flight per source at a time, flits
+ * serialized at the configured link bandwidth), but transit latency is
+ * a pure function of hop distance — no contention anywhere.
+ */
+#ifndef HORNET_NET_IDEAL_NETWORK_H
+#define HORNET_NET_IDEAL_NETWORK_H
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "net/flit.h"
+#include "net/topology.h"
+
+namespace hornet::net {
+
+/**
+ * Event-driven congestion-free network: packets are delayed by
+ * per-source serialization plus hops * per_hop_latency + flit
+ * serialization, and delivered in order of completion time.
+ */
+class IdealNetwork
+{
+  public:
+    /**
+     * @param per_hop_latency cycles per router+link traversal; defaults
+     *        to 2 to match the cycle-level router's zero-load per-hop
+     *        cost (one pipeline cycle + one link cycle).
+     * @param injection_bandwidth flits/cycle each source may inject.
+     */
+    IdealNetwork(const Topology &topo, Cycle per_hop_latency = 2,
+                 std::uint32_t injection_bandwidth = 1);
+
+    /** Offer a packet at @p cycle; returns its delivery cycle. */
+    Cycle inject(const PacketDesc &pkt, Cycle cycle);
+
+    /** Statistics over all delivered packets. */
+    const SystemStats &stats() const { return stats_; }
+
+    /** In-network latency the model assigns to a packet (pure). */
+    Cycle transit_latency(NodeId src, NodeId dst,
+                          std::uint32_t size) const;
+
+  private:
+    Topology topo_;
+    Cycle per_hop_;
+    std::uint32_t inj_bw_;
+    /** Next cycle each source's injector is free (serialization). */
+    std::vector<Cycle> inj_free_;
+    SystemStats stats_;
+};
+
+} // namespace hornet::net
+
+#endif // HORNET_NET_IDEAL_NETWORK_H

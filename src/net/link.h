@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Bidirectional-link bandwidth arbiter (paper II-A4).
+ *
+ * Inter-node connections may be bidirectional: a modeled hardware
+ * arbiter collects information from the two ports facing each other
+ * (flits ready to traverse in each direction and available destination
+ * buffer space) and reassigns the per-direction bandwidth, potentially
+ * every cycle, trading bandwidth in one direction for the other.
+ */
+#ifndef HORNET_NET_LINK_H
+#define HORNET_NET_LINK_H
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace hornet::net {
+
+class Router;
+
+/**
+ * Arbiter for one physical link A:port_a <-> B:port_b with a shared
+ * bandwidth pool. Owned and stepped by the lower-id endpoint's tile at
+ * its negative edge; it reads demand published by both routers at
+ * their positive edges and sets next-cycle bandwidths.
+ */
+class BidirLink
+{
+  public:
+    /**
+     * @param total_bandwidth flits/cycle shared across both directions
+     *        (e.g. 2 when two unidirectional 1-flit links are pooled).
+     */
+    BidirLink(Router *a, PortId port_a, Router *b, PortId port_b,
+              std::uint32_t total_bandwidth);
+
+    /** Recompute the per-direction split for the next cycle. */
+    void arbitrate();
+
+    /** Endpoint that must call arbitrate() (lower node id). */
+    NodeId owner() const;
+
+    std::uint32_t total_bandwidth() const { return total_; }
+
+  private:
+    Router *a_;
+    PortId port_a_;
+    Router *b_;
+    PortId port_b_;
+    std::uint32_t total_;
+};
+
+} // namespace hornet::net
+
+#endif // HORNET_NET_LINK_H

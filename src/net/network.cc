@@ -1,0 +1,61 @@
+#include "net/network.h"
+
+#include "common/log.h"
+
+namespace hornet::net {
+
+Network::Network(const Topology &topo, const NetworkConfig &cfg,
+                 const std::vector<Rng *> &rngs,
+                 const std::vector<TileStats *> &stats)
+    : topo_(topo), cfg_(cfg)
+{
+    const std::uint32_t n = topo_.num_nodes();
+    if (rngs.size() != n || stats.size() != n)
+        fatal("network: need one rng and stats sink per node");
+
+    routers_.reserve(n);
+    for (NodeId i = 0; i < n; ++i) {
+        routers_.push_back(std::make_unique<Router>(
+            i, topo_.neighbors(i), cfg_.router, rngs[i], stats[i]));
+    }
+
+    // Wire every directed link: the egress of a toward b feeds the
+    // ingress buffers of b's port facing a.
+    for (NodeId a = 0; a < n; ++a) {
+        const auto &nbrs = topo_.neighbors(a);
+        for (PortId p = 0; p < nbrs.size(); ++p) {
+            NodeId b = nbrs[p];
+            PortId q = topo_.port_to(b, a);
+            routers_[a]->connect_egress(p, b,
+                                        routers_[b]->ingress_buffers(q),
+                                        cfg_.link_latency);
+        }
+    }
+
+    owned_links_.resize(n);
+    if (cfg_.bidirectional_links) {
+        for (NodeId a = 0; a < n; ++a) {
+            for (NodeId b : topo_.neighbors(a)) {
+                if (b < a)
+                    continue; // one arbiter per undirected link
+                PortId pa = topo_.port_to(a, b);
+                PortId pb = topo_.port_to(b, a);
+                links_.push_back(std::make_unique<BidirLink>(
+                    routers_[a].get(), pa, routers_[b].get(), pb,
+                    2 * cfg_.router.link_bandwidth));
+                owned_links_[a].push_back(links_.back().get());
+            }
+        }
+    }
+}
+
+bool
+Network::has_buffered_flits() const
+{
+    for (const auto &r : routers_)
+        if (r->has_buffered_flits())
+            return true;
+    return false;
+}
+
+} // namespace hornet::net

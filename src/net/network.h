@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Whole-network assembly: routers for every node of a topology, wired
+ * together, with optional bidirectional-link arbiters.
+ *
+ * The Network owns the routers and link arbiters but knows nothing
+ * about threads or frontends; the simulation engine (hornet::sim)
+ * wraps each router in a tile.
+ */
+#ifndef HORNET_NET_NETWORK_H
+#define HORNET_NET_NETWORK_H
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "net/link.h"
+#include "net/router.h"
+#include "net/topology.h"
+
+namespace hornet::net {
+
+/** Network-wide configuration. */
+struct NetworkConfig
+{
+    RouterConfig router;
+    /** Link latency in cycles (>= 1). */
+    Cycle link_latency = 1;
+    /** Enable bidirectional-link arbitration (paper II-A4). When on,
+     *  each physical link pools 2x router.link_bandwidth. */
+    bool bidirectional_links = false;
+};
+
+/**
+ * All routers of one simulated system plus their link arbiters.
+ */
+class Network
+{
+  public:
+    /**
+     * Build routers for @p topo and wire all links.
+     *
+     * @param rngs  one PRNG per node (owned by the caller's tiles)
+     * @param stats one TileStats per node (owned by the caller's tiles)
+     */
+    Network(const Topology &topo, const NetworkConfig &cfg,
+            const std::vector<Rng *> &rngs,
+            const std::vector<TileStats *> &stats);
+
+    const Topology &topology() const { return topo_; }
+    const NetworkConfig &config() const { return cfg_; }
+
+    Router &router(NodeId n) { return *routers_.at(n); }
+    const Router &router(NodeId n) const { return *routers_.at(n); }
+    std::uint32_t num_nodes() const
+    {
+        return static_cast<std::uint32_t>(routers_.size());
+    }
+
+    /** Link arbiters owned by node @p n (stepped at its negedge). */
+    const std::vector<BidirLink *> &links_owned_by(NodeId n) const
+    {
+        return owned_links_.at(n);
+    }
+
+    /** Total flits physically buffered anywhere (fast-forward test). */
+    bool has_buffered_flits() const;
+
+  private:
+    Topology topo_;
+    NetworkConfig cfg_;
+    std::vector<std::unique_ptr<Router>> routers_;
+    std::vector<std::unique_ptr<BidirLink>> links_;
+    std::vector<std::vector<BidirLink *>> owned_links_;
+};
+
+} // namespace hornet::net
+
+#endif // HORNET_NET_NETWORK_H

@@ -1,0 +1,464 @@
+#include "net/router.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace hornet::net {
+
+Router::Router(NodeId id, const std::vector<NodeId> &neighbors,
+               const RouterConfig &cfg, Rng *rng, TileStats *stats)
+    : id_(id), num_net_ports_(static_cast<std::uint32_t>(neighbors.size())),
+      cfg_(cfg), rng_(rng), stats_(stats)
+{
+    if (rng_ == nullptr || stats_ == nullptr)
+        fatal("router requires rng and stats sinks");
+    table_ = RoutingTable(id);
+
+    // Ingress ports: one per neighbor plus the CPU injection port.
+    ingress_.resize(num_net_ports_ + 1);
+    for (std::uint32_t p = 0; p < num_net_ports_; ++p) {
+        ingress_[p].prev_node = neighbors[p];
+        for (std::uint32_t v = 0; v < cfg_.net_vcs; ++v) {
+            ingress_[p].vcs.push_back(
+                std::make_unique<VcBuffer>(cfg_.net_vc_capacity));
+        }
+        ingress_[p].state.resize(cfg_.net_vcs);
+    }
+    IngressPort &cpu_in = ingress_[num_net_ports_];
+    cpu_in.prev_node = id_;
+    for (std::uint32_t v = 0; v < cfg_.cpu_vcs; ++v) {
+        cpu_in.vcs.push_back(
+            std::make_unique<VcBuffer>(cfg_.cpu_vc_capacity));
+    }
+    cpu_in.state.resize(cfg_.cpu_vcs);
+
+    // Egress ports: network ones are wired later via connect_egress;
+    // the CPU egress drains into internally owned ejection buffers.
+    for (std::uint32_t p = 0; p < num_net_ports_; ++p) {
+        auto ep = std::make_unique<EgressPort>();
+        ep->next_node = neighbors[p];
+        ep->bandwidth = cfg_.link_bandwidth;
+        ep->bandwidth_next.store(cfg_.link_bandwidth,
+                                 std::memory_order_relaxed);
+        egress_.push_back(std::move(ep));
+    }
+    for (std::uint32_t v = 0; v < cfg_.cpu_vcs; ++v)
+        ejection_.push_back(std::make_unique<VcBuffer>(cfg_.cpu_vc_capacity));
+    auto cpu_ep = std::make_unique<EgressPort>();
+    cpu_ep->next_node = id_;
+    cpu_ep->is_cpu = true;
+    cpu_ep->link_latency = 1;
+    cpu_ep->bandwidth = cfg_.link_bandwidth;
+    cpu_ep->bandwidth_next.store(cfg_.link_bandwidth,
+                                 std::memory_order_relaxed);
+    for (auto &b : ejection_)
+        cpu_ep->downstream.push_back(b.get());
+    cpu_ep->vc_state.resize(cfg_.cpu_vcs);
+    egress_.push_back(std::move(cpu_ep));
+}
+
+void
+Router::connect_egress(PortId port, NodeId next_node,
+                       std::vector<VcBuffer *> downstream,
+                       Cycle link_latency)
+{
+    if (port >= num_net_ports_)
+        fatal(strcat("router ", id_, ": connect_egress on bad port ", port));
+    EgressPort &ep = *egress_[port];
+    if (ep.next_node != next_node)
+        fatal(strcat("router ", id_, ": egress port ", port,
+                     " faces node ", ep.next_node, ", not ", next_node));
+    if (link_latency == 0)
+        fatal("link latency must be >= 1 cycle");
+    ep.downstream = std::move(downstream);
+    ep.vc_state.assign(ep.downstream.size(), EgressVcState{});
+    ep.link_latency = link_latency;
+}
+
+VcBuffer &
+Router::ingress_buffer(PortId port, VcId vc)
+{
+    return *ingress_.at(port).vcs.at(vc);
+}
+
+std::vector<VcBuffer *>
+Router::ingress_buffers(PortId port)
+{
+    std::vector<VcBuffer *> out;
+    for (auto &b : ingress_.at(port).vcs)
+        out.push_back(b.get());
+    return out;
+}
+
+VcBuffer &
+Router::injection_buffer(VcId vc)
+{
+    return *ingress_[num_net_ports_].vcs.at(vc);
+}
+
+VcBuffer &
+Router::ejection_buffer(VcId vc)
+{
+    return *ejection_.at(vc);
+}
+
+std::uint32_t
+Router::egress_free_space(PortId port) const
+{
+    const EgressPort &ep = *egress_.at(port);
+    std::uint32_t total = 0;
+    for (const auto *b : ep.downstream)
+        total += b->free_slots();
+    return total;
+}
+
+void
+Router::do_route_compute(IngressPort &ip, VcState &st, const Flit &f)
+{
+    const auto *opts = table_.lookup(ip.prev_node, f.flow);
+    if (opts == nullptr || opts->empty()) {
+        panic(strcat("router ", id_, ": no route for flow ", f.flow,
+                     " from prev ", ip.prev_node));
+    }
+
+    const RouteResult *chosen = nullptr;
+    if (cfg_.adaptive_routing && opts->size() > 1) {
+        // Adaptive: among the table's candidates pick the next hop with
+        // the most downstream credit; ties broken randomly.
+        std::uint32_t best = 0;
+        std::vector<const RouteResult *> maxima;
+        for (const auto &o : *opts) {
+            PortId p = o.next_node == id_ ? cpu_port() : kInvalidPort;
+            if (p == kInvalidPort) {
+                for (std::uint32_t q = 0; q < num_net_ports_; ++q) {
+                    if (egress_[q]->next_node == o.next_node) {
+                        p = q;
+                        break;
+                    }
+                }
+            }
+            if (p == kInvalidPort)
+                panic(strcat("router ", id_, ": route to non-neighbor ",
+                             o.next_node));
+            std::uint32_t space = egress_free_space(p);
+            if (maxima.empty() || space > best) {
+                best = space;
+                maxima.clear();
+                maxima.push_back(&o);
+            } else if (space == best) {
+                maxima.push_back(&o);
+            }
+        }
+        chosen = maxima.size() == 1
+                     ? maxima.front()
+                     : maxima[rng_->below(maxima.size())];
+    } else {
+        chosen = &table_.pick(ip.prev_node, f.flow, *rng_);
+    }
+
+    st.next_node = chosen->next_node;
+    st.next_flow = chosen->next_flow;
+    if (chosen->next_node == id_) {
+        st.out_port = cpu_port();
+    } else {
+        st.out_port = kInvalidPort;
+        for (std::uint32_t q = 0; q < num_net_ports_; ++q) {
+            if (egress_[q]->next_node == chosen->next_node) {
+                st.out_port = q;
+                break;
+            }
+        }
+        if (st.out_port == kInvalidPort)
+            panic(strcat("router ", id_, ": route to non-neighbor ",
+                         chosen->next_node));
+    }
+    st.route_valid = true;
+}
+
+bool
+Router::try_vc_allocate(IngressPort &ip, VcState &st, const Flit &f,
+                        Cycle now)
+{
+    EgressPort &ep = *egress_[st.out_port];
+    if (ep.downstream.empty())
+        panic(strcat("router ", id_, ": egress port ", st.out_port,
+                     " not wired"));
+
+    VcaKey key{ip.prev_node, f.flow, st.next_node, st.next_flow};
+    const auto *opts = vca_table_.lookup(key);
+
+    // Build the candidate set: the table's entries, or every VC of the
+    // egress port with equal weight (pure dynamic VCA).
+    scratch_vcs_.clear();
+    std::vector<double> weights;
+    if (opts != nullptr) {
+        for (const auto &o : *opts) {
+            if (o.vc < ep.vc_state.size()) {
+                scratch_vcs_.push_back(o.vc);
+                weights.push_back(o.weight);
+            }
+        }
+    } else {
+        for (VcId v = 0; v < ep.vc_state.size(); ++v) {
+            scratch_vcs_.push_back(v);
+            weights.push_back(1.0);
+        }
+    }
+    if (scratch_vcs_.empty())
+        return false;
+
+    auto grant = [&](VcId vc) {
+        ep.vc_state[vc].owned = true;
+        ep.vc_state[vc].owner_packet = f.packet;
+        ep.vc_state[vc].owner_flow = st.next_flow;
+        st.vc_allocated = true;
+        st.out_vc = vc;
+        st.alloc_cycle = now;
+        ++stats_->va_grants;
+    };
+
+    std::vector<VcId> grantable;
+    std::vector<double> gweights;
+
+    if (cfg_.vca_mode == VcaMode::Edvca) {
+        // EDVCA (paper II-A3 / [14]): a flow may occupy at most one VC
+        // chain per port. If any candidate VC is associated with this
+        // flow (owned by it, or holding only its flits), the packet
+        // must use one of those; otherwise it may claim an empty VC.
+        bool flow_associated = false;
+        for (std::size_t i = 0; i < scratch_vcs_.size(); ++i) {
+            VcId vc = scratch_vcs_[i];
+            const auto &evs = ep.vc_state[vc];
+            bool assoc =
+                (evs.owned && evs.owner_flow == st.next_flow) ||
+                (!ep.downstream[vc]->logically_empty() &&
+                 ep.downstream[vc]->exclusively_holds(st.next_flow));
+            if (assoc) {
+                if (!flow_associated) {
+                    flow_associated = true;
+                    grantable.clear();
+                    gweights.clear();
+                }
+                if (!evs.owned) {
+                    grantable.push_back(vc);
+                    gweights.push_back(weights[i]);
+                }
+            } else if (!flow_associated) {
+                if (!evs.owned && ep.downstream[vc]->logically_empty()) {
+                    grantable.push_back(vc);
+                    gweights.push_back(weights[i]);
+                }
+            }
+        }
+    } else if (cfg_.vca_mode == VcaMode::Faa) {
+        // Flow-aware allocation approximation: among free candidates
+        // pick the VC with the most downstream space, ties random.
+        std::uint32_t best = 0;
+        for (std::size_t i = 0; i < scratch_vcs_.size(); ++i) {
+            VcId vc = scratch_vcs_[i];
+            if (ep.vc_state[vc].owned)
+                continue;
+            std::uint32_t space = ep.downstream[vc]->free_slots();
+            if (grantable.empty() || space > best) {
+                best = space;
+                grantable.clear();
+                gweights.clear();
+                grantable.push_back(vc);
+                gweights.push_back(1.0);
+            } else if (space == best) {
+                grantable.push_back(vc);
+                gweights.push_back(1.0);
+            }
+        }
+    } else {
+        // Dynamic or StaticSet: weighted random among free candidates.
+        for (std::size_t i = 0; i < scratch_vcs_.size(); ++i) {
+            VcId vc = scratch_vcs_[i];
+            if (!ep.vc_state[vc].owned) {
+                grantable.push_back(vc);
+                gweights.push_back(weights[i]);
+            }
+        }
+    }
+
+    if (grantable.empty())
+        return false;
+    VcId vc = grantable.size() == 1
+                  ? grantable.front()
+                  : grantable[rng_->pick_weighted(gweights)];
+    grant(vc);
+    return true;
+}
+
+void
+Router::posedge(Cycle now)
+{
+    // Refresh per-port bandwidth (bidirectional links set it at the
+    // previous negedge, paper II-A4).
+    for (auto &ep : egress_)
+        ep->bandwidth = ep->bandwidth_next.load(std::memory_order_acquire);
+
+    // ------------------------------------------------------------------
+    // Stage A: route computation + VC allocation for packets whose head
+    // flit is at the front of a VC buffer. The order in which
+    // next-in-line packets are considered is randomized (paper II-A5).
+    // ------------------------------------------------------------------
+    auto &cands = scratch_candidates_;
+    cands.clear();
+    for (PortId p = 0; p < ingress_.size(); ++p) {
+        IngressPort &ip = ingress_[p];
+        for (VcId v = 0; v < ip.vcs.size(); ++v) {
+            if (ip.vcs[v]->front_visible(now).has_value())
+                cands.emplace_back(p, v);
+        }
+    }
+    rng_->shuffle(cands);
+
+    for (auto [p, v] : cands) {
+        IngressPort &ip = ingress_[p];
+        VcState &st = ip.state[v];
+        auto front = ip.vcs[v]->front_visible(now);
+        const Flit &f = *front;
+        if (!st.route_valid) {
+            if (!f.head)
+                panic(strcat("router ", id_,
+                             ": body flit at VC front without a route"));
+            do_route_compute(ip, st, f);
+        }
+        if (!st.vc_allocated) {
+            if (!try_vc_allocate(ip, st, f, now))
+                ++stats_->va_stalls;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Stage B: switch arbitration + switch traversal, per flit. A flit
+    // is eligible once its packet's VA happened in an earlier cycle.
+    // Constraints: one flit per ingress port per cycle (crossbar input),
+    // per-egress bandwidth (link), one flit per downstream VC per cycle,
+    // downstream credit, and the total crossbar bandwidth.
+    // ------------------------------------------------------------------
+    std::vector<std::pair<PortId, VcId>> sb;
+    sb.reserve(cands.size());
+    std::vector<std::uint32_t> demand(egress_.size(), 0);
+    for (auto [p, v] : cands) {
+        VcState &st = ingress_[p].state[v];
+        if (st.vc_allocated && st.alloc_cycle < now) {
+            sb.emplace_back(p, v);
+            ++demand[st.out_port];
+        }
+    }
+    rng_->shuffle(sb);
+
+    std::vector<bool> in_port_used(ingress_.size(), false);
+    std::vector<std::uint32_t> eg_bw_left(egress_.size(), 0);
+    for (std::size_t e = 0; e < egress_.size(); ++e)
+        eg_bw_left[e] = egress_[e]->bandwidth;
+    // Downstream-VC single-write flags, indexed per egress port.
+    std::vector<std::vector<bool>> out_vc_used(egress_.size());
+    for (std::size_t e = 0; e < egress_.size(); ++e)
+        out_vc_used[e].assign(egress_[e]->vc_state.size(), false);
+    std::uint32_t xbar_left =
+        cfg_.xbar_bandwidth ? cfg_.xbar_bandwidth : ~0u;
+
+    for (auto [p, v] : sb) {
+        IngressPort &ip = ingress_[p];
+        VcState &st = ip.state[v];
+        EgressPort &ep = *egress_[st.out_port];
+
+        if (in_port_used[p] || xbar_left == 0 ||
+            eg_bw_left[st.out_port] == 0 ||
+            out_vc_used[st.out_port][st.out_vc]) {
+            ++stats_->sa_stalls;
+            continue;
+        }
+        if (ep.downstream[st.out_vc]->free_slots() == 0) {
+            ++stats_->credit_stalls;
+            continue;
+        }
+
+        // ST: move the flit across the crossbar and onto the link.
+        Flit f = ip.vcs[v]->pop();
+        in_port_used[p] = true;
+        --eg_bw_left[st.out_port];
+        out_vc_used[st.out_port][st.out_vc] = true;
+        if (xbar_left != ~0u)
+            --xbar_left;
+
+        ++stats_->buffer_reads;
+        ++stats_->buffer_writes; // booked for the downstream write
+        ++stats_->xbar_transits;
+        ++stats_->sa_grants;
+
+        f.latency += (now - f.arrival_cycle) + ep.link_latency;
+        f.arrival_cycle = now + ep.link_latency;
+        if (!ep.is_cpu) {
+            f.flow = st.next_flow;
+            ++f.hops;
+            ++stats_->link_transits;
+        }
+        ep.downstream[st.out_vc]->push(f);
+
+        if (ep.is_cpu) {
+            // Departed the last network egress port: sample delivered-
+            // traffic statistics from the counters carried in the flit.
+            ++stats_->flits_delivered;
+            stats_->flit_latency.add(static_cast<double>(f.latency));
+            if (flow_stats_ != nullptr)
+                ++(*flow_stats_)[f.original_flow].flits_delivered;
+            if (f.tail) {
+                // Packet latency spans head injection to tail delivery:
+                // the tail's carried latency plus its (source-local)
+                // injection offset behind the head.
+                const double pkt_lat =
+                    static_cast<double>(f.latency + f.inject_offset);
+                ++stats_->packets_delivered;
+                stats_->packet_latency.add(pkt_lat);
+                stats_->packet_latency_hist.add(pkt_lat);
+                if (flow_stats_ != nullptr) {
+                    auto &fs = (*flow_stats_)[f.original_flow];
+                    ++fs.packets_delivered;
+                    fs.packet_latency.add(pkt_lat);
+                }
+            }
+        }
+
+        if (f.tail) {
+            // Release the next-hop VC at the coming negedge and reset
+            // the per-VC packet state for the next packet.
+            pending_releases_.emplace_back(st.out_port, st.out_vc);
+            st = VcState{};
+        }
+    }
+
+    // Publish per-egress demand for the bidirectional-link arbiters.
+    for (std::size_t e = 0; e < egress_.size(); ++e)
+        egress_[e]->demand.store(demand[e], std::memory_order_release);
+}
+
+void
+Router::negedge(Cycle)
+{
+    for (auto &ip : ingress_)
+        for (auto &b : ip.vcs)
+            b->commit_negedge();
+    for (auto [p, v] : pending_releases_)
+        egress_[p]->vc_state[v].owned = false;
+    pending_releases_.clear();
+}
+
+bool
+Router::has_buffered_flits() const
+{
+    for (const auto &ip : ingress_)
+        for (const auto &b : ip.vcs)
+            if (b->size_raw() != 0)
+                return true;
+    for (const auto &b : ejection_)
+        if (b->size_raw() != 0)
+            return true;
+    return false;
+}
+
+} // namespace hornet::net

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Cycle-level model of an ingress-queued virtual-channel wormhole
+ * router (paper Fig 2).
+ *
+ * Packets arrive flit-by-flit on ingress ports and are buffered in
+ * ingress VC buffers. When the head flit of a packet reaches the front
+ * of its VC buffer, the packet enters route computation (RC); it then
+ * waits in VC allocation (VA) until granted a next-hop VC; finally each
+ * flit competes for the crossbar in switch arbitration (SA) and
+ * transits in switch traversal (ST). RC and VA act once per packet, SA
+ * and ST once per flit.
+ *
+ * Pipeline timing: RC and VA are attempted in the cycle the head flit
+ * becomes visible at the buffer front; SA/ST eligibility starts the
+ * cycle after VA succeeds. With the default link latency of 1 this
+ * gives a 3-cycle per-hop zero-load latency (RC/VA, SA/ST, link).
+ *
+ * Arbitration ties in both VA and SA are broken with the tile's
+ * private PRNG (paper II-A5).
+ */
+#ifndef HORNET_NET_ROUTER_H
+#define HORNET_NET_ROUTER_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "net/flit.h"
+#include "net/routing_table.h"
+#include "net/vc_buffer.h"
+#include "net/vca.h"
+
+namespace hornet::net {
+
+/** Per-router hardware parameters (paper Table I knobs). */
+struct RouterConfig
+{
+    /** VCs per network-facing ingress port. */
+    std::uint32_t net_vcs = 4;
+    /** Capacity of each network-port VC buffer, in flits. */
+    std::uint32_t net_vc_capacity = 4;
+    /** VCs on the CPU<->switch port (may differ, paper II-A1). */
+    std::uint32_t cpu_vcs = 4;
+    /** Capacity of each CPU-port VC buffer, in flits. */
+    std::uint32_t cpu_vc_capacity = 8;
+    /** Default per-direction link bandwidth, flits/cycle. */
+    std::uint32_t link_bandwidth = 1;
+    /** Max flits through the crossbar per cycle; 0 = unlimited. */
+    std::uint32_t xbar_bandwidth = 0;
+    /** VC allocation discipline. */
+    VcaMode vca_mode = VcaMode::Dynamic;
+    /**
+     * Adaptive routing: when a routing-table entry offers several
+     * next hops, pick the one with the most downstream credit instead
+     * of a weighted-random draw (paper II-A2 "adaptive").
+     */
+    bool adaptive_routing = false;
+};
+
+/**
+ * One router node. Not thread-safe except through the documented
+ * VC-buffer producer/consumer interfaces; posedge()/negedge() must be
+ * called by the owning tile's thread only.
+ */
+class Router
+{
+  public:
+    /**
+     * @param id         this node's id
+     * @param neighbors  neighbor node ids in port order (network ports)
+     * @param cfg        hardware parameters
+     * @param rng        tile-private PRNG (not owned)
+     * @param stats      tile-private statistics sink (not owned)
+     */
+    Router(NodeId id, const std::vector<NodeId> &neighbors,
+           const RouterConfig &cfg, Rng *rng, TileStats *stats);
+
+    NodeId id() const { return id_; }
+    std::uint32_t num_net_ports() const { return num_net_ports_; }
+    /** CPU port index (== number of network ports). */
+    PortId cpu_port() const { return num_net_ports_; }
+    const RouterConfig &config() const { return cfg_; }
+
+    /** Routing table (filled by the routing builders). */
+    RoutingTable &routing_table() { return table_; }
+    const RoutingTable &routing_table() const { return table_; }
+
+    /** VCA table (filled by the VCA builders). */
+    VcaTable &vca_table() { return vca_table_; }
+    const VcaTable &vca_table() const { return vca_table_; }
+
+    /**
+     * Wire network egress @p port to the downstream router's ingress
+     * buffers @p downstream (one per VC), with the given link latency.
+     */
+    void connect_egress(PortId port, NodeId next_node,
+                        std::vector<VcBuffer *> downstream,
+                        Cycle link_latency);
+
+    /** Ingress buffer (downstream side of some upstream egress). */
+    VcBuffer &ingress_buffer(PortId port, VcId vc);
+
+    /** All ingress buffers of @p port, for connect_egress of a peer. */
+    std::vector<VcBuffer *> ingress_buffers(PortId port);
+
+    /** Injection buffer used by the local bridge (CPU ingress). */
+    VcBuffer &injection_buffer(VcId vc);
+    std::uint32_t num_injection_vcs() const { return cfg_.cpu_vcs; }
+
+    /** Ejection buffer drained by the local bridge (CPU egress). */
+    VcBuffer &ejection_buffer(VcId vc);
+    std::uint32_t num_ejection_vcs() const { return cfg_.cpu_vcs; }
+
+    /** Per-flow delivery statistics sink (optional). */
+    void set_flow_stats(std::map<FlowId, FlowStats> *fs) { flow_stats_ = fs; }
+
+    // ------------------------------------------------------------------
+    // Simulation.
+    // ------------------------------------------------------------------
+
+    /** Positive clock edge: RC, VA, SA, ST (paper II-C). */
+    void posedge(Cycle now);
+
+    /** Negative clock edge: commit pops, apply staged VC releases. */
+    void negedge(Cycle now);
+
+    /** Any flit physically buffered here (fast-forward test)?
+     *  Includes ejection buffers not yet drained by the bridge. */
+    bool has_buffered_flits() const;
+
+    // ------------------------------------------------------------------
+    // Bidirectional-link support (paper II-A4).
+    // ------------------------------------------------------------------
+
+    /** Flits ready to leave through @p port (published at posedge). */
+    std::uint32_t
+    egress_demand(PortId port) const
+    {
+        return egress_[port]->demand.load(std::memory_order_acquire);
+    }
+
+    /** Free space across the downstream buffers of @p port. */
+    std::uint32_t egress_free_space(PortId port) const;
+
+    /** Set next-cycle bandwidth of @p port (called by a link arbiter
+     *  during the negedge phase). */
+    void
+    set_egress_bandwidth_next(PortId port, std::uint32_t bw)
+    {
+        egress_[port]->bandwidth_next.store(bw, std::memory_order_release);
+    }
+
+    /** Current-cycle bandwidth of @p port (tests). */
+    std::uint32_t
+    egress_bandwidth(PortId port) const
+    {
+        return egress_[port]->bandwidth;
+    }
+
+  private:
+    /** Per-ingress-VC packet progress (route + allocated next-hop VC). */
+    struct VcState
+    {
+        bool route_valid = false;
+        PortId out_port = kInvalidPort;
+        NodeId next_node = kInvalidNode;
+        FlowId next_flow = kInvalidFlow;
+        bool vc_allocated = false;
+        VcId out_vc = kInvalidVc;
+        Cycle alloc_cycle = 0;
+    };
+
+    struct IngressPort
+    {
+        NodeId prev_node = kInvalidNode; ///< table key; == id_ for CPU port
+        std::vector<std::unique_ptr<VcBuffer>> vcs;
+        std::vector<VcState> state;
+    };
+
+    /** Upstream-side ownership of one downstream VC. */
+    struct EgressVcState
+    {
+        bool owned = false;
+        PacketId owner_packet = 0;
+        FlowId owner_flow = kInvalidFlow;
+    };
+
+    struct EgressPort
+    {
+        NodeId next_node = kInvalidNode;
+        bool is_cpu = false;
+        Cycle link_latency = 1;
+        std::vector<VcBuffer *> downstream;
+        std::vector<EgressVcState> vc_state;
+        std::uint32_t bandwidth = 1;
+        std::atomic<std::uint32_t> bandwidth_next{1};
+        std::atomic<std::uint32_t> demand{0};
+    };
+
+    void do_route_compute(IngressPort &ip, VcState &st, const Flit &f);
+    bool try_vc_allocate(IngressPort &ip, VcState &st, const Flit &f,
+                         Cycle now);
+
+    /** Downstream credit for (egress port, vc). */
+    std::uint32_t
+    downstream_credit(const EgressPort &ep, VcId vc) const
+    {
+        return ep.downstream[vc]->free_slots();
+    }
+
+    NodeId id_;
+    std::uint32_t num_net_ports_;
+    RouterConfig cfg_;
+    Rng *rng_;
+    TileStats *stats_;
+    RoutingTable table_;
+    VcaTable vca_table_;
+    std::map<FlowId, FlowStats> *flow_stats_ = nullptr;
+
+    std::vector<IngressPort> ingress_;
+    std::vector<std::unique_ptr<EgressPort>> egress_;
+    std::vector<std::unique_ptr<VcBuffer>> ejection_;
+
+    /** (port, vc) pairs whose ownership releases at the next negedge. */
+    std::vector<std::pair<PortId, VcId>> pending_releases_;
+
+    /** Scratch vectors reused across cycles to avoid allocation. */
+    std::vector<std::pair<PortId, VcId>> scratch_candidates_;
+    std::vector<VcId> scratch_vcs_;
+};
+
+} // namespace hornet::net
+
+#endif // HORNET_NET_ROUTER_H

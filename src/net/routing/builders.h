@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Routing-table builders (paper II-A2).
+ *
+ * A wide range of oblivious and static routing schemes is expressed by
+ * configuring per-node routing tables addressed by
+ * <prev_node_id, flow_id> with weighted next-hop results
+ * {<next_node_id, next_flow_id, weight>, ...}. Each builder installs
+ * the entries for a set of flows:
+ *
+ *  - build_xy        : dimension-ordered XY (DOR) on a 2D mesh
+ *  - build_o1turn    : O1TURN [8] — XY and YX subroutes, equal weight,
+ *                      distinguished by flow-id phases 1 and 2
+ *  - build_romm      : two-phase ROMM [11] — uniform random intermediate
+ *                      inside the minimum rectangle, XY in each phase,
+ *                      flow renamed at the intermediate node; entries
+ *                      merged with path-count weights
+ *  - build_valiant   : Valiant [10] — like ROMM with the intermediate
+ *                      drawn from the whole mesh
+ *  - build_prom      : uniform PROM [9] — minimal probabilistic routing,
+ *                      next-hop weights proportional to the number of
+ *                      remaining minimal paths
+ *  - build_shortest  : deterministic BFS shortest path; works on any
+ *                      geometry (rings, tori, multilayer meshes)
+ *  - build_static_greedy : BSOR-style [7] bandwidth-aware static routing
+ *                      (greedy load-balancing substitute for the MILP)
+ *
+ * All builders assume fresh tables for the given flows; installing the
+ * same flow twice accumulates weights and corrupts the distribution.
+ */
+#ifndef HORNET_NET_ROUTING_BUILDERS_H
+#define HORNET_NET_ROUTING_BUILDERS_H
+
+#include <vector>
+
+#include "net/flow.h"
+#include "net/network.h"
+
+namespace hornet::net::routing {
+
+void build_xy(Network &net, const std::vector<FlowSpec> &flows);
+
+void build_o1turn(Network &net, const std::vector<FlowSpec> &flows);
+
+void build_romm(Network &net, const std::vector<FlowSpec> &flows);
+
+void build_valiant(Network &net, const std::vector<FlowSpec> &flows);
+
+void build_prom(Network &net, const std::vector<FlowSpec> &flows);
+
+void build_shortest(Network &net, const std::vector<FlowSpec> &flows);
+
+/**
+ * Greedy bandwidth-aware static routing: flows are routed one at a
+ * time in decreasing demand order over link costs 1 + alpha * load,
+ * then the chosen path's load is committed. A practical substitute for
+ * BSOR's offline optimization.
+ */
+void build_static_greedy(Network &net, const std::vector<FlowSpec> &flows,
+                         double alpha = 1.0);
+
+/**
+ * Install a single deterministic @p path for flow @p base, tagging all
+ * in-flight hops with @p phase and restoring the base id on delivery.
+ * Exposed for custom schemes and tests.
+ */
+void install_single_phase_path(Network &net,
+                               const std::vector<NodeId> &path,
+                               FlowId base, std::uint32_t phase,
+                               double weight);
+
+} // namespace hornet::net::routing
+
+#endif // HORNET_NET_ROUTING_BUILDERS_H

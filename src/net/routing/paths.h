@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Deterministic path helpers shared by the table builders.
+ */
+#ifndef HORNET_NET_ROUTING_PATHS_H
+#define HORNET_NET_ROUTING_PATHS_H
+
+#include <vector>
+
+#include "common/types.h"
+#include "net/topology.h"
+
+namespace hornet::net::routing {
+
+/**
+ * Dimension-ordered (XY) path on a 2D mesh/torus-as-mesh: first move
+ * along x to the destination column, then along y. Returns the node
+ * sequence including both endpoints. fatal() on non-mesh topologies.
+ */
+std::vector<NodeId> xy_path(const Topology &topo, NodeId src, NodeId dst);
+
+/** YX path: y first, then x. */
+std::vector<NodeId> yx_path(const Topology &topo, NodeId src, NodeId dst);
+
+/**
+ * Deterministic shortest path on any topology (BFS, ties broken toward
+ * the lower node id), including both endpoints.
+ */
+std::vector<NodeId> shortest_path(const Topology &topo, NodeId src,
+                                  NodeId dst);
+
+/**
+ * Weighted shortest path (Dijkstra over per-directed-link costs,
+ * ties toward lower node id). @p cost is indexed [from][port].
+ */
+std::vector<NodeId> weighted_path(
+    const Topology &topo, NodeId src, NodeId dst,
+    const std::vector<std::vector<double>> &cost);
+
+} // namespace hornet::net::routing
+
+#endif // HORNET_NET_ROUTING_PATHS_H

@@ -1,0 +1,57 @@
+#include "net/routing_table.h"
+
+#include "common/log.h"
+
+namespace hornet::net {
+
+void
+RoutingTable::add(NodeId prev_node, FlowId flow, const RouteResult &result)
+{
+    if (result.weight <= 0.0)
+        fatal("routing table: weights must be positive");
+    auto &opts = entries_[RouteKey{prev_node, flow}];
+    for (auto &o : opts) {
+        if (o.next_node == result.next_node &&
+            o.next_flow == result.next_flow) {
+            o.weight += result.weight;
+            return;
+        }
+    }
+    opts.push_back(result);
+}
+
+const std::vector<RouteResult> *
+RoutingTable::lookup(NodeId prev_node, FlowId flow) const
+{
+    auto it = entries_.find(RouteKey{prev_node, flow});
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+const RouteResult &
+RoutingTable::pick(NodeId prev_node, FlowId flow, Rng &rng) const
+{
+    const auto *opts = lookup(prev_node, flow);
+    if (opts == nullptr || opts->empty()) {
+        panic(strcat("routing table at node ", node_, ": no entry for prev=",
+                     prev_node, " flow=", flow));
+    }
+    if (opts->size() == 1)
+        return opts->front();
+    std::vector<double> w;
+    w.reserve(opts->size());
+    for (const auto &o : *opts)
+        w.push_back(o.weight);
+    return (*opts)[rng.pick_weighted(w)];
+}
+
+std::vector<RouteKey>
+RoutingTable::keys() const
+{
+    std::vector<RouteKey> out;
+    out.reserve(entries_.size());
+    for (const auto &kv : entries_)
+        out.push_back(kv.first);
+    return out;
+}
+
+} // namespace hornet::net

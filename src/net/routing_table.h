@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Table-driven routing (paper II-A2).
+ *
+ * Per-node routing tables are addressed by the flow id and incoming
+ * direction <prev_node_id, flow_id>; each entry is a set of weighted
+ * next-hop results {<next_node_id, next_flow_id, weight>, ...}. When a
+ * set contains more than one option, one is selected at random with
+ * propensity proportional to its weight, and the packet's flow id is
+ * renamed to next_flow_id. A packet injected at node n is looked up
+ * with prev_node_id == n.
+ *
+ * Delivery is expressed as next_node_id == the node itself.
+ */
+#ifndef HORNET_NET_ROUTING_TABLE_H
+#define HORNET_NET_ROUTING_TABLE_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace hornet::net {
+
+/** One weighted next-hop result. */
+struct RouteResult
+{
+    NodeId next_node = kInvalidNode;
+    FlowId next_flow = kInvalidFlow;
+    double weight = 1.0;
+};
+
+/** Key of a routing-table entry. */
+struct RouteKey
+{
+    NodeId prev_node;
+    FlowId flow;
+
+    bool
+    operator==(const RouteKey &o) const
+    {
+        return prev_node == o.prev_node && flow == o.flow;
+    }
+};
+
+struct RouteKeyHash
+{
+    std::size_t
+    operator()(const RouteKey &k) const
+    {
+        std::uint64_t h = k.flow * 0x9e3779b97f4a7c15ull;
+        h ^= (static_cast<std::uint64_t>(k.prev_node) + 0x7f4a7c15u) *
+             0xbf58476d1ce4e5b9ull;
+        h ^= h >> 29;
+        return static_cast<std::size_t>(h);
+    }
+};
+
+/**
+ * One node's routing table.
+ */
+class RoutingTable
+{
+  public:
+    explicit RoutingTable(NodeId node = kInvalidNode) : node_(node) {}
+
+    NodeId node() const { return node_; }
+
+    /** Add (accumulate) a weighted next-hop option for <prev, flow>.
+     *  Adding an option that already exists accumulates its weight. */
+    void add(NodeId prev_node, FlowId flow, const RouteResult &result);
+
+    /** All options for <prev, flow>, or nullptr when absent. */
+    const std::vector<RouteResult> *lookup(NodeId prev_node,
+                                           FlowId flow) const;
+
+    /** Weighted random pick among the options (panics when absent). */
+    const RouteResult &pick(NodeId prev_node, FlowId flow, Rng &rng) const;
+
+    /** Number of table entries (keys). */
+    std::size_t size() const { return entries_.size(); }
+
+    /** All keys (tests / table sanity checks). */
+    std::vector<RouteKey> keys() const;
+
+  private:
+    NodeId node_;
+    std::unordered_map<RouteKey, std::vector<RouteResult>, RouteKeyHash>
+        entries_;
+};
+
+} // namespace hornet::net
+
+#endif // HORNET_NET_ROUTING_TABLE_H

@@ -1,0 +1,181 @@
+#include "net/topology.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/log.h"
+
+namespace hornet::net {
+
+Topology::Topology(std::uint32_t num_nodes)
+    : num_nodes_(num_nodes), neighbors_(num_nodes)
+{
+    if (num_nodes == 0)
+        fatal("topology must have at least one node");
+}
+
+Topology
+Topology::ring(std::uint32_t n)
+{
+    Topology t(n);
+    t.name_ = strcat("ring", n);
+    if (n == 1)
+        return t;
+    if (n == 2) {
+        t.add_link(0, 1);
+        return t;
+    }
+    for (std::uint32_t i = 0; i < n; ++i)
+        t.add_link(i, (i + 1) % n);
+    return t;
+}
+
+Topology
+Topology::mesh2d(std::uint32_t width, std::uint32_t height)
+{
+    Topology t(width * height);
+    t.width_ = width;
+    t.height_ = height;
+    t.name_ = strcat("mesh", width, "x", height);
+    for (std::uint32_t y = 0; y < height; ++y) {
+        for (std::uint32_t x = 0; x < width; ++x) {
+            NodeId n = y * width + x;
+            if (x + 1 < width)
+                t.add_link(n, n + 1);
+            if (y + 1 < height)
+                t.add_link(n, n + width);
+        }
+    }
+    return t;
+}
+
+Topology
+Topology::torus2d(std::uint32_t width, std::uint32_t height)
+{
+    Topology t = mesh2d(width, height);
+    t.name_ = strcat("torus", width, "x", height);
+    if (width > 2) {
+        for (std::uint32_t y = 0; y < height; ++y)
+            t.add_link(y * width, y * width + width - 1);
+    }
+    if (height > 2) {
+        for (std::uint32_t x = 0; x < width; ++x)
+            t.add_link(x, (height - 1) * width + x);
+    }
+    return t;
+}
+
+Topology
+Topology::mesh3d(std::uint32_t width, std::uint32_t height,
+                 std::uint32_t layers, LayerStyle style)
+{
+    Topology t(width * height * layers);
+    t.width_ = width;
+    t.height_ = height;
+    t.layers_ = layers;
+    const char *style_name = style == LayerStyle::X1      ? "x1"
+                             : style == LayerStyle::X1Y1 ? "x1y1"
+                                                         : "xcube";
+    t.name_ = strcat("mesh3d-", style_name, "-", width, "x", height, "x",
+                     layers);
+    // In-layer mesh links.
+    for (std::uint32_t z = 0; z < layers; ++z) {
+        for (std::uint32_t y = 0; y < height; ++y) {
+            for (std::uint32_t x = 0; x < width; ++x) {
+                NodeId n = t.node_at(x, y, z);
+                if (x + 1 < width)
+                    t.add_link(n, t.node_at(x + 1, y, z));
+                if (y + 1 < height)
+                    t.add_link(n, t.node_at(x, y + 1, z));
+            }
+        }
+    }
+    // Inter-layer links per style.
+    for (std::uint32_t z = 0; z + 1 < layers; ++z) {
+        switch (style) {
+          case LayerStyle::X1:
+            // One column (x == 0) of vertical links.
+            for (std::uint32_t y = 0; y < height; ++y)
+                t.add_link(t.node_at(0, y, z), t.node_at(0, y, z + 1));
+            break;
+          case LayerStyle::X1Y1:
+            // One column and one row of vertical links.
+            for (std::uint32_t y = 0; y < height; ++y)
+                t.add_link(t.node_at(0, y, z), t.node_at(0, y, z + 1));
+            for (std::uint32_t x = 1; x < width; ++x)
+                t.add_link(t.node_at(x, 0, z), t.node_at(x, 0, z + 1));
+            break;
+          case LayerStyle::XCube:
+            for (std::uint32_t y = 0; y < height; ++y)
+                for (std::uint32_t x = 0; x < width; ++x)
+                    t.add_link(t.node_at(x, y, z), t.node_at(x, y, z + 1));
+            break;
+        }
+    }
+    return t;
+}
+
+void
+Topology::add_link(NodeId a, NodeId b)
+{
+    if (a == b)
+        fatal("topology: self-link not allowed");
+    if (a >= num_nodes_ || b >= num_nodes_)
+        fatal(strcat("topology: link endpoint out of range: ", a, "-", b));
+    if (adjacent(a, b))
+        fatal(strcat("topology: duplicate link ", a, "-", b));
+    neighbors_[a].push_back(b);
+    neighbors_[b].push_back(a);
+    ++num_links_;
+}
+
+const std::vector<NodeId> &
+Topology::neighbors(NodeId n) const
+{
+    if (n >= num_nodes_)
+        fatal(strcat("topology: node out of range: ", n));
+    return neighbors_[n];
+}
+
+PortId
+Topology::port_to(NodeId n, NodeId nbr) const
+{
+    const auto &nb = neighbors(n);
+    auto it = std::find(nb.begin(), nb.end(), nbr);
+    if (it == nb.end())
+        return kInvalidPort;
+    return static_cast<PortId>(it - nb.begin());
+}
+
+bool
+Topology::adjacent(NodeId a, NodeId b) const
+{
+    const auto &nb = neighbors_[a];
+    return std::find(nb.begin(), nb.end(), b) != nb.end();
+}
+
+std::uint32_t
+Topology::hop_distance(NodeId a, NodeId b) const
+{
+    if (a == b)
+        return 0;
+    std::vector<std::uint32_t> dist(num_nodes_, ~0u);
+    std::queue<NodeId> q;
+    dist[a] = 0;
+    q.push(a);
+    while (!q.empty()) {
+        NodeId n = q.front();
+        q.pop();
+        for (NodeId m : neighbors_[n]) {
+            if (dist[m] == ~0u) {
+                dist[m] = dist[n] + 1;
+                if (m == b)
+                    return dist[m];
+                q.push(m);
+            }
+        }
+    }
+    fatal(strcat("topology: nodes ", a, " and ", b, " are disconnected"));
+}
+
+} // namespace hornet::net

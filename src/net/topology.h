@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Interconnect geometry (paper II-A1).
+ *
+ * Nodes are configured with pairwise connections to form any geometry:
+ * rings, 2D meshes, 2D tori, and the three multilayer-mesh styles of
+ * paper Fig 4 (x1, x1y1, xcube). Arbitrary geometries can be built by
+ * adding edges directly.
+ */
+#ifndef HORNET_NET_TOPOLOGY_H
+#define HORNET_NET_TOPOLOGY_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace hornet::net {
+
+/** Inter-layer connectivity style for multilayer meshes (paper Fig 4). */
+enum class LayerStyle
+{
+    X1,    ///< adjacent layers joined along one column of nodes
+    X1Y1,  ///< joined along one column and one row
+    XCube, ///< every node joined to its vertical neighbours (full 3D mesh)
+};
+
+/**
+ * A system geometry: a set of nodes and undirected pairwise links.
+ *
+ * Port numbering convention: node n's network ports are indexed by the
+ * order its neighbours were added; the router appends one extra
+ * CPU-facing port after all network ports.
+ */
+class Topology
+{
+  public:
+    /** Empty topology with @p num_nodes unconnected nodes. */
+    explicit Topology(std::uint32_t num_nodes);
+
+    // -------------------- factories --------------------
+
+    /** Bidirectional ring of @p n nodes. */
+    static Topology ring(std::uint32_t n);
+
+    /** 2D mesh, nodes numbered row-major: id = y * width + x. */
+    static Topology mesh2d(std::uint32_t width, std::uint32_t height);
+
+    /** 2D torus (mesh plus wraparound links). */
+    static Topology torus2d(std::uint32_t width, std::uint32_t height);
+
+    /** Multilayer mesh: @p layers stacked width x height meshes joined
+     *  per @p style. id = z * width * height + y * width + x. */
+    static Topology mesh3d(std::uint32_t width, std::uint32_t height,
+                           std::uint32_t layers, LayerStyle style);
+
+    // -------------------- construction --------------------
+
+    /** Add an undirected link a <-> b. fatal() on duplicates/self. */
+    void add_link(NodeId a, NodeId b);
+
+    // -------------------- queries --------------------
+
+    std::uint32_t num_nodes() const { return num_nodes_; }
+
+    /** Neighbours of @p n in port order. */
+    const std::vector<NodeId> &neighbors(NodeId n) const;
+
+    /** Port on @p n facing @p nbr; kInvalidPort if not adjacent. */
+    PortId port_to(NodeId n, NodeId nbr) const;
+
+    /** True when a and b share a link. */
+    bool adjacent(NodeId a, NodeId b) const;
+
+    /** Total number of undirected links. */
+    std::uint32_t num_links() const { return num_links_; }
+
+    /** Minimal hop distance (BFS); used by analyses and ideal model. */
+    std::uint32_t hop_distance(NodeId a, NodeId b) const;
+
+    // ---------------- mesh metadata (when applicable) ----------------
+
+    bool is_mesh_like() const { return width_ > 0; }
+    std::uint32_t width() const { return width_; }
+    std::uint32_t height() const { return height_; }
+    std::uint32_t layers() const { return layers_; }
+
+    std::uint32_t x_of(NodeId n) const { return (n % (width_ * height_)) % width_; }
+    std::uint32_t y_of(NodeId n) const { return (n % (width_ * height_)) / width_; }
+    std::uint32_t z_of(NodeId n) const { return n / (width_ * height_); }
+
+    /** Node id from mesh coordinates. */
+    NodeId
+    node_at(std::uint32_t x, std::uint32_t y, std::uint32_t z = 0) const
+    {
+        return z * width_ * height_ + y * width_ + x;
+    }
+
+    /** Human-readable geometry name (tests / reports). */
+    const std::string &name() const { return name_; }
+
+  private:
+    std::uint32_t num_nodes_;
+    std::uint32_t num_links_ = 0;
+    std::vector<std::vector<NodeId>> neighbors_;
+    std::uint32_t width_ = 0, height_ = 0, layers_ = 1;
+    std::string name_ = "custom";
+};
+
+} // namespace hornet::net
+
+#endif // HORNET_NET_TOPOLOGY_H

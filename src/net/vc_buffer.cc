@@ -1,0 +1,88 @@
+#include "net/vc_buffer.h"
+
+#include "common/log.h"
+
+namespace hornet::net {
+
+void
+VcBuffer::push(const Flit &f)
+{
+    std::lock_guard<std::mutex> lk(tail_mx_);
+    std::uint64_t seq = pushed_.load(std::memory_order_relaxed);
+    // The credit discipline (free_slots() checked by the caller before
+    // every push) bounds physical occupancy by capacity_, so the target
+    // slot is free.
+    if (seq - popped_actual_.load(std::memory_order_acquire) >= capacity_)
+        panic("VcBuffer overflow: producer pushed without credit");
+    ring_[seq % capacity_] = f;
+    {
+        std::lock_guard<std::mutex> flk(flow_mx_);
+        ++flow_counts_[f.flow];
+    }
+    pushed_.store(seq + 1, std::memory_order_release);
+}
+
+std::optional<Flit>
+VcBuffer::front_visible(Cycle now) const
+{
+    std::lock_guard<std::mutex> lk(head_mx_);
+    std::uint64_t head = popped_actual_.load(std::memory_order_relaxed);
+    if (head == pushed_.load(std::memory_order_acquire))
+        return std::nullopt;
+    const Flit &f = ring_[head % capacity_];
+    if (f.arrival_cycle > now)
+        return std::nullopt;
+    return f;
+}
+
+Flit
+VcBuffer::pop()
+{
+    std::lock_guard<std::mutex> lk(head_mx_);
+    std::uint64_t head = popped_actual_.load(std::memory_order_relaxed);
+    if (head == pushed_.load(std::memory_order_acquire))
+        panic("VcBuffer underflow: pop from empty buffer");
+    Flit f = ring_[head % capacity_];
+    pending_pop_flows_.push_back(f.flow);
+    popped_actual_.store(head + 1, std::memory_order_release);
+    return f;
+}
+
+void
+VcBuffer::commit_negedge()
+{
+    if (pending_pop_flows_.empty())
+        return;
+    {
+        std::lock_guard<std::mutex> flk(flow_mx_);
+        for (FlowId flow : pending_pop_flows_) {
+            auto it = flow_counts_.find(flow);
+            if (it == flow_counts_.end() || it->second == 0)
+                panic("VcBuffer flow accounting underflow");
+            if (--it->second == 0)
+                flow_counts_.erase(it);
+        }
+    }
+    pending_pop_flows_.clear();
+    popped_committed_.store(popped_actual_.load(std::memory_order_relaxed),
+                            std::memory_order_release);
+}
+
+bool
+VcBuffer::exclusively_holds(FlowId flow) const
+{
+    std::lock_guard<std::mutex> flk(flow_mx_);
+    if (flow_counts_.empty())
+        return true;
+    return flow_counts_.size() == 1 &&
+           flow_counts_.begin()->first == flow;
+}
+
+std::size_t
+VcBuffer::distinct_flows() const
+{
+    std::lock_guard<std::mutex> flk(flow_mx_);
+    return flow_counts_.size();
+}
+
+} // namespace hornet::net

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Virtual-channel ingress buffer with two fine-grained locks.
+ *
+ * VC buffers are the *only* communication points between tiles (paper
+ * II-C). Each buffer has exactly one producer (the upstream router's
+ * egress, or a local injector) and one consumer (the downstream
+ * router). A lock at the tail (ingress) end and a lock at the head
+ * (egress) end permit concurrent access by the two communicating
+ * threads, exactly as the paper describes. The storage is a fixed ring
+ * whose two ends touch disjoint slots, so the two lock domains never
+ * alias.
+ *
+ * Determinism discipline:
+ *  - a pushed flit becomes visible to the consumer only once the
+ *    consumer's clock reaches the flit's arrival_cycle;
+ *  - pops are *committed at the negative edge*, so the producer sees
+ *    freed credit one cycle later. Under cycle-accurate barrier
+ *    synchronization this makes parallel simulation bitwise identical
+ *    to sequential simulation.
+ */
+#ifndef HORNET_NET_VC_BUFFER_H
+#define HORNET_NET_VC_BUFFER_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "net/flit.h"
+
+namespace hornet::net {
+
+/**
+ * Single-producer single-consumer bounded flit FIFO with separate
+ * head and tail locks and negedge-committed credits.
+ */
+class VcBuffer
+{
+  public:
+    /** @param capacity maximum number of buffered flits (>= 1). */
+    explicit VcBuffer(std::uint32_t capacity = 4)
+        : capacity_(capacity ? capacity : 1), ring_(capacity_)
+    {}
+
+    VcBuffer(const VcBuffer &) = delete;
+    VcBuffer &operator=(const VcBuffer &) = delete;
+
+    std::uint32_t capacity() const { return capacity_; }
+
+    // ------------------------------------------------------------------
+    // Producer (upstream) side.
+    // ------------------------------------------------------------------
+
+    /**
+     * Credits available to the producer: capacity minus flits pushed
+     * and not yet *committed* popped. Conservative (freed space shows
+     * up one negedge later), which is what makes parallel cycle-
+     * accurate runs deterministic.
+     */
+    std::uint32_t
+    free_slots() const
+    {
+        std::uint64_t pushed = pushed_.load(std::memory_order_acquire);
+        std::uint64_t popped =
+            popped_committed_.load(std::memory_order_acquire);
+        std::uint64_t in_use = pushed - popped;
+        return in_use >= capacity_
+                   ? 0
+                   : capacity_ - static_cast<std::uint32_t>(in_use);
+    }
+
+    /**
+     * Push a flit; the caller must have checked free_slots() > 0.
+     * @p f.arrival_cycle must already be set by the caller.
+     */
+    void push(const Flit &f);
+
+    /** Total flits ever pushed (tests / conservation checks). */
+    std::uint64_t
+    total_pushed() const
+    {
+        return pushed_.load(std::memory_order_acquire);
+    }
+
+    /** Total pops committed so far (tests / conservation checks). */
+    std::uint64_t
+    total_popped_committed() const
+    {
+        return popped_committed_.load(std::memory_order_acquire);
+    }
+
+    // ------------------------------------------------------------------
+    // Consumer (downstream) side.
+    // ------------------------------------------------------------------
+
+    /**
+     * Copy of the front flit if one is present *and visible* at local
+     * cycle @p now (arrival_cycle <= now); std::nullopt otherwise.
+     */
+    std::optional<Flit> front_visible(Cycle now) const;
+
+    /** True when no flits are physically present (even invisible ones). */
+    bool
+    empty_raw() const
+    {
+        return popped_actual_.load(std::memory_order_acquire) ==
+               pushed_.load(std::memory_order_acquire);
+    }
+
+    /** Number of flits physically present (visible or not). */
+    std::uint32_t
+    size_raw() const
+    {
+        return static_cast<std::uint32_t>(
+            pushed_.load(std::memory_order_acquire) -
+            popped_actual_.load(std::memory_order_acquire));
+    }
+
+    /**
+     * Pop the front flit. The caller must have observed it via
+     * front_visible(). The credit is returned to the producer only at
+     * the next commit_negedge().
+     */
+    Flit pop();
+
+    /** Commit all pops performed since the previous commit. Called by
+     *  the consumer tile at its negative edge. */
+    void commit_negedge();
+
+    // ------------------------------------------------------------------
+    // Content inspection (EDVCA / FAA, paper II-A3).
+    // ------------------------------------------------------------------
+
+    /**
+     * True when every flit logically in the buffer (pushed and not yet
+     * committed-popped) belongs to @p flow — or the buffer is logically
+     * empty. This is the EDVCA exclusivity query.
+     */
+    bool exclusively_holds(FlowId flow) const;
+
+    /** True when the buffer is logically empty (credit view). */
+    bool
+    logically_empty() const
+    {
+        return pushed_.load(std::memory_order_acquire) ==
+               popped_committed_.load(std::memory_order_acquire);
+    }
+
+    /** Flits logically present (pushed minus committed pops). */
+    std::uint32_t
+    logical_size() const
+    {
+        return static_cast<std::uint32_t>(
+            pushed_.load(std::memory_order_acquire) -
+            popped_committed_.load(std::memory_order_acquire));
+    }
+
+    /** Number of distinct flows logically present (tests / FAA). */
+    std::size_t distinct_flows() const;
+
+  private:
+    const std::uint32_t capacity_;
+    std::vector<Flit> ring_; ///< slot i holds sequence number k: k % cap == i
+
+    mutable std::mutex tail_mx_; ///< guards the push end
+    mutable std::mutex head_mx_; ///< guards the pop end
+
+    std::atomic<std::uint64_t> pushed_{0};
+    std::atomic<std::uint64_t> popped_actual_{0};
+    std::atomic<std::uint64_t> popped_committed_{0};
+
+    /// Flits logically present per flow; guarded by flow_mx_.
+    mutable std::mutex flow_mx_;
+    std::map<FlowId, std::uint32_t> flow_counts_;
+    std::vector<FlowId> pending_pop_flows_; ///< consumer-thread private
+};
+
+} // namespace hornet::net
+
+#endif // HORNET_NET_VC_BUFFER_H

@@ -1,0 +1,61 @@
+#include "net/vca.h"
+
+#include <string>
+
+#include "common/log.h"
+
+namespace hornet::net {
+
+VcaMode
+vca_mode_from_string(const std::string &s)
+{
+    if (s == "dynamic")
+        return VcaMode::Dynamic;
+    if (s == "static")
+        return VcaMode::StaticSet;
+    if (s == "edvca")
+        return VcaMode::Edvca;
+    if (s == "faa")
+        return VcaMode::Faa;
+    fatal("unknown VCA mode: " + s);
+}
+
+const char *
+to_string(VcaMode mode)
+{
+    switch (mode) {
+      case VcaMode::Dynamic:
+        return "dynamic";
+      case VcaMode::StaticSet:
+        return "static";
+      case VcaMode::Edvca:
+        return "edvca";
+      case VcaMode::Faa:
+        return "faa";
+    }
+    return "?";
+}
+
+void
+VcaTable::add(const VcaKey &key, const VcaResult &result)
+{
+    if (result.weight <= 0.0)
+        fatal("VCA table: weights must be positive");
+    auto &opts = entries_[key];
+    for (auto &o : opts) {
+        if (o.vc == result.vc) {
+            o.weight += result.weight;
+            return;
+        }
+    }
+    opts.push_back(result);
+}
+
+const std::vector<VcaResult> *
+VcaTable::lookup(const VcaKey &key) const
+{
+    auto it = entries_.find(key);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+} // namespace hornet::net

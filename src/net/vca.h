@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Table-driven virtual-channel allocation (paper II-A3).
+ *
+ * The VCA table is addressed by the four-tuple
+ * <prev_node_id, flow_id, next_node_id, next_flow_id> computed during
+ * route computation; each lookup yields a set of weighted candidate
+ * next-hop VCs. On top of the candidate set, a VcaMode selects the
+ * allocation discipline:
+ *  - Dynamic: weighted-random among free candidates (the default table
+ *    lists all VCs with equal weight);
+ *  - StaticSet: the table itself restricts candidates (e.g. one VC per
+ *    flow or per phase); allocation is weighted-random within the set;
+ *  - Edvca: exclusive dynamic VCA — a packet may only enter a VC that
+ *    currently holds (or is owned by) its own flow, or an empty, free
+ *    VC; guarantees per-flow in-order delivery;
+ *  - Faa: flow-aware allocation — among allowed candidates pick the one
+ *    with the most free downstream space (ties broken randomly).
+ */
+#ifndef HORNET_NET_VCA_H
+#define HORNET_NET_VCA_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace hornet::net {
+
+/** Allocation discipline applied on top of the table candidates. */
+enum class VcaMode
+{
+    Dynamic,
+    StaticSet,
+    Edvca,
+    Faa,
+};
+
+/** Parse "dynamic" / "static" / "edvca" / "faa"; fatal() otherwise. */
+VcaMode vca_mode_from_string(const std::string &s);
+
+/** Printable name of a mode. */
+const char *to_string(VcaMode mode);
+
+/** One weighted candidate VC. */
+struct VcaResult
+{
+    VcId vc = kInvalidVc;
+    double weight = 1.0;
+};
+
+/** Key of a VCA table entry. */
+struct VcaKey
+{
+    NodeId prev_node;
+    FlowId flow;
+    NodeId next_node;
+    FlowId next_flow;
+
+    bool
+    operator==(const VcaKey &o) const
+    {
+        return prev_node == o.prev_node && flow == o.flow &&
+               next_node == o.next_node && next_flow == o.next_flow;
+    }
+};
+
+struct VcaKeyHash
+{
+    std::size_t
+    operator()(const VcaKey &k) const
+    {
+        std::uint64_t h = k.flow * 0x9e3779b97f4a7c15ull;
+        h ^= k.next_flow * 0xbf58476d1ce4e5b9ull + (h >> 31);
+        h ^= (static_cast<std::uint64_t>(k.prev_node) * 2654435761u) ^
+             (static_cast<std::uint64_t>(k.next_node) << 17);
+        h ^= h >> 29;
+        return static_cast<std::size_t>(h);
+    }
+};
+
+/**
+ * One node's VCA table. A missing entry means "all next-hop VCs with
+ * equal weight" (pure dynamic VCA), so tables only need populating for
+ * restricted schemes.
+ */
+class VcaTable
+{
+  public:
+    VcaTable() = default;
+
+    /** Add (accumulate) a candidate VC for the four-tuple key. */
+    void add(const VcaKey &key, const VcaResult &result);
+
+    /** Candidate set for the key, or nullptr (= all VCs, equal weight). */
+    const std::vector<VcaResult> *lookup(const VcaKey &key) const;
+
+    std::size_t size() const { return entries_.size(); }
+
+  private:
+    std::unordered_map<VcaKey, std::vector<VcaResult>, VcaKeyHash> entries_;
+};
+
+} // namespace hornet::net
+
+#endif // HORNET_NET_VCA_H

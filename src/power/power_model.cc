@@ -1,0 +1,87 @@
+#include "power/power_model.h"
+
+#include "common/log.h"
+
+namespace hornet::power {
+
+ActivityDelta
+activity_delta(const TileStats &before, const TileStats &after)
+{
+    ActivityDelta d;
+    d.buffer_writes = after.buffer_writes - before.buffer_writes;
+    d.buffer_reads = after.buffer_reads - before.buffer_reads;
+    d.xbar_transits = after.xbar_transits - before.xbar_transits;
+    d.link_transits = after.link_transits - before.link_transits;
+    d.arbitrations = (after.va_grants - before.va_grants) +
+                     (after.sa_grants - before.sa_grants);
+    return d;
+}
+
+PowerModel::PowerModel(const net::RouterConfig &router,
+                       std::uint32_t num_ports, const PowerConfig &cfg)
+    : cfg_(cfg)
+{
+    if (num_ports == 0)
+        fatal("power model: router needs at least one port");
+    const double v2 = cfg_.vdd * cfg_.vdd; // CV^2 scaling
+    const double width_scale = cfg_.flit_width_bits / 128.0;
+
+    e_write_pj_ = cfg_.e_buffer_write_pj * v2 * width_scale;
+    e_read_pj_ = cfg_.e_buffer_read_pj * v2 * width_scale;
+    e_xbar_pj_ = cfg_.e_xbar_per_port_pj * num_ports * v2 * width_scale;
+    e_arb_pj_ = cfg_.e_arbiter_pj * v2;
+    e_link_pj_ = cfg_.e_link_pj * v2 * width_scale;
+
+    // Leakage scales with instantiated storage and switch size.
+    const double net_flits = static_cast<double>(router.net_vcs) *
+                             router.net_vc_capacity *
+                             (num_ports > 0 ? num_ports - 1 : 0);
+    const double cpu_flits = static_cast<double>(router.cpu_vcs) *
+                             router.cpu_vc_capacity;
+    leakage_mw_ = cfg_.leak_base_mw +
+                  cfg_.leak_per_buffer_flit_mw * width_scale *
+                      (net_flits + cpu_flits) +
+                  cfg_.leak_per_xbar_port_mw * num_ports * num_ports;
+}
+
+double
+PowerModel::dynamic_energy_pj(const ActivityDelta &a) const
+{
+    return e_write_pj_ * static_cast<double>(a.buffer_writes) +
+           e_read_pj_ * static_cast<double>(a.buffer_reads) +
+           e_xbar_pj_ * static_cast<double>(a.xbar_transits) +
+           e_link_pj_ * static_cast<double>(a.link_transits) +
+           e_arb_pj_ * static_cast<double>(a.arbitrations);
+}
+
+double
+PowerModel::epoch_power_mw(const ActivityDelta &a, Cycle cycles) const
+{
+    if (cycles == 0)
+        return leakage_mw_;
+    // pJ / (cycles / f[GHz] ns) = pJ/ns * f = mW * 1e-... :
+    // 1 pJ / 1 ns = 1 mW; epoch seconds = cycles / (freq_ghz * 1e9).
+    const double epoch_ns =
+        static_cast<double>(cycles) / cfg_.freq_ghz;
+    return dynamic_energy_pj(a) / epoch_ns + leakage_mw_;
+}
+
+std::vector<double>
+EpochPowerSampler::sample_mw(const std::vector<TileStats> &now,
+                             Cycle epoch_cycles)
+{
+    if (now.size() != prev_.size())
+        fatal("epoch sampler: tile count changed");
+    std::vector<double> out(now.size(), model_->leakage_power_mw());
+    if (have_prev_) {
+        for (std::size_t i = 0; i < now.size(); ++i) {
+            out[i] = model_->epoch_power_mw(
+                activity_delta(prev_[i], now[i]), epoch_cycles);
+        }
+    }
+    prev_ = now;
+    have_prev_ = true;
+    return out;
+}
+
+} // namespace hornet::power

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * NoC router power model in the style of ORION 2.0 (paper II-B).
+ *
+ * Dynamic energy is charged per event — buffer write, buffer read,
+ * crossbar traversal, arbitration, link traversal — with per-event
+ * energies derived from the configured geometry (VC count, buffer
+ * depth, flit width, port count), plus a leakage power term that
+ * scales with the amount of instantiated storage and switch fabric.
+ * The activity inputs are exactly the per-tile statistics the router
+ * already collects (buffer reads/writes, crossbar transits, paper
+ * II-B: "statistics are passed to the ORION library for on-the-fly
+ * power estimation").
+ *
+ * Absolute constants are of the order of ORION's 65 nm numbers; the
+ * figures this feeds (13, 14) depend on relative, activity-driven
+ * variation rather than absolute calibration.
+ */
+#ifndef HORNET_POWER_POWER_MODEL_H
+#define HORNET_POWER_POWER_MODEL_H
+
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "net/router.h"
+
+namespace hornet::power {
+
+/** Technology/operating parameters. */
+struct PowerConfig
+{
+    /** Flit width in bits. */
+    double flit_width_bits = 128.0;
+    /** Supply voltage in volts (scales energy quadratically vs 1.0V). */
+    double vdd = 1.0;
+    /** Clock frequency in GHz (converts cycles to seconds). */
+    double freq_ghz = 1.0;
+    /** Base energies at 1.0 V, 128-bit flits, in picojoules. */
+    double e_buffer_write_pj = 0.60;
+    double e_buffer_read_pj = 0.45;
+    double e_xbar_per_port_pj = 0.18; ///< scaled by port count
+    double e_arbiter_pj = 0.05;
+    double e_link_pj = 1.20; ///< per flit per 1 mm hop
+    /** Leakage in milliwatts per flit of buffer storage. */
+    double leak_per_buffer_flit_mw = 0.012;
+    /** Leakage per crossbar port pair. */
+    double leak_per_xbar_port_mw = 0.04;
+    /** Fixed per-router leakage (clocking, control). */
+    double leak_base_mw = 0.35;
+};
+
+/** Counter deltas between two statistics snapshots (power inputs). */
+struct ActivityDelta
+{
+    std::uint64_t buffer_writes = 0;
+    std::uint64_t buffer_reads = 0;
+    std::uint64_t xbar_transits = 0;
+    std::uint64_t link_transits = 0;
+    std::uint64_t arbitrations = 0; ///< VA + SA grants
+};
+
+/** delta = after - before over the power-relevant counters. */
+ActivityDelta activity_delta(const TileStats &before,
+                             const TileStats &after);
+
+/**
+ * Per-router power model (all tiles share one when homogeneous).
+ */
+class PowerModel
+{
+  public:
+    PowerModel(const net::RouterConfig &router, std::uint32_t num_ports,
+               const PowerConfig &cfg = {});
+
+    /** Dynamic energy for the activity, in picojoules. */
+    double dynamic_energy_pj(const ActivityDelta &a) const;
+
+    /** Static (leakage) power in milliwatts. */
+    double leakage_power_mw() const { return leakage_mw_; }
+
+    /** Average power over an epoch of @p cycles, in milliwatts. */
+    double epoch_power_mw(const ActivityDelta &a, Cycle cycles) const;
+
+    const PowerConfig &config() const { return cfg_; }
+
+  private:
+    PowerConfig cfg_;
+    double e_write_pj_;
+    double e_read_pj_;
+    double e_xbar_pj_;
+    double e_arb_pj_;
+    double e_link_pj_;
+    double leakage_mw_;
+};
+
+/**
+ * Tracks per-tile activity between sampling points and converts it to
+ * per-tile power for thermal epochs (Figs 13, 14).
+ */
+class EpochPowerSampler
+{
+  public:
+    EpochPowerSampler(std::uint32_t num_tiles, const PowerModel &model)
+        : model_(&model), prev_(num_tiles), have_prev_(false)
+    {}
+
+    /**
+     * Per-tile average power (mW) since the previous sample. The first
+     * call establishes the baseline and reports leakage only.
+     */
+    std::vector<double> sample_mw(const std::vector<TileStats> &now,
+                                  Cycle epoch_cycles);
+
+  private:
+    const PowerModel *model_;
+    std::vector<TileStats> prev_;
+    bool have_prev_;
+};
+
+} // namespace hornet::power
+
+#endif // HORNET_POWER_POWER_MODEL_H

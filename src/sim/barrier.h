@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Reusable thread barrier with an optional leader action.
+ */
+#ifndef HORNET_SIM_BARRIER_H
+#define HORNET_SIM_BARRIER_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+namespace hornet::sim {
+
+/**
+ * Sense-reversing barrier. The last thread to arrive runs the leader
+ * function (if any) before releasing the others; this is how the
+ * engine makes global decisions (fast-forward, termination) without a
+ * separate coordinator thread.
+ */
+class Barrier
+{
+  public:
+    explicit Barrier(unsigned parties) : parties_(parties) {}
+
+    /** Block until all parties arrive; the last one runs @p leader. */
+    void
+    arrive_and_wait(const std::function<void()> &leader = {})
+    {
+        std::unique_lock<std::mutex> lk(mx_);
+        const std::uint64_t gen = gen_;
+        if (++count_ == parties_) {
+            if (leader)
+                leader();
+            count_ = 0;
+            ++gen_;
+            cv_.notify_all();
+        } else {
+            cv_.wait(lk, [&] { return gen_ != gen; });
+        }
+    }
+
+    unsigned parties() const { return parties_; }
+
+  private:
+    std::mutex mx_;
+    std::condition_variable cv_;
+    const unsigned parties_;
+    unsigned count_ = 0;
+    std::uint64_t gen_ = 0;
+};
+
+} // namespace hornet::sim
+
+#endif // HORNET_SIM_BARRIER_H

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Default consumer for tiles with no attached frontend: drains and
+ * discards whatever the router delivers to the CPU port, so that a
+ * destination-only tile does not hold flits forever and block
+ * fast-forwarding / done-detection.
+ */
+#ifndef HORNET_SIM_EJECTION_SINK_H
+#define HORNET_SIM_EJECTION_SINK_H
+
+#include "net/router.h"
+#include "sim/frontend.h"
+
+namespace hornet::sim {
+
+/** Discards all delivered flits; attached automatically by System. */
+class EjectionSink : public Frontend
+{
+  public:
+    explicit EjectionSink(net::Router *router) : router_(router) {}
+
+    void
+    posedge(Cycle now) override
+    {
+        for (VcId v = 0; v < router_->num_ejection_vcs(); ++v) {
+            auto &buf = router_->ejection_buffer(v);
+            while (buf.front_visible(now).has_value())
+                buf.pop();
+        }
+    }
+
+    void
+    negedge(Cycle) override
+    {
+        for (VcId v = 0; v < router_->num_ejection_vcs(); ++v)
+            router_->ejection_buffer(v).commit_negedge();
+    }
+
+    bool idle(Cycle) const override { return true; }
+    Cycle next_event_cycle(Cycle) const override { return kNoEvent; }
+    bool done(Cycle) const override { return true; }
+
+  private:
+    net::Router *router_;
+};
+
+} // namespace hornet::sim
+
+#endif // HORNET_SIM_EJECTION_SINK_H

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Whole-system container and the parallel simulation engine
+ * (paper II-C, IV-B).
+ *
+ * The simulated system is divided into tiles (router + generators +
+ * private PRNG + private statistics). One execution thread is spawned
+ * per requested core and each tile is mapped to exactly one thread.
+ * Synchronization is either cycle-accurate (a barrier at the positive
+ * and at the negative edge of every cycle — results are then bitwise
+ * identical to sequential simulation) or periodic (one barrier every
+ * sync_period cycles — faster, with a small timing-fidelity cost,
+ * paper Fig 6). Fast-forwarding jumps all clocks to the next injection
+ * event when the network is fully drained (paper Fig 7).
+ */
+#ifndef HORNET_SIM_SYSTEM_H
+#define HORNET_SIM_SYSTEM_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/stats.h"
+#include "net/network.h"
+#include "net/topology.h"
+#include "sim/tile.h"
+
+namespace hornet::sim {
+
+/** Engine run parameters. */
+struct RunOptions
+{
+    /** Stop after this many cycles (counted on tile 0's clock). */
+    Cycle max_cycles = 0;
+    /** Number of simulation threads (tiles are dealt round-robin). */
+    unsigned threads = 1;
+    /**
+     * Barrier period in cycles. 1 = cycle-accurate (two barriers per
+     * cycle); k > 1 = loose synchronization every k cycles.
+     */
+    std::uint32_t sync_period = 1;
+    /** Fast-forward drained-network gaps (paper IV-B). */
+    bool fast_forward = false;
+    /** Also stop as soon as every frontend is done and the network has
+     *  drained (used by application workloads). */
+    bool stop_when_done = false;
+};
+
+/**
+ * Owns the tiles and the network, and runs the simulation.
+ */
+class System
+{
+  public:
+    /**
+     * Build a system: one tile and one router per node of @p topo.
+     * @param seed master seed; tile i uses seed + i for its PRNG.
+     */
+    System(const net::Topology &topo, const net::NetworkConfig &cfg,
+           std::uint64_t seed);
+
+    net::Network &network() { return *network_; }
+    const net::Network &network() const { return *network_; }
+
+    Tile &tile(NodeId n) { return *tiles_.at(n); }
+    const Tile &tile(NodeId n) const { return *tiles_.at(n); }
+    std::uint32_t num_tiles() const
+    {
+        return static_cast<std::uint32_t>(tiles_.size());
+    }
+
+    /** Attach a frontend to tile @p n. */
+    void add_frontend(NodeId n, std::unique_ptr<Frontend> fe);
+
+    /** Run the simulation; returns the final cycle of tile 0. */
+    Cycle run(const RunOptions &opts);
+
+    /** Merge all per-tile statistics into a snapshot. */
+    SystemStats collect_stats() const;
+
+    /** Clear all per-tile statistics (end-of-warmup, paper Table I). */
+    void reset_stats();
+
+  private:
+    void run_sequential(const RunOptions &opts);
+    void run_parallel(const RunOptions &opts);
+
+    /** True when no tile is busy (network drained, injectors idle). */
+    bool all_idle() const;
+    /** Min next frontend event over all tiles. */
+    Cycle global_next_event() const;
+    bool all_done() const;
+
+    std::vector<std::unique_ptr<Tile>> tiles_;
+    std::unique_ptr<net::Network> network_;
+    bool sinks_attached_ = false;
+};
+
+} // namespace hornet::sim
+
+#endif // HORNET_SIM_SYSTEM_H

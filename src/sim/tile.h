@@ -1,0 +1,147 @@
+/**
+ * @file
+ * A tile: one virtual-channel router plus any traffic generators
+ * connected to it, a private pseudorandom number generator, and the
+ * data structures required for collecting statistics (paper II-C).
+ * A tile is never split across threads.
+ */
+#ifndef HORNET_SIM_TILE_H
+#define HORNET_SIM_TILE_H
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "net/link.h"
+#include "net/router.h"
+#include "sim/frontend.h"
+
+namespace hornet::sim {
+
+/** One simulated tile with its own clock. */
+class Tile
+{
+  public:
+    Tile(NodeId id, std::uint64_t seed) : id_(id), rng_(seed) {}
+
+    NodeId id() const { return id_; }
+    Rng &rng() { return rng_; }
+    TileStats &stats() { return stats_; }
+    const TileStats &stats() const { return stats_; }
+    std::map<FlowId, FlowStats> &flow_stats() { return flow_stats_; }
+    const std::map<FlowId, FlowStats> &flow_stats() const
+    {
+        return flow_stats_;
+    }
+
+    /** Local clock (cycles completed). */
+    Cycle now() const { return now_; }
+    /** Jump the clock forward (fast-forward; engine only). */
+    void set_now(Cycle c) { now_ = c; }
+
+    void set_router(net::Router *r) { router_ = r; }
+    net::Router *router() { return router_; }
+
+    void
+    add_owned_link(net::BidirLink *l)
+    {
+        owned_links_.push_back(l);
+    }
+
+    void
+    add_frontend(std::unique_ptr<Frontend> fe)
+    {
+        frontends_.push_back(std::move(fe));
+    }
+
+    const std::vector<std::unique_ptr<Frontend>> &frontends() const
+    {
+        return frontends_;
+    }
+
+    /** Positive edge: frontends first (so their pushes surface next
+     *  cycle), then the router pipeline. */
+    void
+    posedge()
+    {
+        for (auto &fe : frontends_)
+            fe->posedge(now_);
+        if (router_ != nullptr)
+            router_->posedge(now_);
+    }
+
+    /** Negative edge: commit router pops, then frontend commits, then
+     *  link arbiters owned by this tile; finally advance the clock. */
+    void
+    negedge()
+    {
+        if (router_ != nullptr)
+            router_->negedge(now_);
+        for (auto &fe : frontends_)
+            fe->negedge(now_);
+        for (auto *l : owned_links_)
+            l->arbitrate();
+        ++now_;
+    }
+
+    /** Anything buffered or scheduled right now (fast-forward test)? */
+    bool
+    busy() const
+    {
+        if (router_ != nullptr && router_->has_buffered_flits())
+            return true;
+        for (const auto &fe : frontends_)
+            if (!fe->idle(now_))
+                return true;
+        return false;
+    }
+
+    /** Earliest future frontend event (kNoEvent when none). */
+    Cycle
+    next_event_cycle() const
+    {
+        Cycle best = kNoEvent;
+        for (const auto &fe : frontends_) {
+            Cycle c = fe->next_event_cycle(now_);
+            if (c < best)
+                best = c;
+        }
+        return best;
+    }
+
+    /** Clear statistics (e.g. after a warmup phase); in-flight flits
+     *  keep their carried counters. */
+    void
+    reset_stats()
+    {
+        stats_ = TileStats{};
+        flow_stats_.clear();
+    }
+
+    /** All frontends report their workloads finished. */
+    bool
+    done() const
+    {
+        for (const auto &fe : frontends_)
+            if (!fe->done(now_))
+                return false;
+        return true;
+    }
+
+  private:
+    NodeId id_;
+    Rng rng_;
+    TileStats stats_;
+    std::map<FlowId, FlowStats> flow_stats_;
+    net::Router *router_ = nullptr;
+    std::vector<net::BidirLink *> owned_links_;
+    std::vector<std::unique_ptr<Frontend>> frontends_;
+    Cycle now_ = 0;
+};
+
+} // namespace hornet::sim
+
+#endif // HORNET_SIM_TILE_H

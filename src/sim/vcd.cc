@@ -1,0 +1,138 @@
+#include "sim/vcd.h"
+
+#include <bitset>
+#include <ostream>
+
+#include "common/log.h"
+
+namespace hornet::sim {
+
+namespace {
+
+/** Bits needed to hold @p max_value. */
+std::uint32_t
+bits_for(std::uint64_t max_value)
+{
+    std::uint32_t b = 1;
+    while ((1ull << b) <= max_value && b < 63)
+        ++b;
+    return b;
+}
+
+std::string
+binary(std::uint64_t v, std::uint32_t width)
+{
+    std::string s(width, '0');
+    for (std::uint32_t i = 0; i < width; ++i)
+        if (v & (1ull << i))
+            s[width - 1 - i] = '1';
+    return s;
+}
+
+} // namespace
+
+std::string
+VcdWriter::make_id(std::size_t index)
+{
+    // VCD identifiers: printable ASCII 33..126, shortest-first.
+    std::string id;
+    do {
+        id.push_back(static_cast<char>(33 + index % 94));
+        index /= 94;
+    } while (index != 0);
+    return id;
+}
+
+VcdWriter::VcdWriter(std::ostream &out, System &sys,
+                     std::vector<NodeId> tiles)
+    : out_(out), sys_(sys)
+{
+    if (tiles.empty()) {
+        for (NodeId n = 0; n < sys.num_tiles(); ++n)
+            tiles.push_back(n);
+    }
+    for (NodeId n : tiles) {
+        if (n >= sys.num_tiles())
+            fatal(strcat("vcd: tile ", n, " out of range"));
+        net::Router &r = sys.network().router(n);
+        for (PortId p = 0; p <= r.num_net_ports(); ++p) {
+            const std::uint32_t vcs = p == r.cpu_port()
+                                          ? r.num_injection_vcs()
+                                          : r.config().net_vcs;
+            for (VcId v = 0; v < vcs; ++v) {
+                Signal s;
+                s.id = make_id(signals_.size());
+                s.name = strcat("tile", n, ".port", p, ".vc", v,
+                                ".occupancy");
+                s.node = n;
+                s.port = p;
+                s.vc = v;
+                s.width =
+                    bits_for(r.ingress_buffer(p, v).capacity());
+                s.last_value = 0;
+                s.emitted_once = false;
+                signals_.push_back(std::move(s));
+            }
+        }
+        Signal d;
+        d.id = make_id(signals_.size());
+        d.name = strcat("tile", n, ".flits_delivered");
+        d.node = n;
+        d.port = kInvalidPort;
+        d.vc = 0;
+        d.width = 32;
+        d.last_value = 0;
+        d.emitted_once = false;
+        signals_.push_back(std::move(d));
+    }
+}
+
+std::uint64_t
+VcdWriter::read_signal(const Signal &s) const
+{
+    net::Router &r = sys_.network().router(s.node);
+    if (s.port == kInvalidPort)
+        return sys_.tile(s.node).stats().flits_delivered;
+    return r.ingress_buffer(s.port, s.vc).size_raw();
+}
+
+void
+VcdWriter::write_header()
+{
+    out_ << "$version hornet-repro vcd writer $end\n"
+         << "$timescale 1 ns $end\n"
+         << "$scope module hornet $end\n";
+    for (const auto &s : signals_) {
+        out_ << "$var wire " << s.width << ' ' << s.id << ' ' << s.name
+             << " $end\n";
+    }
+    out_ << "$upscope $end\n$enddefinitions $end\n";
+    header_done_ = true;
+}
+
+void
+VcdWriter::sample(Cycle cycle)
+{
+    if (!header_done_)
+        write_header();
+    if (have_time_ && cycle <= last_time_)
+        fatal("vcd: sample times must strictly increase");
+
+    bool time_written = false;
+    for (auto &s : signals_) {
+        const std::uint64_t v = read_signal(s);
+        if (s.emitted_once && v == s.last_value)
+            continue;
+        if (!time_written) {
+            out_ << '#' << cycle << '\n';
+            time_written = true;
+        }
+        out_ << 'b' << binary(v, s.width) << ' ' << s.id << '\n';
+        s.last_value = v;
+        s.emitted_once = true;
+    }
+    last_time_ = cycle;
+    have_time_ = true;
+}
+
+} // namespace hornet::sim

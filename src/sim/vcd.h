@@ -1,0 +1,73 @@
+/**
+ * @file
+ * VCD (value-change dump) writer for waveform inspection.
+ *
+ * The paper lists VCD dumping among HORNET's features (a fundamentally
+ * sequential facility, II-C). This writer records per-tile signals —
+ * by default the occupancy of every ingress VC buffer and the per-tile
+ * delivered-flit counter — as standard IEEE 1364 VCD text that any
+ * waveform viewer (GTKWave etc.) can open.
+ *
+ * Usage: construct with an output stream, attach to a System, then
+ * call sample(cycle) as often as desired (every cycle for full
+ * resolution). Sampling is sequential by design; use it on
+ * single-threaded runs.
+ */
+#ifndef HORNET_SIM_VCD_H
+#define HORNET_SIM_VCD_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/system.h"
+
+namespace hornet::sim {
+
+/** Streams value changes of selected per-tile signals as VCD. */
+class VcdWriter
+{
+  public:
+    /**
+     * @param out    destination stream (kept open by the caller)
+     * @param sys    system to observe (must outlive the writer)
+     * @param tiles  tiles to trace; empty = all tiles
+     */
+    VcdWriter(std::ostream &out, System &sys,
+              std::vector<NodeId> tiles = {});
+
+    /** Record all signal values at @p cycle (emits only changes). */
+    void sample(Cycle cycle);
+
+    /** Number of traced signals (tests). */
+    std::size_t num_signals() const { return signals_.size(); }
+
+  private:
+    struct Signal
+    {
+        std::string id;   ///< VCD short identifier
+        std::string name; ///< hierarchical name
+        NodeId node;
+        PortId port;      ///< kInvalidPort = delivered-flit counter
+        VcId vc;
+        std::uint32_t width;
+        std::uint64_t last_value;
+        bool emitted_once;
+    };
+
+    std::uint64_t read_signal(const Signal &s) const;
+    static std::string make_id(std::size_t index);
+    void write_header();
+
+    std::ostream &out_;
+    System &sys_;
+    std::vector<Signal> signals_;
+    bool header_done_ = false;
+    Cycle last_time_ = 0;
+    bool have_time_ = false;
+};
+
+} // namespace hornet::sim
+
+#endif // HORNET_SIM_VCD_H

@@ -1,0 +1,104 @@
+#include "thermal/thermal_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+
+namespace hornet::thermal {
+
+ThermalModel::ThermalModel(const net::Topology &topo,
+                           const ThermalConfig &cfg)
+    : cfg_(cfg)
+{
+    if (cfg_.r_vertical <= 0.0 || cfg_.r_lateral <= 0.0 ||
+        cfg_.c_tile <= 0.0)
+        fatal("thermal model: resistances and capacitance must be > 0");
+    const std::uint32_t n = topo.num_nodes();
+    neighbors_.resize(n);
+    g_vert_.assign(n, 1.0 / cfg_.r_vertical);
+    std::uint32_t max_degree = 0;
+    for (NodeId i = 0; i < n; ++i) {
+        for (NodeId j : topo.neighbors(i))
+            neighbors_[i].push_back(j);
+        max_degree = std::max<std::uint32_t>(
+            max_degree, static_cast<std::uint32_t>(neighbors_[i].size()));
+    }
+    // Boundary tiles conduct into the spreader periphery.
+    for (NodeId i = 0; i < n; ++i) {
+        const auto missing =
+            static_cast<double>(max_degree - neighbors_[i].size());
+        g_vert_[i] += missing * cfg_.g_edge_per_missing_neighbor;
+    }
+    temp_.assign(n, cfg_.ambient_c);
+    // Explicit-Euler stability: dt < C / (g_vert + deg/Rl); use half.
+    double g_vmax = 0.0;
+    for (double g : g_vert_)
+        g_vmax = std::max(g_vmax, g);
+    const double g_max = g_vmax + max_degree / cfg_.r_lateral;
+    max_stable_dt_ = 0.5 * cfg_.c_tile / g_max;
+}
+
+void
+ThermalModel::reset(double temp_c)
+{
+    std::fill(temp_.begin(), temp_.end(), temp_c);
+}
+
+void
+ThermalModel::step(const std::vector<double> &power_w, double dt_seconds)
+{
+    if (power_w.size() != temp_.size())
+        fatal("thermal step: power vector size mismatch");
+    if (dt_seconds <= 0.0)
+        return;
+    const auto substeps = static_cast<std::uint64_t>(
+        std::ceil(dt_seconds / max_stable_dt_));
+    const double h = dt_seconds / static_cast<double>(substeps);
+    std::vector<double> next(temp_.size());
+    for (std::uint64_t s = 0; s < substeps; ++s) {
+        for (std::size_t i = 0; i < temp_.size(); ++i) {
+            double flow = power_w[i] -
+                          (temp_[i] - cfg_.ambient_c) * g_vert_[i];
+            for (std::uint32_t j : neighbors_[i])
+                flow -= (temp_[i] - temp_[j]) / cfg_.r_lateral;
+            next[i] = temp_[i] + h * flow / cfg_.c_tile;
+        }
+        temp_.swap(next);
+    }
+}
+
+std::vector<double>
+ThermalModel::steady_state(const std::vector<double> &power_w) const
+{
+    if (power_w.size() != temp_.size())
+        fatal("thermal steady state: power vector size mismatch");
+    std::vector<double> t(temp_.size(), cfg_.ambient_c);
+    // Gauss-Seidel on the balance equations.
+    for (int iter = 0; iter < 20000; ++iter) {
+        double max_delta = 0.0;
+        for (std::size_t i = 0; i < t.size(); ++i) {
+            double num = power_w[i] + cfg_.ambient_c * g_vert_[i];
+            double den = g_vert_[i];
+            for (std::uint32_t j : neighbors_[i]) {
+                num += t[j] / cfg_.r_lateral;
+                den += 1.0 / cfg_.r_lateral;
+            }
+            double nt = num / den;
+            max_delta = std::max(max_delta, std::abs(nt - t[i]));
+            t[i] = nt;
+        }
+        if (max_delta < 1e-9)
+            break;
+    }
+    return t;
+}
+
+std::uint32_t
+ThermalModel::hottest(const std::vector<double> &temps)
+{
+    return static_cast<std::uint32_t>(
+        std::max_element(temps.begin(), temps.end()) - temps.begin());
+}
+
+} // namespace hornet::thermal

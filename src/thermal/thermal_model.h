@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Tile-grid thermal model in the style of HOTSPOT (paper II-B, IV-E).
+ *
+ * Each tile is a lumped thermal node with capacitance C, a vertical
+ * conduction path to ambient through the spreader/heatsink (R_v), and
+ * lateral conduction to each adjacent tile (R_l):
+ *
+ *   C dT_i/dt = P_i - (T_i - T_amb)/R_v - sum_j (T_i - T_j)/R_l
+ *
+ * Transient solves use forward Euler with automatic sub-stepping for
+ * stability; steady state uses Gauss-Seidel iteration. This supports
+ * both the time-resolved temperature traces of Fig 13 and the
+ * steady-state maps of Fig 14.
+ */
+#ifndef HORNET_THERMAL_THERMAL_MODEL_H
+#define HORNET_THERMAL_THERMAL_MODEL_H
+
+#include <vector>
+
+#include "common/types.h"
+#include "net/topology.h"
+
+namespace hornet::thermal {
+
+/** Package and die thermal parameters. */
+struct ThermalConfig
+{
+    /** Ambient (heatsink base) temperature, deg C. */
+    double ambient_c = 45.0;
+    /** Vertical resistance tile -> ambient, K/W. */
+    double r_vertical = 8.0;
+    /** Lateral resistance between adjacent tiles, K/W. */
+    double r_lateral = 4.0;
+    /** Tile thermal capacitance, J/K. */
+    double c_tile = 2.0e-4;
+    /**
+     * Extra conductance to ambient per missing lateral neighbour
+     * (W/K): boundary tiles conduct into the heat-spreader periphery,
+     * as in HOTSPOT's spreader model. 0 disables the effect.
+     */
+    double g_edge_per_missing_neighbor = 0.0;
+};
+
+/**
+ * RC thermal network over the tiles of a topology (lateral coupling
+ * follows the interconnect's physical adjacency).
+ */
+class ThermalModel
+{
+  public:
+    ThermalModel(const net::Topology &topo, const ThermalConfig &cfg = {});
+
+    std::uint32_t num_tiles() const
+    {
+        return static_cast<std::uint32_t>(temp_.size());
+    }
+
+    /** Current per-tile temperatures, deg C. */
+    const std::vector<double> &temperatures() const { return temp_; }
+
+    /** Reset all tiles to a given temperature (defaults to ambient). */
+    void reset(double temp_c);
+    void reset() { reset(cfg_.ambient_c); }
+
+    /**
+     * Advance the transient solution by @p dt_seconds with constant
+     * per-tile power @p power_w (watts). Internally sub-steps to stay
+     * numerically stable.
+     */
+    void step(const std::vector<double> &power_w, double dt_seconds);
+
+    /**
+     * Steady-state temperatures for constant @p power_w, independent
+     * of the current transient state.
+     */
+    std::vector<double> steady_state(
+        const std::vector<double> &power_w) const;
+
+    /** Hottest tile index of a temperature field. */
+    static std::uint32_t hottest(const std::vector<double> &temps);
+
+    const ThermalConfig &config() const { return cfg_; }
+
+  private:
+    ThermalConfig cfg_;
+    std::vector<std::vector<std::uint32_t>> neighbors_;
+    std::vector<double> g_vert_; ///< per-tile conductance to ambient
+    std::vector<double> temp_;
+    double max_stable_dt_;
+};
+
+} // namespace hornet::thermal
+
+#endif // HORNET_THERMAL_THERMAL_MODEL_H

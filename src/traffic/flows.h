@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Flow-id conventions shared by injectors and table builders.
+ *
+ * Synthetic and trace traffic use one flow per (source, destination)
+ * pair: flow id = src * 2^20 + dst. Benches register the matching
+ * FlowSpecs with the routing builders before running.
+ */
+#ifndef HORNET_TRAFFIC_FLOWS_H
+#define HORNET_TRAFFIC_FLOWS_H
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "net/flow.h"
+#include "traffic/patterns.h"
+
+namespace hornet::traffic {
+
+/** Canonical flow id of the (src, dst) pair. */
+inline FlowId
+pair_flow(NodeId src, NodeId dst)
+{
+    return static_cast<FlowId>(src) * (1u << 20) + dst;
+}
+
+/** Source of a pair flow id. */
+inline NodeId
+pair_flow_src(FlowId f)
+{
+    return static_cast<NodeId>(f / (1u << 20));
+}
+
+/** Destination of a pair flow id. */
+inline NodeId
+pair_flow_dst(FlowId f)
+{
+    return static_cast<NodeId>(f % (1u << 20));
+}
+
+/**
+ * FlowSpecs for a *deterministic* pattern: one flow per source. The
+ * pattern is probed with a throwaway RNG; do not use for
+ * uniform/hotspot patterns (register all pairs instead).
+ */
+inline std::vector<net::FlowSpec>
+flows_for_pattern(std::uint32_t num_nodes, const Pattern &pattern)
+{
+    Rng probe(1);
+    std::vector<net::FlowSpec> flows;
+    flows.reserve(num_nodes);
+    for (NodeId s = 0; s < num_nodes; ++s) {
+        NodeId d = pattern(s, probe);
+        flows.push_back({pair_flow(s, d), s, d, 1.0});
+    }
+    return flows;
+}
+
+/** FlowSpecs for every ordered (src, dst) pair, src != dst. */
+inline std::vector<net::FlowSpec>
+flows_all_pairs(std::uint32_t num_nodes)
+{
+    std::vector<net::FlowSpec> flows;
+    flows.reserve(static_cast<std::size_t>(num_nodes) * (num_nodes - 1));
+    for (NodeId s = 0; s < num_nodes; ++s)
+        for (NodeId d = 0; d < num_nodes; ++d)
+            if (s != d)
+                flows.push_back({pair_flow(s, d), s, d, 1.0});
+    return flows;
+}
+
+} // namespace hornet::traffic
+
+#endif // HORNET_TRAFFIC_FLOWS_H

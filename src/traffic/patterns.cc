@@ -1,0 +1,88 @@
+#include "traffic/patterns.h"
+
+#include "common/log.h"
+
+namespace hornet::traffic {
+
+namespace {
+
+std::uint32_t
+log2_exact(std::uint32_t n, const char *what)
+{
+    std::uint32_t b = 0;
+    while ((1u << b) < n)
+        ++b;
+    if ((1u << b) != n)
+        fatal(strcat(what, " requires a power-of-two node count, got ", n));
+    return b;
+}
+
+} // namespace
+
+Pattern
+bit_complement(std::uint32_t num_nodes)
+{
+    log2_exact(num_nodes, "bit-complement");
+    const std::uint32_t mask = num_nodes - 1;
+    return [mask](NodeId src, Rng &) { return (~src) & mask; };
+}
+
+Pattern
+shuffle(std::uint32_t num_nodes)
+{
+    const std::uint32_t b = log2_exact(num_nodes, "shuffle");
+    const std::uint32_t mask = num_nodes - 1;
+    return [b, mask](NodeId src, Rng &) {
+        return ((src << 1) | (src >> (b - 1))) & mask;
+    };
+}
+
+Pattern
+transpose(std::uint32_t num_nodes)
+{
+    const std::uint32_t b = log2_exact(num_nodes, "transpose");
+    if (b % 2 != 0)
+        fatal("transpose requires an even number of address bits");
+    const std::uint32_t half = b / 2;
+    const std::uint32_t mask = num_nodes - 1;
+    return [half, mask](NodeId src, Rng &) {
+        return ((src << half) | (src >> half)) & mask;
+    };
+}
+
+Pattern
+uniform_random(std::uint32_t num_nodes)
+{
+    return [num_nodes](NodeId src, Rng &rng) {
+        if (num_nodes == 1)
+            return src;
+        NodeId d = static_cast<NodeId>(rng.below(num_nodes - 1));
+        return d >= src ? d + 1 : d;
+    };
+}
+
+Pattern
+hotspot(std::vector<NodeId> hotspots)
+{
+    if (hotspots.empty())
+        fatal("hotspot pattern needs at least one hotspot node");
+    return [hs = std::move(hotspots)](NodeId, Rng &rng) {
+        return hs[rng.below(hs.size())];
+    };
+}
+
+Pattern
+pattern_by_name(const std::string &name, std::uint32_t num_nodes)
+{
+    if (name == "bitcomp" || name == "bit-complement")
+        return bit_complement(num_nodes);
+    if (name == "shuffle")
+        return shuffle(num_nodes);
+    if (name == "transpose")
+        return transpose(num_nodes);
+    if (name == "uniform")
+        return uniform_random(num_nodes);
+    fatal("unknown traffic pattern: " + name);
+}
+
+} // namespace hornet::traffic

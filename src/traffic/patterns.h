@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Synthetic destination patterns (paper Table I: transpose,
+ * bit-complement, shuffle; plus uniform, hotspot and neighbour for
+ * completeness).
+ *
+ * The bit-oriented patterns follow the standard definitions (Dally &
+ * Towles): with b = log2(N) address bits,
+ *   bit-complement: d_i = ~s_i
+ *   shuffle:        d_i = s_{i-1 mod b}   (rotate left)
+ *   transpose:      d_i = s_{i+b/2 mod b} (swap halves; on a square
+ *                   mesh this maps (x,y) -> (y,x))
+ * They require a power-of-two node count (and transpose an even number
+ * of address bits).
+ */
+#ifndef HORNET_TRAFFIC_PATTERNS_H
+#define HORNET_TRAFFIC_PATTERNS_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace hornet::traffic {
+
+/** Maps a source node to a destination node. */
+using Pattern = std::function<NodeId(NodeId src, Rng &rng)>;
+
+/** d = ~s (mod N); requires N a power of two. */
+Pattern bit_complement(std::uint32_t num_nodes);
+
+/** Rotate the address bits left by one; requires N a power of two. */
+Pattern shuffle(std::uint32_t num_nodes);
+
+/** Swap the two halves of the address bits; requires N = 4^k. */
+Pattern transpose(std::uint32_t num_nodes);
+
+/** Uniform random destination, excluding the source. */
+Pattern uniform_random(std::uint32_t num_nodes);
+
+/** All traffic to one of the given hotspot nodes (uniformly). */
+Pattern hotspot(std::vector<NodeId> hotspots);
+
+/** By name: "bitcomp", "shuffle", "transpose", "uniform". */
+Pattern pattern_by_name(const std::string &name, std::uint32_t num_nodes);
+
+} // namespace hornet::traffic
+
+#endif // HORNET_TRAFFIC_PATTERNS_H

@@ -1,0 +1,126 @@
+#include "traffic/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+#include "traffic/flows.h"
+
+namespace hornet::traffic {
+
+SyntheticInjector::SyntheticInjector(sim::Tile &tile,
+                                     const SyntheticConfig &cfg)
+    : node_(tile.id()), cfg_(cfg), rng_(&tile.rng())
+{
+    if (!cfg_.pattern)
+        fatal("synthetic injector needs a destination pattern");
+    if (cfg_.packet_size == 0)
+        fatal("synthetic injector: packet_size must be >= 1");
+    net::Router *r = tile.router();
+    if (r == nullptr)
+        fatal("synthetic injector: tile has no router");
+    num_nodes_ = 0; // unknown here; destinations come from the pattern
+    bridge_ = std::make_unique<Bridge>(r, rng_, &tile.stats(),
+                                       cfg_.bridge);
+    if (cfg_.burst_period != 0) {
+        next_inject_ = cfg_.phase;
+    } else {
+        next_inject_ = cfg_.phase;
+        schedule_next(cfg_.phase);
+    }
+}
+
+void
+SyntheticInjector::schedule_next(Cycle after)
+{
+    const double p =
+        std::min(1.0, cfg_.rate / static_cast<double>(cfg_.packet_size));
+    if (p <= 0.0) {
+        next_inject_ = kNoEvent;
+        return;
+    }
+    if (p >= 1.0) {
+        next_inject_ = after + 1;
+        return;
+    }
+    // Geometric inter-arrival: only draws randomness at injection
+    // events, which keeps fast-forwarded runs bit-identical.
+    double u = rng_->uniform();
+    if (u <= 0.0)
+        u = 1e-18;
+    const double gap = std::floor(std::log(u) / std::log1p(-p));
+    next_inject_ =
+        after + 1 +
+        static_cast<Cycle>(std::min(gap, 1e15));
+}
+
+void
+SyntheticInjector::offer()
+{
+    net::PacketDesc pkt;
+    pkt.src = node_;
+    pkt.dst = cfg_.pattern(node_, *rng_);
+    pkt.flow = pair_flow(node_, pkt.dst);
+    pkt.size = cfg_.packet_size;
+    bridge_->send(pkt);
+}
+
+void
+SyntheticInjector::posedge(Cycle now)
+{
+    const bool stopped = cfg_.stop_at != 0 && now >= cfg_.stop_at;
+    if (!stopped) {
+        if (cfg_.burst_period != 0) {
+            if (now >= next_inject_) {
+                for (std::uint32_t i = 0; i < cfg_.burst_size; ++i)
+                    offer();
+                next_inject_ += cfg_.burst_period;
+            }
+        } else {
+            while (now >= next_inject_) {
+                offer();
+                schedule_next(next_inject_);
+            }
+        }
+    }
+    bridge_->posedge(now);
+    // Discard everything that arrives (paper II-D1).
+    while (bridge_->receive().has_value()) {
+    }
+}
+
+void
+SyntheticInjector::negedge(Cycle now)
+{
+    bridge_->negedge(now);
+}
+
+bool
+SyntheticInjector::idle(Cycle now) const
+{
+    if (!bridge_->idle())
+        return false;
+    if (cfg_.stop_at != 0 && now >= cfg_.stop_at)
+        return true;
+    return next_inject_ > now;
+}
+
+Cycle
+SyntheticInjector::next_event_cycle(Cycle now) const
+{
+    if (cfg_.stop_at != 0 && now >= cfg_.stop_at)
+        return kNoEvent;
+    if (!bridge_->idle())
+        return now + 1;
+    return std::max(next_inject_, now + 1);
+}
+
+bool
+SyntheticInjector::done(Cycle now) const
+{
+    if (cfg_.stop_at != 0 && now >= cfg_.stop_at)
+        return bridge_->idle();
+    return false;
+}
+
+} // namespace hornet::traffic

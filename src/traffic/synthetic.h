@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Synthetic-pattern traffic frontend (paper II-D, Table I).
+ *
+ * Two injection processes are supported:
+ *  - rate: packets start as a Bernoulli process with per-cycle
+ *    probability rate/packet_size (so the offered load in
+ *    flits/node/cycle equals `rate`). Gaps are drawn geometrically,
+ *    which makes the injector fast-forward friendly: the PRNG is
+ *    touched only at injection events, so results are identical with
+ *    fast-forwarding on or off.
+ *  - burst: every `period` cycles the injector offers a burst of
+ *    `burst_size` packets (the coordinated-burst behaviour that makes
+ *    low-traffic bit-complement benefit from fast-forwarding, Fig 7a).
+ */
+#ifndef HORNET_TRAFFIC_SYNTHETIC_H
+#define HORNET_TRAFFIC_SYNTHETIC_H
+
+#include <memory>
+
+#include "sim/frontend.h"
+#include "sim/tile.h"
+#include "traffic/bridge.h"
+#include "traffic/patterns.h"
+
+namespace hornet::traffic {
+
+/** Synthetic injector configuration. */
+struct SyntheticConfig
+{
+    Pattern pattern;
+    /** Packet length in flits (paper Table I: avg 8). */
+    std::uint32_t packet_size = 8;
+    /** Offered load in flits/node/cycle (rate mode). */
+    double rate = 0.1;
+    /** When nonzero, use burst mode with this period in cycles. */
+    Cycle burst_period = 0;
+    /** Packets offered per burst (burst mode). */
+    std::uint32_t burst_size = 1;
+    /** Phase offset of the first burst / first rate draw. */
+    Cycle phase = 0;
+    /** Stop offering new packets at this cycle (0 = never). */
+    Cycle stop_at = 0;
+    BridgeConfig bridge;
+};
+
+/**
+ * Frontend that injects per the configured process and discards
+ * everything it receives (paper II-D1).
+ */
+class SyntheticInjector : public sim::Frontend
+{
+  public:
+    SyntheticInjector(sim::Tile &tile, const SyntheticConfig &cfg);
+
+    void posedge(Cycle now) override;
+    void negedge(Cycle now) override;
+    bool idle(Cycle now) const override;
+    Cycle next_event_cycle(Cycle now) const override;
+    bool done(Cycle now) const override;
+
+    const Bridge &bridge() const { return *bridge_; }
+
+  private:
+    void schedule_next(Cycle after);
+    void offer();
+
+    NodeId node_;
+    std::uint32_t num_nodes_;
+    SyntheticConfig cfg_;
+    Rng *rng_;
+    std::unique_ptr<Bridge> bridge_;
+    Cycle next_inject_;
+};
+
+} // namespace hornet::traffic
+
+#endif // HORNET_TRAFFIC_SYNTHETIC_H

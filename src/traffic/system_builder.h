@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Config-driven system construction: every hardware parameter the
+ * paper lists as configurable (Table I) is settable from an INI-style
+ * config file or string, so experiments can be described as data.
+ *
+ * Recognized keys (defaults in parentheses):
+ *
+ *   [topology]
+ *   kind   = mesh | torus | ring | mesh3d      (mesh)
+ *   width  = <int> (8)    height = <int> (8)
+ *   layers = <int> (2)    style  = x1 | x1y1 | xcube   (mesh3d only)
+ *   nodes  = <int> (8)    (ring only)
+ *
+ *   [network]
+ *   vcs = <int> (4)                vc_capacity = <int> (4)
+ *   cpu_vcs = <int> (4)            cpu_vc_capacity = <int> (8)
+ *   link_bandwidth = <int> (1)     xbar_bandwidth = <int> (0 = off)
+ *   link_latency = <int> (1)       bidirectional = <bool> (false)
+ *   vca = dynamic | static | edvca | faa       (dynamic)
+ *   adaptive = <bool> (false)
+ *
+ *   [routing]
+ *   scheme = xy | o1turn | romm | valiant | prom | shortest | static
+ *            (xy; multi-phase schemes get phase-split VCA sets, the
+ *            "static" scheme additionally gets static-set VCA)
+ *   flows  = all_pairs | pattern               (pattern)
+ *
+ *   [traffic]
+ *   kind = synthetic | trace | none            (synthetic)
+ *   pattern = transpose | bitcomp | shuffle | uniform   (uniform)
+ *   rate = <double> (0.1)          packet_size = <int> (8)
+ *   burst_period = <int> (0)       burst_size = <int> (1)
+ *   trace_file = <path>            (trace kind only)
+ *
+ *   [sim]
+ *   seed = <int> (1)
+ */
+#ifndef HORNET_TRAFFIC_SYSTEM_BUILDER_H
+#define HORNET_TRAFFIC_SYSTEM_BUILDER_H
+
+#include <memory>
+
+#include "common/config.h"
+#include "sim/system.h"
+
+namespace hornet::traffic {
+
+/** Topology described by @p cfg ([topology] section). */
+net::Topology topology_from_config(const Config &cfg);
+
+/** Network configuration from [network]. */
+net::NetworkConfig network_from_config(const Config &cfg);
+
+/**
+ * Build the complete system: topology, routers, routing/VCA tables,
+ * and traffic frontends. The returned system is ready to run().
+ */
+std::unique_ptr<sim::System> build_system(const Config &cfg);
+
+} // namespace hornet::traffic
+
+#endif // HORNET_TRAFFIC_SYSTEM_BUILDER_H

@@ -1,0 +1,167 @@
+#include "traffic/trace.h"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "common/log.h"
+
+namespace hornet::traffic {
+
+std::vector<TraceEvent>
+parse_trace(std::istream &in)
+{
+    std::vector<TraceEvent> events;
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        std::istringstream ls(line);
+        TraceEvent e;
+        if (!(ls >> e.cycle))
+            continue; // blank/comment line
+        if (!(ls >> e.flow >> e.src >> e.dst >> e.size))
+            fatal(strcat("trace line ", lineno,
+                         ": expected 'cycle flow src dst size'"));
+        ls >> e.period; // optional
+        ls >> e.end_cycle;
+        if (e.size == 0)
+            fatal(strcat("trace line ", lineno, ": zero packet size"));
+        events.push_back(e);
+    }
+    return events;
+}
+
+std::vector<TraceEvent>
+parse_trace_string(const std::string &text)
+{
+    std::istringstream in(text);
+    return parse_trace(in);
+}
+
+std::vector<TraceEvent>
+load_trace_file(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open trace file: " + path);
+    return parse_trace(in);
+}
+
+void
+write_trace(std::ostream &out, const std::vector<TraceEvent> &events)
+{
+    out << "# cycle flow src dst size [period [end_cycle]]\n";
+    for (const auto &e : events) {
+        out << e.cycle << ' ' << e.flow << ' ' << e.src << ' ' << e.dst
+            << ' ' << e.size;
+        if (e.period != 0) {
+            out << ' ' << e.period;
+            if (e.end_cycle != 0)
+                out << ' ' << e.end_cycle;
+        }
+        out << '\n';
+    }
+}
+
+std::vector<net::FlowSpec>
+flows_from_trace(const std::vector<TraceEvent> &events)
+{
+    std::set<FlowId> seen;
+    std::vector<net::FlowSpec> flows;
+    for (const auto &e : events) {
+        if (seen.insert(e.flow).second)
+            flows.push_back({e.flow, e.src, e.dst, 1.0});
+    }
+    return flows;
+}
+
+std::vector<std::vector<TraceEvent>>
+split_trace_by_source(const std::vector<TraceEvent> &events,
+                      std::uint32_t num_nodes)
+{
+    std::vector<std::vector<TraceEvent>> per_node(num_nodes);
+    for (const auto &e : events) {
+        if (e.src >= num_nodes)
+            fatal(strcat("trace event source ", e.src, " out of range"));
+        per_node[e.src].push_back(e);
+    }
+    return per_node;
+}
+
+TraceInjector::TraceInjector(sim::Tile &tile,
+                             std::vector<TraceEvent> events,
+                             const BridgeConfig &bridge_cfg)
+    : node_(tile.id())
+{
+    net::Router *r = tile.router();
+    if (r == nullptr)
+        fatal("trace injector: tile has no router");
+    bridge_ = std::make_unique<Bridge>(r, &tile.rng(), &tile.stats(),
+                                       bridge_cfg);
+    for (auto &e : events) {
+        if (e.src != node_)
+            fatal(strcat("trace injector at node ", node_,
+                         " was fed an event sourced at ", e.src));
+        heap_.push(e);
+    }
+}
+
+void
+TraceInjector::posedge(Cycle now)
+{
+    while (!heap_.empty() && heap_.top().cycle <= now) {
+        TraceEvent e = heap_.top();
+        heap_.pop();
+        net::PacketDesc pkt;
+        pkt.flow = e.flow;
+        pkt.src = e.src;
+        pkt.dst = e.dst;
+        pkt.size = e.size;
+        bridge_->send(pkt);
+        if (e.period != 0) {
+            e.cycle += e.period;
+            if (e.end_cycle == 0 || e.cycle <= e.end_cycle)
+                heap_.push(e);
+        }
+    }
+    bridge_->posedge(now);
+    // Delivered packets are discarded immediately (paper II-D1).
+    while (bridge_->receive().has_value()) {
+    }
+}
+
+void
+TraceInjector::negedge(Cycle now)
+{
+    bridge_->negedge(now);
+}
+
+bool
+TraceInjector::idle(Cycle now) const
+{
+    if (!bridge_->idle())
+        return false;
+    return heap_.empty() || heap_.top().cycle > now;
+}
+
+Cycle
+TraceInjector::next_event_cycle(Cycle now) const
+{
+    if (!bridge_->idle())
+        return now + 1;
+    if (heap_.empty())
+        return kNoEvent;
+    return std::max<Cycle>(heap_.top().cycle, now + 1);
+}
+
+bool
+TraceInjector::done(Cycle) const
+{
+    return heap_.empty() && bridge_->idle();
+}
+
+} // namespace hornet::traffic

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Trace-driven injection (paper II-D1).
+ *
+ * A trace is a list of injection events; each event carries a
+ * timestamp, flow id, source, destination, packet size, and optionally
+ * a repeat period (for periodic flows) with an end cycle. The injector
+ * offers packets to the network at the appropriate times, buffering
+ * them in an injector queue if the network cannot accept them and
+ * retrying until injected; delivered packets are discarded on arrival.
+ *
+ * Text format (one event per line, '#' comments):
+ *   cycle flow src dst size [period [end_cycle]]
+ */
+#ifndef HORNET_TRAFFIC_TRACE_H
+#define HORNET_TRAFFIC_TRACE_H
+
+#include <iosfwd>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "net/flow.h"
+#include "sim/frontend.h"
+#include "sim/tile.h"
+#include "traffic/bridge.h"
+
+namespace hornet::traffic {
+
+/** One trace injection event. */
+struct TraceEvent
+{
+    Cycle cycle = 0;
+    FlowId flow = 0;
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;
+    std::uint32_t size = 1;
+    /** Repeat period; 0 = one-shot. */
+    Cycle period = 0;
+    /** Last cycle at which a periodic event fires (0 = forever). */
+    Cycle end_cycle = 0;
+};
+
+/** Parse a trace from text. fatal() on malformed lines. */
+std::vector<TraceEvent> parse_trace(std::istream &in);
+std::vector<TraceEvent> parse_trace_string(const std::string &text);
+std::vector<TraceEvent> load_trace_file(const std::string &path);
+
+/** Serialize events to the text format. */
+void write_trace(std::ostream &out, const std::vector<TraceEvent> &events);
+
+/** Unique FlowSpecs appearing in the events. */
+std::vector<net::FlowSpec> flows_from_trace(
+    const std::vector<TraceEvent> &events);
+
+/**
+ * Trace-driven injector for one tile. Feed it only this tile's events
+ * (events with src != tile id are rejected).
+ */
+class TraceInjector : public sim::Frontend
+{
+  public:
+    TraceInjector(sim::Tile &tile, std::vector<TraceEvent> events,
+                  const BridgeConfig &bridge_cfg = {});
+
+    void posedge(Cycle now) override;
+    void negedge(Cycle now) override;
+    bool idle(Cycle now) const override;
+    Cycle next_event_cycle(Cycle now) const override;
+    bool done(Cycle now) const override;
+
+    const Bridge &bridge() const { return *bridge_; }
+
+  private:
+    struct Later
+    {
+        bool
+        operator()(const TraceEvent &a, const TraceEvent &b) const
+        {
+            return a.cycle > b.cycle;
+        }
+    };
+
+    NodeId node_;
+    std::unique_ptr<Bridge> bridge_;
+    std::priority_queue<TraceEvent, std::vector<TraceEvent>, Later> heap_;
+};
+
+/** Split whole-system events into per-source event lists. */
+std::vector<std::vector<TraceEvent>> split_trace_by_source(
+    const std::vector<TraceEvent> &events, std::uint32_t num_nodes);
+
+} // namespace hornet::traffic
+
+#endif // HORNET_TRAFFIC_TRACE_H

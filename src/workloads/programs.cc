@@ -1,0 +1,676 @@
+#include "workloads/programs.h"
+
+#include <numeric>
+#include <sstream>
+#include <vector>
+
+#include "common/log.h"
+
+namespace hornet::workloads {
+
+namespace {
+
+std::string
+num(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+} // namespace
+
+std::string
+cannon_program(std::uint32_t grid, std::uint32_t block,
+               std::uint32_t data_scale, bool scatter)
+{
+    if (grid == 0 || block == 0 || data_scale == 0)
+        fatal("cannon: grid, block and data_scale must be nonzero");
+    // Random-ish placement (paper IV-D: "cores were mapped randomly"):
+    // logical id = (K * physical) mod ncores with K coprime to ncores,
+    // so logically adjacent cores are physically scattered. KINV
+    // converts back for message destinations.
+    const std::uint32_t ncores = grid * grid;
+    std::uint32_t k_mul = 1, k_inv = 1;
+    if (scatter) {
+        for (std::uint32_t k = 2; k < ncores; ++k) {
+            if (std::gcd(k, ncores) == 1) {
+                k_mul = k;
+                break;
+            }
+        }
+        for (std::uint32_t k = 1; k < ncores; ++k) {
+            if ((k * k_mul) % ncores == 1) {
+                k_inv = k;
+                break;
+            }
+        }
+    }
+    // Emits "reg = (k_inv * reg) % ncores" using $t8 as scratch.
+    auto to_phys = [&](const char *reg) {
+        std::ostringstream m;
+        if (scatter) {
+            m << "  li   $t8, " << k_inv << "\n"
+              << "  mul  " << reg << ", " << reg << ", $t8\n"
+              << "  div  " << reg << ", $k1\n"
+              << "  mfhi " << reg << "\n";
+        }
+        return m.str();
+    };
+    // data_scale inflates the per-cell payload (paper IV-D: \"per-cell
+    // data sizes were assumed to be large\"): each block transfer
+    // moves block^2 * 4 * data_scale bytes; only the leading block^2
+    // words carry matrix data.
+    const std::uint32_t sz = block * block * 4 * data_scale;
+    if (sz > 0x8000u)
+        fatal("cannon: scaled block too large for the buffer layout");
+
+    std::ostringstream os;
+    os <<
+    "# Cannon's algorithm, " << grid << "x" << grid << " cores, "
+        << block << "x" << block << " blocks\n"
+    "# Buffers: A0=gp+0, B0=gp+0x8000, C=gp+0x10000,\n"
+    "#          RA=gp+0x18000, RB=gp+0x20000, SCR=gp+0x3f000\n"
+    "main:\n"
+    "  move $gp, $a2\n"
+    "  move $k0, $a0\n"              // physical id (send dsts)
+    "  li   $s1, " << num(grid) << "\n"
+    "  li   $s2, " << num(block) << "\n"
+    "  li   $k1, " << num(ncores) << "\n"
+    "  li   $t8, " << num(k_mul) << "\n"
+    "  mul  $s0, $a0, $t8\n"
+    "  div  $s0, $k1\n"
+    "  mfhi $s0\n"                   // logical id
+    "  div  $s0, $s1\n"
+    "  mflo $s3\n"                   // i = id / p
+    "  mfhi $s4\n"                   // j = id % p
+    "  move $s5, $gp\n"              // Acur = A0
+    "  li   $t0, 0x8000\n"
+    "  addu $s6, $gp, $t0\n"         // Bcur = B0
+    "  li   $t0, 0x10000\n"
+    "  addu $s7, $gp, $t0\n"         // C
+    "  li   $t9, 0x3f000\n"
+    "  addu $t9, $gp, $t9\n"         // SCR
+    // ---------------- init blocks ----------------
+    "  li   $t0, 0\n"
+    "initx:\n"
+    "  bge  $t0, $s2, initdone\n"
+    "  li   $t1, 0\n"
+    "inity:\n"
+    "  bge  $t1, $s2, initxnext\n"
+    "  mul  $t2, $s3, $s2\n"
+    "  addu $t2, $t2, $t0\n"         // gi = i*b + x
+    "  mul  $t3, $s4, $s2\n"
+    "  addu $t3, $t3, $t1\n"         // gj = j*b + y
+    "  li   $t4, 31\n"
+    "  mul  $t5, $t2, $t4\n"
+    "  li   $t4, 17\n"
+    "  mul  $t6, $t3, $t4\n"
+    "  addu $t5, $t5, $t6\n"
+    "  addiu $t5, $t5, 1\n"
+    "  andi $t5, $t5, 0xff\n"        // A value
+    "  mul  $t6, $t0, $s2\n"
+    "  addu $t6, $t6, $t1\n"
+    "  sll  $t6, $t6, 2\n"           // element byte offset
+    "  addu $t7, $s5, $t6\n"
+    "  sw   $t5, 0($t7)\n"
+    "  li   $t4, 13\n"
+    "  mul  $t5, $t2, $t4\n"
+    "  li   $t4, 7\n"
+    "  mul  $t8, $t3, $t4\n"
+    "  addu $t5, $t5, $t8\n"
+    "  addiu $t5, $t5, 2\n"
+    "  andi $t5, $t5, 0xff\n"        // B value
+    "  addu $t7, $s6, $t6\n"
+    "  sw   $t5, 0($t7)\n"
+    "  addu $t7, $s7, $t6\n"
+    "  sw   $zero, 0($t7)\n"         // C = 0
+    "  addiu $t1, $t1, 1\n"
+    "  b    inity\n"
+    "initxnext:\n"
+    "  addiu $t0, $t0, 1\n"
+    "  b    initx\n"
+    "initdone:\n"
+    // ---------------- neighbours ----------------
+    "  addiu $t0, $s4, -1\n"
+    "  addu $t0, $t0, $s1\n"
+    "  div  $t0, $s1\n"
+    "  mfhi $t0\n"
+    "  mul  $t1, $s3, $s1\n"
+    "  addu $t0, $t1, $t0\n"
+    << to_phys("$t0") <<
+    "  sw   $t0, 0($t9)\n"           // left (physical)
+    "  addiu $t0, $s3, -1\n"
+    "  addu $t0, $t0, $s1\n"
+    "  div  $t0, $s1\n"
+    "  mfhi $t0\n"
+    "  mul  $t0, $t0, $s1\n"
+    "  addu $t0, $t0, $s4\n"
+    << to_phys("$t0") <<
+    "  sw   $t0, 4($t9)\n"           // up (physical)
+    "  addiu $t0, $s4, 1\n"
+    "  div  $t0, $s1\n"
+    "  mfhi $t0\n"
+    "  mul  $t1, $s3, $s1\n"
+    "  addu $t0, $t1, $t0\n"
+    << to_phys("$t0") <<
+    "  sw   $t0, 8($t9)\n"           // right (physical)
+    "  addiu $t0, $s3, 1\n"
+    "  div  $t0, $s1\n"
+    "  mfhi $t0\n"
+    "  mul  $t0, $t0, $s1\n"
+    "  addu $t0, $t0, $s4\n"
+    << to_phys("$t0") <<
+    "  sw   $t0, 12($t9)\n"          // down (physical)
+    // ---------------- pre-skew ----------------
+    // dst_a = i*p + (j-i+p)%p ; src_a = i*p + (j+i)%p
+    "  sub  $t0, $s4, $s3\n"
+    "  addu $t0, $t0, $s1\n"
+    "  div  $t0, $s1\n"
+    "  mfhi $t0\n"
+    "  mul  $t1, $s3, $s1\n"
+    "  addu $t2, $t1, $t0\n"         // dst_a
+    "  addu $t0, $s4, $s3\n"
+    "  div  $t0, $s1\n"
+    "  mfhi $t0\n"
+    "  addu $t3, $t1, $t0\n"         // src_a
+    // dst_b = ((i-j+p)%p)*p + j ; src_b = ((i+j)%p)*p + j
+    "  sub  $t0, $s3, $s4\n"
+    "  addu $t0, $t0, $s1\n"
+    "  div  $t0, $s1\n"
+    "  mfhi $t0\n"
+    "  mul  $t0, $t0, $s1\n"
+    "  addu $t4, $t0, $s4\n"         // dst_b
+    "  addu $t0, $s3, $s4\n"
+    "  div  $t0, $s1\n"
+    "  mfhi $t0\n"
+    "  mul  $t0, $t0, $s1\n"
+    "  addu $t5, $t0, $s4\n"         // src_b
+    << to_phys("$t3") <<
+    "  sw   $t3, 16($t9)\n"          // save src_a (physical)
+    << to_phys("$t5") <<
+    "  sw   $t5, 20($t9)\n"          // save src_b (physical)
+    "  li   $t6, " << num(sz) << "\n"
+    "  beq  $t2, $s0, noskewA\n"
+    << to_phys("$t2") <<
+    "  move $a0, $t2\n"
+    "  move $a1, $s5\n"
+    "  move $a2, $t6\n"
+    "  li   $a3, 1\n"
+    "  li   $v0, 10\n"
+    "  syscall\n"
+    "noskewA:\n"
+    "  beq  $t4, $s0, noskewB\n"
+    << to_phys("$t4") <<
+    "  move $a0, $t4\n"
+    "  move $a1, $s6\n"
+    "  move $a2, $t6\n"
+    "  li   $a3, 2\n"
+    "  li   $v0, 10\n"
+    "  syscall\n"
+    "noskewB:\n"
+    "  li   $v0, 13\n"
+    "  syscall\n"                    // flush
+    "  lw   $t3, 16($t9)\n"
+    "  lw   $t5, 20($t9)\n"
+    "  li   $t7, 0\n"
+    "  beq  $t3, $k0, skew_chk2\n"
+    "  addiu $t7, $t7, 1\n"
+    "skew_chk2:\n"
+    "  beq  $t5, $k0, skew_cntdone\n"
+    "  addiu $t7, $t7, 1\n"
+    "skew_cntdone:\n"
+    "  beq  $t7, $zero, skewdone\n"
+    "  li   $t8, 1\n"
+    "  beq  $t7, $t8, skew_one\n"
+    // two receives: sort by source
+    "  li   $t0, 0x18000\n"
+    "  addu $t2, $gp, $t0\n"         // RA
+    "  move $a0, $t2\n"
+    "  move $a1, $t6\n"
+    "  li   $v0, 12\n"
+    "  syscall\n"
+    "  lw   $t3, 16($t9)\n"
+    "  li   $t0, 0x20000\n"
+    "  addu $t4, $gp, $t0\n"         // RB
+    "  beq  $v1, $t3, skew2_afirst\n"
+    "  move $s6, $t2\n"              // first was B
+    "  move $a0, $t4\n"
+    "  move $a1, $t6\n"
+    "  li   $v0, 12\n"
+    "  syscall\n"
+    "  move $s5, $t4\n"
+    "  b    skewdone\n"
+    "skew2_afirst:\n"
+    "  move $s5, $t2\n"
+    "  move $a0, $t4\n"
+    "  move $a1, $t6\n"
+    "  li   $v0, 12\n"
+    "  syscall\n"
+    "  move $s6, $t4\n"
+    "  b    skewdone\n"
+    "skew_one:\n"
+    "  li   $t0, 0x18000\n"
+    "  addu $t2, $gp, $t0\n"
+    "  move $a0, $t2\n"
+    "  move $a1, $t6\n"
+    "  li   $v0, 12\n"
+    "  syscall\n"
+    "  lw   $t3, 16($t9)\n"
+    "  beq  $t3, $k0, skew_one_b\n"
+    "  move $s5, $t2\n"
+    "  b    skewdone\n"
+    "skew_one_b:\n"
+    "  move $s6, $t2\n"
+    "skewdone:\n"
+    // Early-checksum stash (only core 0 ever receives checksums; a
+    // fast peer may finish its rounds while core 0 is still shifting).
+    "  sw   $zero, 32($t9)\n"       // stray-checksum running total
+    "  sw   $zero, 36($t9)\n"       // stray-checksum count
+    // ---------------- main rounds ----------------
+    "  li   $fp, 0\n"
+    "round:\n"
+    // C += Acur * Bcur (ikj order)
+    "  li   $t0, 0\n"
+    "cx:\n"
+    "  bge  $t0, $s2, cdone\n"
+    "  li   $t1, 0\n"
+    "cz:\n"
+    "  bge  $t1, $s2, cxnext\n"
+    "  mul  $t2, $t0, $s2\n"
+    "  addu $t2, $t2, $t1\n"
+    "  sll  $t2, $t2, 2\n"
+    "  addu $t2, $s5, $t2\n"
+    "  lw   $t3, 0($t2)\n"           // a = A[x][z]
+    "  beq  $t3, $zero, cznext\n"
+    "  mul  $t4, $t1, $s2\n"
+    "  sll  $t4, $t4, 2\n"
+    "  addu $t4, $s6, $t4\n"         // &B[z][0]
+    "  mul  $t5, $t0, $s2\n"
+    "  sll  $t5, $t5, 2\n"
+    "  addu $t5, $s7, $t5\n"         // &C[x][0]
+    "  li   $t6, 0\n"
+    "cy:\n"
+    "  bge  $t6, $s2, cznext\n"
+    "  lw   $t7, 0($t4)\n"
+    "  mul  $t8, $t3, $t7\n"
+    "  lw   $t7, 0($t5)\n"
+    "  addu $t7, $t7, $t8\n"
+    "  sw   $t7, 0($t5)\n"
+    "  addiu $t4, $t4, 4\n"
+    "  addiu $t5, $t5, 4\n"
+    "  addiu $t6, $t6, 1\n"
+    "  b    cy\n"
+    "cznext:\n"
+    "  addiu $t1, $t1, 1\n"
+    "  b    cz\n"
+    "cxnext:\n"
+    "  addiu $t0, $t0, 1\n"
+    "  b    cx\n"
+    "cdone:\n"
+    "  addiu $t0, $s1, -1\n"
+    "  beq  $fp, $t0, rounds_done\n"
+    // shift: send Acur left, Bcur up; then recv A' (from right) and
+    // B' (from below) in either order.
+    "  li   $t6, " << num(sz) << "\n"
+    "  lw   $a0, 0($t9)\n"
+    "  move $a1, $s5\n"
+    "  move $a2, $t6\n"
+    "  li   $a3, 1\n"
+    "  li   $v0, 10\n"
+    "  syscall\n"
+    "  lw   $a0, 4($t9)\n"
+    "  move $a1, $s6\n"
+    "  move $a2, $t6\n"
+    "  li   $a3, 2\n"
+    "  li   $v0, 10\n"
+    "  syscall\n"
+    "  li   $v0, 13\n"
+    "  syscall\n"
+    // First expected message (retry past stray checksums).
+    "sh1_retry:\n"
+    "  li   $t0, 0x18000\n"
+    "  addu $t2, $gp, $t0\n"         // RA
+    "  move $a0, $t2\n"
+    "  move $a1, $t6\n"
+    "  li   $v0, 12\n"
+    "  syscall\n"
+    "  lw   $t3, 8($t9)\n"           // right -> A
+    "  beq  $v1, $t3, sh1a\n"
+    "  lw   $t3, 12($t9)\n"          // down -> B
+    "  beq  $v1, $t3, sh1b\n"
+    "  lw   $t3, 0($t2)\n"           // stray checksum: stash it
+    "  lw   $t4, 32($t9)\n"
+    "  addu $t4, $t4, $t3\n"
+    "  sw   $t4, 32($t9)\n"
+    "  lw   $t4, 36($t9)\n"
+    "  addiu $t4, $t4, 1\n"
+    "  sw   $t4, 36($t9)\n"
+    "  b    sh1_retry\n"
+    "sh1b:\n"
+    "  move $s6, $t2\n"
+    "  b    sh2\n"
+    "sh1a:\n"
+    "  move $s5, $t2\n"
+    "sh2:\n"
+    // Second expected message.
+    "sh2_retry:\n"
+    "  li   $t0, 0x20000\n"
+    "  addu $t2, $gp, $t0\n"         // RB
+    "  move $a0, $t2\n"
+    "  move $a1, $t6\n"
+    "  li   $v0, 12\n"
+    "  syscall\n"
+    "  lw   $t3, 8($t9)\n"
+    "  beq  $v1, $t3, sh2a\n"
+    "  lw   $t3, 12($t9)\n"
+    "  beq  $v1, $t3, sh2b\n"
+    "  lw   $t3, 0($t2)\n"
+    "  lw   $t4, 32($t9)\n"
+    "  addu $t4, $t4, $t3\n"
+    "  sw   $t4, 32($t9)\n"
+    "  lw   $t4, 36($t9)\n"
+    "  addiu $t4, $t4, 1\n"
+    "  sw   $t4, 36($t9)\n"
+    "  b    sh2_retry\n"
+    "sh2b:\n"
+    "  move $s6, $t2\n"
+    "  b    shdone\n"
+    "sh2a:\n"
+    "  move $s5, $t2\n"
+    "shdone:\n"
+    "  addiu $fp, $fp, 1\n"
+    "  b    round\n"
+    "rounds_done:\n"
+    // ---------------- checksum ----------------
+    "  li   $t0, 0\n"
+    "  li   $t1, 0\n"
+    "  mul  $t2, $s2, $s2\n"         // b*b elements
+    "cks:\n"
+    "  bge  $t0, $t2, cks_done\n"
+    "  sll  $t3, $t0, 2\n"
+    "  addu $t3, $t3, $s7\n"
+    "  lw   $t4, 0($t3)\n"
+    "  addu $t1, $t1, $t4\n"
+    "  addiu $t0, $t0, 1\n"
+    "  b    cks\n"
+    "cks_done:\n"
+    "  beq  $s0, $zero, collect\n"
+    "  sw   $t1, 24($t9)\n"
+    "  li   $a0, 0\n"
+    "  addiu $a1, $t9, 24\n"
+    "  li   $a2, 4\n"
+    "  li   $a3, 9\n"
+    "  li   $v0, 10\n"
+    "  syscall\n"
+    "  li   $v0, 13\n"
+    "  syscall\n"
+    "  li   $v0, 1\n"
+    "  syscall\n"
+    "collect:\n"
+    "  mul  $t2, $s1, $s1\n"         // ncores
+    "  addiu $t2, $t2, -1\n"         // peers to hear from
+    "  lw   $t4, 36($t9)\n"          // minus early arrivals
+    "  sub  $t2, $t2, $t4\n"
+    "  move $t5, $t1\n"              // running total = own sum
+    "  lw   $t4, 32($t9)\n"          // plus stashed checksums
+    "  addu $t5, $t5, $t4\n"
+    "collect_loop:\n"
+    "  beq  $t2, $zero, collect_done\n"
+    "  addiu $a0, $t9, 28\n"
+    "  li   $a1, 4\n"
+    "  li   $v0, 12\n"
+    "  syscall\n"
+    "  lw   $t4, 28($t9)\n"
+    "  addu $t5, $t5, $t4\n"
+    "  addiu $t2, $t2, -1\n"
+    "  b    collect_loop\n"
+    "collect_done:\n"
+    "  move $a0, $t5\n"
+    "  li   $v0, 2\n"
+    "  syscall\n"
+    "  li   $v0, 1\n"
+    "  syscall\n";
+    return os.str();
+}
+
+std::uint32_t
+cannon_expected_checksum(std::uint32_t grid, std::uint32_t block)
+{
+    const std::uint32_t n = grid * block;
+    // Build the global matrices exactly as the program does.
+    std::vector<std::uint32_t> a(n * n), b(n * n);
+    for (std::uint32_t gi = 0; gi < n; ++gi) {
+        for (std::uint32_t gj = 0; gj < n; ++gj) {
+            a[gi * n + gj] = (gi * 31 + gj * 17 + 1) & 0xff;
+            b[gi * n + gj] = (gi * 13 + gj * 7 + 2) & 0xff;
+        }
+    }
+    std::uint32_t sum = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        for (std::uint32_t j = 0; j < n; ++j) {
+            std::uint32_t c = 0;
+            for (std::uint32_t k = 0; k < n; ++k)
+                c += a[i * n + k] * b[k * n + j];
+            sum += c;
+        }
+    }
+    return sum;
+}
+
+std::uint32_t
+blackscholes_expected_checksum(std::uint32_t core_id,
+                               std::uint32_t options,
+                               std::uint32_t rounds)
+{
+    std::uint32_t sum = 0;
+    for (std::uint32_t k = 0; k < options; ++k) {
+        const std::uint32_t t3 = (core_id * 13 + k * 7) & 255;
+        const std::int32_t s = static_cast<std::int32_t>(t3 + 1000);
+        const std::int32_t kk = static_cast<std::int32_t>(t3 + 900);
+        const std::int32_t t = static_cast<std::int32_t>((k & 63) + 16);
+        const std::int32_t v = static_cast<std::int32_t>((t3 & 31) + 8);
+        std::int32_t d1 = ((s - kk) << 8) / (v * t + 1);
+        if (d1 > 127)
+            d1 = 127;
+        if (d1 < -128)
+            d1 = -128;
+        std::int32_t price = static_cast<std::int32_t>(
+            static_cast<std::int64_t>(s) * (d1 + 128));
+        price >>= 8;
+        price += v * t;
+        sum += rounds * static_cast<std::uint32_t>(price);
+    }
+    return sum;
+}
+
+std::string
+blackscholes_program(std::uint32_t options, std::uint32_t rounds)
+{
+    if (options == 0 || rounds == 0)
+        fatal("blackscholes: options and rounds must be nonzero");
+    const std::uint32_t out_off = options * 16;
+    std::ostringstream os;
+    os <<
+    "# Black-Scholes-like fixed-point kernel: " << options
+        << " options, " << rounds << " rounds\n"
+    "main:\n"
+    "  move $gp, $a2\n"
+    "  move $s0, $a0\n"
+    "  li   $s1, " << num(options) << "\n"
+    "  li   $s2, " << num(rounds) << "\n"
+    "  li   $t0, " << num(out_off) << "\n"
+    "  addu $s6, $gp, $t0\n"         // OUT base
+    // init inputs (S, K, T, V per option) and zero outputs
+    "  li   $t0, 0\n"
+    "bs_init:\n"
+    "  bge  $t0, $s1, bs_init_done\n"
+    "  sll  $t1, $t0, 4\n"
+    "  addu $t1, $t1, $gp\n"
+    "  li   $t2, 13\n"
+    "  mul  $t3, $s0, $t2\n"
+    "  li   $t2, 7\n"
+    "  mul  $t4, $t0, $t2\n"
+    "  addu $t3, $t3, $t4\n"
+    "  andi $t3, $t3, 255\n"
+    "  addiu $t4, $t3, 1000\n"
+    "  sw   $t4, 0($t1)\n"           // S
+    "  addiu $t4, $t3, 900\n"
+    "  sw   $t4, 4($t1)\n"           // K
+    "  andi $t4, $t0, 63\n"
+    "  addiu $t4, $t4, 16\n"
+    "  sw   $t4, 8($t1)\n"           // T
+    "  andi $t4, $t3, 31\n"
+    "  addiu $t4, $t4, 8\n"
+    "  sw   $t4, 12($t1)\n"          // V
+    "  sll  $t2, $t0, 2\n"
+    "  addu $t2, $t2, $s6\n"
+    "  sw   $zero, 0($t2)\n"
+    "  addiu $t0, $t0, 1\n"
+    "  b    bs_init\n"
+    "bs_init_done:\n"
+    "  li   $s5, 0\n"
+    "bs_round:\n"
+    "  bge  $s5, $s2, bs_done\n"
+    "  li   $t0, 0\n"
+    "bs_opt:\n"
+    "  bge  $t0, $s1, bs_round_next\n"
+    "  sll  $t1, $t0, 4\n"
+    "  addu $t1, $t1, $gp\n"
+    "  lw   $t2, 0($t1)\n"
+    "  lw   $t3, 4($t1)\n"
+    "  lw   $t4, 8($t1)\n"
+    "  lw   $t5, 12($t1)\n"
+    // d1 = ((S-K) << 8) / (V*T + 1), clamped to [-128, 127]
+    "  subu $t6, $t2, $t3\n"
+    "  sll  $t6, $t6, 8\n"
+    "  mul  $t7, $t5, $t4\n"
+    "  addiu $t7, $t7, 1\n"
+    "  div  $t6, $t7\n"
+    "  mflo $t6\n"
+    "  li   $t8, 127\n"
+    "  blt  $t6, $t8, bs_nohi\n"
+    "  li   $t6, 127\n"
+    "bs_nohi:\n"
+    "  li   $t8, -128\n"
+    "  bge  $t6, $t8, bs_nolo\n"
+    "  li   $t6, -128\n"
+    "bs_nolo:\n"
+    // price = (S * (d1 + 128)) >> 8 + V*T
+    "  addiu $t6, $t6, 128\n"
+    "  mul  $t6, $t2, $t6\n"
+    "  sra  $t6, $t6, 8\n"
+    "  mul  $t7, $t5, $t4\n"
+    "  addu $t6, $t6, $t7\n"
+    "  sll  $t7, $t0, 2\n"
+    "  addu $t7, $t7, $s6\n"
+    "  lw   $t8, 0($t7)\n"
+    "  addu $t8, $t8, $t6\n"
+    "  sw   $t8, 0($t7)\n"
+    "  addiu $t0, $t0, 1\n"
+    "  b    bs_opt\n"
+    "bs_round_next:\n"
+    "  addiu $s5, $s5, 1\n"
+    "  b    bs_round\n"
+    "bs_done:\n"
+    // checksum of OUT
+    "  li   $t0, 0\n"
+    "  li   $t1, 0\n"
+    "bs_ck:\n"
+    "  bge  $t0, $s1, bs_ck_done\n"
+    "  sll  $t2, $t0, 2\n"
+    "  addu $t2, $t2, $s6\n"
+    "  lw   $t3, 0($t2)\n"
+    "  addu $t1, $t1, $t3\n"
+    "  addiu $t0, $t0, 1\n"
+    "  b    bs_ck\n"
+    "bs_ck_done:\n"
+    "  move $a0, $t1\n"
+    "  li   $v0, 2\n"
+    "  syscall\n"
+    "  li   $v0, 1\n"
+    "  syscall\n";
+    return os.str();
+}
+
+std::string
+counter_ring_program(std::uint32_t laps)
+{
+    if (laps == 0)
+        fatal("ring: need at least one lap");
+    std::ostringstream os;
+    os <<
+    "# Token ring, " << laps << " laps; core 0 prints laps*ncores\n"
+    "main:\n"
+    "  move $gp, $a2\n"
+    "  move $s0, $a0\n"
+    "  move $s1, $a1\n"
+    "  li   $s2, " << num(laps) << "\n"
+    "  addiu $t0, $s0, 1\n"
+    "  div  $t0, $s1\n"
+    "  mfhi $s3\n"                   // next = (id+1) % n
+    "  bne  $s0, $zero, notzero\n"
+    // core 0: kick off with token = 1
+    "  li   $t0, 1\n"
+    "  sw   $t0, 0($gp)\n"
+    "  move $a0, $s3\n"
+    "  move $a1, $gp\n"
+    "  li   $a2, 4\n"
+    "  li   $a3, 7\n"
+    "  li   $v0, 10\n"
+    "  syscall\n"
+    "  li   $v0, 13\n"
+    "  syscall\n"
+    "  li   $t5, 0\n"
+    "zero_loop:\n"
+    "  bge  $t5, $s2, zero_done\n"
+    "  move $a0, $gp\n"
+    "  li   $a1, 4\n"
+    "  li   $v0, 12\n"
+    "  syscall\n"
+    "  addiu $t5, $t5, 1\n"
+    "  beq  $t5, $s2, zero_loop\n"   // last recv: no resend
+    "  lw   $t0, 0($gp)\n"
+    "  addiu $t0, $t0, 1\n"
+    "  sw   $t0, 0($gp)\n"
+    "  move $a0, $s3\n"
+    "  move $a1, $gp\n"
+    "  li   $a2, 4\n"
+    "  li   $a3, 7\n"
+    "  li   $v0, 10\n"
+    "  syscall\n"
+    "  li   $v0, 13\n"
+    "  syscall\n"
+    "  b    zero_loop\n"
+    "zero_done:\n"
+    "  lw   $a0, 0($gp)\n"
+    "  li   $v0, 2\n"
+    "  syscall\n"
+    "  li   $v0, 1\n"
+    "  syscall\n"
+    "notzero:\n"
+    "  li   $t5, 0\n"
+    "nz_loop:\n"
+    "  bge  $t5, $s2, nz_done\n"
+    "  move $a0, $gp\n"
+    "  li   $a1, 4\n"
+    "  li   $v0, 12\n"
+    "  syscall\n"
+    "  lw   $t0, 0($gp)\n"
+    "  addiu $t0, $t0, 1\n"
+    "  sw   $t0, 0($gp)\n"
+    "  move $a0, $s3\n"
+    "  move $a1, $gp\n"
+    "  li   $a2, 4\n"
+    "  li   $a3, 7\n"
+    "  li   $v0, 10\n"
+    "  syscall\n"
+    "  li   $v0, 13\n"
+    "  syscall\n"
+    "  addiu $t5, $t5, 1\n"
+    "  b    nz_loop\n"
+    "nz_done:\n"
+    "  li   $v0, 1\n"
+    "  syscall\n";
+    return os.str();
+}
+
+} // namespace hornet::workloads

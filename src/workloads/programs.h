@@ -1,0 +1,59 @@
+/**
+ * @file
+ * MIPS assembly program generators for the application workloads:
+ *
+ *  - cannon_program: Cannon's algorithm for distributed matrix
+ *    multiplication [23], written in C-style message passing against
+ *    the network system-call interface (paper IV-D / Fig 12). Each of
+ *    the p x p cores holds b x b blocks of A, B and C; blocks shift
+ *    left/up each round. Core 0 collects per-core checksums of C and
+ *    prints the total.
+ *
+ *  - blackscholes_program: a fixed-point compute/memory kernel with
+ *    the PARSEC BLACKSCHOLES shape — each core sweeps a private
+ *    options array larger than its L1, computing an arithmetic-heavy
+ *    function per element (substitute for the original floating-point
+ *    kernel; see DESIGN.md).
+ *
+ *  - counter_ring_program: simple token-ring used by tests and the
+ *    quickstart example.
+ */
+#ifndef HORNET_WORKLOADS_PROGRAMS_H
+#define HORNET_WORKLOADS_PROGRAMS_H
+
+#include <cstdint>
+#include <string>
+
+namespace hornet::workloads {
+
+/**
+ * Cannon matmul on a @p grid x @p grid core mesh with @p block x
+ * @p block blocks (overall matrix is (grid*block)^2).
+ */
+std::string cannon_program(std::uint32_t grid, std::uint32_t block,
+                           std::uint32_t data_scale = 1,
+                           bool scatter = false);
+
+/** Host-side reference: the checksum core 0 must print. */
+std::uint32_t cannon_expected_checksum(std::uint32_t grid,
+                                       std::uint32_t block);
+
+/** Host-side reference for one core's blackscholes checksum. */
+std::uint32_t blackscholes_expected_checksum(std::uint32_t core_id,
+                                             std::uint32_t options,
+                                             std::uint32_t rounds);
+
+/**
+ * Black-Scholes-like kernel: @p options elements per core, @p rounds
+ * full sweeps. Each core prints its result checksum at the end.
+ */
+std::string blackscholes_program(std::uint32_t options,
+                                 std::uint32_t rounds);
+
+/** Token ring: each core increments a token and passes it on; core 0
+ *  prints the final token after @p laps laps. */
+std::string counter_ring_program(std::uint32_t laps);
+
+} // namespace hornet::workloads
+
+#endif // HORNET_WORKLOADS_PROGRAMS_H

@@ -1,0 +1,265 @@
+#include "workloads/splash.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "traffic/flows.h"
+#include "traffic/patterns.h"
+
+namespace hornet::workloads {
+
+SplashProfile
+radix_profile()
+{
+    SplashProfile p;
+    p.name = "radix";
+    p.active_rate = 0.35;
+    p.duty_cycle = 0.7;
+    p.phase_length = 1500;
+    p.mc_fraction = 0.45;
+    p.large_frac = 0.7;
+    p.neighbor_frac = 0.1;
+    return p;
+}
+
+SplashProfile
+fft_profile()
+{
+    SplashProfile p;
+    p.name = "fft";
+    p.active_rate = 0.25;
+    p.duty_cycle = 0.55;
+    p.phase_length = 2500;
+    p.mc_fraction = 0.25;
+    p.large_frac = 0.6;
+    p.neighbor_frac = 0.05;
+    p.transpose_bias = true;
+    return p;
+}
+
+SplashProfile
+water_profile()
+{
+    SplashProfile p;
+    p.name = "water";
+    p.active_rate = 0.18;
+    p.duty_cycle = 0.6;
+    p.phase_length = 3000;
+    p.mc_fraction = 0.2;
+    p.large_frac = 0.4;
+    p.neighbor_frac = 0.5;
+    return p;
+}
+
+SplashProfile
+swaptions_profile()
+{
+    SplashProfile p;
+    p.name = "swaptions";
+    p.active_rate = 0.03;
+    p.duty_cycle = 0.4;
+    p.phase_length = 4000;
+    p.mc_fraction = 0.3;
+    p.large_frac = 0.3;
+    p.neighbor_frac = 0.2;
+    return p;
+}
+
+SplashProfile
+ocean_profile()
+{
+    SplashProfile p;
+    p.name = "ocean";
+    p.active_rate = 0.3;
+    p.duty_cycle = 0.45; // long quiet stretches between sweeps
+    p.phase_length = 6000;
+    p.mc_fraction = 0.3;
+    p.large_frac = 0.6;
+    p.neighbor_frac = 0.6; // stencil exchanges
+    return p;
+}
+
+SplashProfile
+splash_profile(const std::string &name)
+{
+    if (name == "radix")
+        return radix_profile();
+    if (name == "fft")
+        return fft_profile();
+    if (name == "water")
+        return water_profile();
+    if (name == "swaptions")
+        return swaptions_profile();
+    if (name == "ocean")
+        return ocean_profile();
+    fatal("unknown SPLASH profile: " + name);
+}
+
+namespace {
+
+/** Nearest memory controller to @p n (ties toward lower id). */
+NodeId
+nearest_mc(const net::Topology &topo, NodeId n,
+           const std::vector<NodeId> &mcs)
+{
+    NodeId best = mcs.front();
+    std::uint32_t best_d = topo.hop_distance(n, best);
+    for (NodeId mc : mcs) {
+        std::uint32_t d = topo.hop_distance(n, mc);
+        if (d < best_d) {
+            best_d = d;
+            best = mc;
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+std::vector<traffic::TraceEvent>
+synthesize_trace(const SplashProfile &profile, const net::Topology &topo,
+                 const std::vector<NodeId> &mc_nodes, Cycle duration,
+                 std::uint64_t seed)
+{
+    if (profile.mc_fraction > 0.0 && mc_nodes.empty())
+        fatal("profile " + profile.name + " needs memory controllers");
+    const std::uint32_t n = topo.num_nodes();
+
+    // Optional transpose partner map (FFT bias); falls back to uniform
+    // when the node count is not 4^k.
+    std::vector<NodeId> partner(n);
+    bool have_partner = false;
+    if (profile.transpose_bias) {
+        std::uint32_t bits = 0;
+        while ((1u << bits) < n)
+            ++bits;
+        if ((1u << bits) == n && bits % 2 == 0) {
+            Rng probe(1);
+            auto tp = traffic::transpose(n);
+            for (NodeId s = 0; s < n; ++s)
+                partner[s] = tp(s, probe);
+            have_partner = true;
+        }
+    }
+
+    std::vector<traffic::TraceEvent> events;
+    Rng rng(seed);
+    const Cycle active_span = static_cast<Cycle>(
+        profile.duty_cycle * static_cast<double>(profile.phase_length));
+
+    for (NodeId src = 0; src < n; ++src) {
+        // Stagger per-node phase starts slightly so the whole chip
+        // does not fire on the exact same cycle (Graphite traces show
+        // skewed thread progress); keep the stagger small relative to
+        // the phase so global phases remain visible (OCEAN/Fig 13).
+        const Cycle stagger = rng.below(profile.phase_length / 8 + 1);
+        const double pkt_mean =
+            profile.large_frac * profile.large_pkt +
+            (1.0 - profile.large_frac) * profile.small_pkt;
+        const double pkts_per_cycle = profile.active_rate / pkt_mean;
+
+        for (Cycle phase_start = 0; phase_start < duration;
+             phase_start += profile.phase_length) {
+            const Cycle begin = phase_start + stagger;
+            const Cycle end =
+                std::min<Cycle>(begin + active_span, duration);
+            Cycle t = begin;
+            while (t < end) {
+                // Exponential-ish gap via geometric draw.
+                double u = std::max(rng.uniform(), 1e-12);
+                Cycle gap = 1 + static_cast<Cycle>(
+                                    -std::log(u) / pkts_per_cycle);
+                t += gap;
+                if (t >= end)
+                    break;
+
+                const bool to_mc = rng.chance(profile.mc_fraction);
+                if (to_mc) {
+                    const NodeId mc = nearest_mc(topo, src, mc_nodes);
+                    if (mc == src)
+                        continue; // MCs do not request of themselves
+                    // Small request to the MC...
+                    events.push_back({t, traffic::pair_flow(src, mc),
+                                      src, mc, profile.small_pkt});
+                    // ...and a large data reply after the service time.
+                    events.push_back({t + profile.mc_service_delay,
+                                      traffic::pair_flow(mc, src), mc,
+                                      src, profile.large_pkt});
+                } else {
+                    NodeId dst;
+                    if (rng.chance(profile.neighbor_frac)) {
+                        const auto &nbrs = topo.neighbors(src);
+                        dst = nbrs[rng.below(nbrs.size())];
+                    } else if (have_partner && rng.chance(0.7)) {
+                        dst = partner[src];
+                    } else {
+                        dst = static_cast<NodeId>(rng.below(n));
+                    }
+                    if (dst == src)
+                        continue;
+                    const std::uint32_t size =
+                        rng.chance(profile.large_frac)
+                            ? profile.large_pkt
+                            : profile.small_pkt;
+                    events.push_back({t, traffic::pair_flow(src, dst),
+                                      src, dst, size});
+                }
+            }
+        }
+    }
+    std::sort(events.begin(), events.end(),
+              [](const traffic::TraceEvent &a,
+                 const traffic::TraceEvent &b) {
+                  if (a.cycle != b.cycle)
+                      return a.cycle < b.cycle;
+                  if (a.src != b.src)
+                      return a.src < b.src;
+                  return a.flow < b.flow;
+              });
+    return events;
+}
+
+std::vector<traffic::TraceEvent>
+h264_profile_trace(const net::Topology &topo, Cycle duration, double scale)
+{
+    // A decoder pipeline: entropy decode -> inverse transform ->
+    // motion compensation -> deblocking -> output, mapped onto a
+    // chain of nodes, plus constant-rate reference-frame fetches from
+    // node 0 (the memory interface). Packets flow at near-constant
+    // intervals, so the network rarely drains fully (paper Fig 7b).
+    const std::uint32_t n = topo.num_nodes();
+    const std::uint32_t stages = std::min<std::uint32_t>(8, n);
+    if (scale <= 0.0)
+        fatal("h264 profile: scale must be positive");
+    const auto period = static_cast<Cycle>(64.0 / scale);
+
+    std::vector<traffic::TraceEvent> events;
+    for (std::uint32_t s = 0; s + 1 < stages; ++s) {
+        // Stage s feeds stage s+1: one macroblock packet per period,
+        // offset so stage hand-offs interleave smoothly.
+        NodeId src = (s * (n / stages)) % n;
+        NodeId dst = ((s + 1) * (n / stages)) % n;
+        if (src == dst)
+            continue;
+        traffic::TraceEvent e{/*cycle=*/s * (period / stages),
+                              traffic::pair_flow(src, dst), src, dst,
+                              /*size=*/4, /*period=*/period,
+                              /*end=*/duration};
+        events.push_back(e);
+    }
+    // Reference-frame fetches: memory node feeds the motion-
+    // compensation stage at twice the rate with larger packets.
+    NodeId mem = 0;
+    NodeId mc_stage = (2 * (n / stages)) % n;
+    if (mem != mc_stage) {
+        events.push_back({period / 3, traffic::pair_flow(mc_stage, mem),
+                          mc_stage, mem, 2, period / 2, duration});
+        events.push_back({period / 2, traffic::pair_flow(mem, mc_stage),
+                          mem, mc_stage, 8, period / 2, duration});
+    }
+    return events;
+}
+
+} // namespace hornet::workloads

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * SPLASH-2-like application trace synthesizers.
+ *
+ * The paper drives HORNET with SPLASH-2 traces captured under the
+ * Graphite simulator (III). Neither SPLASH-2 binaries nor Graphite are
+ * available offline, so this module synthesizes traces with the same
+ * load-bearing characteristics per benchmark — injection-rate level,
+ * phase structure (bursts), message-size mix, memory-controller
+ * hotspot share, and spatial locality. The evaluation figures depend
+ * only on these aggregate properties (see DESIGN.md, substitutions).
+ *
+ * Profiles:
+ *  - RADIX:     heavy traffic, strong phases, large MC share — the
+ *               paper's high-congestion case (Fig 8 shows ~2x latency
+ *               underestimate when congestion is ignored).
+ *  - FFT:       transpose-dominated phases, moderate-heavy.
+ *  - WATER:     moderate neighbour + reduction traffic.
+ *  - SWAPTIONS: very light traffic (Fig 8's negligible case).
+ *  - OCEAN:     long alternating compute/communicate phases (drives
+ *               the Fig 13 temperature swings).
+ */
+#ifndef HORNET_WORKLOADS_SPLASH_H
+#define HORNET_WORKLOADS_SPLASH_H
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "net/topology.h"
+#include "traffic/trace.h"
+
+namespace hornet::workloads {
+
+/** Tunable description of one application's traffic character. */
+struct SplashProfile
+{
+    std::string name;
+    /** Mean offered load in flits/node/cycle during active phases. */
+    double active_rate = 0.1;
+    /** Fraction of time the application is in an active phase. */
+    double duty_cycle = 0.5;
+    /** Length of one activity phase in cycles. */
+    Cycle phase_length = 2000;
+    /** Fraction of packets that target a memory controller (the
+     *  request also produces a delayed data reply from the MC). */
+    double mc_fraction = 0.3;
+    /** Control-message size in flits. */
+    std::uint32_t small_pkt = 2;
+    /** Data-message (cache line / bulk) size in flits. */
+    std::uint32_t large_pkt = 8;
+    /** Fraction of node-to-node packets that are data-sized. */
+    double large_frac = 0.5;
+    /** Fraction of node-to-node packets sent to a mesh neighbour. */
+    double neighbor_frac = 0.3;
+    /** When true, node-to-node traffic prefers the transpose partner
+     *  (FFT's all-to-all transposition phases). */
+    bool transpose_bias = false;
+    /** MC service delay before the reply packet is injected. */
+    Cycle mc_service_delay = 40;
+};
+
+SplashProfile radix_profile();
+SplashProfile fft_profile();
+SplashProfile water_profile();
+SplashProfile swaptions_profile();
+SplashProfile ocean_profile();
+
+/** Profile by lower-case name ("radix", "fft", ...). */
+SplashProfile splash_profile(const std::string &name);
+
+/**
+ * Synthesize a whole-system trace for @p topo over @p duration cycles.
+ *
+ * @param mc_nodes memory-controller locations (requests go to the
+ *        nearest; replies come back from it). Must be non-empty when
+ *        the profile has mc_fraction > 0.
+ * @param seed     deterministic generation seed.
+ */
+std::vector<traffic::TraceEvent> synthesize_trace(
+    const SplashProfile &profile, const net::Topology &topo,
+    const std::vector<NodeId> &mc_nodes, Cycle duration,
+    std::uint64_t seed);
+
+/**
+ * H.264-decoder-like profile (paper Fig 7b): a software pipeline whose
+ * stages exchange small packets at near-constant intervals, so the
+ * network almost never fully drains. @p scale multiplies the rate.
+ */
+std::vector<traffic::TraceEvent> h264_profile_trace(
+    const net::Topology &topo, Cycle duration, double scale = 1.0);
+
+} // namespace hornet::workloads
+
+#endif // HORNET_WORKLOADS_SPLASH_H

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Unit tests for hornet::common — RNG, Config, statistics.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/config.h"
+#include "common/log.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace hornet {
+namespace {
+
+// ---------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a() == b();
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ReseedRestartsSequence)
+{
+    Rng a(7);
+    std::uint64_t first = a();
+    a();
+    a.reseed(7);
+    EXPECT_EQ(a(), first);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(3);
+    for (int i = 0; i < 10000; ++i) {
+        auto v = r.below(13);
+        EXPECT_LT(v, 13u);
+    }
+}
+
+TEST(Rng, BelowCoversRange)
+{
+    Rng r(5);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(r.below(7));
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(11);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, PickWeightedRespectsWeights)
+{
+    Rng r(13);
+    std::vector<double> w{1.0, 3.0};
+    int hi = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hi += r.pick_weighted(w) == 1;
+    EXPECT_NEAR(static_cast<double>(hi) / n, 0.75, 0.02);
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng r(17);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto sorted = v;
+    r.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, sorted);
+}
+
+// ---------------------------------------------------------------------
+// Config
+// ---------------------------------------------------------------------
+
+TEST(Config, ParsesSectionsAndScalars)
+{
+    auto cfg = Config::from_string(
+        "top = 5\n"
+        "[net]\n"
+        "vcs = 4        # trailing comment\n"
+        "rate = 0.25\n"
+        "bidir = true\n");
+    EXPECT_EQ(cfg.get_int("top", 0), 5);
+    EXPECT_EQ(cfg.get_int("net.vcs", 0), 4);
+    EXPECT_DOUBLE_EQ(cfg.get_double("net.rate", 0.0), 0.25);
+    EXPECT_TRUE(cfg.get_bool("net.bidir", false));
+}
+
+TEST(Config, DefaultsWhenMissing)
+{
+    Config cfg;
+    EXPECT_EQ(cfg.get_int("absent", 9), 9);
+    EXPECT_EQ(cfg.get_string("absent", "x"), "x");
+    EXPECT_FALSE(cfg.has("absent"));
+}
+
+TEST(Config, RequireThrowsOnMissing)
+{
+    Config cfg;
+    EXPECT_THROW(cfg.require_int("absent"), std::runtime_error);
+}
+
+TEST(Config, BadIntegerThrows)
+{
+    auto cfg = Config::from_string("x = banana\n");
+    EXPECT_THROW(cfg.get_int("x", 0), std::runtime_error);
+}
+
+TEST(Config, IntListParses)
+{
+    auto cfg = Config::from_string("mcs = 0, 7, 56, 63\n");
+    auto v = cfg.get_int_list("mcs", {});
+    ASSERT_EQ(v.size(), 4u);
+    EXPECT_EQ(v[0], 0);
+    EXPECT_EQ(v[3], 63);
+}
+
+TEST(Config, LaterDuplicateWins)
+{
+    auto cfg = Config::from_string("a = 1\na = 2\n");
+    EXPECT_EQ(cfg.get_int("a", 0), 2);
+}
+
+TEST(Config, RoundTripsThroughToString)
+{
+    auto cfg = Config::from_string("[s]\nk = v\nn = 3\n");
+    auto cfg2 = Config::from_string(cfg.to_string());
+    EXPECT_EQ(cfg2.get_string("s.k", ""), "v");
+    EXPECT_EQ(cfg2.get_int("s.n", 0), 3);
+}
+
+// ---------------------------------------------------------------------
+// Statistics
+// ---------------------------------------------------------------------
+
+TEST(RunningStat, BasicMoments)
+{
+    RunningStat s;
+    for (double x : {1.0, 2.0, 3.0, 4.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+    EXPECT_NEAR(s.variance(), 1.25, 1e-12);
+}
+
+TEST(RunningStat, MergeMatchesCombined)
+{
+    RunningStat a, b, all;
+    for (int i = 0; i < 10; ++i) {
+        double x = i * 0.7;
+        (i < 5 ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_DOUBLE_EQ(a.mean(), all.mean());
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(4, 10.0);
+    h.add(5.0);   // bucket 0
+    h.add(15.0);  // bucket 1
+    h.add(39.9);  // bucket 3
+    h.add(100.0); // overflow
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_EQ(h.buckets()[0], 1u);
+    EXPECT_EQ(h.buckets()[1], 1u);
+    EXPECT_EQ(h.buckets()[3], 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(Histogram, PercentileApproximation)
+{
+    Histogram h(100, 1.0);
+    for (int i = 0; i < 100; ++i)
+        h.add(i + 0.1);
+    EXPECT_NEAR(h.percentile(0.5), 50.0, 1.5);
+    EXPECT_NEAR(h.percentile(0.9), 90.0, 1.5);
+}
+
+TEST(TileStats, MergeAccumulates)
+{
+    TileStats a, b;
+    a.flits_injected = 3;
+    b.flits_injected = 4;
+    a.packet_latency.add(10);
+    b.packet_latency.add(20);
+    a.merge(b);
+    EXPECT_EQ(a.flits_injected, 7u);
+    EXPECT_EQ(a.packet_latency.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.packet_latency.mean(), 15.0);
+}
+
+// ---------------------------------------------------------------------
+// Logging
+// ---------------------------------------------------------------------
+
+TEST(Log, FatalThrowsRuntimeError)
+{
+    EXPECT_THROW(fatal("boom"), std::runtime_error);
+}
+
+TEST(Log, PanicThrowsLogicError)
+{
+    EXPECT_THROW(panic("bug"), std::logic_error);
+}
+
+TEST(Log, StrcatFormats)
+{
+    EXPECT_EQ(strcat("a", 1, "b", 2.5), "a1b2.5");
+}
+
+} // namespace
+} // namespace hornet

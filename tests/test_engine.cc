@@ -1,0 +1,317 @@
+/**
+ * @file
+ * Engine tests for the paper's central concurrency claims (II-C, IV-B):
+ *  - cycle-accurate parallel simulation is identical to sequential;
+ *  - loose synchronization preserves functional correctness with small
+ *    timing deviations;
+ *  - fast-forwarding does not change simulation results at all;
+ *  - flit conservation holds at every stopping point.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "net/routing/builders.h"
+#include "net/topology.h"
+#include "sim/system.h"
+#include "traffic/flows.h"
+#include "traffic/synthetic.h"
+#include "traffic/trace.h"
+
+namespace hornet {
+namespace {
+
+using net::Topology;
+using sim::RunOptions;
+using sim::System;
+
+/** Build a mesh system with per-node synthetic traffic. */
+std::unique_ptr<System>
+make_synthetic_system(std::uint32_t side, double rate, std::uint64_t seed,
+                      const std::string &pattern_name = "transpose",
+                      net::VcaMode vca = net::VcaMode::Dynamic,
+                      Cycle burst_period = 0)
+{
+    Topology topo = Topology::mesh2d(side, side);
+    net::NetworkConfig cfg;
+    cfg.router.vca_mode = vca;
+    auto sys = std::make_unique<System>(topo, cfg, seed);
+
+    auto pattern =
+        traffic::pattern_by_name(pattern_name, topo.num_nodes());
+    // Uniform traffic can pick any destination, so register all pairs.
+    auto flows = pattern_name == "uniform"
+                     ? traffic::flows_all_pairs(topo.num_nodes())
+                     : traffic::flows_for_pattern(topo.num_nodes(),
+                                                  pattern);
+    net::routing::build_xy(sys->network(), flows);
+
+    for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+        traffic::SyntheticConfig sc;
+        sc.pattern = pattern;
+        sc.packet_size = 4;
+        sc.rate = rate;
+        sc.burst_period = burst_period;
+        sc.burst_size = 2;
+        sys->add_frontend(n, std::make_unique<traffic::SyntheticInjector>(
+                                 sys->tile(n), sc));
+    }
+    return sys;
+}
+
+/** Canonical fingerprint of a run: per-tile counters and latency sums. */
+std::string
+fingerprint(const SystemStats &s)
+{
+    std::ostringstream os;
+    os.precision(17);
+    for (const auto &t : s.per_tile) {
+        os << t.flits_injected << ',' << t.flits_delivered << ','
+           << t.packets_delivered << ',' << t.buffer_reads << ','
+           << t.xbar_transits << ',' << t.va_grants << ','
+           << t.packet_latency.sum() << ',' << t.packet_latency.count()
+           << ';';
+    }
+    return os.str();
+}
+
+TEST(Engine, CycleAccurateParallelMatchesSequentialExactly)
+{
+    // The paper: "results from cycle-accurate parallel simulations are
+    // identical to those from an equivalent single-thread simulation
+    // (given the same randomness seeds)".
+    RunOptions seq;
+    seq.max_cycles = 3000;
+    seq.threads = 1;
+
+    auto a = make_synthetic_system(4, 0.25, 42);
+    a->run(seq);
+    const std::string ref = fingerprint(a->collect_stats());
+
+    for (unsigned threads : {2u, 3u, 5u}) {
+        auto b = make_synthetic_system(4, 0.25, 42);
+        RunOptions par = seq;
+        par.threads = threads;
+        par.sync_period = 1;
+        b->run(par);
+        EXPECT_EQ(fingerprint(b->collect_stats()), ref)
+            << "threads=" << threads;
+    }
+}
+
+TEST(Engine, CycleAccurateParallelMatchesWithEdvca)
+{
+    RunOptions seq;
+    seq.max_cycles = 2000;
+    auto a = make_synthetic_system(4, 0.3, 11, "shuffle",
+                                   net::VcaMode::Edvca);
+    a->run(seq);
+    auto b = make_synthetic_system(4, 0.3, 11, "shuffle",
+                                   net::VcaMode::Edvca);
+    RunOptions par = seq;
+    par.threads = 4;
+    b->run(par);
+    EXPECT_EQ(fingerprint(b->collect_stats()),
+              fingerprint(a->collect_stats()));
+}
+
+TEST(Engine, LooseSyncPreservesFunctionalCorrectness)
+{
+    // Loose synchronization must deliver exactly the same packets
+    // (conservation), though timing may drift slightly.
+    RunOptions seq;
+    seq.max_cycles = 3000;
+    auto a = make_synthetic_system(4, 0.2, 3);
+    a->run(seq);
+    auto sa = a->collect_stats();
+
+    auto b = make_synthetic_system(4, 0.2, 3);
+    RunOptions loose = seq;
+    loose.threads = 4;
+    loose.sync_period = 5;
+    b->run(loose);
+    auto sb = b->collect_stats();
+
+    // Offered traffic is tile-local, so injected counts agree to
+    // within the handful of packets still in bridge queues at the cut.
+    double inj_rel =
+        std::abs(static_cast<double>(sb.total.packets_injected) -
+                 static_cast<double>(sa.total.packets_injected)) /
+        static_cast<double>(sa.total.packets_injected);
+    EXPECT_LT(inj_rel, 0.05);
+    EXPECT_GT(sb.total.packets_delivered, 0u);
+    EXPECT_GE(sb.total.flits_injected, sb.total.flits_delivered);
+    // Timing stays close to the cycle-accurate baseline (the paper's
+    // Fig 6b reports high accuracy at a 5-cycle sync period; threads
+    // serialized on one host core skew more than real parallel HW).
+    double rel = std::abs(sb.avg_packet_latency() -
+                          sa.avg_packet_latency()) /
+                 sa.avg_packet_latency();
+    EXPECT_LT(rel, 0.40);
+}
+
+TEST(Engine, FastForwardDoesNotChangeResults)
+{
+    // Paper IV-B: fast-forwarding advances the clock only when no
+    // useful work can happen, "without altering simulation results".
+    for (Cycle burst_period : {200u, 64u}) {
+        auto a = make_synthetic_system(3, 0.0, 9, "uniform",
+                                       net::VcaMode::Dynamic,
+                                       burst_period);
+        auto b = make_synthetic_system(3, 0.0, 9, "uniform",
+                                       net::VcaMode::Dynamic,
+                                       burst_period);
+        // Register uniform flows for both (pattern draws differ per
+        // packet, but seeds match so the sequences match).
+        RunOptions slow;
+        slow.max_cycles = 5000;
+        RunOptions fast = slow;
+        fast.fast_forward = true;
+        a->run(slow);
+        b->run(fast);
+        EXPECT_EQ(fingerprint(b->collect_stats()),
+                  fingerprint(a->collect_stats()))
+            << "burst_period=" << burst_period;
+    }
+}
+
+TEST(Engine, FastForwardParallelMatchesToo)
+{
+    auto a = make_synthetic_system(3, 0.0, 9, "uniform",
+                                   net::VcaMode::Dynamic, 300);
+    RunOptions opt;
+    opt.max_cycles = 6000;
+    opt.fast_forward = true;
+    opt.threads = 3;
+    a->run(opt);
+    auto b = make_synthetic_system(3, 0.0, 9, "uniform",
+                                   net::VcaMode::Dynamic, 300);
+    RunOptions seq;
+    seq.max_cycles = 6000;
+    b->run(seq);
+    EXPECT_EQ(fingerprint(a->collect_stats()),
+              fingerprint(b->collect_stats()));
+}
+
+TEST(Engine, ConservationAtArbitraryStop)
+{
+    // flits injected == flits delivered + flits still buffered, at any
+    // stopping cycle.
+    auto sys = make_synthetic_system(4, 0.4, 21, "shuffle");
+    RunOptions opts;
+    opts.max_cycles = 777; // mid-flight stop
+    sys->run(opts);
+    auto s = sys->collect_stats();
+
+    // Flits in ejection buffers are already counted as delivered
+    // (delivery is sampled when the flit departs the network egress),
+    // so only ingress buffers hold genuinely in-flight flits.
+    std::uint64_t in_flight = 0;
+    for (NodeId n = 0; n < sys->num_tiles(); ++n) {
+        net::Router &r = sys->network().router(n);
+        for (PortId p = 0; p <= r.num_net_ports(); ++p) {
+            std::uint32_t vcs = p == r.cpu_port()
+                                    ? r.num_injection_vcs()
+                                    : r.config().net_vcs;
+            for (VcId v = 0; v < vcs; ++v)
+                in_flight += r.ingress_buffer(p, v).size_raw();
+        }
+    }
+    EXPECT_EQ(s.total.flits_injected,
+              s.total.flits_delivered + in_flight);
+}
+
+TEST(Engine, ResumableRunsAccumulate)
+{
+    auto sys = make_synthetic_system(3, 0.2, 5, "uniform");
+    RunOptions opts;
+    opts.max_cycles = 500;
+    sys->run(opts);
+    auto s1 = sys->collect_stats();
+    opts.max_cycles = 1000;
+    sys->run(opts);
+    auto s2 = sys->collect_stats();
+    EXPECT_GT(s2.total.flits_injected, s1.total.flits_injected);
+    EXPECT_EQ(sys->tile(0).now(), 1000u);
+}
+
+TEST(Engine, SplitRunMatchesSingleRun)
+{
+    // Running [0,1000) in one go equals running [0,500)+[500,1000).
+    auto a = make_synthetic_system(3, 0.3, 8, "uniform");
+    RunOptions one;
+    one.max_cycles = 1000;
+    a->run(one);
+
+    auto b = make_synthetic_system(3, 0.3, 8, "uniform");
+    RunOptions half;
+    half.max_cycles = 500;
+    b->run(half);
+    half.max_cycles = 1000;
+    b->run(half);
+
+    EXPECT_EQ(fingerprint(a->collect_stats()),
+              fingerprint(b->collect_stats()));
+}
+
+TEST(Engine, ResetStatsDropsCountsButKeepsState)
+{
+    auto sys = make_synthetic_system(3, 0.3, 4, "uniform");
+    RunOptions opts;
+    opts.max_cycles = 400; // warmup
+    sys->run(opts);
+    sys->reset_stats();
+    EXPECT_EQ(sys->collect_stats().total.flits_injected, 0u);
+    opts.max_cycles = 1200;
+    sys->run(opts);
+    auto s = sys->collect_stats();
+    EXPECT_GT(s.total.flits_injected, 0u);
+    // Warmup-era flits may still deliver; delivered can exceed injected
+    // but only by at most the warmup in-flight population.
+    EXPECT_GT(s.total.packets_delivered, 0u);
+}
+
+TEST(Engine, MoreThreadsThanTilesIsSafe)
+{
+    auto sys = make_synthetic_system(2, 0.2, 6);
+    RunOptions opts;
+    opts.max_cycles = 300;
+    opts.threads = 16; // > 4 tiles
+    sys->run(opts);
+    EXPECT_EQ(sys->tile(0).now(), 300u);
+    EXPECT_EQ(sys->tile(3).now(), 300u);
+}
+
+TEST(Engine, RejectsBadRunOptions)
+{
+    auto sys = make_synthetic_system(2, 0.1, 1);
+    RunOptions opts;
+    opts.max_cycles = 0;
+    EXPECT_THROW(sys->run(opts), std::runtime_error);
+    opts.max_cycles = 10;
+    opts.sync_period = 0;
+    EXPECT_THROW(sys->run(opts), std::runtime_error);
+}
+
+class SyncPeriodSweep : public ::testing::TestWithParam<std::uint32_t>
+{};
+
+TEST_P(SyncPeriodSweep, AllSyncPeriodsConserveAndDeliver)
+{
+    auto sys = make_synthetic_system(4, 0.25, 33, "shuffle");
+    RunOptions opts;
+    opts.max_cycles = 2000;
+    opts.threads = 4;
+    opts.sync_period = GetParam();
+    sys->run(opts);
+    auto s = sys->collect_stats();
+    EXPECT_GT(s.total.packets_delivered, 0u);
+    EXPECT_GE(s.total.flits_injected, s.total.flits_delivered);
+}
+
+INSTANTIATE_TEST_SUITE_P(Engine, SyncPeriodSweep,
+                         ::testing::Values(1u, 2u, 5u, 10u, 50u, 100u,
+                                           500u, 1000u));
+
+} // namespace
+} // namespace hornet

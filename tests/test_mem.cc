@@ -1,0 +1,509 @@
+/**
+ * @file
+ * Memory-hierarchy tests: cache mechanics, MSI directory coherence
+ * over the real NoC (sharing, invalidation, forwarding, writeback,
+ * false-sharing ping-pong), NUCA remote access, and race absorption.
+ */
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "common/log.h"
+#include "mem/dir_frontend.h"
+#include "mem/fabric.h"
+#include "mem/tile_mem.h"
+#include "net/routing/builders.h"
+#include "net/topology.h"
+#include "sim/system.h"
+#include "traffic/flows.h"
+
+namespace hornet {
+namespace {
+
+using mem::Fabric;
+using mem::MemConfig;
+using mem::MemMode;
+using mem::TileMemory;
+using net::Topology;
+using sim::RunOptions;
+using sim::System;
+
+/** One scripted memory operation. */
+struct Op
+{
+    enum Kind { Write, ReadExpect, ReadPoll, Delay } kind;
+    std::uint64_t addr = 0;
+    std::uint32_t len = 4;
+    std::uint64_t value = 0; ///< write data / expected read value
+    Cycle delay = 0;
+};
+
+/**
+ * Frontend that owns a TileMemory and executes a scripted op list,
+ * recording failures for the test to assert on.
+ */
+class ScriptedCore : public sim::Frontend
+{
+  public:
+    ScriptedCore(sim::Tile &tile, Fabric *fabric, std::vector<Op> script)
+        : mem_(tile, fabric), script_(std::move(script))
+    {}
+
+    void
+    posedge(Cycle now) override
+    {
+        mem_.posedge(now);
+        if (pc_ >= script_.size())
+            return;
+        Op &op = script_[pc_];
+
+        if (waiting_) {
+            if (!mem_.response_ready(now))
+                return;
+            std::uint64_t v = mem_.take_response(now);
+            waiting_ = false;
+            switch (op.kind) {
+              case Op::Write:
+                ++pc_;
+                break;
+              case Op::ReadExpect:
+                if (v != op.value) {
+                    errors_.push_back(strcat("pc ", pc_, ": read @",
+                                             op.addr, " = ", v,
+                                             ", expected ", op.value));
+                }
+                ++pc_;
+                break;
+              case Op::ReadPoll:
+                if (v == op.value)
+                    ++pc_; // else re-issue next cycle
+                break;
+              case Op::Delay:
+                break;
+            }
+            return;
+        }
+
+        if (op.kind == Op::Delay) {
+            if (delay_until_ == 0)
+                delay_until_ = now + op.delay;
+            if (now >= delay_until_) {
+                delay_until_ = 0;
+                ++pc_;
+            }
+            return;
+        }
+        if (mem_.can_accept()) {
+            mem_.request(op.kind == Op::Write, op.addr, op.len, op.value,
+                         now);
+            waiting_ = true;
+        }
+    }
+
+    void negedge(Cycle now) override { mem_.negedge(now); }
+
+    bool
+    idle(Cycle now) const override
+    {
+        return pc_ >= script_.size() && mem_.idle(now);
+    }
+
+    Cycle
+    next_event_cycle(Cycle now) const override
+    {
+        if (pc_ < script_.size())
+            return now + 1;
+        return mem_.next_event_cycle(now);
+    }
+
+    bool
+    done(Cycle now) const override
+    {
+        return pc_ >= script_.size() && mem_.idle(now);
+    }
+
+    bool finished() const { return pc_ >= script_.size(); }
+    const std::vector<std::string> &errors() const { return errors_; }
+    const mem::MemStats &mem_stats() const { return mem_.stats(); }
+    TileMemory &memory() { return mem_; }
+
+  private:
+    TileMemory mem_;
+    std::vector<Op> script_;
+    std::size_t pc_ = 0;
+    bool waiting_ = false;
+    Cycle delay_until_ = 0;
+    std::vector<std::string> errors_;
+};
+
+/** Mesh system with all-pairs XY routing and a memory fabric. */
+struct MemHarness
+{
+    std::unique_ptr<System> sys;
+    std::unique_ptr<Fabric> fabric;
+    std::vector<ScriptedCore *> cores;
+
+    MemHarness(std::uint32_t side, MemConfig mc, std::uint64_t seed = 1)
+    {
+        Topology topo = Topology::mesh2d(side, side);
+        net::NetworkConfig nc;
+        sys = std::make_unique<System>(topo, nc, seed);
+        net::routing::build_xy(sys->network(),
+                               traffic::flows_all_pairs(topo.num_nodes()));
+        fabric = std::make_unique<Fabric>(mc, topo.num_nodes());
+        cores.resize(topo.num_nodes(), nullptr);
+    }
+
+    void
+    add_core(NodeId n, std::vector<Op> script)
+    {
+        auto core = std::make_unique<ScriptedCore>(sys->tile(n),
+                                                   fabric.get(),
+                                                   std::move(script));
+        cores[n] = core.get();
+        sys->add_frontend(n, std::move(core));
+    }
+
+    /** Run until all scripts finish; assert none reported errors. */
+    void
+    run_to_completion(Cycle limit = 500000)
+    {
+        // Tiles without a core still need a memory endpoint when they
+        // are a directory home (all tiles, in NUCA mode).
+        for (NodeId n = 0; n < cores.size(); ++n) {
+            if (cores[n] == nullptr)
+                sys->add_frontend(
+                    n, std::make_unique<mem::DirectoryFrontend>(
+                           sys->tile(n), fabric.get()));
+        }
+        RunOptions opts;
+        opts.max_cycles = limit;
+        opts.stop_when_done = true;
+        sys->run(opts);
+        for (NodeId n = 0; n < cores.size(); ++n) {
+            if (cores[n] == nullptr)
+                continue;
+            EXPECT_TRUE(cores[n]->finished()) << "core " << n
+                                              << " did not finish";
+            for (const auto &e : cores[n]->errors())
+                ADD_FAILURE() << "core " << n << ": " << e;
+        }
+    }
+};
+
+MemConfig
+msi_config(std::vector<NodeId> mcs = {0})
+{
+    MemConfig mc;
+    mc.mode = MemMode::MsiDirectory;
+    mc.mc_nodes = std::move(mcs);
+    mc.dram_latency = 20;
+    return mc;
+}
+
+// ---------------------------------------------------------------------
+// Cache unit tests.
+// ---------------------------------------------------------------------
+
+TEST(Cache, MissThenInstallHits)
+{
+    mem::Cache c(4, 2, 32);
+    EXPECT_EQ(c.find(0x100), nullptr);
+    auto ev = c.install(0x100, mem::LineState::Shared,
+                        std::vector<std::uint8_t>(32, 0xab));
+    EXPECT_FALSE(ev.has_value());
+    ASSERT_NE(c.find(0x11f), nullptr); // same line
+    EXPECT_EQ(c.find(0x120), nullptr); // next line
+    EXPECT_EQ(c.read(0x104, 4), 0xababababu);
+}
+
+TEST(Cache, LruEvictsOldest)
+{
+    mem::Cache c(1, 2, 32); // one set, two ways
+    c.install(0x000, mem::LineState::Shared,
+              std::vector<std::uint8_t>(32, 1));
+    c.install(0x020, mem::LineState::Shared,
+              std::vector<std::uint8_t>(32, 2));
+    c.access(0x000); // touch line 0 so line 1 becomes LRU
+    auto ev = c.install(0x040, mem::LineState::Shared,
+                        std::vector<std::uint8_t>(32, 3));
+    ASSERT_TRUE(ev.has_value());
+    EXPECT_EQ(ev->tag, 0x020u);
+    EXPECT_NE(c.find(0x000), nullptr);
+}
+
+TEST(Cache, WriteRequiresModified)
+{
+    mem::Cache c(4, 2, 32);
+    c.install(0x80, mem::LineState::Shared,
+              std::vector<std::uint8_t>(32, 0));
+    EXPECT_THROW(c.write(0x80, 4, 1), std::logic_error);
+    c.invalidate(0x80);
+    c.install(0x80, mem::LineState::Modified,
+              std::vector<std::uint8_t>(32, 0));
+    c.write(0x84, 4, 0xdeadbeef);
+    EXPECT_EQ(c.read(0x84, 4), 0xdeadbeefu);
+}
+
+TEST(Cache, CrossLineAccessRejected)
+{
+    mem::Cache c(4, 2, 32);
+    c.install(0x00, mem::LineState::Modified,
+              std::vector<std::uint8_t>(32, 0));
+    EXPECT_THROW(c.read(0x1e, 4), std::runtime_error);
+}
+
+TEST(Cache, BadGeometryRejected)
+{
+    EXPECT_THROW(mem::Cache(3, 2, 32), std::runtime_error);  // sets !pow2
+    EXPECT_THROW(mem::Cache(4, 0, 32), std::runtime_error);  // no ways
+    EXPECT_THROW(mem::Cache(4, 2, 24), std::runtime_error);  // line !pow2
+}
+
+// ---------------------------------------------------------------------
+// Fabric mapping.
+// ---------------------------------------------------------------------
+
+TEST(Fabric, MsiHomesInterleaveAcrossMcs)
+{
+    MemConfig mc = msi_config({3, 12});
+    Fabric f(mc, 16);
+    EXPECT_EQ(f.home_of(0x00), 3u);
+    EXPECT_EQ(f.home_of(0x20), 12u);
+    EXPECT_EQ(f.home_of(0x40), 3u);
+}
+
+TEST(Fabric, NucaHomesInterleaveAcrossAllTiles)
+{
+    MemConfig mc;
+    mc.mode = MemMode::Nuca;
+    Fabric f(mc, 16);
+    EXPECT_EQ(f.home_of(0x00), 0u);
+    EXPECT_EQ(f.home_of(0x20), 1u);
+    EXPECT_EQ(f.home_of(0x20 * 16), 0u);
+}
+
+TEST(Fabric, PokePeekRoundTrip)
+{
+    Fabric f(msi_config(), 4);
+    f.poke32(0x1234, 0xcafebabe);
+    EXPECT_EQ(f.peek32(0x1234), 0xcafebabeu);
+    // Crossing a line boundary works byte-wise.
+    f.poke(0x3e, {1, 2, 3, 4});
+    EXPECT_EQ(f.peek(0x3e, 4), 0x04030201u);
+}
+
+// ---------------------------------------------------------------------
+// MSI protocol end-to-end over the NoC.
+// ---------------------------------------------------------------------
+
+TEST(Msi, WriteReadBackSingleCore)
+{
+    MemHarness h(4, msi_config());
+    h.add_core(15, {{Op::Write, 0x1000, 4, 42},
+                    {Op::ReadExpect, 0x1000, 4, 42},
+                    {Op::Write, 0x1004, 4, 7},
+                    {Op::ReadExpect, 0x1004, 4, 7},
+                    {Op::ReadExpect, 0x1000, 4, 42}});
+    h.run_to_completion();
+    // One miss (GetM), then hits.
+    EXPECT_EQ(h.cores[15]->mem_stats().l1_misses, 1u);
+    EXPECT_EQ(h.cores[15]->mem_stats().l1_hits, 4u);
+}
+
+TEST(Msi, InitializedMemoryIsVisible)
+{
+    MemHarness h(4, msi_config());
+    h.fabric->poke32(0x2000, 777);
+    h.add_core(5, {{Op::ReadExpect, 0x2000, 4, 777}});
+    h.run_to_completion();
+}
+
+TEST(Msi, TwoReadersShareALine)
+{
+    MemHarness h(4, msi_config());
+    h.fabric->poke32(0x3000, 99);
+    h.add_core(1, {{Op::ReadExpect, 0x3000, 4, 99}});
+    h.add_core(14, {{Op::ReadExpect, 0x3000, 4, 99}});
+    h.run_to_completion();
+    EXPECT_EQ(h.cores[1]->memory().l1().find(0x3000)->state,
+              mem::LineState::Shared);
+    EXPECT_EQ(h.cores[14]->memory().l1().find(0x3000)->state,
+              mem::LineState::Shared);
+}
+
+TEST(Msi, WriterInvalidatesReaders)
+{
+    MemHarness h(4, msi_config());
+    h.fabric->poke32(0x3000, 1);
+    // Core 1 reads, then waits, then re-reads and must see core 2's
+    // write (polls until the new value propagates).
+    h.add_core(1, {{Op::ReadExpect, 0x3000, 4, 1},
+                   {Op::Delay, 0, 0, 0, 400},
+                   {Op::ReadPoll, 0x3000, 4, 2}});
+    h.add_core(2, {{Op::Delay, 0, 0, 0, 150},
+                   {Op::Write, 0x3000, 4, 2}});
+    h.run_to_completion();
+    EXPECT_GE(h.cores[1]->mem_stats().invalidations_received, 1u);
+}
+
+TEST(Msi, OwnerForwardsToReader)
+{
+    MemHarness h(4, msi_config());
+    h.add_core(10, {{Op::Write, 0x4000, 4, 1234}});
+    h.add_core(5, {{Op::Delay, 0, 0, 0, 600},
+                   {Op::ReadExpect, 0x4000, 4, 1234}});
+    h.run_to_completion();
+    EXPECT_GE(h.cores[10]->mem_stats().forwards_served, 1u);
+    // The FwdGetS writeback also updated memory at the home.
+    EXPECT_EQ(h.fabric->peek32(0x4000), 1234u);
+}
+
+TEST(Msi, OwnershipHandoffBetweenWriters)
+{
+    MemHarness h(4, msi_config());
+    h.add_core(3, {{Op::Write, 0x5000, 4, 10},
+                   {Op::Delay, 0, 0, 0, 800},
+                   {Op::ReadPoll, 0x5000, 4, 20}});
+    h.add_core(12, {{Op::Delay, 0, 0, 0, 300},
+                    {Op::ReadPoll, 0x5000, 4, 10},
+                    {Op::Write, 0x5000, 4, 20}});
+    h.run_to_completion();
+}
+
+TEST(Msi, EvictionWritesBack)
+{
+    // Force evictions with a tiny cache: write k lines that all map to
+    // one set, then read the first line again.
+    MemConfig mc = msi_config();
+    mc.l1_sets = 1;
+    mc.l1_ways = 2;
+    MemHarness h(4, mc);
+    std::vector<Op> script;
+    for (std::uint64_t i = 0; i < 6; ++i)
+        script.push_back({Op::Write, 0x6000 + 0x20 * i, 4, 100 + i});
+    for (std::uint64_t i = 0; i < 6; ++i)
+        script.push_back({Op::ReadExpect, 0x6000 + 0x20 * i, 4, 100 + i});
+    h.add_core(9, script);
+    h.run_to_completion();
+    EXPECT_GE(h.cores[9]->mem_stats().evictions, 4u);
+}
+
+TEST(Msi, FalseSharingPingPong)
+{
+    // Two cores hammer different words of the same line: heavy
+    // FwdGetM traffic; both must retain all their own updates.
+    MemHarness h(4, msi_config());
+    constexpr int kIters = 12;
+    std::vector<Op> a, b;
+    for (int i = 1; i <= kIters; ++i) {
+        a.push_back({Op::Write, 0x7000, 4,
+                     static_cast<std::uint64_t>(i)});
+        b.push_back({Op::Write, 0x7004, 4,
+                     static_cast<std::uint64_t>(1000 + i)});
+    }
+    a.push_back({Op::ReadExpect, 0x7000, 4, kIters});
+    b.push_back({Op::ReadExpect, 0x7004, 4, 1000 + kIters});
+    h.add_core(0, a); // note: node 0 is also the MC/home
+    h.add_core(15, b);
+    h.run_to_completion();
+    // Both finished and saw their own last values despite the line
+    // bouncing; reading the other word back via a third core:
+}
+
+TEST(Msi, ProducerConsumerFlagProtocol)
+{
+    MemHarness h(4, msi_config({5}));
+    // Producer writes data then raises a flag; consumer polls the flag
+    // and must then see the data (coherence ordering).
+    h.add_core(2, {{Op::Write, 0x8000, 4, 0xfeed},
+                   {Op::Write, 0x8100, 4, 1}}); // flag on another line
+    h.add_core(13, {{Op::ReadPoll, 0x8100, 4, 1},
+                    {Op::ReadExpect, 0x8000, 4, 0xfeed}});
+    h.run_to_completion();
+}
+
+TEST(Msi, ManyCoresDisjointAddressesAllCorrect)
+{
+    // Property test: 8 cores do read/write sequences on disjoint
+    // address ranges through 2 MCs; every read checks out.
+    MemHarness h(4, msi_config({0, 15}));
+    Rng rng(99);
+    for (NodeId n = 0; n < 8; ++n) {
+        std::vector<Op> script;
+        std::uint64_t base = 0x10000 + 0x1000 * n;
+        std::vector<std::uint64_t> vals(16, 0);
+        for (int i = 0; i < 40; ++i) {
+            std::uint64_t slot = rng.below(16);
+            if (rng.chance(0.5) || vals[slot] == 0) {
+                vals[slot] = rng.below(1u << 30) + 1;
+                script.push_back({Op::Write, base + 0x20 * slot, 4,
+                                  vals[slot]});
+            } else {
+                script.push_back({Op::ReadExpect, base + 0x20 * slot, 4,
+                                  vals[slot]});
+            }
+        }
+        h.add_core(n * 2, script);
+    }
+    h.run_to_completion();
+}
+
+TEST(Msi, MissLatencyReflectsNetworkAndDram)
+{
+    MemConfig mc = msi_config({0});
+    mc.dram_latency = 30;
+    MemHarness h(4, mc);
+    h.add_core(15, {{Op::ReadExpect, 0x9000, 4, 0}});
+    h.run_to_completion();
+    // Round trip: >= 2 * (6 hops * 2 cycles) + dram.
+    EXPECT_GE(h.cores[15]->mem_stats().miss_latency.mean(), 30.0 + 20.0);
+}
+
+// ---------------------------------------------------------------------
+// NUCA mode.
+// ---------------------------------------------------------------------
+
+MemConfig
+nuca_config()
+{
+    MemConfig mc;
+    mc.mode = MemMode::Nuca;
+    mc.dram_latency = 10;
+    return mc;
+}
+
+TEST(Nuca, LocalAndRemoteReadWrite)
+{
+    MemHarness h(4, nuca_config());
+    // Line 0 homes at tile 0; line 1 at tile 1, etc.
+    h.add_core(0, {{Op::Write, 0x00, 4, 5},      // local (home 0)
+                   {Op::ReadExpect, 0x00, 4, 5},
+                   {Op::Write, 0x20, 4, 6},      // remote (home 1)
+                   {Op::ReadExpect, 0x20, 4, 6}});
+    h.run_to_completion();
+    EXPECT_EQ(h.cores[0]->mem_stats().remote_accesses, 2u);
+}
+
+TEST(Nuca, SharedWordVisibleToAll)
+{
+    MemHarness h(4, nuca_config());
+    h.add_core(3, {{Op::Write, 0x40, 4, 1717}});
+    h.add_core(12, {{Op::ReadPoll, 0x40, 4, 1717}});
+    h.run_to_completion();
+}
+
+TEST(Nuca, RemoteCostsMoreThanLocal)
+{
+    MemHarness h(4, nuca_config());
+    // Tile 5's local lines: home_of interleaves by line; line with
+    // index 5 homes at tile 5: addr = 5 * 0x20.
+    h.add_core(5, {{Op::Write, 5 * 0x20, 4, 1},
+                   {Op::Write, 0x20 * 10 + 0x20 * 16, 4, 1}});
+    h.run_to_completion();
+    auto &st = h.cores[5]->mem_stats();
+    EXPECT_EQ(st.remote_accesses, 1u);
+}
+
+} // namespace
+} // namespace hornet

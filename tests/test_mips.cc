@@ -1,0 +1,348 @@
+/**
+ * @file
+ * MIPS frontend tests: assembler encodings and errors, single-core
+ * programs (arithmetic, memory through the coherent hierarchy),
+ * message-passing programs (ring, Cannon matmul vs a host reference),
+ * the ideal-network trace capture, and determinism.
+ */
+#include <gtest/gtest.h>
+
+#include "mips/assembler.h"
+#include "mips/core.h"
+#include "mips/isa.h"
+#include "workloads/programs.h"
+
+namespace hornet {
+namespace {
+
+using mips::assemble;
+using mips::MipsMachine;
+using mips::MipsMachineConfig;
+using net::Topology;
+
+// ---------------------------------------------------------------------
+// Assembler.
+// ---------------------------------------------------------------------
+
+TEST(Assembler, BasicEncodings)
+{
+    auto p = assemble("addiu $t0, $zero, 5\n"
+                      "addu $t1, $t0, $t0\n"
+                      "lw $t2, 8($sp)\n"
+                      "sw $t2, -4($sp)\n");
+    ASSERT_EQ(p.text.size(), 4u);
+    EXPECT_EQ(p.text[0], 0x24080005u); // addiu $8, $0, 5
+    EXPECT_EQ(p.text[1], 0x01084821u); // addu $9, $8, $8
+    EXPECT_EQ(p.text[2], 0x8faa0008u); // lw $10, 8($29)
+    EXPECT_EQ(p.text[3], 0xafaafffcu); // sw $10, -4($29)
+}
+
+TEST(Assembler, LabelsAndBranches)
+{
+    auto p = assemble("  li $t0, 3\n"
+                      "loop:\n"
+                      "  addiu $t0, $t0, -1\n"
+                      "  bne $t0, $zero, loop\n"
+                      "  nop\n");
+    ASSERT_EQ(p.text.size(), 4u);
+    // bne $8, $0, -2 instructions back.
+    EXPECT_EQ(p.text[2] & 0xffffu, 0xfffeu);
+    EXPECT_EQ(p.labels.at("loop"), 1u);
+}
+
+TEST(Assembler, LiExpandsForLargeConstants)
+{
+    auto p = assemble("li $t0, 5\nli $t1, 0x12345678\n");
+    ASSERT_EQ(p.text.size(), 3u);
+    EXPECT_EQ(p.text[1] >> 26, static_cast<std::uint32_t>(mips::OP_LUI));
+    EXPECT_EQ(p.text[1] & 0xffffu, 0x1234u);
+    EXPECT_EQ(p.text[2] & 0xffffu, 0x5678u);
+}
+
+TEST(Assembler, PseudoBranchExpansion)
+{
+    auto p = assemble("start: blt $t0, $t1, start\n");
+    ASSERT_EQ(p.text.size(), 2u); // slt + bne
+}
+
+TEST(Assembler, WordsAndComments)
+{
+    auto p = assemble("# header\n"
+                      "data: .word 1, 2, 0x10 ; trailing\n");
+    ASSERT_EQ(p.text.size(), 3u);
+    EXPECT_EQ(p.text[2], 0x10u);
+}
+
+TEST(Assembler, ErrorsAreFatal)
+{
+    EXPECT_THROW(assemble("frobnicate $t0\n"), std::runtime_error);
+    EXPECT_THROW(assemble("addu $t0, $t1\n"), std::runtime_error);
+    EXPECT_THROW(assemble("beq $t0, $t1, nowhere\n"),
+                 std::runtime_error);
+    EXPECT_THROW(assemble("addiu $t0, $zero, 99999\n"),
+                 std::runtime_error);
+    EXPECT_THROW(assemble("x: nop\nx: nop\n"), std::runtime_error);
+}
+
+TEST(Assembler, JumpTargets)
+{
+    auto p = assemble("  j end\n  nop\nend:\n  nop\n");
+    EXPECT_EQ(p.text[0] >> 26, static_cast<std::uint32_t>(mips::OP_J));
+    EXPECT_EQ(p.text[0] & 0x03ffffffu, p.base / 4 + 2);
+}
+
+// ---------------------------------------------------------------------
+// Single-core execution.
+// ---------------------------------------------------------------------
+
+MipsMachineConfig
+machine_cfg(const std::string &program)
+{
+    MipsMachineConfig cfg;
+    cfg.program = program;
+    cfg.mem.mc_nodes = {0};
+    cfg.mem.dram_latency = 10;
+    return cfg;
+}
+
+TEST(MipsCore, FibonacciInRegisters)
+{
+    // fib(10) = 55, computed without memory traffic.
+    const char *prog =
+        "  li $t0, 10\n"
+        "  li $t1, 0\n"  // fib(0)
+        "  li $t2, 1\n"  // fib(1)
+        "loop:\n"
+        "  beq $t0, $zero, done\n"
+        "  addu $t3, $t1, $t2\n"
+        "  move $t1, $t2\n"
+        "  move $t2, $t3\n"
+        "  addiu $t0, $t0, -1\n"
+        "  b loop\n"
+        "done:\n"
+        "  move $a0, $t1\n"
+        "  li $v0, 2\n"
+        "  syscall\n"
+        "  li $v0, 1\n"
+        "  syscall\n";
+    MipsMachine m(Topology::mesh2d(1, 1), machine_cfg(prog));
+    m.run_until_done(100000);
+    ASSERT_TRUE(m.all_halted());
+    ASSERT_EQ(m.core(0).output().size(), 1u);
+    EXPECT_EQ(m.core(0).output()[0], 55);
+}
+
+TEST(MipsCore, MemorySumThroughHierarchy)
+{
+    // Store 1..20 into the private region, then sum them back.
+    const char *prog =
+        "  move $gp, $a2\n"
+        "  li $t0, 0\n"
+        "  li $t1, 20\n"
+        "st: bge $t0, $t1, ld\n"
+        "  sll $t2, $t0, 2\n"
+        "  addu $t2, $t2, $gp\n"
+        "  addiu $t3, $t0, 1\n"
+        "  sw $t3, 0($t2)\n"
+        "  addiu $t0, $t0, 1\n"
+        "  b st\n"
+        "ld:\n"
+        "  li $t0, 0\n"
+        "  li $t4, 0\n"
+        "l2: bge $t0, $t1, fin\n"
+        "  sll $t2, $t0, 2\n"
+        "  addu $t2, $t2, $gp\n"
+        "  lw $t3, 0($t2)\n"
+        "  addu $t4, $t4, $t3\n"
+        "  addiu $t0, $t0, 1\n"
+        "  b l2\n"
+        "fin:\n"
+        "  move $a0, $t4\n"
+        "  li $v0, 2\n"
+        "  syscall\n"
+        "  li $v0, 1\n"
+        "  syscall\n";
+    MipsMachine m(Topology::mesh2d(2, 2), machine_cfg(prog));
+    m.run_until_done(1000000);
+    ASSERT_TRUE(m.all_halted());
+    for (NodeId n = 0; n < 4; ++n) {
+        ASSERT_EQ(m.core(n).output().size(), 1u) << "core " << n;
+        EXPECT_EQ(m.core(n).output()[0], 210);
+    }
+    // Memory traffic actually crossed the hierarchy.
+    EXPECT_GT(m.core(3).memory().stats().l1_misses, 0u);
+}
+
+TEST(MipsCore, SignExtensionLoads)
+{
+    const char *prog =
+        "  move $gp, $a2\n"
+        "  li $t0, -2\n"
+        "  sb $t0, 0($gp)\n"
+        "  lb $t1, 0($gp)\n"
+        "  lbu $t2, 0($gp)\n"
+        "  move $a0, $t1\n"
+        "  li $v0, 2\n"
+        "  syscall\n"
+        "  move $a0, $t2\n"
+        "  li $v0, 2\n"
+        "  syscall\n"
+        "  li $v0, 1\n"
+        "  syscall\n";
+    MipsMachine m(Topology::mesh2d(1, 1), machine_cfg(prog));
+    m.run_until_done(100000);
+    ASSERT_EQ(m.core(0).output().size(), 2u);
+    EXPECT_EQ(m.core(0).output()[0], -2);
+    EXPECT_EQ(m.core(0).output()[1], 254);
+}
+
+TEST(MipsCore, MultDivHiLo)
+{
+    const char *prog =
+        "  li $t0, -6\n"
+        "  li $t1, 7\n"
+        "  mult $t0, $t1\n"
+        "  mflo $a0\n"
+        "  li $v0, 2\n"
+        "  syscall\n"
+        "  li $t0, 43\n"
+        "  li $t1, 5\n"
+        "  div $t0, $t1\n"
+        "  mflo $a0\n"
+        "  li $v0, 2\n"
+        "  syscall\n"
+        "  mfhi $a0\n"
+        "  li $v0, 2\n"
+        "  syscall\n"
+        "  li $v0, 1\n"
+        "  syscall\n";
+    MipsMachine m(Topology::mesh2d(1, 1), machine_cfg(prog));
+    m.run_until_done(100000);
+    ASSERT_EQ(m.core(0).output().size(), 3u);
+    EXPECT_EQ(m.core(0).output()[0], -42);
+    EXPECT_EQ(m.core(0).output()[1], 8);
+    EXPECT_EQ(m.core(0).output()[2], 3);
+}
+
+TEST(MipsCore, JalAndJrSubroutines)
+{
+    const char *prog =
+        "  li $a0, 5\n"
+        "  jal double\n"
+        "  move $a0, $v1\n"
+        "  li $v0, 2\n"
+        "  syscall\n"
+        "  li $v0, 1\n"
+        "  syscall\n"
+        "double:\n"
+        "  addu $v1, $a0, $a0\n"
+        "  jr $ra\n";
+    MipsMachine m(Topology::mesh2d(1, 1), machine_cfg(prog));
+    m.run_until_done(100000);
+    ASSERT_EQ(m.core(0).output().size(), 1u);
+    EXPECT_EQ(m.core(0).output()[0], 10);
+}
+
+// ---------------------------------------------------------------------
+// Message passing.
+// ---------------------------------------------------------------------
+
+TEST(MipsNet, TokenRingCompletes)
+{
+    const std::uint32_t laps = 3;
+    MipsMachine m(Topology::mesh2d(2, 2),
+                  machine_cfg(workloads::counter_ring_program(laps)));
+    m.run_until_done(2000000);
+    ASSERT_TRUE(m.all_halted());
+    ASSERT_EQ(m.core(0).output().size(), 1u);
+    EXPECT_EQ(m.core(0).output()[0],
+              static_cast<std::int64_t>(laps * 4));
+    EXPECT_GT(m.core(1).stats().sends, 0u);
+    EXPECT_GT(m.core(1).stats().receives, 0u);
+}
+
+TEST(MipsNet, TokenRingIdealNetworkMatchesResult)
+{
+    const std::uint32_t laps = 2;
+    auto cfg = machine_cfg(workloads::counter_ring_program(laps));
+    cfg.ideal_network = true;
+    MipsMachine m(Topology::mesh2d(2, 2), cfg);
+    m.run_until_done(2000000);
+    ASSERT_TRUE(m.all_halted());
+    EXPECT_EQ(m.core(0).output()[0],
+              static_cast<std::int64_t>(laps * 4));
+    // Every send was captured as a trace event.
+    EXPECT_EQ(m.shared().trace.size(),
+              static_cast<std::size_t>(laps * 4));
+}
+
+TEST(MipsNet, CannonChecksumMatchesHost)
+{
+    const std::uint32_t grid = 2, block = 4;
+    MipsMachine m(
+        Topology::mesh2d(grid, grid),
+        machine_cfg(workloads::cannon_program(grid, block)));
+    m.run_until_done(5000000);
+    ASSERT_TRUE(m.all_halted());
+    ASSERT_EQ(m.core(0).output().size(), 1u);
+    EXPECT_EQ(static_cast<std::uint32_t>(m.core(0).output()[0]),
+              workloads::cannon_expected_checksum(grid, block));
+}
+
+TEST(MipsNet, CannonLargerGrid)
+{
+    const std::uint32_t grid = 3, block = 4;
+    MipsMachine m(
+        Topology::mesh2d(grid, grid),
+        machine_cfg(workloads::cannon_program(grid, block)));
+    m.run_until_done(20000000);
+    ASSERT_TRUE(m.all_halted());
+    ASSERT_EQ(m.core(0).output().size(), 1u);
+    EXPECT_EQ(static_cast<std::uint32_t>(m.core(0).output()[0]),
+              workloads::cannon_expected_checksum(grid, block));
+}
+
+TEST(MipsNet, BlackscholesChecksumMatchesHost)
+{
+    const std::uint32_t options = 64, rounds = 2;
+    MipsMachine m(
+        Topology::mesh2d(2, 2),
+        machine_cfg(workloads::blackscholes_program(options, rounds)));
+    m.run_until_done(10000000);
+    ASSERT_TRUE(m.all_halted());
+    for (NodeId n = 0; n < 4; ++n) {
+        ASSERT_EQ(m.core(n).output().size(), 1u) << "core " << n;
+        EXPECT_EQ(static_cast<std::uint32_t>(m.core(n).output()[0]),
+                  workloads::blackscholes_expected_checksum(n, options,
+                                                            rounds))
+            << "core " << n;
+    }
+}
+
+TEST(MipsNet, DeterministicAcrossRuns)
+{
+    auto run_once = [] {
+        MipsMachine m(Topology::mesh2d(2, 2),
+                      machine_cfg(workloads::counter_ring_program(2)));
+        Cycle end = m.run_until_done(2000000);
+        return std::make_pair(end, m.core(0).output()[0]);
+    };
+    auto a = run_once();
+    auto b = run_once();
+    EXPECT_EQ(a.first, b.first);
+    EXPECT_EQ(a.second, b.second);
+}
+
+TEST(MipsNet, ParallelCycleAccurateMatchesSequential)
+{
+    auto run_once = [](unsigned threads) {
+        MipsMachine m(Topology::mesh2d(2, 2),
+                      machine_cfg(workloads::counter_ring_program(2)));
+        Cycle end = m.run_until_done(2000000, threads);
+        return end;
+    };
+    EXPECT_EQ(run_once(1), run_once(4));
+}
+
+} // namespace
+} // namespace hornet

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Power-model and thermal-model tests: event accounting, scaling,
+ * leakage, steady-state physics, transient convergence, and the
+ * central-hotspot behaviour Fig 14 relies on.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "net/topology.h"
+#include "power/power_model.h"
+#include "thermal/thermal_model.h"
+
+namespace hornet {
+namespace {
+
+using power::ActivityDelta;
+using power::PowerConfig;
+using power::PowerModel;
+using thermal::ThermalConfig;
+using thermal::ThermalModel;
+
+net::RouterConfig
+default_router()
+{
+    return net::RouterConfig{};
+}
+
+TEST(Power, ZeroActivityIsLeakageOnly)
+{
+    PowerModel pm(default_router(), 5);
+    ActivityDelta none;
+    EXPECT_DOUBLE_EQ(pm.dynamic_energy_pj(none), 0.0);
+    EXPECT_GT(pm.leakage_power_mw(), 0.0);
+    EXPECT_DOUBLE_EQ(pm.epoch_power_mw(none, 1000),
+                     pm.leakage_power_mw());
+}
+
+TEST(Power, EnergyScalesLinearlyWithActivity)
+{
+    PowerModel pm(default_router(), 5);
+    ActivityDelta a;
+    a.buffer_writes = 100;
+    a.buffer_reads = 100;
+    a.xbar_transits = 100;
+    a.link_transits = 100;
+    a.arbitrations = 200;
+    ActivityDelta b = a;
+    b.buffer_writes *= 2;
+    b.buffer_reads *= 2;
+    b.xbar_transits *= 2;
+    b.link_transits *= 2;
+    b.arbitrations *= 2;
+    EXPECT_NEAR(pm.dynamic_energy_pj(b), 2.0 * pm.dynamic_energy_pj(a),
+                1e-9);
+}
+
+TEST(Power, VddScalesQuadratically)
+{
+    PowerConfig lo, hi;
+    lo.vdd = 1.0;
+    hi.vdd = 1.2;
+    PowerModel pml(default_router(), 5, lo);
+    PowerModel pmh(default_router(), 5, hi);
+    ActivityDelta a;
+    a.xbar_transits = 1000;
+    EXPECT_NEAR(pmh.dynamic_energy_pj(a) / pml.dynamic_energy_pj(a),
+                1.44, 1e-6);
+}
+
+TEST(Power, BiggerBuffersLeakMore)
+{
+    net::RouterConfig small = default_router();
+    net::RouterConfig big = default_router();
+    big.net_vcs = 8;
+    big.net_vc_capacity = 8;
+    PowerModel pms(small, 5);
+    PowerModel pmb(big, 5);
+    EXPECT_GT(pmb.leakage_power_mw(), pms.leakage_power_mw());
+}
+
+TEST(Power, ActivityDeltaSubtracts)
+{
+    TileStats before, after;
+    before.buffer_reads = 10;
+    after.buffer_reads = 25;
+    before.va_grants = 1;
+    after.va_grants = 5;
+    after.sa_grants = 7;
+    auto d = power::activity_delta(before, after);
+    EXPECT_EQ(d.buffer_reads, 15u);
+    EXPECT_EQ(d.arbitrations, 4u + 7u);
+}
+
+TEST(Power, EpochPowerMatchesHandComputation)
+{
+    PowerConfig cfg;
+    cfg.freq_ghz = 2.0;
+    PowerModel pm(default_router(), 5, cfg);
+    ActivityDelta a;
+    a.link_transits = 1000;
+    // 1000 transits * e_link pJ over 1000 cycles @ 2 GHz (= 500 ns).
+    double expected =
+        pm.dynamic_energy_pj(a) / 500.0 + pm.leakage_power_mw();
+    EXPECT_NEAR(pm.epoch_power_mw(a, 1000), expected, 1e-9);
+}
+
+TEST(Power, EpochSamplerFirstCallIsBaseline)
+{
+    PowerModel pm(default_router(), 5);
+    power::EpochPowerSampler sampler(2, pm);
+    std::vector<TileStats> s(2);
+    auto p0 = sampler.sample_mw(s, 100);
+    EXPECT_DOUBLE_EQ(p0[0], pm.leakage_power_mw());
+    s[0].xbar_transits = 500;
+    auto p1 = sampler.sample_mw(s, 100);
+    EXPECT_GT(p1[0], p1[1]);
+}
+
+// ---------------------------------------------------------------------
+// Thermal model
+// ---------------------------------------------------------------------
+
+TEST(Thermal, UniformPowerGivesUniformSteadyState)
+{
+    ThermalConfig cfg;
+    ThermalModel tm(net::Topology::mesh2d(4, 4), cfg);
+    std::vector<double> p(16, 2.0); // 2 W per tile
+    auto t = tm.steady_state(p);
+    const double expected = cfg.ambient_c + 2.0 * cfg.r_vertical;
+    for (double ti : t)
+        EXPECT_NEAR(ti, expected, 1e-6);
+}
+
+TEST(Thermal, ZeroPowerStaysAmbient)
+{
+    ThermalConfig cfg;
+    ThermalModel tm(net::Topology::mesh2d(3, 3), cfg);
+    std::vector<double> p(9, 0.0);
+    auto t = tm.steady_state(p);
+    for (double ti : t)
+        EXPECT_NEAR(ti, cfg.ambient_c, 1e-9);
+    tm.step(p, 0.01);
+    for (double ti : tm.temperatures())
+        EXPECT_NEAR(ti, cfg.ambient_c, 1e-9);
+}
+
+TEST(Thermal, TransientConvergesToSteadyState)
+{
+    ThermalConfig cfg;
+    ThermalModel tm(net::Topology::mesh2d(4, 4), cfg);
+    std::vector<double> p(16, 0.5);
+    p[5] = 4.0; // hot tile
+    auto ss = tm.steady_state(p);
+    for (int i = 0; i < 200; ++i)
+        tm.step(p, 0.01);
+    for (std::size_t i = 0; i < ss.size(); ++i)
+        EXPECT_NEAR(tm.temperatures()[i], ss[i], 0.05);
+}
+
+TEST(Thermal, HeatSpreadsToNeighbors)
+{
+    ThermalConfig cfg;
+    ThermalModel tm(net::Topology::mesh2d(5, 5), cfg);
+    std::vector<double> p(25, 0.0);
+    p[12] = 5.0; // center
+    auto t = tm.steady_state(p);
+    // Center hottest; 4-neighbours warmer than corners.
+    EXPECT_EQ(ThermalModel::hottest(t), 12u);
+    EXPECT_GT(t[7], t[0]);
+    EXPECT_GT(t[12], t[7]);
+    EXPECT_GT(t[0], cfg.ambient_c - 1e-9);
+}
+
+TEST(Thermal, CentralBiasUnderUniformEdgeCooling)
+{
+    // Equal power everywhere: lateral symmetry keeps everything equal
+    // (corners have fewer neighbours but lateral flow is zero when
+    // uniform). With *slightly* center-weighted power — which XY
+    // routing produces (Fig 14) — the center wins clearly.
+    ThermalConfig cfg;
+    ThermalModel tm(net::Topology::mesh2d(5, 5), cfg);
+    std::vector<double> p(25, 1.0);
+    p[12] *= 1.3;
+    auto t = tm.steady_state(p);
+    EXPECT_EQ(ThermalModel::hottest(t), 12u);
+}
+
+TEST(Thermal, TransientRiseIsMonotoneForStepPower)
+{
+    ThermalModel tm(net::Topology::mesh2d(3, 3));
+    std::vector<double> p(9, 1.0);
+    double prev = tm.temperatures()[4];
+    for (int i = 0; i < 50; ++i) {
+        tm.step(p, 0.002);
+        double cur = tm.temperatures()[4];
+        EXPECT_GE(cur, prev - 1e-12);
+        prev = cur;
+    }
+    EXPECT_GT(prev, tm.config().ambient_c);
+}
+
+TEST(Thermal, CoolingAfterPowerDrop)
+{
+    ThermalModel tm(net::Topology::mesh2d(3, 3));
+    std::vector<double> hot(9, 3.0), off(9, 0.0);
+    for (int i = 0; i < 100; ++i)
+        tm.step(hot, 0.005);
+    double peak = tm.temperatures()[4];
+    for (int i = 0; i < 100; ++i)
+        tm.step(off, 0.005);
+    EXPECT_LT(tm.temperatures()[4], peak);
+}
+
+TEST(Thermal, ResetRestoresAmbient)
+{
+    ThermalModel tm(net::Topology::mesh2d(3, 3));
+    std::vector<double> p(9, 2.0);
+    tm.step(p, 0.05);
+    tm.reset();
+    for (double t : tm.temperatures())
+        EXPECT_DOUBLE_EQ(t, tm.config().ambient_c);
+}
+
+TEST(Thermal, RejectsBadConfigAndSizes)
+{
+    ThermalConfig bad;
+    bad.c_tile = 0.0;
+    EXPECT_THROW(ThermalModel(net::Topology::mesh2d(2, 2), bad),
+                 std::runtime_error);
+    ThermalModel tm(net::Topology::mesh2d(2, 2));
+    std::vector<double> wrong(3, 1.0);
+    EXPECT_THROW(tm.step(wrong, 0.1), std::runtime_error);
+    EXPECT_THROW(tm.steady_state(wrong), std::runtime_error);
+}
+
+TEST(Thermal, EnergyBalanceAtSteadyState)
+{
+    // At steady state, total power in == total heat flow to ambient.
+    ThermalConfig cfg;
+    ThermalModel tm(net::Topology::mesh2d(4, 4), cfg);
+    std::vector<double> p(16);
+    for (std::size_t i = 0; i < 16; ++i)
+        p[i] = 0.1 * static_cast<double>(i % 5);
+    auto t = tm.steady_state(p);
+    double pin = 0, pout = 0;
+    for (std::size_t i = 0; i < 16; ++i) {
+        pin += p[i];
+        pout += (t[i] - cfg.ambient_c) / cfg.r_vertical;
+    }
+    EXPECT_NEAR(pin, pout, 1e-6);
+}
+
+} // namespace
+} // namespace hornet

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Unit tests for interconnect geometries (paper II-A1, Fig 4).
+ */
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+
+namespace hornet::net {
+namespace {
+
+TEST(Topology, Mesh2dStructure)
+{
+    auto t = Topology::mesh2d(4, 3);
+    EXPECT_EQ(t.num_nodes(), 12u);
+    // links: horizontal 3*3=9, vertical 4*2=8
+    EXPECT_EQ(t.num_links(), 17u);
+    // Corner has 2 neighbours, edge 3, interior 4.
+    EXPECT_EQ(t.neighbors(0).size(), 2u);
+    EXPECT_EQ(t.neighbors(1).size(), 3u);
+    EXPECT_EQ(t.neighbors(5).size(), 4u);
+    EXPECT_TRUE(t.adjacent(0, 1));
+    EXPECT_TRUE(t.adjacent(0, 4));
+    EXPECT_FALSE(t.adjacent(0, 5));
+}
+
+TEST(Topology, Mesh2dCoordinates)
+{
+    auto t = Topology::mesh2d(4, 3);
+    EXPECT_EQ(t.x_of(6), 2u);
+    EXPECT_EQ(t.y_of(6), 1u);
+    EXPECT_EQ(t.node_at(2, 1), 6u);
+}
+
+TEST(Topology, PortNumberingMatchesNeighborOrder)
+{
+    auto t = Topology::mesh2d(3, 3);
+    const auto &nb = t.neighbors(4); // center node
+    ASSERT_EQ(nb.size(), 4u);
+    for (PortId p = 0; p < nb.size(); ++p)
+        EXPECT_EQ(t.port_to(4, nb[p]), p);
+    EXPECT_EQ(t.port_to(4, 0), kInvalidPort); // not adjacent
+}
+
+TEST(Topology, RingStructure)
+{
+    auto t = Topology::ring(6);
+    EXPECT_EQ(t.num_links(), 6u);
+    for (NodeId n = 0; n < 6; ++n)
+        EXPECT_EQ(t.neighbors(n).size(), 2u);
+    EXPECT_TRUE(t.adjacent(0, 5));
+    EXPECT_EQ(t.hop_distance(0, 3), 3u);
+}
+
+TEST(Topology, RingOfTwoHasOneLink)
+{
+    auto t = Topology::ring(2);
+    EXPECT_EQ(t.num_links(), 1u);
+    EXPECT_TRUE(t.adjacent(0, 1));
+}
+
+TEST(Topology, Torus2dWraparound)
+{
+    auto t = Topology::torus2d(4, 4);
+    EXPECT_TRUE(t.adjacent(0, 3));   // row wrap
+    EXPECT_TRUE(t.adjacent(0, 12));  // column wrap
+    EXPECT_EQ(t.num_links(), 32u);   // 2*n links in an n-node 2D torus
+    EXPECT_EQ(t.hop_distance(0, 15), 2u);
+}
+
+TEST(Topology, Mesh3dX1OneColumnOfVerticalLinks)
+{
+    auto t = Topology::mesh3d(3, 3, 2, LayerStyle::X1);
+    // In-layer: 2 * 12; vertical: one column (x=0) => 3 links.
+    EXPECT_EQ(t.num_links(), 27u);
+    EXPECT_TRUE(t.adjacent(t.node_at(0, 1, 0), t.node_at(0, 1, 1)));
+    EXPECT_FALSE(t.adjacent(t.node_at(1, 1, 0), t.node_at(1, 1, 1)));
+}
+
+TEST(Topology, Mesh3dX1Y1ColumnAndRow)
+{
+    auto t = Topology::mesh3d(3, 3, 2, LayerStyle::X1Y1);
+    // Vertical links: column x=0 (3) plus row y=0 minus the shared
+    // corner (2) => 5.
+    EXPECT_EQ(t.num_links(), 24u + 5u);
+    EXPECT_TRUE(t.adjacent(t.node_at(2, 0, 0), t.node_at(2, 0, 1)));
+    EXPECT_FALSE(t.adjacent(t.node_at(2, 2, 0), t.node_at(2, 2, 1)));
+}
+
+TEST(Topology, Mesh3dXCubeFullVertical)
+{
+    auto t = Topology::mesh3d(3, 3, 3, LayerStyle::XCube);
+    // In-layer: 3 layers * 12; vertical: 9 nodes * 2 gaps.
+    EXPECT_EQ(t.num_links(), 36u + 18u);
+    EXPECT_TRUE(t.adjacent(t.node_at(1, 1, 0), t.node_at(1, 1, 1)));
+    EXPECT_EQ(t.z_of(t.node_at(1, 1, 2)), 2u);
+}
+
+TEST(Topology, HopDistanceManhattanOnMesh)
+{
+    auto t = Topology::mesh2d(8, 8);
+    EXPECT_EQ(t.hop_distance(0, 63), 14u);
+    EXPECT_EQ(t.hop_distance(9, 9), 0u);
+    EXPECT_EQ(t.hop_distance(0, 7), 7u);
+}
+
+TEST(Topology, DuplicateLinkRejected)
+{
+    Topology t(3);
+    t.add_link(0, 1);
+    EXPECT_THROW(t.add_link(0, 1), std::runtime_error);
+    EXPECT_THROW(t.add_link(1, 0), std::runtime_error);
+}
+
+TEST(Topology, SelfLinkRejected)
+{
+    Topology t(3);
+    EXPECT_THROW(t.add_link(1, 1), std::runtime_error);
+}
+
+TEST(Topology, OutOfRangeRejected)
+{
+    Topology t(3);
+    EXPECT_THROW(t.add_link(0, 3), std::runtime_error);
+    EXPECT_THROW(t.hop_distance(0, 9), std::runtime_error);
+}
+
+TEST(Topology, DisconnectedDistanceFatal)
+{
+    Topology t(4);
+    t.add_link(0, 1);
+    t.add_link(2, 3);
+    EXPECT_THROW(t.hop_distance(0, 3), std::runtime_error);
+}
+
+TEST(Topology, CustomGeometryNamesAndFactories)
+{
+    EXPECT_EQ(Topology::mesh2d(8, 8).name(), "mesh8x8");
+    EXPECT_EQ(Topology::torus2d(4, 4).name(), "torus4x4");
+    EXPECT_EQ(Topology::ring(5).name(), "ring5");
+    EXPECT_EQ(Topology::mesh3d(2, 2, 2, LayerStyle::XCube).name(),
+              "mesh3d-xcube-2x2x2");
+}
+
+} // namespace
+} // namespace hornet::net

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Tests for the SPLASH-like trace synthesizers and the H.264 profile:
+ * determinism, rate ordering across profiles, MC hotspot structure,
+ * phase structure, and the burstiness properties Fig 7 relies on.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "net/topology.h"
+#include "traffic/flows.h"
+#include "workloads/splash.h"
+
+namespace hornet {
+namespace {
+
+using net::Topology;
+using traffic::TraceEvent;
+using workloads::splash_profile;
+using workloads::synthesize_trace;
+
+double
+total_flits(const std::vector<TraceEvent> &ev)
+{
+    double t = 0;
+    for (const auto &e : ev)
+        t += e.size;
+    return t;
+}
+
+TEST(Splash, DeterministicForSameSeed)
+{
+    Topology topo = Topology::mesh2d(4, 4);
+    auto a = synthesize_trace(splash_profile("radix"), topo, {0}, 20000,
+                              7);
+    auto b = synthesize_trace(splash_profile("radix"), topo, {0}, 20000,
+                              7);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].cycle, b[i].cycle);
+        EXPECT_EQ(a[i].flow, b[i].flow);
+        EXPECT_EQ(a[i].size, b[i].size);
+    }
+}
+
+TEST(Splash, DifferentSeedsDiffer)
+{
+    Topology topo = Topology::mesh2d(4, 4);
+    auto a = synthesize_trace(splash_profile("water"), topo, {0}, 20000,
+                              1);
+    auto b = synthesize_trace(splash_profile("water"), topo, {0}, 20000,
+                              2);
+    EXPECT_NE(a.size(), b.size());
+}
+
+TEST(Splash, RadixHeavierThanSwaptions)
+{
+    // Fig 8's contrast requires RADIX >> SWAPTIONS network load.
+    Topology topo = Topology::mesh2d(8, 8);
+    auto radix = synthesize_trace(splash_profile("radix"), topo, {0},
+                                  50000, 3);
+    auto swap = synthesize_trace(splash_profile("swaptions"), topo, {0},
+                                 50000, 3);
+    EXPECT_GT(total_flits(radix), 5.0 * total_flits(swap));
+}
+
+TEST(Splash, EventsSortedAndInRange)
+{
+    Topology topo = Topology::mesh2d(4, 4);
+    auto ev = synthesize_trace(splash_profile("fft"), topo, {0, 15},
+                               30000, 5);
+    ASSERT_FALSE(ev.empty());
+    for (std::size_t i = 1; i < ev.size(); ++i)
+        EXPECT_GE(ev[i].cycle, ev[i - 1].cycle);
+    for (const auto &e : ev) {
+        EXPECT_LT(e.src, 16u);
+        EXPECT_LT(e.dst, 16u);
+        EXPECT_NE(e.src, e.dst);
+        EXPECT_GT(e.size, 0u);
+        // MC replies may land shortly after the horizon; allow slack.
+        EXPECT_LT(e.cycle, 30000u + 100u);
+    }
+}
+
+TEST(Splash, McHotspotReceivesAndSendsShare)
+{
+    Topology topo = Topology::mesh2d(8, 8);
+    const NodeId mc = 0;
+    auto ev = synthesize_trace(splash_profile("radix"), topo, {mc},
+                               50000, 9);
+    std::uint64_t to_mc = 0, from_mc = 0, other = 0;
+    for (const auto &e : ev) {
+        if (e.dst == mc)
+            ++to_mc;
+        else if (e.src == mc)
+            ++from_mc;
+        else
+            ++other;
+    }
+    // Every request has a reply (the MC tile also emits a little
+    // traffic of its own, so allow a small imbalance).
+    EXPECT_NEAR(static_cast<double>(to_mc), static_cast<double>(from_mc),
+                0.02 * static_cast<double>(to_mc));
+    // RADIX sends a large share of traffic through the MC.
+    EXPECT_GT(static_cast<double>(to_mc + from_mc),
+              0.5 * static_cast<double>(other));
+}
+
+TEST(Splash, FiveMcsSpreadTheHotspot)
+{
+    Topology topo = Topology::mesh2d(8, 8);
+    std::vector<NodeId> mcs{0, 7, 27, 56, 63};
+    auto ev = synthesize_trace(splash_profile("radix"), topo, mcs, 50000,
+                               9);
+    std::map<NodeId, std::uint64_t> mc_load;
+    for (const auto &e : ev)
+        for (NodeId mc : mcs)
+            if (e.dst == mc)
+                ++mc_load[mc];
+    // All five controllers serve someone.
+    EXPECT_EQ(mc_load.size(), 5u);
+}
+
+TEST(Splash, OceanHasQuietGaps)
+{
+    // OCEAN's duty cycle leaves long quiet stretches (Fig 13a shows
+    // slow temperature oscillation).
+    Topology topo = Topology::mesh2d(4, 4);
+    auto p = splash_profile("ocean");
+    auto ev = synthesize_trace(p, topo, {0}, 12 * p.phase_length, 13);
+    ASSERT_FALSE(ev.empty());
+    // Histogram activity per phase-eighth; some buckets near-empty.
+    const Cycle bucket = p.phase_length / 4;
+    std::map<Cycle, std::uint64_t> hist;
+    for (const auto &e : ev)
+        hist[e.cycle / bucket] += e.size;
+    std::uint64_t max_b = 0, min_b = ~0ull;
+    for (Cycle b = 0; b < 12 * p.phase_length / bucket; ++b) {
+        std::uint64_t v = hist.count(b) ? hist[b] : 0;
+        max_b = std::max(max_b, v);
+        min_b = std::min(min_b, v);
+    }
+    EXPECT_LT(static_cast<double>(min_b),
+              0.25 * static_cast<double>(max_b));
+}
+
+TEST(Splash, UnknownProfileRejected)
+{
+    EXPECT_THROW(splash_profile("doom"), std::runtime_error);
+}
+
+TEST(Splash, McRequiredWhenFractionPositive)
+{
+    Topology topo = Topology::mesh2d(4, 4);
+    EXPECT_THROW(
+        synthesize_trace(splash_profile("radix"), topo, {}, 1000, 1),
+        std::runtime_error);
+}
+
+TEST(H264, PeriodicNearConstantTraffic)
+{
+    // The H.264 profile must keep the network busy at a near-constant
+    // rate: no long drained gaps (this is why it gains little from
+    // fast-forwarding, Fig 7b).
+    Topology topo = Topology::mesh2d(4, 4);
+    auto ev = workloads::h264_profile_trace(topo, 50000, 1.0);
+    ASSERT_FALSE(ev.empty());
+    for (const auto &e : ev) {
+        EXPECT_GT(e.period, 0u);
+        EXPECT_LE(e.period, 128u);
+    }
+}
+
+TEST(H264, ScaleControlsRate)
+{
+    Topology topo = Topology::mesh2d(4, 4);
+    auto slow = workloads::h264_profile_trace(topo, 1000, 0.5);
+    auto fast = workloads::h264_profile_trace(topo, 1000, 2.0);
+    // Faster scale means shorter periods.
+    EXPECT_LT(fast.front().period, slow.front().period);
+    EXPECT_THROW(workloads::h264_profile_trace(topo, 1000, 0.0),
+                 std::runtime_error);
+}
+
+TEST(H264, FlowsAreRegistrable)
+{
+    Topology topo = Topology::mesh2d(4, 4);
+    auto ev = workloads::h264_profile_trace(topo, 1000, 1.0);
+    auto flows = traffic::flows_from_trace(ev);
+    EXPECT_GE(flows.size(), 3u);
+    for (const auto &f : flows)
+        EXPECT_NE(f.src, f.dst);
+}
+
+} // namespace
+} // namespace hornet
