@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verify wrapper: configure, build, test, and (when available)
+# check formatting. Mirrors .github/workflows/ci.yml for local use.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="${JOBS:-$(nproc)}"
+
+cmake -B build -S .
+cmake --build build -j "$JOBS"
+(cd build && ctest --output-on-failure --no-tests=error -j "$JOBS")
+
+if command -v clang-format > /dev/null 2>&1; then
+    echo "== clang-format check =="
+    # New code must be clean; pre-existing drift is reported but not
+    # fatal locally (the GitHub job gates changed files only).
+    find src tests bench examples \
+         \( -name '*.cc' -o -name '*.h' \) -print0 |
+        xargs -0 clang-format --dry-run 2>&1 | head -50 || true
+else
+    echo "clang-format not installed; skipping format check"
+fi
+
+echo "CI OK"

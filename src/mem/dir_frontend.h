@@ -25,9 +25,9 @@ class DirectoryFrontend : public sim::Frontend
     bool idle(Cycle now) const override { return mem_.idle(now); }
 
     Cycle
-    next_event_cycle(Cycle now) const override
+    next_event(Cycle now) const override
     {
-        return mem_.next_event_cycle(now);
+        return mem_.next_event(now);
     }
 
     bool done(Cycle now) const override { return mem_.idle(now); }

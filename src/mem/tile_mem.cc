@@ -123,7 +123,7 @@ TileMemory::idle(Cycle) const
 }
 
 Cycle
-TileMemory::next_event_cycle(Cycle now) const
+TileMemory::next_event(Cycle now) const
 {
     Cycle best = kNoEvent;
     if (!delayed_.empty())

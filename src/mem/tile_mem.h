@@ -48,10 +48,10 @@ struct MemStats
 };
 
 /**
- * One tile's memory endpoint. Owned and stepped by the tile's core
- * frontend (MIPS, native, or a scripted test core).
+ * One tile's memory endpoint; a Clocked component owned and stepped by
+ * the tile's core frontend (MIPS, native, or a scripted test core).
  */
-class TileMemory
+class TileMemory : public sim::Clocked
 {
   public:
     /** Standalone endpoint: owns its own Bridge and drains all
@@ -91,17 +91,17 @@ class TileMemory
     std::uint64_t take_response(Cycle now);
 
     // ------------------------------------------------------------------
-    // Clocking (called by the owning frontend).
+    // Clocking (Clocked interface; called by the owning frontend).
     // ------------------------------------------------------------------
 
-    void posedge(Cycle now);
-    void negedge(Cycle now);
+    void posedge(Cycle now) override;
+    void negedge(Cycle now) override;
 
     /** No outstanding work of any kind on this endpoint. */
-    bool idle(Cycle now) const;
+    bool idle(Cycle now) const override;
 
     /** Earliest future local event (dram completions etc.). */
-    Cycle next_event_cycle(Cycle now) const;
+    Cycle next_event(Cycle now) const override;
 
     const MemStats &stats() const { return stats_; }
     const Cache &l1() const { return *l1_; }

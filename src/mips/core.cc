@@ -82,7 +82,7 @@ CoreFrontend::idle(Cycle now) const
 }
 
 Cycle
-CoreFrontend::next_event_cycle(Cycle now) const
+CoreFrontend::next_event(Cycle now) const
 {
     // A running core acts every cycle: fast-forward is effectively
     // disabled while programs execute (paper IV-B).

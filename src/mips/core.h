@@ -88,7 +88,7 @@ class CoreFrontend : public sim::Frontend
     void posedge(Cycle now) override;
     void negedge(Cycle now) override;
     bool idle(Cycle now) const override;
-    Cycle next_event_cycle(Cycle now) const override;
+    Cycle next_event(Cycle now) const override;
     bool done(Cycle now) const override;
 
     bool halted() const { return halted_; }

@@ -85,7 +85,7 @@ NativeAppFrontend::idle(Cycle now) const
 }
 
 Cycle
-NativeAppFrontend::next_event_cycle(Cycle now) const
+NativeAppFrontend::next_event(Cycle now) const
 {
     if (state_ == State::Finished)
         return mem_.idle(now) ? kNoEvent : now + 1;

@@ -14,6 +14,7 @@
 #include <cstdint>
 
 #include "common/types.h"
+#include "sim/clocked.h"
 
 namespace hornet::net {
 
@@ -21,11 +22,11 @@ class Router;
 
 /**
  * Arbiter for one physical link A:port_a <-> B:port_b with a shared
- * bandwidth pool. Owned and stepped by the lower-id endpoint's tile at
- * its negative edge; it reads demand published by both routers at
- * their positive edges and sets next-cycle bandwidths.
+ * bandwidth pool. A Clocked component of the lower-id endpoint's tile,
+ * acting at its negative edge only: it reads demand published by both
+ * routers at their positive edges and sets next-cycle bandwidths.
  */
-class BidirLink
+class BidirLink : public sim::Clocked
 {
   public:
     /**
@@ -38,7 +39,14 @@ class BidirLink
     /** Recompute the per-direction split for the next cycle. */
     void arbitrate();
 
-    /** Endpoint that must call arbitrate() (lower node id). */
+    // Clocked interface: all work happens at the negative edge.
+    void posedge(Cycle) override {}
+    void negedge(Cycle) override { arbitrate(); }
+    /** The arbiter holds no state of its own between cycles. */
+    bool idle(Cycle) const override { return true; }
+    Cycle next_event(Cycle) const override { return kNoEvent; }
+
+    /** Endpoint whose tile must step this arbiter (lower node id). */
     NodeId owner() const;
 
     std::uint32_t total_bandwidth() const { return total_; }

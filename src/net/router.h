@@ -24,8 +24,8 @@
 
 #include <atomic>
 #include <cstdint>
-#include <map>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.h"
@@ -35,6 +35,7 @@
 #include "net/routing_table.h"
 #include "net/vc_buffer.h"
 #include "net/vca.h"
+#include "sim/clocked.h"
 
 namespace hornet::net {
 
@@ -64,11 +65,12 @@ struct RouterConfig
 };
 
 /**
- * One router node. Not thread-safe except through the documented
- * VC-buffer producer/consumer interfaces; posedge()/negedge() must be
- * called by the owning tile's thread only.
+ * One router node; a Clocked component of its tile. Not thread-safe
+ * except through the documented VC-buffer producer/consumer
+ * interfaces; posedge()/negedge() must be called by the owning tile's
+ * thread only.
  */
-class Router
+class Router : public sim::Clocked
 {
   public:
     /**
@@ -118,17 +120,35 @@ class Router
     std::uint32_t num_ejection_vcs() const { return cfg_.cpu_vcs; }
 
     /** Per-flow delivery statistics sink (optional). */
-    void set_flow_stats(std::map<FlowId, FlowStats> *fs) { flow_stats_ = fs; }
+    void
+    set_flow_stats(std::unordered_map<FlowId, FlowStats> *fs)
+    {
+        flow_stats_ = fs;
+    }
 
     // ------------------------------------------------------------------
-    // Simulation.
+    // Simulation (Clocked interface).
     // ------------------------------------------------------------------
 
     /** Positive clock edge: RC, VA, SA, ST (paper II-C). */
-    void posedge(Cycle now);
+    void posedge(Cycle now) override;
 
     /** Negative clock edge: commit pops, apply staged VC releases. */
-    void negedge(Cycle now);
+    void negedge(Cycle now) override;
+
+    /** Idle iff no flit is physically buffered here. */
+    bool idle(Cycle now) const override
+    {
+        (void)now;
+        return !has_buffered_flits();
+    }
+
+    /** Routers never self-schedule; they only react to flits. */
+    Cycle next_event(Cycle now) const override
+    {
+        (void)now;
+        return kNoEvent;
+    }
 
     /** Any flit physically buffered here (fast-forward test)?
      *  Includes ejection buffers not yet drained by the bridge. */
@@ -221,7 +241,7 @@ class Router
     TileStats *stats_;
     RoutingTable table_;
     VcaTable vca_table_;
-    std::map<FlowId, FlowStats> *flow_stats_ = nullptr;
+    std::unordered_map<FlowId, FlowStats> *flow_stats_ = nullptr;
 
     std::vector<IngressPort> ingress_;
     std::vector<std::unique_ptr<EgressPort>> egress_;

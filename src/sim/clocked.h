@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The Clocked component interface: the contract between everything that
+ * evolves with a tile clock (routers, link arbiters, memory endpoints,
+ * traffic frontends) and the simulation engine.
+ *
+ * A clock domain (a Tile) ticks its components in two phases per cycle
+ * (paper II-C): a positive edge in which components read state published
+ * in previous cycles and stage their own updates, and a negative edge in
+ * which staged updates are committed. Beyond ticking, components expose
+ * exactly the three queries the engine needs to schedule them:
+ * idleness (may the clock jump?, paper IV-B), the next self-scheduled
+ * event (how far may it jump?), and workload completion (may the run
+ * stop?). Keeping this surface minimal is what lets sync backends be
+ * swapped (cycle-accurate barriers, periodic sync, fast-forward, and
+ * future event-driven or distributed shards) without touching any
+ * component code.
+ */
+#ifndef HORNET_SIM_CLOCKED_H
+#define HORNET_SIM_CLOCKED_H
+
+#include "common/types.h"
+
+namespace hornet::sim {
+
+/**
+ * Anything stepped by a tile clock. Implementations are owned by
+ * exactly one clock domain and are only ever ticked by that domain's
+ * thread; the engine provides whatever cross-domain synchronization the
+ * active SyncPolicy requires.
+ */
+class Clocked
+{
+  public:
+    virtual ~Clocked() = default;
+
+    /** Positive clock edge at local cycle @p now: read published
+     *  state, stage updates. */
+    virtual void posedge(Cycle now) = 0;
+
+    /** Negative clock edge at local cycle @p now: commit staged
+     *  updates. */
+    virtual void negedge(Cycle now) = 0;
+
+    /**
+     * True when the component holds no buffered work and would not act
+     * at cycle @p now — i.e. it would not mind the clock jumping
+     * forward (fast-forward, paper IV-B).
+     */
+    virtual bool idle(Cycle now) const = 0;
+
+    /**
+     * Earliest future cycle at which this component will act on its
+     * own (given an otherwise idle system). kNoEvent when it will
+     * never self-schedule again. Components that cannot predict (e.g.
+     * running CPU cores) must return now + 1, which disables
+     * fast-forward while they run.
+     */
+    virtual Cycle next_event(Cycle now) const = 0;
+
+    /**
+     * True once the component has finished its workload entirely.
+     * Components with no notion of a finite workload (routers, link
+     * arbiters) report done by default.
+     */
+    virtual bool done(Cycle /*now*/) const { return true; }
+};
+
+} // namespace hornet::sim
+
+#endif // HORNET_SIM_CLOCKED_H

@@ -37,7 +37,7 @@ class EjectionSink : public Frontend
     }
 
     bool idle(Cycle) const override { return true; }
-    Cycle next_event_cycle(Cycle) const override { return kNoEvent; }
+    Cycle next_event(Cycle) const override { return kNoEvent; }
     bool done(Cycle) const override { return true; }
 
   private:

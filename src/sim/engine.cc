@@ -1,0 +1,157 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "common/log.h"
+#include "sim/barrier.h"
+
+namespace hornet::sim {
+
+Engine::Engine(const std::vector<Tile *> &tiles, unsigned threads)
+{
+    // threads == 0 degenerates to sequential, like the pre-engine API.
+    const unsigned T =
+        std::min<unsigned>(std::max(threads, 1u),
+                           static_cast<unsigned>(tiles.size()));
+    shards_.resize(std::max(1u, T));
+    // Contiguous block partition: equal shares (paper II-C) while
+    // keeping mesh neighbours in the same thread, which minimizes
+    // cross-thread links and thus loose-synchronization skew error.
+    for (std::size_t i = 0; i < tiles.size(); ++i)
+        shards_[(i * T) / tiles.size()].add_tile(tiles[i]);
+}
+
+Cycle
+Engine::run(SyncPolicy &policy, const EngineOptions &opts)
+{
+    if (opts.max_cycles == 0)
+        fatal("Engine::run: max_cycles must be nonzero "
+              "(absolute cycle target)");
+    if (shards_.empty() || shards_[0].empty())
+        return 0;
+
+    const unsigned T = static_cast<unsigned>(shards_.size());
+
+    // Per-shard summaries cost a full component scan each; publish
+    // only what the policy and the run options will actually read.
+    const ViewNeeds needs = policy.needs();
+    const bool need_idle = needs.idleness || opts.stop_when_done;
+    const bool need_done = opts.stop_when_done;
+    const bool need_next = needs.next_event;
+
+    struct Shared
+    {
+        Barrier barrier;
+        std::atomic<bool> stop{false};
+        SyncWindow window;
+        std::vector<char> busy;
+        std::vector<char> done;
+        std::vector<Cycle> min_next;
+        explicit Shared(unsigned t)
+            : barrier(t), busy(t, 1), done(t, 0), min_next(t, kNoEvent)
+        {}
+    } sh(T);
+
+    // Runs inside the rendezvous barrier, by whichever thread arrives
+    // last: assemble the global view from the per-shard summaries and
+    // let the policy plan the next window.
+    auto leader_plan = [&] {
+        EngineView view;
+        view.now = shards_[0].now();
+        view.horizon = opts.max_cycles;
+        view.stop_when_done = opts.stop_when_done;
+        view.all_idle =
+            need_idle &&
+            std::none_of(sh.busy.begin(), sh.busy.end(),
+                         [](char b) { return b != 0; });
+        view.all_done =
+            need_done &&
+            std::all_of(sh.done.begin(), sh.done.end(),
+                        [](char d) { return d != 0; });
+        if (need_next)
+            for (Cycle c : sh.min_next)
+                view.next_event = std::min(view.next_event, c);
+
+        if (view.now >= opts.max_cycles) {
+            sh.stop.store(true, std::memory_order_relaxed);
+            return;
+        }
+        if (opts.stop_when_done && view.all_done && view.all_idle) {
+            sh.stop.store(true, std::memory_order_relaxed);
+            return;
+        }
+
+        SyncWindow w = policy.next_window(view);
+        if (w.stop) {
+            sh.stop.store(true, std::memory_order_relaxed);
+            return;
+        }
+        w.end = std::min(w.end, opts.max_cycles);
+        w.advance_to = std::min(w.advance_to, opts.max_cycles);
+        if (w.advance_to != 0 && w.advance_to < view.now)
+            panic("SyncPolicy: clocks may only jump forward");
+        const Cycle base = std::max(view.now, w.advance_to);
+        if (w.end <= base && base == view.now) {
+            // Neither cycles to run nor a jump: no progress possible.
+            sh.stop.store(true, std::memory_order_relaxed);
+            return;
+        }
+        sh.window = w;
+    };
+
+    auto worker = [&](unsigned tid) {
+        Shard &my = shards_[tid];
+        while (true) {
+            // Publish this shard's state for the leader's decision.
+            if (need_idle)
+                sh.busy[tid] = my.busy() ? 1 : 0;
+            if (need_done)
+                sh.done[tid] = my.done() ? 1 : 0;
+            if (need_next)
+                sh.min_next[tid] = my.next_event();
+
+            sh.barrier.arrive_and_wait(leader_plan);
+            if (sh.stop.load(std::memory_order_relaxed))
+                break;
+
+            const SyncWindow w = sh.window;
+            if (w.advance_to > my.now())
+                my.advance_to(w.advance_to);
+            if (w.lockstep) {
+                // Globally aligned clock edges: bitwise identical to
+                // sequential execution (paper II-C). Every shard sees
+                // the same clock and window bounds, so all of them
+                // run this loop — and take its branches — the same
+                // number of times. Multi-cycle lockstep windows also
+                // need a barrier between one cycle's negedge and the
+                // next cycle's posedge; the final cycle's is provided
+                // by the rendezvous itself.
+                while (my.now() < w.end) {
+                    my.posedge();
+                    sh.barrier.arrive_and_wait();
+                    my.negedge();
+                    if (my.now() < w.end)
+                        sh.barrier.arrive_and_wait();
+                }
+            } else {
+                // Loose synchronization: free-run to the window end;
+                // tiles within a shard stay mutually cycle-accurate.
+                my.run_until(w.end);
+            }
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(T - 1);
+    for (unsigned tid = 1; tid < T; ++tid)
+        threads.emplace_back(worker, tid);
+    worker(0);
+    for (auto &th : threads)
+        th.join();
+
+    return shards_[0].now();
+}
+
+} // namespace hornet::sim

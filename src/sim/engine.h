@@ -1,0 +1,163 @@
+/**
+ * @file
+ * The simulation engine: per-thread Shard schedulers driven by a
+ * SyncPolicy (paper II-C, IV-B).
+ *
+ * The engine partitions tiles into contiguous shards, one per
+ * execution thread, and advances them in windows. Between windows all
+ * shards rendezvous at a barrier; the last thread to arrive assembles
+ * a global EngineView from per-shard summaries and asks the SyncPolicy
+ * to plan the next window (stop / jump clocks / run-until / lockstep).
+ * The engine itself contains no per-layer special cases: it talks to
+ * tiles only through their clock and their aggregate Clocked queries,
+ * and to the synchronization strategy only through SyncPolicy.
+ *
+ * One thread is the degenerate case of the same machinery, so a
+ * sequential run is simply an Engine with a single shard — there is no
+ * separate sequential code path.
+ */
+#ifndef HORNET_SIM_ENGINE_H
+#define HORNET_SIM_ENGINE_H
+
+#include <algorithm>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/sync_policy.h"
+#include "sim/tile.h"
+
+namespace hornet::sim {
+
+/**
+ * The set of tiles stepped by one execution thread. Tiles within a
+ * shard advance in lockstep with each other (posedge of every tile,
+ * then negedge of every tile), so intra-shard traffic is always
+ * cycle-accurate regardless of the active SyncPolicy; only inter-shard
+ * skew is policy-dependent (paper II-C).
+ */
+class Shard
+{
+  public:
+    Shard() = default;
+
+    void add_tile(Tile *t) { tiles_.push_back(t); }
+    const std::vector<Tile *> &tiles() const { return tiles_; }
+    bool empty() const { return tiles_.empty(); }
+
+    /** Local clock (tiles agree; undefined on an empty shard). */
+    Cycle now() const { return tiles_.front()->now(); }
+
+    /** Positive edge of the current cycle for every tile. */
+    void
+    posedge()
+    {
+        for (Tile *t : tiles_)
+            t->posedge();
+    }
+
+    /** Negative edge of the current cycle for every tile (advances
+     *  the clocks). */
+    void
+    negedge()
+    {
+        for (Tile *t : tiles_)
+            t->negedge();
+    }
+
+    /** Free-run whole cycles until the clock reaches @p end. */
+    void
+    run_until(Cycle end)
+    {
+        while (!tiles_.empty() && now() < end) {
+            posedge();
+            negedge();
+        }
+    }
+
+    /** Jump every clock forward to @p c (fast-forward). */
+    void
+    advance_to(Cycle c)
+    {
+        for (Tile *t : tiles_)
+            t->advance_to(c);
+    }
+
+    /** Any component in the shard holds work right now. */
+    bool
+    busy() const
+    {
+        for (const Tile *t : tiles_)
+            if (t->busy())
+                return true;
+        return false;
+    }
+
+    /** Every component in the shard finished its workload. */
+    bool
+    done() const
+    {
+        for (const Tile *t : tiles_)
+            if (!t->done())
+                return false;
+        return true;
+    }
+
+    /** Min next self-scheduled event over the shard's components. */
+    Cycle
+    next_event() const
+    {
+        Cycle best = kNoEvent;
+        for (const Tile *t : tiles_)
+            best = std::min(best, t->next_event());
+        return best;
+    }
+
+  private:
+    std::vector<Tile *> tiles_;
+};
+
+/** Engine run parameters (policy-independent). */
+struct EngineOptions
+{
+    /** Stop when the clock reaches this cycle (absolute target). */
+    Cycle max_cycles = 0;
+    /** Also stop as soon as every component is done and the system
+     *  has drained. Completion is checked at window rendezvous, so a
+     *  loose-sync run may overshoot the completion cycle by up to one
+     *  window (regardless of thread count). */
+    bool stop_when_done = false;
+};
+
+/**
+ * Runs a set of tiles under a SyncPolicy with a fixed number of
+ * threads. The engine owns the partition and the rendezvous machinery;
+ * all synchronization strategy lives in the policy.
+ */
+class Engine
+{
+  public:
+    /**
+     * Partition @p tiles into min(@p threads, tiles) contiguous
+     * shards. Contiguous block partition keeps mesh neighbours in the
+     * same thread, which minimizes cross-thread links and thus
+     * loose-synchronization skew error (paper II-C).
+     */
+    Engine(const std::vector<Tile *> &tiles, unsigned threads);
+
+    std::size_t num_shards() const { return shards_.size(); }
+    Shard &shard(std::size_t i) { return shards_.at(i); }
+
+    /**
+     * Advance all shards until @p policy stops the run, the horizon
+     * is reached, or (with stop_when_done) the workload completes.
+     * Returns the final cycle. Resumable: call again to continue.
+     */
+    Cycle run(SyncPolicy &policy, const EngineOptions &opts);
+
+  private:
+    std::vector<Shard> shards_;
+};
+
+} // namespace hornet::sim
+
+#endif // HORNET_SIM_ENGINE_H

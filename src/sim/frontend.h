@@ -8,43 +8,23 @@
 #define HORNET_SIM_FRONTEND_H
 
 #include "common/types.h"
+#include "sim/clocked.h"
 
 namespace hornet::sim {
 
 /**
- * A traffic generator/consumer attached to one tile. Frontends are
- * stepped by the owning tile's thread: posedge before the router (so
- * injections become visible to the router the following cycle), and
- * negedge after the router.
+ * A traffic generator/consumer attached to one tile; a Clocked
+ * component with a finite workload. Frontends are stepped by the
+ * owning tile's thread: posedge before the router (so injections
+ * become visible to the router the following cycle), and negedge after
+ * the router (commit ejection-buffer pops, etc.).
  */
-class Frontend
+class Frontend : public Clocked
 {
   public:
-    virtual ~Frontend() = default;
-
-    /** Positive clock edge at local cycle @p now. */
-    virtual void posedge(Cycle now) = 0;
-
-    /** Negative clock edge (commit ejection-buffer pops, etc.). */
-    virtual void negedge(Cycle now) = 0;
-
-    /**
-     * True when the frontend has no packet queued, none in flight from
-     * its side, and nothing to do at cycle @p now — i.e. it would not
-     * mind the clock jumping forward (fast-forward, paper IV-B).
-     */
-    virtual bool idle(Cycle now) const = 0;
-
-    /**
-     * Earliest future cycle at which this frontend will act, given
-     * that the network is idle. kNoEvent when it will never act again.
-     * Frontends that cannot predict (e.g. running CPU cores) must
-     * return now + 1, which disables fast-forward while they run.
-     */
-    virtual Cycle next_event_cycle(Cycle now) const = 0;
-
-    /** True once the frontend has finished its workload entirely. */
-    virtual bool done(Cycle now) const = 0;
+    /** Unlike passive components, a frontend must explicitly report
+     *  when its workload has finished entirely. */
+    bool done(Cycle now) const override = 0;
 };
 
 } // namespace hornet::sim

@@ -1,0 +1,79 @@
+#include "sim/sync_policy.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace hornet::sim {
+
+SyncWindow
+CycleAccurateSync::next_window(const EngineView &view)
+{
+    SyncWindow w;
+    w.end = view.now + 1;
+    w.lockstep = true;
+    return w;
+}
+
+PeriodicSync::PeriodicSync(std::uint32_t period) : period_(period)
+{
+    if (period_ == 0)
+        fatal("PeriodicSync: period must be >= 1");
+}
+
+SyncWindow
+PeriodicSync::next_window(const EngineView &view)
+{
+    SyncWindow w;
+    w.end = view.now + period_;
+    w.lockstep = period_ == 1;
+    return w;
+}
+
+FastForwardSync::FastForwardSync(std::unique_ptr<SyncPolicy> inner)
+    : inner_(std::move(inner))
+{
+    if (!inner_)
+        fatal("FastForwardSync: inner policy required");
+}
+
+ViewNeeds
+FastForwardSync::needs() const
+{
+    ViewNeeds n = inner_->needs();
+    n.idleness = true;
+    n.next_event = true;
+    return n;
+}
+
+SyncWindow
+FastForwardSync::next_window(const EngineView &view)
+{
+    if (view.all_idle) {
+        const Cycle nxt = view.next_event;
+        if (nxt == kNoEvent) {
+            SyncWindow w;
+            if (view.stop_when_done) {
+                // Nothing buffered, nothing scheduled: the run is over.
+                w.stop = true;
+                return w;
+            }
+            // Nothing will ever happen again: burn the remaining
+            // cycles instantly.
+            w.advance_to = view.horizon;
+            w.end = view.horizon;
+            return w;
+        }
+        if (nxt > view.now + 1) {
+            const Cycle target = std::min(nxt, view.horizon);
+            EngineView jumped = view;
+            jumped.now = target;
+            SyncWindow w = inner_->next_window(jumped);
+            w.advance_to = target;
+            return w;
+        }
+    }
+    return inner_->next_window(view);
+}
+
+} // namespace hornet::sim

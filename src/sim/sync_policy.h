@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Synchronization-policy strategies for the simulation engine.
+ *
+ * The engine advances shards of tiles in windows: between windows all
+ * shards rendezvous, and a leader consults the active SyncPolicy to
+ * plan the next window from a global view of the system. The policy
+ * owns every decision the old monolithic engine special-cased inline:
+ * how many cycles to run before the next rendezvous, whether the two
+ * clock edges of each cycle must be globally aligned (cycle-accurate
+ * bitwise reproducibility, paper II-C), and whether the clocks may
+ * jump over a drained-network gap (fast-forward, paper IV-B).
+ */
+#ifndef HORNET_SIM_SYNC_POLICY_H
+#define HORNET_SIM_SYNC_POLICY_H
+
+#include <cstdint>
+#include <memory>
+
+#include "common/types.h"
+
+namespace hornet::sim {
+
+/** Global system snapshot assembled at a rendezvous (leader-only). */
+struct EngineView
+{
+    /** Current cycle (all shards agree at a rendezvous). */
+    Cycle now = 0;
+    /** Absolute cycle at which the run stops unconditionally. */
+    Cycle horizon = 0;
+    /** Stop as soon as every component is done and the system idle. */
+    bool stop_when_done = false;
+    /** No component anywhere holds work for the current cycle. */
+    bool all_idle = false;
+    /** Every component reports its workload finished. */
+    bool all_done = false;
+    /** Min next self-scheduled event over all components (kNoEvent
+     *  when nothing will ever happen again). */
+    Cycle next_event = kNoEvent;
+};
+
+/**
+ * Which EngineView fields a policy actually reads. Assembling the view
+ * costs a full component scan per shard per rendezvous, so the engine
+ * skips whatever the active policy (and run options) do not need.
+ */
+struct ViewNeeds
+{
+    /** Policy reads all_idle. */
+    bool idleness = false;
+    /** Policy reads next_event. */
+    bool next_event = false;
+};
+
+/** One engine window, as planned by a SyncPolicy. */
+struct SyncWindow
+{
+    /** Terminate the run before executing anything further. */
+    bool stop = false;
+    /** Jump every clock to this cycle before ticking (0 = no jump).
+     *  Only ever moves clocks forward. */
+    Cycle advance_to = 0;
+    /** Run cycles until every clock reaches this cycle (exclusive).
+     *  The engine clamps it to the horizon. */
+    Cycle end = 0;
+    /**
+     * True: a global barrier separates the positive and negative edge
+     * of every cycle in the window, making parallel execution bitwise
+     * identical to sequential. False: shards free-run to @ref end and
+     * only rendezvous between windows.
+     */
+    bool lockstep = false;
+};
+
+/**
+ * Strategy deciding how shards synchronize. Stateless unless noted;
+ * next_window() is called by exactly one thread at a time (the
+ * rendezvous leader), never concurrently.
+ */
+class SyncPolicy
+{
+  public:
+    virtual ~SyncPolicy() = default;
+
+    /** Human-readable policy name (logs, VCD headers, tests). */
+    virtual const char *name() const = 0;
+
+    /** Which view fields this policy reads (default: none). */
+    virtual ViewNeeds needs() const { return {}; }
+
+    /** Plan the next window given the global state @p view. Fields
+     *  not requested via needs() hold their defaults. */
+    virtual SyncWindow next_window(const EngineView &view) = 0;
+};
+
+/**
+ * Cycle-accurate synchronization: one-cycle windows with both clock
+ * edges globally aligned. Parallel results are bitwise identical to
+ * sequential simulation given the same seeds (paper II-C).
+ */
+class CycleAccurateSync final : public SyncPolicy
+{
+  public:
+    const char *name() const override { return "cycle-accurate"; }
+    SyncWindow next_window(const EngineView &view) override;
+};
+
+/**
+ * Periodic (loose) synchronization: shards free-run for @p period
+ * cycles between rendezvous. Faster, with a small timing-fidelity cost
+ * that grows with the period (paper Fig 6).
+ */
+class PeriodicSync final : public SyncPolicy
+{
+  public:
+    explicit PeriodicSync(std::uint32_t period);
+
+    const char *name() const override { return "periodic"; }
+    std::uint32_t period() const { return period_; }
+    SyncWindow next_window(const EngineView &view) override;
+
+  private:
+    std::uint32_t period_;
+};
+
+/**
+ * Fast-forward decorator (paper IV-B): when the whole system is idle,
+ * jump all clocks to the components' next self-scheduled event — or
+ * finish the run instantly when nothing will ever happen again — and
+ * delegate the rest of the window to the wrapped policy. Because the
+ * jump only happens when no component holds work, it does not alter
+ * simulation results.
+ */
+class FastForwardSync final : public SyncPolicy
+{
+  public:
+    explicit FastForwardSync(std::unique_ptr<SyncPolicy> inner);
+
+    const char *name() const override { return "fast-forward"; }
+    SyncPolicy &inner() { return *inner_; }
+    ViewNeeds needs() const override;
+    SyncWindow next_window(const EngineView &view) override;
+
+  private:
+    std::unique_ptr<SyncPolicy> inner_;
+};
+
+} // namespace hornet::sim
+
+#endif // HORNET_SIM_SYNC_POLICY_H

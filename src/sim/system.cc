@@ -1,14 +1,26 @@
 #include "sim/system.h"
 
-#include <algorithm>
-#include <atomic>
-#include <thread>
+#include <utility>
 
 #include "common/log.h"
-#include "sim/barrier.h"
 #include "sim/ejection_sink.h"
 
 namespace hornet::sim {
+
+std::unique_ptr<SyncPolicy>
+make_sync_policy(const RunOptions &opts)
+{
+    if (opts.sync_period == 0)
+        fatal("run: sync_period must be >= 1");
+    std::unique_ptr<SyncPolicy> policy;
+    if (opts.sync_period == 1)
+        policy = std::make_unique<CycleAccurateSync>();
+    else
+        policy = std::make_unique<PeriodicSync>(opts.sync_period);
+    if (opts.fast_forward)
+        policy = std::make_unique<FastForwardSync>(std::move(policy));
+    return policy;
+}
 
 System::System(const net::Topology &topo, const net::NetworkConfig &cfg,
                std::uint64_t seed)
@@ -37,31 +49,18 @@ System::add_frontend(NodeId n, std::unique_ptr<Frontend> fe)
     tiles_.at(n)->add_frontend(std::move(fe));
 }
 
-bool
-System::all_idle() const
+void
+System::attach_default_sinks()
 {
-    for (const auto &t : tiles_)
-        if (t->busy())
-            return false;
-    return true;
-}
-
-Cycle
-System::global_next_event() const
-{
-    Cycle best = kNoEvent;
-    for (const auto &t : tiles_)
-        best = std::min(best, t->next_event_cycle());
-    return best;
-}
-
-bool
-System::all_done() const
-{
-    for (const auto &t : tiles_)
-        if (!t->done())
-            return false;
-    return true;
+    if (sinks_attached_)
+        return;
+    // Destination-only tiles get a discarding consumer so their
+    // ejection buffers drain.
+    for (auto &t : tiles_) {
+        if (t->frontends().empty())
+            t->add_frontend(std::make_unique<EjectionSink>(t->router()));
+    }
+    sinks_attached_ = true;
 }
 
 Cycle
@@ -69,184 +68,24 @@ System::run(const RunOptions &opts)
 {
     if (opts.max_cycles == 0)
         fatal("run: max_cycles must be nonzero (absolute cycle target)");
-    if (opts.sync_period == 0)
-        fatal("run: sync_period must be >= 1");
-    if (!sinks_attached_) {
-        // Destination-only tiles get a discarding consumer so their
-        // ejection buffers drain.
-        for (auto &t : tiles_) {
-            if (t->frontends().empty())
-                t->add_frontend(
-                    std::make_unique<EjectionSink>(t->router()));
-        }
-        sinks_attached_ = true;
-    }
-    if (opts.threads <= 1)
-        run_sequential(opts);
-    else
-        run_parallel(opts);
-    return tiles_[0]->now();
+    auto policy = make_sync_policy(opts);
+    EngineOptions eng_opts;
+    eng_opts.max_cycles = opts.max_cycles;
+    eng_opts.stop_when_done = opts.stop_when_done;
+    return run(*policy, eng_opts, opts.threads);
 }
 
-void
-System::run_sequential(const RunOptions &opts)
+Cycle
+System::run(SyncPolicy &policy, const EngineOptions &opts,
+            unsigned threads)
 {
-    while (true) {
-        const Cycle now = tiles_[0]->now();
-        if (now >= opts.max_cycles)
-            break;
-        if (opts.stop_when_done && all_done() && all_idle())
-            break;
-        if (opts.fast_forward && all_idle()) {
-            const Cycle nxt = global_next_event();
-            if (nxt == kNoEvent) {
-                if (opts.stop_when_done)
-                    break;
-                // Nothing will ever happen again: burn the remaining
-                // cycles instantly.
-                for (auto &t : tiles_)
-                    t->set_now(opts.max_cycles);
-                break;
-            }
-            if (nxt > now + 1) {
-                const Cycle target = std::min(nxt, opts.max_cycles);
-                for (auto &t : tiles_)
-                    t->set_now(target);
-                continue;
-            }
-        }
-        for (auto &t : tiles_)
-            t->posedge();
-        for (auto &t : tiles_)
-            t->negedge();
-    }
-}
-
-void
-System::run_parallel(const RunOptions &opts)
-{
-    const unsigned T =
-        std::min<unsigned>(opts.threads,
-                           static_cast<unsigned>(tiles_.size()));
-
-    // Contiguous block partition: equal shares (paper II-C) while
-    // keeping mesh neighbours in the same thread, which minimizes
-    // cross-thread links and thus loose-synchronization skew error.
-    std::vector<std::vector<Tile *>> part(T);
-    for (std::size_t i = 0; i < tiles_.size(); ++i)
-        part[(i * T) / tiles_.size()].push_back(tiles_[i].get());
-
-    struct Shared
-    {
-        Barrier barrier;
-        std::atomic<bool> stop{false};
-        Cycle chunk_end = 0;
-        Cycle ff_jump = 0; // 0 = no jump this chunk
-        std::vector<char> busy;
-        std::vector<Cycle> min_next;
-        std::vector<char> done;
-        explicit Shared(unsigned t) : barrier(t) {}
-    } sh(T);
-    sh.busy.assign(T, 1);
-    sh.min_next.assign(T, kNoEvent);
-    sh.done.assign(T, 0);
-
-    auto leader_decide = [&] {
-        const Cycle now = tiles_[0]->now();
-        if (now >= opts.max_cycles) {
-            sh.stop.store(true, std::memory_order_relaxed);
-            return;
-        }
-        const bool idle =
-            std::none_of(sh.busy.begin(), sh.busy.end(),
-                         [](char b) { return b != 0; });
-        const bool done_all =
-            std::all_of(sh.done.begin(), sh.done.end(),
-                        [](char d) { return d != 0; });
-        if (opts.stop_when_done && done_all && idle) {
-            sh.stop.store(true, std::memory_order_relaxed);
-            return;
-        }
-        sh.ff_jump = 0;
-        Cycle base = now;
-        if (opts.fast_forward && idle) {
-            Cycle nxt = kNoEvent;
-            for (Cycle c : sh.min_next)
-                nxt = std::min(nxt, c);
-            if (nxt == kNoEvent) {
-                if (opts.stop_when_done) {
-                    sh.stop.store(true, std::memory_order_relaxed);
-                    return;
-                }
-                sh.ff_jump = opts.max_cycles;
-                base = opts.max_cycles;
-            } else if (nxt > now + 1) {
-                sh.ff_jump = std::min(nxt, opts.max_cycles);
-                base = sh.ff_jump;
-            }
-        }
-        sh.chunk_end = std::min<Cycle>(base + opts.sync_period,
-                                       opts.max_cycles);
-        if (sh.chunk_end <= base)
-            sh.stop.store(true, std::memory_order_relaxed);
-    };
-
-    auto worker = [&](unsigned tid) {
-        auto &my = part[tid];
-        while (true) {
-            sh.barrier.arrive_and_wait(leader_decide);
-            if (sh.stop.load(std::memory_order_relaxed))
-                break;
-            if (sh.ff_jump != 0) {
-                for (Tile *t : my)
-                    t->set_now(sh.ff_jump);
-            }
-            const Cycle end = sh.chunk_end;
-            if (opts.sync_period == 1) {
-                // Cycle-accurate: barrier at both clock edges.
-                for (Tile *t : my)
-                    t->posedge();
-                sh.barrier.arrive_and_wait();
-                for (Tile *t : my)
-                    t->negedge();
-            } else {
-                // Loose synchronization: free-run to the chunk end;
-                // tiles within a thread stay mutually cycle-accurate.
-                while (!my.empty() && my.front()->now() < end) {
-                    for (Tile *t : my)
-                        t->posedge();
-                    for (Tile *t : my)
-                        t->negedge();
-                }
-            }
-            // Publish for the next leader decision.
-            bool busy = false;
-            bool done_all = true;
-            Cycle mn = kNoEvent;
-            for (Tile *t : my) {
-                busy = busy || t->busy();
-                done_all = done_all && t->done();
-                mn = std::min(mn, t->next_event_cycle());
-            }
-            sh.busy[tid] = busy ? 1 : 0;
-            sh.done[tid] = done_all ? 1 : 0;
-            sh.min_next[tid] = mn;
-        }
-    };
-
-    std::vector<std::thread> threads;
-    threads.reserve(T - 1);
-    for (unsigned tid = 1; tid < T; ++tid)
-        threads.emplace_back(worker, tid);
-    worker(0);
-    for (auto &th : threads)
-        th.join();
-
-    // An empty partition's tiles never advance; align every clock to
-    // tile 0 for consistent resumption (only relevant when T > tiles).
+    attach_default_sinks();
+    std::vector<Tile *> tiles;
+    tiles.reserve(tiles_.size());
     for (auto &t : tiles_)
-        if (t->now() < tiles_[0]->now())
-            t->set_now(tiles_[0]->now());
+        tiles.push_back(t.get());
+    Engine engine(tiles, threads);
+    return engine.run(policy, opts);
 }
 
 void
@@ -264,6 +103,11 @@ System::collect_stats() const
     for (const auto &t : tiles_) {
         out.per_tile.push_back(t->stats());
         out.total.merge(t->stats());
+        // Tile flow stats are unordered (hot path); the ordered view
+        // is produced here, at merge time, by the per_flow std::map.
+        // Accumulation is deterministic regardless of within-tile
+        // iteration order: each flow appears at most once per tile,
+        // and tiles merge in index order.
         for (const auto &[flow, fs] : t->flow_stats()) {
             auto &dst = out.per_flow[flow];
             dst.packets_delivered += fs.packets_delivered;

@@ -1,17 +1,14 @@
 /**
  * @file
- * Whole-system container and the parallel simulation engine
- * (paper II-C, IV-B).
+ * Whole-system composition root (paper II-C, IV-B).
  *
  * The simulated system is divided into tiles (router + generators +
- * private PRNG + private statistics). One execution thread is spawned
- * per requested core and each tile is mapped to exactly one thread.
- * Synchronization is either cycle-accurate (a barrier at the positive
- * and at the negative edge of every cycle — results are then bitwise
- * identical to sequential simulation) or periodic (one barrier every
- * sync_period cycles — faster, with a small timing-fidelity cost,
- * paper Fig 6). Fast-forwarding jumps all clocks to the next injection
- * event when the network is fully drained (paper Fig 7).
+ * private PRNG + private statistics). System builds the tiles and the
+ * network, wires every Clocked component to its owning tile, and runs
+ * the simulation by composing an Engine (per-thread Shard schedulers)
+ * with a SyncPolicy (cycle-accurate barriers, periodic sync, and/or
+ * fast-forward). All engine mechanics live in sim/engine.*; all
+ * synchronization strategy lives in sim/sync_policy.*.
  */
 #ifndef HORNET_SIM_SYSTEM_H
 #define HORNET_SIM_SYSTEM_H
@@ -23,16 +20,19 @@
 #include "common/stats.h"
 #include "net/network.h"
 #include "net/topology.h"
+#include "sim/engine.h"
+#include "sim/sync_policy.h"
 #include "sim/tile.h"
 
 namespace hornet::sim {
 
-/** Engine run parameters. */
+/** Engine run parameters (declarative form; see make_sync_policy). */
 struct RunOptions
 {
     /** Stop after this many cycles (counted on tile 0's clock). */
     Cycle max_cycles = 0;
-    /** Number of simulation threads (tiles are dealt round-robin). */
+    /** Number of simulation threads (tiles are dealt in contiguous
+     *  blocks, one shard per thread). */
     unsigned threads = 1;
     /**
      * Barrier period in cycles. 1 = cycle-accurate (two barriers per
@@ -42,9 +42,19 @@ struct RunOptions
     /** Fast-forward drained-network gaps (paper IV-B). */
     bool fast_forward = false;
     /** Also stop as soon as every frontend is done and the network has
-     *  drained (used by application workloads). */
+     *  drained (used by application workloads). Checked at window
+     *  rendezvous: with sync_period k > 1 the run may overshoot the
+     *  completion cycle by up to k-1 cycles — for any thread count,
+     *  where the old engine checked every cycle when threads == 1. */
     bool stop_when_done = false;
 };
+
+/**
+ * Build the SyncPolicy described by @p opts: CycleAccurateSync for
+ * sync_period 1, PeriodicSync otherwise, wrapped in FastForwardSync
+ * when fast_forward is requested.
+ */
+std::unique_ptr<SyncPolicy> make_sync_policy(const RunOptions &opts);
 
 /**
  * Owns the tiles and the network, and runs the simulation.
@@ -75,6 +85,13 @@ class System
     /** Run the simulation; returns the final cycle of tile 0. */
     Cycle run(const RunOptions &opts);
 
+    /**
+     * Run under an explicit synchronization policy (strategy form of
+     * run(RunOptions)); returns the final cycle of tile 0.
+     */
+    Cycle run(SyncPolicy &policy, const EngineOptions &opts,
+              unsigned threads = 1);
+
     /** Merge all per-tile statistics into a snapshot. */
     SystemStats collect_stats() const;
 
@@ -82,14 +99,8 @@ class System
     void reset_stats();
 
   private:
-    void run_sequential(const RunOptions &opts);
-    void run_parallel(const RunOptions &opts);
-
-    /** True when no tile is busy (network drained, injectors idle). */
-    bool all_idle() const;
-    /** Min next frontend event over all tiles. */
-    Cycle global_next_event() const;
-    bool all_done() const;
+    /** Give destination-only tiles a discarding consumer. */
+    void attach_default_sinks();
 
     std::vector<std::unique_ptr<Tile>> tiles_;
     std::unique_ptr<net::Network> network_;

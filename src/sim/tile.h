@@ -1,22 +1,32 @@
 /**
  * @file
- * A tile: one virtual-channel router plus any traffic generators
- * connected to it, a private pseudorandom number generator, and the
- * data structures required for collecting statistics (paper II-C).
+ * A tile: one clock domain and the Clocked components attached to it —
+ * a virtual-channel router, any traffic frontends, the link arbiters
+ * it owns — plus a private pseudorandom number generator and the data
+ * structures required for collecting statistics (paper II-C).
  * A tile is never split across threads.
+ *
+ * The tile ticks its components generically through the Clocked
+ * interface; it knows nothing about what the components are. Ordering
+ * within an edge is fixed by component kind so that results are
+ * reproducible: frontends tick before the router at the positive edge
+ * (so their pushes surface next cycle), and the router commits before
+ * the frontends, followed by the link arbiters, at the negative edge.
  */
 #ifndef HORNET_SIM_TILE_H
 #define HORNET_SIM_TILE_H
 
-#include <map>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
+#include "common/log.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/types.h"
 #include "net/link.h"
 #include "net/router.h"
+#include "sim/clocked.h"
 #include "sim/frontend.h"
 
 namespace hornet::sim {
@@ -31,30 +41,55 @@ class Tile
     Rng &rng() { return rng_; }
     TileStats &stats() { return stats_; }
     const TileStats &stats() const { return stats_; }
-    std::map<FlowId, FlowStats> &flow_stats() { return flow_stats_; }
-    const std::map<FlowId, FlowStats> &flow_stats() const
+
+    /** Per-flow delivery statistics. Unordered (hot per-flit path);
+     *  sort at stats-merge time when ordering matters. */
+    std::unordered_map<FlowId, FlowStats> &flow_stats()
+    {
+        return flow_stats_;
+    }
+    const std::unordered_map<FlowId, FlowStats> &flow_stats() const
     {
         return flow_stats_;
     }
 
     /** Local clock (cycles completed). */
     Cycle now() const { return now_; }
-    /** Jump the clock forward (fast-forward; engine only). */
-    void set_now(Cycle c) { now_ = c; }
 
-    void set_router(net::Router *r) { router_ = r; }
+    /**
+     * Jump the clock forward to @p c (fast-forward; called by the
+     * engine only, on behalf of a SyncPolicy). The simulated clock is
+     * monotonic: moving it backwards is a simulator bug.
+     */
+    void
+    advance_to(Cycle c)
+    {
+        if (c < now_)
+            panic(strcat("Tile ", id_, ": clock may only move forward "
+                         "(now=", now_, ", target=", c, ")"));
+        now_ = c;
+    }
+
+    void
+    set_router(net::Router *r)
+    {
+        router_ = r;
+        order_dirty_ = true;
+    }
     net::Router *router() { return router_; }
 
     void
     add_owned_link(net::BidirLink *l)
     {
         owned_links_.push_back(l);
+        order_dirty_ = true;
     }
 
     void
     add_frontend(std::unique_ptr<Frontend> fe)
     {
         frontends_.push_back(std::move(fe));
+        order_dirty_ = true;
     }
 
     const std::vector<std::unique_ptr<Frontend>> &frontends() const
@@ -62,28 +97,25 @@ class Tile
         return frontends_;
     }
 
-    /** Positive edge: frontends first (so their pushes surface next
-     *  cycle), then the router pipeline. */
+    /** Positive edge: tick every component in posedge order. */
     void
     posedge()
     {
-        for (auto &fe : frontends_)
-            fe->posedge(now_);
-        if (router_ != nullptr)
-            router_->posedge(now_);
+        if (order_dirty_)
+            rebuild_order();
+        for (Clocked *c : posedge_order_)
+            c->posedge(now_);
     }
 
-    /** Negative edge: commit router pops, then frontend commits, then
-     *  link arbiters owned by this tile; finally advance the clock. */
+    /** Negative edge: commit every component in negedge order, then
+     *  advance the clock. */
     void
     negedge()
     {
-        if (router_ != nullptr)
-            router_->negedge(now_);
-        for (auto &fe : frontends_)
-            fe->negedge(now_);
-        for (auto *l : owned_links_)
-            l->arbitrate();
+        if (order_dirty_)
+            rebuild_order();
+        for (Clocked *c : negedge_order_)
+            c->negedge(now_);
         ++now_;
     }
 
@@ -91,23 +123,25 @@ class Tile
     bool
     busy() const
     {
-        if (router_ != nullptr && router_->has_buffered_flits())
-            return true;
-        for (const auto &fe : frontends_)
-            if (!fe->idle(now_))
+        if (order_dirty_)
+            rebuild_order();
+        for (const Clocked *c : negedge_order_)
+            if (!c->idle(now_))
                 return true;
         return false;
     }
 
-    /** Earliest future frontend event (kNoEvent when none). */
+    /** Earliest future component event (kNoEvent when none). */
     Cycle
-    next_event_cycle() const
+    next_event() const
     {
+        if (order_dirty_)
+            rebuild_order();
         Cycle best = kNoEvent;
-        for (const auto &fe : frontends_) {
-            Cycle c = fe->next_event_cycle(now_);
-            if (c < best)
-                best = c;
+        for (const Clocked *c : negedge_order_) {
+            Cycle e = c->next_event(now_);
+            if (e < best)
+                best = e;
         }
         return best;
     }
@@ -121,24 +155,55 @@ class Tile
         flow_stats_.clear();
     }
 
-    /** All frontends report their workloads finished. */
+    /** All components report their workloads finished. */
     bool
     done() const
     {
-        for (const auto &fe : frontends_)
-            if (!fe->done(now_))
+        if (order_dirty_)
+            rebuild_order();
+        for (const Clocked *c : negedge_order_)
+            if (!c->done(now_))
                 return false;
         return true;
     }
 
   private:
+    /**
+     * Derive the per-edge tick orders from the attached components.
+     * posedge: frontends, then router (injections become visible to
+     * the router the following cycle). negedge: router (commit pops),
+     * then frontends, then link arbiters. The negedge order contains
+     * every component exactly once and doubles as the iteration set
+     * for the aggregate queries.
+     */
+    void
+    rebuild_order() const
+    {
+        posedge_order_.clear();
+        negedge_order_.clear();
+        for (const auto &fe : frontends_)
+            posedge_order_.push_back(fe.get());
+        if (router_ != nullptr) {
+            posedge_order_.push_back(router_);
+            negedge_order_.push_back(router_);
+        }
+        for (const auto &fe : frontends_)
+            negedge_order_.push_back(fe.get());
+        for (auto *l : owned_links_)
+            negedge_order_.push_back(l);
+        order_dirty_ = false;
+    }
+
     NodeId id_;
     Rng rng_;
     TileStats stats_;
-    std::map<FlowId, FlowStats> flow_stats_;
+    std::unordered_map<FlowId, FlowStats> flow_stats_;
     net::Router *router_ = nullptr;
     std::vector<net::BidirLink *> owned_links_;
     std::vector<std::unique_ptr<Frontend>> frontends_;
+    mutable std::vector<Clocked *> posedge_order_;
+    mutable std::vector<Clocked *> negedge_order_;
+    mutable bool order_dirty_ = true;
     Cycle now_ = 0;
 };
 

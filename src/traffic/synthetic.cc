@@ -106,7 +106,7 @@ SyntheticInjector::idle(Cycle now) const
 }
 
 Cycle
-SyntheticInjector::next_event_cycle(Cycle now) const
+SyntheticInjector::next_event(Cycle now) const
 {
     if (cfg_.stop_at != 0 && now >= cfg_.stop_at)
         return kNoEvent;

@@ -149,7 +149,7 @@ TraceInjector::idle(Cycle now) const
 }
 
 Cycle
-TraceInjector::next_event_cycle(Cycle now) const
+TraceInjector::next_event(Cycle now) const
 {
     if (!bridge_->idle())
         return now + 1;

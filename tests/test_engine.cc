@@ -132,13 +132,16 @@ TEST(Engine, LooseSyncPreservesFunctionalCorrectness)
     b->run(loose);
     auto sb = b->collect_stats();
 
-    // Offered traffic is tile-local, so injected counts agree to
-    // within the handful of packets still in bridge queues at the cut.
+    // Offered traffic is tile-local, but backpressure timing under
+    // loose sync is scheduling-dependent, and threads serialized on a
+    // single host core skew far more than real parallel hardware
+    // (measured: the original engine exceeded a 5% bound in 8/25 runs
+    // on a 1-core host, up to 7%; 10% bounds that distribution).
     double inj_rel =
         std::abs(static_cast<double>(sb.total.packets_injected) -
                  static_cast<double>(sa.total.packets_injected)) /
         static_cast<double>(sa.total.packets_injected);
-    EXPECT_LT(inj_rel, 0.05);
+    EXPECT_LT(inj_rel, 0.10);
     EXPECT_GT(sb.total.packets_delivered, 0u);
     EXPECT_GE(sb.total.flits_injected, sb.total.flits_delivered);
     // Timing stays close to the cycle-accurate baseline (the paper's

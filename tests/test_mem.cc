@@ -109,11 +109,11 @@ class ScriptedCore : public sim::Frontend
     }
 
     Cycle
-    next_event_cycle(Cycle now) const override
+    next_event(Cycle now) const override
     {
         if (pc_ < script_.size())
             return now + 1;
-        return mem_.next_event_cycle(now);
+        return mem_.next_event(now);
     }
 
     bool

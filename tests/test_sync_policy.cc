@@ -1,0 +1,310 @@
+/**
+ * @file
+ * Tests for the pluggable engine core: the SyncPolicy strategies
+ * driving the Shard scheduler (paper II-C, IV-B), exercised through
+ * the explicit-policy System::run overload rather than RunOptions.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "net/routing/builders.h"
+#include "net/topology.h"
+#include "sim/engine.h"
+#include "sim/sync_policy.h"
+#include "sim/system.h"
+#include "traffic/flows.h"
+#include "traffic/synthetic.h"
+
+namespace hornet {
+namespace {
+
+using net::Topology;
+using sim::CycleAccurateSync;
+using sim::Engine;
+using sim::EngineOptions;
+using sim::EngineView;
+using sim::FastForwardSync;
+using sim::PeriodicSync;
+using sim::RunOptions;
+using sim::SyncWindow;
+using sim::System;
+
+std::unique_ptr<System>
+make_mesh_system(std::uint32_t side, double rate, std::uint64_t seed,
+                 Cycle burst_period = 0, Cycle stop_at = 0)
+{
+    Topology topo = Topology::mesh2d(side, side);
+    net::NetworkConfig cfg;
+    auto sys = std::make_unique<System>(topo, cfg, seed);
+
+    auto pattern = traffic::pattern_by_name("transpose", topo.num_nodes());
+    auto flows = traffic::flows_for_pattern(topo.num_nodes(), pattern);
+    net::routing::build_xy(sys->network(), flows);
+
+    for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+        traffic::SyntheticConfig sc;
+        sc.pattern = pattern;
+        sc.packet_size = 4;
+        sc.rate = rate;
+        sc.burst_period = burst_period;
+        sc.burst_size = 2;
+        sc.stop_at = stop_at;
+        sys->add_frontend(n, std::make_unique<traffic::SyntheticInjector>(
+                                 sys->tile(n), sc));
+    }
+    return sys;
+}
+
+/** Full-fidelity snapshot fingerprint: per-tile and per-flow stats. */
+std::string
+snapshot(const SystemStats &s)
+{
+    std::ostringstream os;
+    os.precision(17);
+    for (const auto &t : s.per_tile) {
+        os << t.flits_injected << ',' << t.flits_delivered << ','
+           << t.packets_injected << ',' << t.packets_delivered << ','
+           << t.buffer_reads << ',' << t.buffer_writes << ','
+           << t.xbar_transits << ',' << t.va_grants << ','
+           << t.sa_grants << ',' << t.packet_latency.sum() << ','
+           << t.packet_latency.count() << ';';
+    }
+    os << '|';
+    for (const auto &[flow, fs] : s.per_flow) {
+        os << flow << ':' << fs.packets_delivered << ','
+           << fs.flits_delivered << ',' << fs.packet_latency.sum() << ';';
+    }
+    return os.str();
+}
+
+TEST(SyncPolicy, CycleAccurateIsDeterministicAcrossThreadCounts)
+{
+    // Acceptance: on an 8x8 mesh with synthetic traffic, a
+    // cycle-accurate parallel run is bitwise identical (stats snapshot
+    // equality) to the sequential run.
+    EngineOptions opts;
+    opts.max_cycles = 2000;
+
+    auto ref_sys = make_mesh_system(8, 0.15, 7);
+    CycleAccurateSync seq_policy;
+    ref_sys->run(seq_policy, opts, /*threads=*/1);
+    const std::string ref = snapshot(ref_sys->collect_stats());
+
+    auto par_sys = make_mesh_system(8, 0.15, 7);
+    CycleAccurateSync par_policy;
+    par_sys->run(par_policy, opts, /*threads=*/4);
+    EXPECT_EQ(snapshot(par_sys->collect_stats()), ref);
+}
+
+TEST(SyncPolicy, PeriodicSyncDrainsAllTraffic)
+{
+    for (std::uint32_t period : {2u, 10u, 100u}) {
+        // Injection stops at cycle 2000. The drain horizon is generous:
+        // with large sync windows, cross-shard flit and credit
+        // visibility each lag by up to a window, so in-flight traffic
+        // converges at roughly a hop per window in the worst case.
+        auto sys = make_mesh_system(4, 0.0, 3, /*burst_period=*/100,
+                                    /*stop_at=*/2000);
+        PeriodicSync policy(period);
+        EngineOptions opts;
+        opts.max_cycles = 16000;
+        sys->run(policy, opts, /*threads=*/4);
+        auto s = sys->collect_stats();
+        EXPECT_GT(s.total.packets_injected, 0u) << "period=" << period;
+        EXPECT_EQ(s.total.flits_delivered, s.total.flits_injected)
+            << "period=" << period;
+        EXPECT_EQ(s.total.packets_delivered, s.total.packets_injected)
+            << "period=" << period;
+    }
+}
+
+TEST(SyncPolicy, FastForwardDrainsAllTrafficAndReachesHorizon)
+{
+    for (unsigned threads : {1u, 3u}) {
+        auto sys = make_mesh_system(4, 0.0, 9, /*burst_period=*/500);
+        FastForwardSync policy(std::make_unique<CycleAccurateSync>());
+        EngineOptions opts;
+        opts.max_cycles = 5000;
+        Cycle end = sys->run(policy, opts, threads);
+        EXPECT_EQ(end, 5000u) << "threads=" << threads;
+        auto s = sys->collect_stats();
+        EXPECT_GT(s.total.packets_injected, 0u);
+        EXPECT_EQ(s.total.flits_delivered, s.total.flits_injected)
+            << "threads=" << threads;
+    }
+}
+
+TEST(SyncPolicy, FastForwardMatchesPlainRunExactly)
+{
+    EngineOptions opts;
+    opts.max_cycles = 3000;
+
+    auto plain = make_mesh_system(4, 0.0, 5, /*burst_period=*/200);
+    CycleAccurateSync base;
+    plain->run(base, opts);
+
+    auto ff = make_mesh_system(4, 0.0, 5, /*burst_period=*/200);
+    FastForwardSync wrapped(std::make_unique<CycleAccurateSync>());
+    ff->run(wrapped, opts);
+
+    EXPECT_EQ(snapshot(ff->collect_stats()),
+              snapshot(plain->collect_stats()));
+}
+
+/** Custom policy: multi-cycle windows with lockstep edges. */
+class LockstepBatchSync final : public sim::SyncPolicy
+{
+  public:
+    const char *name() const override { return "lockstep-batch"; }
+    SyncWindow
+    next_window(const EngineView &v) override
+    {
+        SyncWindow w;
+        w.end = v.now + 7;
+        w.lockstep = true;
+        return w;
+    }
+};
+
+TEST(SyncPolicy, MultiCycleLockstepWindowsStayBitwiseIdentical)
+{
+    // The lockstep contract must hold for windows longer than one
+    // cycle too: edges of *every* cycle in the window are globally
+    // aligned, so results match sequential execution exactly.
+    EngineOptions opts;
+    opts.max_cycles = 2000;
+
+    auto ref_sys = make_mesh_system(4, 0.2, 13);
+    CycleAccurateSync seq_policy;
+    ref_sys->run(seq_policy, opts, /*threads=*/1);
+    const std::string ref = snapshot(ref_sys->collect_stats());
+
+    auto batch_sys = make_mesh_system(4, 0.2, 13);
+    LockstepBatchSync batch;
+    batch_sys->run(batch, opts, /*threads=*/4);
+    EXPECT_EQ(snapshot(batch_sys->collect_stats()), ref);
+}
+
+TEST(SyncPolicy, WindowPlanning)
+{
+    EngineView v;
+    v.now = 100;
+    v.horizon = 1000;
+
+    CycleAccurateSync ca;
+    SyncWindow w = ca.next_window(v);
+    EXPECT_FALSE(w.stop);
+    EXPECT_EQ(w.advance_to, 0u);
+    EXPECT_EQ(w.end, 101u);
+    EXPECT_TRUE(w.lockstep);
+
+    PeriodicSync p5(5);
+    w = p5.next_window(v);
+    EXPECT_EQ(w.end, 105u);
+    EXPECT_FALSE(w.lockstep);
+
+    // A period of one degenerates to cycle-accurate lockstep.
+    PeriodicSync p1(1);
+    EXPECT_TRUE(p1.next_window(v).lockstep);
+
+    EXPECT_THROW(PeriodicSync bad(0), std::runtime_error);
+}
+
+TEST(SyncPolicy, FastForwardPlanning)
+{
+    FastForwardSync ff(std::make_unique<CycleAccurateSync>());
+    EngineView v;
+    v.now = 100;
+    v.horizon = 1000;
+
+    // Busy system: delegate untouched.
+    v.all_idle = false;
+    SyncWindow w = ff.next_window(v);
+    EXPECT_EQ(w.advance_to, 0u);
+    EXPECT_EQ(w.end, 101u);
+
+    // Idle with a far event: jump to it, then one lockstep cycle.
+    v.all_idle = true;
+    v.next_event = 400;
+    w = ff.next_window(v);
+    EXPECT_EQ(w.advance_to, 400u);
+    EXPECT_EQ(w.end, 401u);
+    EXPECT_TRUE(w.lockstep);
+
+    // Event beyond the horizon: clamp the jump.
+    v.next_event = 5000;
+    w = ff.next_window(v);
+    EXPECT_EQ(w.advance_to, 1000u);
+
+    // Idle forever, free-running run: burn the remaining cycles.
+    v.next_event = kNoEvent;
+    w = ff.next_window(v);
+    EXPECT_FALSE(w.stop);
+    EXPECT_EQ(w.advance_to, 1000u);
+
+    // Idle forever with stop_when_done: the run is over.
+    v.stop_when_done = true;
+    w = ff.next_window(v);
+    EXPECT_TRUE(w.stop);
+
+    // An imminent event disables the jump.
+    v.stop_when_done = false;
+    v.next_event = 101;
+    w = ff.next_window(v);
+    EXPECT_EQ(w.advance_to, 0u);
+}
+
+TEST(SyncPolicy, MakeSyncPolicyComposition)
+{
+    RunOptions opts;
+    opts.sync_period = 1;
+    EXPECT_STREQ(make_sync_policy(opts)->name(), "cycle-accurate");
+    opts.sync_period = 8;
+    EXPECT_STREQ(make_sync_policy(opts)->name(), "periodic");
+    opts.fast_forward = true;
+    auto p = make_sync_policy(opts);
+    EXPECT_STREQ(p->name(), "fast-forward");
+    auto *ff = dynamic_cast<FastForwardSync *>(p.get());
+    ASSERT_NE(ff, nullptr);
+    EXPECT_STREQ(ff->inner().name(), "periodic");
+}
+
+TEST(SyncPolicy, EnginePartitionsContiguously)
+{
+    auto sys = make_mesh_system(4, 0.1, 1);
+    std::vector<sim::Tile *> tiles;
+    for (NodeId n = 0; n < sys->num_tiles(); ++n)
+        tiles.push_back(&sys->tile(n));
+
+    Engine eng(tiles, 3);
+    ASSERT_EQ(eng.num_shards(), 3u);
+    NodeId expect = 0;
+    for (std::size_t s = 0; s < eng.num_shards(); ++s) {
+        EXPECT_FALSE(eng.shard(s).empty());
+        for (const sim::Tile *t : eng.shard(s).tiles())
+            EXPECT_EQ(t->id(), expect++);
+    }
+    EXPECT_EQ(expect, sys->num_tiles());
+
+    // Never more shards than tiles.
+    Engine wide(tiles, 64);
+    EXPECT_EQ(wide.num_shards(), tiles.size());
+
+    // threads == 0 degenerates to sequential (pre-engine behaviour).
+    Engine zero(tiles, 0);
+    EXPECT_EQ(zero.num_shards(), 1u);
+}
+
+TEST(SyncPolicy, TileClockOnlyMovesForward)
+{
+    sim::Tile t(0, 1);
+    t.advance_to(10);
+    EXPECT_EQ(t.now(), 10u);
+    t.advance_to(10); // no-op jump is fine
+    EXPECT_THROW(t.advance_to(9), std::logic_error);
+}
+
+} // namespace
+} // namespace hornet
