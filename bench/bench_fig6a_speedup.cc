@@ -10,7 +10,7 @@
  * exposes a single hardware core, so wall-clock speedups here are
  * bounded by 1x; the harness still demonstrates the sweep and that
  * loose synchronization reduces barrier overhead (visible as relative
- * differences even when oversubscribed). See EXPERIMENTS.md.
+ * differences even when oversubscribed). See docs/BENCHMARKS.md.
  */
 #include <cstdio>
 

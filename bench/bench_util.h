@@ -5,7 +5,7 @@
  * Every bench prints machine-readable CSV-ish rows plus a short
  * human-readable summary, and is sized to run in seconds-to-minutes on
  * a single host core (the paper's absolute numbers came from a 24-HT
- * Xeon testbed; see EXPERIMENTS.md for the mapping).
+ * Xeon testbed; see docs/BENCHMARKS.md for the mapping).
  */
 #ifndef HORNET_BENCH_BENCH_UTIL_H
 #define HORNET_BENCH_BENCH_UTIL_H

@@ -10,6 +10,22 @@ cmake -B build -S .
 cmake --build build -j "$JOBS"
 (cd build && ctest --output-on-failure --no-tests=error -j "$JOBS")
 
+if command -v doxygen > /dev/null 2>&1; then
+    echo "== doxygen (API docs; src/sim must be fully documented) =="
+    mkdir -p build
+    doxygen docs/Doxyfile 2> build/doxygen-warnings.log || {
+        cat build/doxygen-warnings.log
+        echo "doxygen failed"
+        exit 1
+    }
+    if grep "src/sim/" build/doxygen-warnings.log; then
+        echo "undocumented public symbols (or doc errors) in src/sim/"
+        exit 1
+    fi
+else
+    echo "doxygen not installed; skipping API-docs check"
+fi
+
 if command -v clang-format > /dev/null 2>&1; then
     echo "== clang-format check =="
     # New code must be clean; pre-existing drift is reported but not

@@ -7,7 +7,10 @@
  *
  *   $ ./examples/config_run experiment.ini [cycles] [threads] [sync]
  *
- * With no arguments a built-in demo config is used.
+ * With no arguments a built-in demo config is used. The [sim] section
+ * of the config selects the engine parameters (threads, horizon, sync
+ * backend — including "adaptive"); the optional positional arguments
+ * override it for quick sweeps.
  */
 #include <cstdio>
 #include <cstdlib>
@@ -50,23 +53,35 @@ main(int argc, char **argv)
 {
     Config cfg = argc > 1 ? Config::from_file(argv[1])
                           : Config::from_string(kDemoConfig);
-    const Cycle cycles =
-        argc > 2 ? std::strtoull(argv[2], nullptr, 0) : 20000;
-    const unsigned threads =
-        argc > 3 ? static_cast<unsigned>(std::atoi(argv[3])) : 1;
-    const std::uint32_t sync =
-        argc > 4 ? static_cast<std::uint32_t>(std::atoi(argv[4])) : 1;
+
+    sim::RunOptions opts = traffic::run_options_from_config(cfg);
+    if (argc > 2)
+        opts.max_cycles = std::strtoull(argv[2], nullptr, 0);
+    else if (!cfg.has("sim.max_cycles"))
+        opts.max_cycles = 20000;
+    if (argc > 3)
+        opts.threads = static_cast<unsigned>(std::atoi(argv[3]));
+    if (argc > 4) {
+        // A positional sync period overrides the whole [sim] sync
+        // selection, including adaptive's implied batched handoff —
+        // the sweep must be comparable to a sync_period-only config.
+        opts.sync_period =
+            static_cast<std::uint32_t>(std::atoi(argv[4]));
+        opts.sync.clear();
+        opts.batch_handoff = false;
+    }
 
     auto sys = traffic::build_system(cfg);
+    const std::string sync_desc =
+        opts.sync.empty()
+            ? "period " + std::to_string(opts.sync_period)
+            : opts.sync;
     std::printf("config_run: %u nodes, %llu cycles, %u thread(s), "
-                "sync period %u\n",
+                "sync %s\n",
                 sys->num_tiles(),
-                static_cast<unsigned long long>(cycles), threads, sync);
+                static_cast<unsigned long long>(opts.max_cycles),
+                opts.threads, sync_desc.c_str());
 
-    sim::RunOptions opts;
-    opts.max_cycles = cycles;
-    opts.threads = threads;
-    opts.sync_period = sync;
     sys->run(opts);
 
     auto stats = sys->collect_stats();

@@ -197,6 +197,24 @@ Config::get_int_list(const std::string &key,
     return out;
 }
 
+std::string
+Config::get_enum(const std::string &key, const std::string &def,
+                 const std::vector<std::string> &allowed) const
+{
+    const std::string v = get_string(key, def);
+    for (const auto &a : allowed)
+        if (v == a)
+            return v;
+    std::string expected;
+    for (const auto &a : allowed) {
+        if (!expected.empty())
+            expected += ", ";
+        expected += a.empty() ? "\"\"" : a;
+    }
+    fatal(strcat("config key '", key, "': bad value '", v,
+                 "' (expected one of: ", expected, ")"));
+}
+
 std::vector<std::string>
 Config::keys() const
 {

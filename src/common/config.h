@@ -57,6 +57,18 @@ class Config
     std::vector<std::int64_t> get_int_list(
         const std::string &key, const std::vector<std::int64_t> &def) const;
 
+    /**
+     * String getter restricted to an enumerated value set: returns
+     * @p def when the key is absent, and fatal()s — listing the
+     * accepted spellings — when the resulting value (stored or
+     * defaulted; @p def gets no exemption) is not one of @p allowed.
+     * Used for selector keys (sync backend, VCA mode, routing scheme)
+     * so a typo dies with a helpful message instead of falling through
+     * to a default.
+     */
+    std::string get_enum(const std::string &key, const std::string &def,
+                         const std::vector<std::string> &allowed) const;
+
     /** All keys in sorted order (for dumps and tests). */
     std::vector<std::string> keys() const;
 

@@ -8,6 +8,10 @@
 #include <cstdint>
 #include <limits>
 
+/**
+ * @namespace hornet
+ * Root namespace of the simulator (paper conf_ispass_LisRCSFKD11).
+ */
 namespace hornet {
 
 /** Simulated clock cycle count. */

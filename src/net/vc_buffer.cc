@@ -7,6 +7,26 @@ namespace hornet::net {
 void
 VcBuffer::push(const Flit &f)
 {
+    // Flow occupancy is accounted at push time even in batched mode,
+    // so the producer-side EDVCA/credit views never depend on when the
+    // engine flushes. The overflow checks come first: a rejected push
+    // must leave every view untouched.
+    auto count_flow = [&] {
+        std::lock_guard<std::mutex> flk(flow_mx_);
+        ++flow_counts_[f.flow];
+    };
+    if (batched_) {
+        if (staged_.size() +
+                (pushed_.load(std::memory_order_relaxed) -
+                 popped_actual_.load(std::memory_order_acquire)) >=
+            capacity_)
+            panic("VcBuffer overflow: staged push without credit");
+        count_flow();
+        staged_.push_back(f);
+        staged_count_.store(static_cast<std::uint32_t>(staged_.size()),
+                            std::memory_order_release);
+        return;
+    }
     std::lock_guard<std::mutex> lk(tail_mx_);
     std::uint64_t seq = pushed_.load(std::memory_order_relaxed);
     // The credit discipline (free_slots() checked by the caller before
@@ -15,11 +35,41 @@ VcBuffer::push(const Flit &f)
     if (seq - popped_actual_.load(std::memory_order_acquire) >= capacity_)
         panic("VcBuffer overflow: producer pushed without credit");
     ring_[seq % capacity_] = f;
-    {
-        std::lock_guard<std::mutex> flk(flow_mx_);
-        ++flow_counts_[f.flow];
-    }
+    count_flow();
     pushed_.store(seq + 1, std::memory_order_release);
+}
+
+void
+VcBuffer::set_batched(bool on)
+{
+    if (batched_ && !on)
+        flush_staged();
+    batched_ = on;
+}
+
+std::uint32_t
+VcBuffer::flush_staged()
+{
+    if (staged_.empty())
+        return 0;
+    std::lock_guard<std::mutex> lk(tail_mx_);
+    std::uint64_t seq = pushed_.load(std::memory_order_relaxed);
+    for (const Flit &f : staged_) {
+        if (seq - popped_actual_.load(std::memory_order_acquire) >=
+            capacity_)
+            panic("VcBuffer overflow: batched flush exceeds capacity");
+        ring_[seq % capacity_] = f;
+        ++seq;
+    }
+    const auto n = static_cast<std::uint32_t>(staged_.size());
+    staged_.clear();
+    // Publish to the ring *before* zeroing the staged count: a
+    // concurrent credit reader may double-count flits during the
+    // overlap (conservative), but can never miss them (a credit
+    // overestimate could overflow the buffer).
+    pushed_.store(seq, std::memory_order_release);
+    staged_count_.store(0, std::memory_order_release);
+    return n;
 }
 
 std::optional<Flit>

@@ -18,6 +18,23 @@
  *    freed credit one cycle later. Under cycle-accurate barrier
  *    synchronization this makes parallel simulation bitwise identical
  *    to sequential simulation.
+ *
+ * Batched (window) handoff:
+ *    when the producer and consumer run in different engine shards, the
+ *    engine may put the buffer in *batched* mode: push() stages flits
+ *    in a producer-private vector instead of publishing them, and
+ *    flush_staged() — called by the producing shard at each window
+ *    rendezvous — publishes the whole window's flits with a single
+ *    tail-lock acquisition. The producer-side logical views (credits,
+ *    flow occupancy for EDVCA) include staged flits, so upstream
+ *    decisions are identical to unbatched operation; the consumer-side
+ *    physical views exclude them until the flush. In lockstep windows
+ *    the engine also flushes at every intra-window cycle barrier, so
+ *    observable behaviour is bitwise identical to unbatched pushes (a
+ *    pushed flit only ever becomes visible at its arrival_cycle, at
+ *    least one cycle after the push); in free-running windows
+ *    visibility is deferred to the next rendezvous, which is exactly
+ *    the loose-synchronization error envelope.
  */
 #ifndef HORNET_NET_VC_BUFFER_H
 #define HORNET_NET_VC_BUFFER_H
@@ -57,9 +74,9 @@ class VcBuffer
 
     /**
      * Credits available to the producer: capacity minus flits pushed
-     * and not yet *committed* popped. Conservative (freed space shows
-     * up one negedge later), which is what makes parallel cycle-
-     * accurate runs deterministic.
+     * (published or staged) and not yet *committed* popped.
+     * Conservative (freed space shows up one negedge later), which is
+     * what makes parallel cycle-accurate runs deterministic.
      */
     std::uint32_t
     free_slots() const
@@ -67,7 +84,9 @@ class VcBuffer
         std::uint64_t pushed = pushed_.load(std::memory_order_acquire);
         std::uint64_t popped =
             popped_committed_.load(std::memory_order_acquire);
-        std::uint64_t in_use = pushed - popped;
+        std::uint64_t in_use =
+            pushed - popped +
+            staged_count_.load(std::memory_order_acquire);
         return in_use >= capacity_
                    ? 0
                    : capacity_ - static_cast<std::uint32_t>(in_use);
@@ -75,11 +94,39 @@ class VcBuffer
 
     /**
      * Push a flit; the caller must have checked free_slots() > 0.
-     * @p f.arrival_cycle must already be set by the caller.
+     * @p f.arrival_cycle must already be set by the caller. In batched
+     * mode the flit is staged producer-side until flush_staged().
      */
     void push(const Flit &f);
 
-    /** Total flits ever pushed (tests / conservation checks). */
+    /**
+     * Enable or disable batched (window) handoff. Producer-side only:
+     * must be called by the producing thread, or while no thread
+     * touches the buffer (e.g. before an engine run starts or after it
+     * ends). Disabling flushes any staged flits.
+     */
+    void set_batched(bool on);
+
+    /** True when pushes are currently staged rather than published. */
+    bool batched() const { return batched_; }
+
+    /**
+     * Publish all staged flits to the consumer in push order (one
+     * tail-lock acquisition for the whole batch). Called by the
+     * producing thread at a window rendezvous. Returns the number of
+     * flits published.
+     */
+    std::uint32_t flush_staged();
+
+    /** Flits staged and not yet published. */
+    std::uint32_t
+    staged_count() const
+    {
+        return staged_count_.load(std::memory_order_acquire);
+    }
+
+    /** Total flits ever published to the consumer (excludes flits
+     *  still staged in batched mode; tests / conservation checks). */
     std::uint64_t
     total_pushed() const
     {
@@ -142,21 +189,23 @@ class VcBuffer
      */
     bool exclusively_holds(FlowId flow) const;
 
-    /** True when the buffer is logically empty (credit view). */
+    /** True when the buffer is logically empty (credit view; staged
+     *  flits count as present). */
     bool
     logically_empty() const
     {
-        return pushed_.load(std::memory_order_acquire) ==
-               popped_committed_.load(std::memory_order_acquire);
+        return logical_size() == 0;
     }
 
-    /** Flits logically present (pushed minus committed pops). */
+    /** Flits logically present: pushed (published or staged) minus
+     *  committed pops. */
     std::uint32_t
     logical_size() const
     {
         return static_cast<std::uint32_t>(
             pushed_.load(std::memory_order_acquire) -
-            popped_committed_.load(std::memory_order_acquire));
+            popped_committed_.load(std::memory_order_acquire) +
+            staged_count_.load(std::memory_order_acquire));
     }
 
     /** Number of distinct flows logically present (tests / FAA). */
@@ -177,6 +226,17 @@ class VcBuffer
     mutable std::mutex flow_mx_;
     std::map<FlowId, std::uint32_t> flow_counts_;
     std::vector<FlowId> pending_pop_flows_; ///< consumer-thread private
+
+    /// Batched-handoff state. The staged_ vector itself is
+    /// producer-thread private; staged_count_ mirrors its size
+    /// atomically because the credit/occupancy views above are also
+    /// read by link arbiters on other threads (Router::
+    /// egress_free_space from BidirLink::arbitrate). Flow counting
+    /// for staged flits happens at push time, so the logical views
+    /// stay exact.
+    bool batched_ = false;
+    std::vector<Flit> staged_;
+    std::atomic<std::uint32_t> staged_count_{0};
 };
 
 } // namespace hornet::net

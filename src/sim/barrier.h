@@ -21,6 +21,7 @@ namespace hornet::sim {
 class Barrier
 {
   public:
+    /** @param parties number of threads that must arrive to release. */
     explicit Barrier(unsigned parties) : parties_(parties) {}
 
     /** Block until all parties arrive; the last one runs @p leader. */
@@ -40,6 +41,7 @@ class Barrier
         }
     }
 
+    /** Number of threads this barrier synchronizes. */
     unsigned parties() const { return parties_; }
 
   private:

@@ -21,6 +21,12 @@
 
 #include "common/types.h"
 
+/**
+ * @namespace hornet::sim
+ * The simulation engine: clock domains (tiles), per-thread shard
+ * schedulers, synchronization policies and the system composition
+ * root.
+ */
 namespace hornet::sim {
 
 /**
@@ -32,6 +38,7 @@ namespace hornet::sim {
 class Clocked
 {
   public:
+    /** Components are owned and destroyed by their clock domain. */
     virtual ~Clocked() = default;
 
     /** Positive clock edge at local cycle @p now: read published

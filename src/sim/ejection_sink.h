@@ -17,6 +17,7 @@ namespace hornet::sim {
 class EjectionSink : public Frontend
 {
   public:
+    /** @param router the router whose ejection buffers to drain. */
     explicit EjectionSink(net::Router *router) : router_(router) {}
 
     void

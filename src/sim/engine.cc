@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <thread>
+#include <unordered_map>
 
 #include "common/log.h"
 #include "sim/barrier.h"
@@ -21,6 +22,24 @@ Engine::Engine(const std::vector<Tile *> &tiles, unsigned threads)
     // cross-thread links and thus loose-synchronization skew error.
     for (std::size_t i = 0; i < tiles.size(); ++i)
         shards_[(i * T) / tiles.size()].add_tile(tiles[i]);
+
+    // Find the buffers that straddle the partition: each tile declares
+    // the downstream buffers it produces into and the node consuming
+    // them; whichever land in a different shard become that producing
+    // shard's cross-shard set (traffic feedback + batched handoff).
+    std::unordered_map<NodeId, std::size_t> shard_of;
+    for (std::size_t s = 0; s < shards_.size(); ++s)
+        for (const Tile *t : shards_[s].tiles())
+            shard_of.emplace(t->id(), s);
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+        for (Tile *t : shards_[s].tiles()) {
+            for (const auto &[consumer, buf] : t->egress_buffers()) {
+                auto it = shard_of.find(consumer);
+                if (it != shard_of.end() && it->second != s)
+                    shards_[s].add_cross_buffer(buf);
+            }
+        }
+    }
 }
 
 Cycle
@@ -40,6 +59,16 @@ Engine::run(SyncPolicy &policy, const EngineOptions &opts)
     const bool need_idle = needs.idleness || opts.stop_when_done;
     const bool need_done = opts.stop_when_done;
     const bool need_next = needs.next_event;
+    const bool need_cross = needs.cross_traffic;
+    const bool batching = opts.batch_cross_shard && T > 1;
+
+    // cross_flits is promised per-run, but the underlying buffer
+    // counters are lifetime-cumulative: subtract what previous runs
+    // of this system already pushed.
+    std::uint64_t cross_base = 0;
+    if (need_cross)
+        for (const Shard &s : shards_)
+            cross_base += s.cross_pushed();
 
     struct Shared
     {
@@ -49,8 +78,10 @@ Engine::run(SyncPolicy &policy, const EngineOptions &opts)
         std::vector<char> busy;
         std::vector<char> done;
         std::vector<Cycle> min_next;
+        std::vector<std::uint64_t> cross;
         explicit Shared(unsigned t)
-            : barrier(t), busy(t, 1), done(t, 0), min_next(t, kNoEvent)
+            : barrier(t), busy(t, 1), done(t, 0), min_next(t, kNoEvent),
+              cross(t, 0)
         {}
     } sh(T);
 
@@ -73,6 +104,11 @@ Engine::run(SyncPolicy &policy, const EngineOptions &opts)
         if (need_next)
             for (Cycle c : sh.min_next)
                 view.next_event = std::min(view.next_event, c);
+        if (need_cross) {
+            for (std::uint64_t c : sh.cross)
+                view.cross_flits += c;
+            view.cross_flits -= cross_base;
+        }
 
         if (view.now >= opts.max_cycles) {
             sh.stop.store(true, std::memory_order_relaxed);
@@ -89,10 +125,13 @@ Engine::run(SyncPolicy &policy, const EngineOptions &opts)
             return;
         }
         w.end = std::min(w.end, opts.max_cycles);
-        w.advance_to = std::min(w.advance_to, opts.max_cycles);
-        if (w.advance_to != 0 && w.advance_to < view.now)
-            panic("SyncPolicy: clocks may only jump forward");
-        const Cycle base = std::max(view.now, w.advance_to);
+        if (w.advance_to != kNoEvent) {
+            w.advance_to = std::min(w.advance_to, opts.max_cycles);
+            if (w.advance_to < view.now)
+                panic("SyncPolicy: clocks may only jump forward");
+        }
+        const Cycle base =
+            w.advance_to == kNoEvent ? view.now : w.advance_to;
         if (w.end <= base && base == view.now) {
             // Neither cycles to run nor a jump: no progress possible.
             sh.stop.store(true, std::memory_order_relaxed);
@@ -103,21 +142,37 @@ Engine::run(SyncPolicy &policy, const EngineOptions &opts)
 
     auto worker = [&](unsigned tid) {
         Shard &my = shards_[tid];
+        if (batching)
+            my.set_cross_batched(true);
         while (true) {
+            // Publish the window's staged cross-shard flits before the
+            // summaries: a flit this shard handed across a boundary is
+            // reported busy by *this* shard (via cross_in_flight) until
+            // the consumer commits it, so the leader can never observe
+            // an all-idle system with batched flits still in flight,
+            // whatever order the shards reach the rendezvous in.
+            if (batching)
+                my.flush_cross();
+
             // Publish this shard's state for the leader's decision.
             if (need_idle)
-                sh.busy[tid] = my.busy() ? 1 : 0;
+                sh.busy[tid] =
+                    (my.busy() || (batching && my.cross_in_flight()))
+                        ? 1
+                        : 0;
             if (need_done)
                 sh.done[tid] = my.done() ? 1 : 0;
             if (need_next)
                 sh.min_next[tid] = my.next_event();
+            if (need_cross)
+                sh.cross[tid] = my.cross_pushed();
 
             sh.barrier.arrive_and_wait(leader_plan);
             if (sh.stop.load(std::memory_order_relaxed))
                 break;
 
             const SyncWindow w = sh.window;
-            if (w.advance_to > my.now())
+            if (w.advance_to != kNoEvent && w.advance_to > my.now())
                 my.advance_to(w.advance_to);
             if (w.lockstep) {
                 // Globally aligned clock edges: bitwise identical to
@@ -132,8 +187,17 @@ Engine::run(SyncPolicy &policy, const EngineOptions &opts)
                     my.posedge();
                     sh.barrier.arrive_and_wait();
                     my.negedge();
-                    if (my.now() < w.end)
+                    if (my.now() < w.end) {
+                        // Batched handoff must stay invisible to
+                        // lockstep execution: publish this cycle's
+                        // staged flits before the inter-cycle barrier
+                        // (the final cycle's are published at the
+                        // rendezvous), exactly where an unbatched
+                        // push would first become observable.
+                        if (batching)
+                            my.flush_cross();
                         sh.barrier.arrive_and_wait();
+                    }
                 }
             } else {
                 // Loose synchronization: free-run to the window end;
@@ -150,6 +214,13 @@ Engine::run(SyncPolicy &policy, const EngineOptions &opts)
     worker(0);
     for (auto &th : threads)
         th.join();
+
+    // Leave the buffers in normal (unbatched) mode between runs. The
+    // final rendezvous flushed every staged flit, so this is a
+    // bookkeeping reset, not a publication point.
+    if (batching)
+        for (Shard &s : shards_)
+            s.set_cross_batched(false);
 
     return shards_[0].now();
 }

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "net/vc_buffer.h"
 #include "sim/sync_policy.h"
 #include "sim/tile.h"
 
@@ -34,15 +35,76 @@ namespace hornet::sim {
  * then negedge of every tile), so intra-shard traffic is always
  * cycle-accurate regardless of the active SyncPolicy; only inter-shard
  * skew is policy-dependent (paper II-C).
+ *
+ * Besides its tiles, a shard tracks the *cross-shard buffers* its
+ * tiles produce into (VC buffers whose consumer lives in another
+ * shard, registered by the Engine at partition time). They are the
+ * only points where this shard's execution is observed by another
+ * thread, so they carry the cross-shard traffic counter the adaptive
+ * sync policy feeds on, and they are where window-batched message
+ * handoff is staged and flushed.
  */
 class Shard
 {
   public:
+    /** An empty shard; the Engine fills it at partition time. */
     Shard() = default;
 
+    /** Append @p t to this shard (Engine, during partitioning). */
     void add_tile(Tile *t) { tiles_.push_back(t); }
+    /** The tiles stepped by this shard's thread, in id order. */
     const std::vector<Tile *> &tiles() const { return tiles_; }
+    /** True when no tile has been assigned. */
     bool empty() const { return tiles_.empty(); }
+
+    /** Register a VC buffer produced by this shard whose consumer
+     *  lives in another shard (Engine, at partition time). */
+    void add_cross_buffer(net::VcBuffer *b) { cross_bufs_.push_back(b); }
+
+    /** The cross-shard buffers this shard produces into. */
+    const std::vector<net::VcBuffer *> &cross_buffers() const
+    {
+        return cross_bufs_;
+    }
+
+    /** Cumulative flits this shard published into cross-shard buffers
+     *  (flush staged flits first when batching for an exact count). */
+    std::uint64_t
+    cross_pushed() const
+    {
+        std::uint64_t total = 0;
+        for (const net::VcBuffer *b : cross_bufs_)
+            total += b->total_pushed();
+        return total;
+    }
+
+    /** Any flit this shard handed across a boundary is still staged or
+     *  unconsumed (keeps idleness conservative under batching). */
+    bool
+    cross_in_flight() const
+    {
+        for (const net::VcBuffer *b : cross_bufs_)
+            if (!b->logically_empty())
+                return true;
+        return false;
+    }
+
+    /** Switch window-batched handoff on or off for every cross-shard
+     *  buffer (off flushes leftovers). Producer-thread or quiescent. */
+    void
+    set_cross_batched(bool on)
+    {
+        for (net::VcBuffer *b : cross_bufs_)
+            b->set_batched(on);
+    }
+
+    /** Publish this shard's staged cross-shard flits (rendezvous). */
+    void
+    flush_cross()
+    {
+        for (net::VcBuffer *b : cross_bufs_)
+            b->flush_staged();
+    }
 
     /** Local clock (tiles agree; undefined on an empty shard). */
     Cycle now() const { return tiles_.front()->now(); }
@@ -114,6 +176,7 @@ class Shard
 
   private:
     std::vector<Tile *> tiles_;
+    std::vector<net::VcBuffer *> cross_bufs_;
 };
 
 /** Engine run parameters (policy-independent). */
@@ -126,6 +189,18 @@ struct EngineOptions
      *  loose-sync run may overshoot the completion cycle by up to one
      *  window (regardless of thread count). */
     bool stop_when_done = false;
+    /**
+     * Batch cross-shard flit handoff per window: pushes into another
+     * shard's buffers are staged producer-side and published once per
+     * rendezvous (one lock acquisition per buffer per window) instead
+     * of per push. Bitwise-neutral for lockstep windows of any length
+     * (staged flits are additionally published at each intra-window
+     * cycle barrier, where an unbatched push would first become
+     * observable); for free-running windows it defers cross-shard
+     * visibility to the rendezvous, within the loose-synchronization
+     * error envelope. Ignored on single-shard runs.
+     */
+    bool batch_cross_shard = false;
 };
 
 /**
@@ -144,7 +219,9 @@ class Engine
      */
     Engine(const std::vector<Tile *> &tiles, unsigned threads);
 
+    /** Number of shards (== execution threads) of the partition. */
     std::size_t num_shards() const { return shards_.size(); }
+    /** Shard @p i of the partition (introspection: tests). */
     Shard &shard(std::size_t i) { return shards_.at(i); }
 
     /**

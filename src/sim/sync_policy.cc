@@ -30,6 +30,59 @@ PeriodicSync::next_window(const EngineView &view)
     return w;
 }
 
+AdaptiveSync::AdaptiveSync(const Options &opts)
+    : opts_(opts), period_(opts.min_period)
+{
+    if (opts_.min_period == 0)
+        fatal("AdaptiveSync: min_period must be >= 1");
+    if (opts_.max_period < opts_.min_period)
+        fatal("AdaptiveSync: max_period must be >= min_period");
+    if (opts_.low_watermark > opts_.high_watermark)
+        fatal("AdaptiveSync: low_watermark must be <= high_watermark");
+}
+
+ViewNeeds
+AdaptiveSync::needs() const
+{
+    ViewNeeds n;
+    n.cross_traffic = true;
+    return n;
+}
+
+SyncWindow
+AdaptiveSync::next_window(const EngineView &view)
+{
+    // A fresh baseline is needed on the first window and whenever the
+    // monotonic counter appears to run backwards (a reused policy
+    // observing a different engine's counter).
+    if (have_baseline_ && view.now > last_now_ &&
+        view.cross_flits >= last_cross_) {
+        const double cycles = static_cast<double>(view.now - last_now_);
+        const double rate =
+            static_cast<double>(view.cross_flits - last_cross_) / cycles;
+        const std::uint32_t old = period_;
+        if (rate > opts_.high_watermark) {
+            period_ = opts_.min_period; // fast attack
+        } else if (rate < opts_.low_watermark) {
+            // Saturating doubling: huge max_periods must cap, not
+            // wrap period_ to zero.
+            period_ = period_ > opts_.max_period / 2
+                          ? opts_.max_period
+                          : period_ * 2;
+        }
+        if (period_ != old)
+            history_.emplace_back(view.now, period_);
+    }
+    have_baseline_ = true;
+    last_now_ = view.now;
+    last_cross_ = view.cross_flits;
+
+    SyncWindow w;
+    w.end = view.now + period_;
+    w.lockstep = period_ == 1;
+    return w;
+}
+
 FastForwardSync::FastForwardSync(std::unique_ptr<SyncPolicy> inner)
     : inner_(std::move(inner))
 {

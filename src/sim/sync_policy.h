@@ -16,6 +16,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "common/types.h"
 
@@ -37,6 +39,13 @@ struct EngineView
     /** Min next self-scheduled event over all components (kNoEvent
      *  when nothing will ever happen again). */
     Cycle next_event = kNoEvent;
+    /**
+     * Monotonic count of flits handed across shard boundaries (pushes
+     * into VC buffers whose producer and consumer run in different
+     * shards) since the engine run began. Only deltas between
+     * rendezvous are meaningful; zero on single-shard runs.
+     */
+    std::uint64_t cross_flits = 0;
 };
 
 /**
@@ -50,6 +59,8 @@ struct ViewNeeds
     bool idleness = false;
     /** Policy reads next_event. */
     bool next_event = false;
+    /** Policy reads cross_flits. */
+    bool cross_traffic = false;
 };
 
 /** One engine window, as planned by a SyncPolicy. */
@@ -57,9 +68,10 @@ struct SyncWindow
 {
     /** Terminate the run before executing anything further. */
     bool stop = false;
-    /** Jump every clock to this cycle before ticking (0 = no jump).
-     *  Only ever moves clocks forward. */
-    Cycle advance_to = 0;
+    /** Jump every clock to this cycle before ticking (kNoEvent = no
+     *  jump). Only ever moves clocks forward; a target of cycle 0 is a
+     *  legitimate (no-op) jump, not a sentinel. */
+    Cycle advance_to = kNoEvent;
     /** Run cycles until every clock reaches this cycle (exclusive).
      *  The engine clamps it to the horizon. */
     Cycle end = 0;
@@ -80,6 +92,7 @@ struct SyncWindow
 class SyncPolicy
 {
   public:
+    /** Policies are owned by the caller of Engine/System::run. */
     virtual ~SyncPolicy() = default;
 
     /** Human-readable policy name (logs, VCD headers, tests). */
@@ -113,14 +126,78 @@ class CycleAccurateSync final : public SyncPolicy
 class PeriodicSync final : public SyncPolicy
 {
   public:
+    /** @param period rendezvous period in cycles (>= 1). */
     explicit PeriodicSync(std::uint32_t period);
 
     const char *name() const override { return "periodic"; }
+    /** The fixed rendezvous period, in cycles. */
     std::uint32_t period() const { return period_; }
     SyncWindow next_window(const EngineView &view) override;
 
   private:
     std::uint32_t period_;
+};
+
+/**
+ * Adaptive synchronization: widens or narrows the rendezvous window
+ * from observed cross-shard flit traffic. High inter-shard traffic
+ * means inter-shard skew would distort many flit timings, so the
+ * window shrinks (toward cycle-accurate lockstep at one cycle);
+ * a quiescent boundary lets the window grow toward max_period,
+ * reclaiming the near-linear loose-synchronization speedup
+ * (paper Fig 6) without paying its fidelity cost while traffic is
+ * hot. Composes with FastForwardSync, which jumps the drained gaps
+ * the grown windows expose.
+ *
+ * The controller is fast-attack / slow-decay: a high-watermark breach
+ * snaps the window straight to min_period (a burst is hurting
+ * fidelity *now*; the next rendezvous is at most one window away),
+ * while growth back toward max_period is multiplicative (double per
+ * quiet window), so a misjudged gap costs at most one doubled window.
+ */
+class AdaptiveSync final : public SyncPolicy
+{
+  public:
+    /** Tuning knobs; the defaults suit mesh NoCs at moderate load. */
+    struct Options
+    {
+        /** Smallest window (1 = cycle-accurate lockstep). */
+        std::uint32_t min_period = 1;
+        /** Largest window the controller may grow to. */
+        std::uint32_t max_period = 64;
+        /** Cross-shard flits per cycle above which windows shrink. */
+        double high_watermark = 1.0;
+        /** Cross-shard flits per cycle below which windows grow. */
+        double low_watermark = 0.25;
+    };
+
+    /** One recorded period change (cycle it took effect, new period). */
+    using PeriodChange = std::pair<Cycle, std::uint32_t>;
+
+    /** Controller with the default bounds and watermarks. */
+    AdaptiveSync() : AdaptiveSync(Options{}) {}
+
+    /** @param opts controller bounds and watermarks. */
+    explicit AdaptiveSync(const Options &opts);
+
+    const char *name() const override { return "adaptive"; }
+    ViewNeeds needs() const override;
+    SyncWindow next_window(const EngineView &view) override;
+
+    /** Current rendezvous period, in cycles. */
+    std::uint32_t period() const { return period_; }
+    /** The controller options this policy was built with. */
+    const Options &options() const { return opts_; }
+    /** Every period change so far (introspection: tests, benches). */
+    const std::vector<PeriodChange> &history() const { return history_; }
+
+  private:
+    Options opts_;
+    std::uint32_t period_;
+    bool have_baseline_ = false;
+    Cycle last_now_ = 0;
+    std::uint64_t last_cross_ = 0;
+    std::vector<PeriodChange> history_;
 };
 
 /**
@@ -134,9 +211,11 @@ class PeriodicSync final : public SyncPolicy
 class FastForwardSync final : public SyncPolicy
 {
   public:
+    /** @param inner policy that plans the non-jump part of windows. */
     explicit FastForwardSync(std::unique_ptr<SyncPolicy> inner);
 
     const char *name() const override { return "fast-forward"; }
+    /** The wrapped policy (introspection: tests, logs). */
     SyncPolicy &inner() { return *inner_; }
     ViewNeeds needs() const override;
     SyncWindow next_window(const EngineView &view) override;

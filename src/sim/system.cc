@@ -13,10 +13,22 @@ make_sync_policy(const RunOptions &opts)
     if (opts.sync_period == 0)
         fatal("run: sync_period must be >= 1");
     std::unique_ptr<SyncPolicy> policy;
-    if (opts.sync_period == 1)
+    if (opts.sync.empty()) {
+        // Legacy declarative form: the period picks the policy.
+        if (opts.sync_period == 1)
+            policy = std::make_unique<CycleAccurateSync>();
+        else
+            policy = std::make_unique<PeriodicSync>(opts.sync_period);
+    } else if (opts.sync == "cycle-accurate") {
         policy = std::make_unique<CycleAccurateSync>();
-    else
+    } else if (opts.sync == "periodic") {
         policy = std::make_unique<PeriodicSync>(opts.sync_period);
+    } else if (opts.sync == "adaptive") {
+        policy = std::make_unique<AdaptiveSync>(opts.adaptive);
+    } else {
+        fatal("run: unknown sync backend \"" + opts.sync +
+              "\" (expected cycle-accurate, periodic or adaptive)");
+    }
     if (opts.fast_forward)
         policy = std::make_unique<FastForwardSync>(std::move(policy));
     return policy;
@@ -40,6 +52,20 @@ System::System(const net::Topology &topo, const net::NetworkConfig &cfg,
         network_->router(i).set_flow_stats(&tiles_[i]->flow_stats());
         for (net::BidirLink *l : network_->links_owned_by(i))
             tiles_[i]->add_owned_link(l);
+    }
+
+    // Declare each tile's inter-tile egress buffers: the egress of a
+    // toward b produces into the ingress buffers of b's port facing a.
+    // The engine intersects this registry with its shard partition to
+    // find the buffers that cross thread boundaries.
+    for (NodeId a = 0; a < n; ++a) {
+        const auto &nbrs = topo.neighbors(a);
+        for (PortId p = 0; p < nbrs.size(); ++p) {
+            const NodeId b = nbrs[p];
+            for (net::VcBuffer *buf :
+                 network_->router(b).ingress_buffers(topo.port_to(b, a)))
+                tiles_[a]->add_egress_buffer(b, buf);
+        }
     }
 }
 
@@ -72,6 +98,7 @@ System::run(const RunOptions &opts)
     EngineOptions eng_opts;
     eng_opts.max_cycles = opts.max_cycles;
     eng_opts.stop_when_done = opts.stop_when_done;
+    eng_opts.batch_cross_shard = opts.batch_handoff;
     return run(*policy, eng_opts, opts.threads);
 }
 

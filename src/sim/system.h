@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/stats.h"
@@ -39,8 +40,21 @@ struct RunOptions
      * cycle); k > 1 = loose synchronization every k cycles.
      */
     std::uint32_t sync_period = 1;
+    /**
+     * Synchronization backend by name: "" (default) derives the policy
+     * from sync_period as above; explicit values are "cycle-accurate",
+     * "periodic" (uses sync_period) and "adaptive" (uses the adaptive
+     * options below; sync_period is ignored).
+     */
+    std::string sync;
+    /** AdaptiveSync controller tuning (sync == "adaptive" only). */
+    AdaptiveSync::Options adaptive;
     /** Fast-forward drained-network gaps (paper IV-B). */
     bool fast_forward = false;
+    /** Batch cross-shard flit handoff per window instead of per push
+     *  (see EngineOptions::batch_cross_shard). Usually enabled
+     *  together with the adaptive backend. */
+    bool batch_handoff = false;
     /** Also stop as soon as every frontend is done and the network has
      *  drained (used by application workloads). Checked at window
      *  rendezvous: with sync_period k > 1 the run may overshoot the
@@ -50,9 +64,11 @@ struct RunOptions
 };
 
 /**
- * Build the SyncPolicy described by @p opts: CycleAccurateSync for
- * sync_period 1, PeriodicSync otherwise, wrapped in FastForwardSync
- * when fast_forward is requested.
+ * Build the SyncPolicy described by @p opts. With no explicit
+ * opts.sync name: CycleAccurateSync for sync_period 1, PeriodicSync
+ * otherwise. An explicit name selects its policy directly ("adaptive"
+ * builds AdaptiveSync from opts.adaptive). Either way the result is
+ * wrapped in FastForwardSync when fast_forward is requested.
  */
 std::unique_ptr<SyncPolicy> make_sync_policy(const RunOptions &opts);
 
@@ -69,11 +85,16 @@ class System
     System(const net::Topology &topo, const net::NetworkConfig &cfg,
            std::uint64_t seed);
 
+    /** The simulated network (routers + links). */
     net::Network &network() { return *network_; }
+    /** The simulated network (read-only). */
     const net::Network &network() const { return *network_; }
 
+    /** Tile of node @p n. */
     Tile &tile(NodeId n) { return *tiles_.at(n); }
+    /** Tile of node @p n (read-only). */
     const Tile &tile(NodeId n) const { return *tiles_.at(n); }
+    /** Number of tiles (== nodes of the topology). */
     std::uint32_t num_tiles() const
     {
         return static_cast<std::uint32_t>(tiles_.size());

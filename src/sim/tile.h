@@ -18,6 +18,7 @@
 
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/log.h"
@@ -35,11 +36,16 @@ namespace hornet::sim {
 class Tile
 {
   public:
+    /** @param id this tile's node id; @param seed its private PRNG seed. */
     Tile(NodeId id, std::uint64_t seed) : id_(id), rng_(seed) {}
 
+    /** Node id of this tile. */
     NodeId id() const { return id_; }
+    /** Tile-private pseudorandom number generator (paper II-A5). */
     Rng &rng() { return rng_; }
+    /** Tile-private statistics sink. */
     TileStats &stats() { return stats_; }
+    /** Tile-private statistics sink (read-only). */
     const TileStats &stats() const { return stats_; }
 
     /** Per-flow delivery statistics. Unordered (hot per-flit path);
@@ -70,14 +76,17 @@ class Tile
         now_ = c;
     }
 
+    /** Attach this tile's router (wired by System). */
     void
     set_router(net::Router *r)
     {
         router_ = r;
         order_dirty_ = true;
     }
+    /** This tile's router (nullptr until wired). */
     net::Router *router() { return router_; }
 
+    /** Attach a link arbiter stepped at this tile's negedge. */
     void
     add_owned_link(net::BidirLink *l)
     {
@@ -85,6 +94,7 @@ class Tile
         order_dirty_ = true;
     }
 
+    /** Attach a traffic frontend (generator/consumer). */
     void
     add_frontend(std::unique_ptr<Frontend> fe)
     {
@@ -92,9 +102,31 @@ class Tile
         order_dirty_ = true;
     }
 
+    /** The frontends attached to this tile. */
     const std::vector<std::unique_ptr<Frontend>> &frontends() const
     {
         return frontends_;
+    }
+
+    /**
+     * Register a VC buffer this tile's components produce into whose
+     * consumer is the tile of node @p consumer (wired by System from
+     * the network's link map). The engine uses the registry to find
+     * the buffers that straddle its shard partition — the only points
+     * where one thread's execution is observed by another — for
+     * cross-shard traffic accounting and window-batched handoff.
+     */
+    void
+    add_egress_buffer(NodeId consumer, net::VcBuffer *buf)
+    {
+        egress_buffers_.emplace_back(consumer, buf);
+    }
+
+    /** All (consumer node, buffer) pairs this tile produces into. */
+    const std::vector<std::pair<NodeId, net::VcBuffer *>> &
+    egress_buffers() const
+    {
+        return egress_buffers_;
     }
 
     /** Positive edge: tick every component in posedge order. */
@@ -199,6 +231,7 @@ class Tile
     TileStats stats_;
     std::unordered_map<FlowId, FlowStats> flow_stats_;
     net::Router *router_ = nullptr;
+    std::vector<std::pair<NodeId, net::VcBuffer *>> egress_buffers_;
     std::vector<net::BidirLink *> owned_links_;
     std::vector<std::unique_ptr<Frontend>> frontends_;
     mutable std::vector<Clocked *> posedge_order_;

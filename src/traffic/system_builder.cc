@@ -72,6 +72,35 @@ network_from_config(const Config &cfg)
     return nc;
 }
 
+sim::RunOptions
+run_options_from_config(const Config &cfg)
+{
+    sim::RunOptions ro;
+    ro.max_cycles =
+        static_cast<Cycle>(cfg.get_int("sim.max_cycles", 10000));
+    ro.threads =
+        static_cast<unsigned>(cfg.get_int("sim.threads", 1));
+    const std::string sync = cfg.get_enum(
+        "sim.sync", "auto",
+        {"auto", "cycle-accurate", "periodic", "adaptive"});
+    ro.sync = sync == "auto" ? "" : sync;
+    ro.sync_period =
+        static_cast<std::uint32_t>(cfg.get_int("sim.sync_period", 1));
+    ro.fast_forward = cfg.get_bool("sim.fast_forward", false);
+    ro.stop_when_done = cfg.get_bool("sim.stop_when_done", false);
+    ro.batch_handoff =
+        cfg.get_bool("sim.batch_handoff", ro.sync == "adaptive");
+    ro.adaptive.min_period = static_cast<std::uint32_t>(
+        cfg.get_int("sim.adaptive_min_period", 1));
+    ro.adaptive.max_period = static_cast<std::uint32_t>(
+        cfg.get_int("sim.adaptive_max_period", 64));
+    ro.adaptive.high_watermark =
+        cfg.get_double("sim.adaptive_high_watermark", 1.0);
+    ro.adaptive.low_watermark =
+        cfg.get_double("sim.adaptive_low_watermark", 0.25);
+    return ro;
+}
+
 std::unique_ptr<sim::System>
 build_system(const Config &cfg)
 {

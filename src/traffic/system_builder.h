@@ -35,6 +35,16 @@
  *
  *   [sim]
  *   seed = <int> (1)
+ *   max_cycles = <int> (10000)     threads = <int> (1)
+ *   sync = auto | cycle-accurate | periodic | adaptive    (auto:
+ *          cycle-accurate when sync_period is 1, periodic otherwise)
+ *   sync_period = <int> (1)        fast_forward = <bool> (false)
+ *   stop_when_done = <bool> (false)
+ *   batch_handoff = <bool> (true iff sync = adaptive)
+ *   adaptive_min_period = <int> (1)
+ *   adaptive_max_period = <int> (64)
+ *   adaptive_high_watermark = <double> (1.0)   (cross-shard flits per
+ *   adaptive_low_watermark  = <double> (0.25)   cycle; see ENGINE.md)
  */
 #ifndef HORNET_TRAFFIC_SYSTEM_BUILDER_H
 #define HORNET_TRAFFIC_SYSTEM_BUILDER_H
@@ -51,6 +61,14 @@ net::Topology topology_from_config(const Config &cfg);
 
 /** Network configuration from [network]. */
 net::NetworkConfig network_from_config(const Config &cfg);
+
+/**
+ * Engine run options from [sim]: thread count, horizon and the
+ * synchronization backend (cycle-accurate, periodic, adaptive — with
+ * the adaptive controller's bounds and watermarks), so a whole
+ * speed/accuracy experiment is describable as data.
+ */
+sim::RunOptions run_options_from_config(const Config &cfg);
 
 /**
  * Build the complete system: topology, routers, routing/VCA tables,

@@ -1,0 +1,432 @@
+/**
+ * @file
+ * Tests for the adaptive synchronization backend: the AdaptiveSync
+ * controller (window shrink/grow from cross-shard traffic feedback),
+ * the cross-shard traffic plumbing through Engine/Shard/EngineView,
+ * and the window-batched cross-shard handoff (paper II-C, Fig 6).
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/config.h"
+#include "sim/engine.h"
+#include "sim/sync_policy.h"
+#include "sim/system.h"
+#include "test_util.h"
+#include "traffic/system_builder.h"
+
+namespace hornet {
+namespace {
+
+using sim::AdaptiveSync;
+using sim::CycleAccurateSync;
+using sim::EngineOptions;
+using sim::EngineView;
+using sim::FastForwardSync;
+using sim::RunOptions;
+using sim::SyncPolicy;
+using sim::SyncWindow;
+using sim::System;
+using testutil::make_mesh_system;
+using testutil::snapshot;
+
+/** Feed @p policy one window of @p cycles with @p flits cross flits. */
+SyncWindow
+feed(AdaptiveSync &policy, EngineView &v, Cycle cycles,
+     std::uint64_t flits)
+{
+    v.now += cycles;
+    v.cross_flits += flits;
+    return policy.next_window(v);
+}
+
+TEST(AdaptiveSync, WindowsShrinkUnderTrafficAndGrowWhenQuiet)
+{
+    AdaptiveSync::Options o;
+    o.min_period = 1;
+    o.max_period = 16;
+    o.high_watermark = 1.0;
+    o.low_watermark = 0.25;
+    AdaptiveSync policy(o);
+    EXPECT_STREQ(policy.name(), "adaptive");
+    EXPECT_TRUE(policy.needs().cross_traffic);
+
+    EngineView v;
+    v.horizon = 1000000;
+
+    // First window establishes the baseline at min_period.
+    SyncWindow w = policy.next_window(v);
+    EXPECT_EQ(w.end, v.now + 1);
+    EXPECT_TRUE(w.lockstep);
+
+    // Quiet boundary: the window doubles each rendezvous up to the cap.
+    for (std::uint32_t expect : {2u, 4u, 8u, 16u, 16u}) {
+        w = feed(policy, v, policy.period(), 0);
+        EXPECT_EQ(policy.period(), expect);
+        EXPECT_EQ(w.end, v.now + expect);
+        EXPECT_FALSE(w.lockstep);
+    }
+
+    // Hot boundary (10 flits/cycle): fast attack snaps straight back
+    // to min_period — the burst is hurting fidelity *now*.
+    w = feed(policy, v, policy.period(), 10 * policy.period());
+    EXPECT_EQ(policy.period(), 1u);
+    EXPECT_TRUE(w.lockstep);
+    w = feed(policy, v, policy.period(), 10 * policy.period());
+    EXPECT_EQ(policy.period(), 1u);
+
+    // Mid-band traffic (0.5 flits/cycle) holds the period steady.
+    const std::uint32_t before = policy.period();
+    feed(policy, v, 2, 1);
+    EXPECT_EQ(policy.period(), before);
+
+    // Every change was recorded: four doublings, then the snap down.
+    ASSERT_EQ(policy.history().size(), 5u);
+    EXPECT_EQ(policy.history().front().second, 2u);
+    EXPECT_EQ(policy.history().back().second, 1u);
+}
+
+TEST(AdaptiveSync, GrowthSaturatesAtHugeMaxPeriod)
+{
+    // Doubling must saturate at max_period, not wrap uint32 to zero
+    // (a zero period would plan a no-progress window and silently end
+    // the run early).
+    AdaptiveSync::Options o;
+    o.min_period = 1;
+    o.max_period = 3000000000u; // > 2^31
+    AdaptiveSync policy(o);
+    EngineView v;
+    v.horizon = kNoEvent;
+    policy.next_window(v); // baseline
+    for (int i = 0; i < 40; ++i) {
+        SyncWindow w = feed(policy, v, policy.period(), 0);
+        ASSERT_GT(policy.period(), 0u);
+        ASSERT_GT(w.end, v.now);
+    }
+    EXPECT_EQ(policy.period(), o.max_period);
+}
+
+TEST(AdaptiveSync, BadOptionsAreRejected)
+{
+    AdaptiveSync::Options o;
+    o.min_period = 0;
+    EXPECT_THROW(AdaptiveSync p(o), std::runtime_error);
+    o.min_period = 8;
+    o.max_period = 4;
+    EXPECT_THROW(AdaptiveSync p(o), std::runtime_error);
+    o.max_period = 8;
+    o.low_watermark = 2.0;
+    o.high_watermark = 1.0;
+    EXPECT_THROW(AdaptiveSync p(o), std::runtime_error);
+}
+
+TEST(AdaptiveSync, ComposesWithFastForward)
+{
+    auto inner = std::make_unique<AdaptiveSync>();
+    AdaptiveSync *adaptive = inner.get();
+    FastForwardSync ff(std::move(inner));
+
+    // The decorator unions the adaptive policy's view needs with its
+    // own, so the engine publishes cross-traffic AND idleness.
+    sim::ViewNeeds n = ff.needs();
+    EXPECT_TRUE(n.cross_traffic);
+    EXPECT_TRUE(n.idleness);
+    EXPECT_TRUE(n.next_event);
+
+    // Idle gap: FF jumps, and the adaptive controller sees the jumped
+    // clock (a long quiet interval), growing its window.
+    EngineView v;
+    v.now = 100;
+    v.horizon = 100000;
+    v.all_idle = true;
+    v.next_event = 5000;
+    SyncWindow w = ff.next_window(v);
+    EXPECT_EQ(w.advance_to, 5000u);
+    EXPECT_GE(w.end, 5000u);
+    (void)adaptive;
+}
+
+/** Probe policy recording the cross_flits counter it is shown. */
+class CrossTrafficProbe final : public SyncPolicy
+{
+  public:
+    const char *name() const override { return "probe"; }
+    sim::ViewNeeds
+    needs() const override
+    {
+        sim::ViewNeeds n;
+        n.cross_traffic = true;
+        return n;
+    }
+    SyncWindow
+    next_window(const EngineView &v) override
+    {
+        last_cross = v.cross_flits;
+        SyncWindow w;
+        w.end = v.now + 10;
+        return w;
+    }
+    std::uint64_t last_cross = 0;
+};
+
+TEST(AdaptiveSync, EnginePublishesCrossShardTraffic)
+{
+    // Multi-shard run on a loaded mesh: the engine must report flits
+    // crossing the shard partition.
+    auto sys = make_mesh_system(4, 0.2, 11);
+    CrossTrafficProbe probe;
+    EngineOptions opts;
+    opts.max_cycles = 2000;
+    sys->run(probe, opts, /*threads=*/4);
+    EXPECT_GT(probe.last_cross, 0u);
+
+    // Single-shard run: no boundary, so the counter stays zero.
+    auto seq = make_mesh_system(4, 0.2, 11);
+    CrossTrafficProbe seq_probe;
+    seq->run(seq_probe, opts, /*threads=*/1);
+    EXPECT_EQ(seq_probe.last_cross, 0u);
+}
+
+TEST(AdaptiveSync, CrossTrafficCountsPerRunNotLifetime)
+{
+    // cross_flits is promised per engine run; the underlying buffer
+    // counters are lifetime-cumulative, so a second run on the same
+    // system must re-baseline rather than inherit the first run's
+    // total. Both runs cover the same number of cycles of the same
+    // steady traffic, so their counts should be comparable — with the
+    // lifetime bug the second would be roughly double the first.
+    auto sys = make_mesh_system(4, 0.2, 11);
+    EngineOptions opts;
+    opts.max_cycles = 2000;
+    CrossTrafficProbe first;
+    sys->run(first, opts, /*threads=*/4);
+    ASSERT_GT(first.last_cross, 0u);
+
+    CrossTrafficProbe second;
+    opts.max_cycles = 4000; // absolute horizon: cycles 2000..4000
+    sys->run(second, opts, /*threads=*/4);
+    EXPECT_GT(second.last_cross, 0u);
+    EXPECT_LT(second.last_cross, first.last_cross + first.last_cross / 2);
+}
+
+TEST(AdaptiveSync, BatchedHandoffAtPeriodOneIsBitwiseIdentical)
+{
+    // Acceptance (paper II-C): with one-cycle lockstep windows the
+    // batched cross-shard handoff must be bitwise identical to the
+    // unbatched sequential baseline — a staged flit only ever becomes
+    // visible at its arrival cycle, at least one cycle after the push.
+    EngineOptions opts;
+    opts.max_cycles = 2000;
+
+    auto ref_sys = make_mesh_system(8, 0.15, 7);
+    CycleAccurateSync seq_policy;
+    ref_sys->run(seq_policy, opts, /*threads=*/1);
+    const std::string ref = snapshot(ref_sys->collect_stats());
+
+    // Cycle-accurate, batched, 4 threads.
+    auto ca_sys = make_mesh_system(8, 0.15, 7);
+    CycleAccurateSync ca;
+    EngineOptions batched = opts;
+    batched.batch_cross_shard = true;
+    ca_sys->run(ca, batched, /*threads=*/4);
+    EXPECT_EQ(snapshot(ca_sys->collect_stats()), ref);
+
+    // Adaptive pinned to period 1 (min == max), batched, 4 threads.
+    auto ad_sys = make_mesh_system(8, 0.15, 7);
+    AdaptiveSync::Options o;
+    o.min_period = 1;
+    o.max_period = 1;
+    AdaptiveSync pinned(o);
+    ad_sys->run(pinned, batched, /*threads=*/4);
+    EXPECT_EQ(snapshot(ad_sys->collect_stats()), ref);
+}
+
+/** Custom policy: multi-cycle windows with lockstep edges. */
+class LockstepBatchSync final : public SyncPolicy
+{
+  public:
+    const char *name() const override { return "lockstep-batch"; }
+    SyncWindow
+    next_window(const EngineView &v) override
+    {
+        SyncWindow w;
+        w.end = v.now + 7;
+        w.lockstep = true;
+        return w;
+    }
+};
+
+TEST(AdaptiveSync, BatchedMultiCycleLockstepStaysBitwiseIdentical)
+{
+    // Lockstep windows longer than one cycle must stay exact under
+    // batching too: the engine publishes staged flits at every
+    // intra-window cycle barrier, where an unbatched push would first
+    // become observable.
+    EngineOptions opts;
+    opts.max_cycles = 2000;
+
+    auto ref_sys = make_mesh_system(4, 0.2, 13);
+    CycleAccurateSync seq_policy;
+    ref_sys->run(seq_policy, opts, /*threads=*/1);
+    const std::string ref = snapshot(ref_sys->collect_stats());
+
+    auto batch_sys = make_mesh_system(4, 0.2, 13);
+    LockstepBatchSync batch;
+    EngineOptions batched = opts;
+    batched.batch_cross_shard = true;
+    batch_sys->run(batch, batched, /*threads=*/4);
+    EXPECT_EQ(snapshot(batch_sys->collect_stats()), ref);
+}
+
+TEST(AdaptiveSync, BatchedAdaptiveDrainsAllTraffic)
+{
+    // Bursty traffic, adaptive windows, batched handoff: whatever the
+    // controller does, every injected flit must still be delivered
+    // (conservation), and the run must stay deterministic enough to
+    // finish. Generous horizon: batched visibility lags a window per
+    // boundary crossing on top of the usual loose-sync lag.
+    auto sys = make_mesh_system(4, 0.0, 3, /*burst_period=*/100,
+                                /*stop_at=*/2000);
+    AdaptiveSync policy;
+    EngineOptions opts;
+    opts.max_cycles = 30000;
+    opts.batch_cross_shard = true;
+    sys->run(policy, opts, /*threads=*/4);
+    auto s = sys->collect_stats();
+    EXPECT_GT(s.total.packets_injected, 0u);
+    EXPECT_EQ(s.total.flits_delivered, s.total.flits_injected);
+    EXPECT_EQ(s.total.packets_delivered, s.total.packets_injected);
+
+    // The bursty/idle pattern must have exercised the controller.
+    EXPECT_FALSE(policy.history().empty());
+}
+
+TEST(AdaptiveSync, AdaptiveReactsToBurstsEndToEnd)
+{
+    // Heavy bursts with long idle gaps between them: the controller
+    // must have both grown toward max_period (idle) and shrunk back
+    // toward lockstep (burst drain).
+    auto sys = make_mesh_system(4, 0.0, 9, /*burst_period=*/600,
+                                /*stop_at=*/0, /*burst_size=*/16);
+    AdaptiveSync::Options o;
+    o.min_period = 1;
+    o.max_period = 32;
+    o.high_watermark = 0.5;
+    o.low_watermark = 0.1;
+    AdaptiveSync policy(o);
+    EngineOptions opts;
+    opts.max_cycles = 8000;
+    opts.batch_cross_shard = true;
+    sys->run(policy, opts, /*threads=*/4);
+
+    std::uint32_t widest = 0, narrowest = ~0u;
+    for (const auto &[cycle, period] : policy.history()) {
+        widest = std::max(widest, period);
+        narrowest = std::min(narrowest, period);
+    }
+    ASSERT_FALSE(policy.history().empty());
+    EXPECT_GE(widest, 8u) << "idle gaps should widen the window";
+    EXPECT_LE(narrowest, 2u) << "bursts should narrow the window";
+}
+
+TEST(AdaptiveSync, RunOptionsSelection)
+{
+    RunOptions ro;
+    ro.sync = "adaptive";
+    auto p = make_sync_policy(ro);
+    EXPECT_STREQ(p->name(), "adaptive");
+
+    ro.fast_forward = true;
+    p = make_sync_policy(ro);
+    EXPECT_STREQ(p->name(), "fast-forward");
+    auto *ff = dynamic_cast<FastForwardSync *>(p.get());
+    ASSERT_NE(ff, nullptr);
+    EXPECT_STREQ(ff->inner().name(), "adaptive");
+
+    // Adaptive options pass through the declarative form.
+    ro.fast_forward = false;
+    ro.adaptive.min_period = 4;
+    ro.adaptive.max_period = 4;
+    p = make_sync_policy(ro);
+    auto *ad = dynamic_cast<AdaptiveSync *>(p.get());
+    ASSERT_NE(ad, nullptr);
+    EXPECT_EQ(ad->options().max_period, 4u);
+    EXPECT_EQ(ad->period(), 4u);
+
+    // Explicit names select their policies; junk dies loudly.
+    ro.sync = "cycle-accurate";
+    EXPECT_STREQ(make_sync_policy(ro)->name(), "cycle-accurate");
+    ro.sync = "periodic";
+    ro.sync_period = 9;
+    EXPECT_STREQ(make_sync_policy(ro)->name(), "periodic");
+    ro.sync = "quantum-entangled";
+    EXPECT_THROW(make_sync_policy(ro), std::runtime_error);
+}
+
+TEST(AdaptiveSync, RunOptionsFromConfig)
+{
+    Config cfg = Config::from_string(R"(
+[sim]
+threads = 4
+max_cycles = 123
+sync = adaptive
+adaptive_min_period = 2
+adaptive_max_period = 128
+adaptive_high_watermark = 3.5
+adaptive_low_watermark = 0.5
+fast_forward = true
+)");
+    RunOptions ro = traffic::run_options_from_config(cfg);
+    EXPECT_EQ(ro.threads, 4u);
+    EXPECT_EQ(ro.max_cycles, 123u);
+    EXPECT_EQ(ro.sync, "adaptive");
+    EXPECT_TRUE(ro.fast_forward);
+    EXPECT_TRUE(ro.batch_handoff); // defaults on for adaptive
+    EXPECT_EQ(ro.adaptive.min_period, 2u);
+    EXPECT_EQ(ro.adaptive.max_period, 128u);
+    EXPECT_DOUBLE_EQ(ro.adaptive.high_watermark, 3.5);
+    EXPECT_DOUBLE_EQ(ro.adaptive.low_watermark, 0.5);
+
+    // Defaults: legacy period-derived selection, batching off.
+    RunOptions def = traffic::run_options_from_config(Config{});
+    EXPECT_TRUE(def.sync.empty());
+    EXPECT_FALSE(def.batch_handoff);
+    EXPECT_EQ(def.sync_period, 1u);
+
+    // A bad selector is a config error, not a silent default.
+    Config bad = Config::from_string("[sim]\nsync = sometimes\n");
+    EXPECT_THROW(traffic::run_options_from_config(bad),
+                 std::runtime_error);
+}
+
+TEST(AdaptiveSync, ConfigDrivenAdaptiveRunEndToEnd)
+{
+    // The full config path: build a system and run it under the
+    // adaptive backend purely from an INI string.
+    Config cfg = Config::from_string(R"(
+[topology]
+kind = mesh
+width = 4
+height = 4
+
+[traffic]
+kind = synthetic
+pattern = transpose
+rate = 0.1
+
+[sim]
+seed = 21
+threads = 2
+max_cycles = 3000
+sync = adaptive
+)");
+    auto sys = traffic::build_system(cfg);
+    Cycle end = sys->run(traffic::run_options_from_config(cfg));
+    EXPECT_EQ(end, 3000u);
+    auto s = sys->collect_stats();
+    EXPECT_GT(s.total.packets_delivered, 0u);
+}
+
+} // namespace
+} // namespace hornet

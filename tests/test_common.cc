@@ -143,6 +143,17 @@ TEST(Config, IntListParses)
     EXPECT_EQ(v[3], 63);
 }
 
+TEST(Config, EnumGetterValidates)
+{
+    auto cfg = Config::from_string("mode = fast\n");
+    EXPECT_EQ(cfg.get_enum("mode", "slow", {"slow", "fast"}), "fast");
+    // Missing key falls back to the default.
+    EXPECT_EQ(cfg.get_enum("absent", "slow", {"slow", "fast"}), "slow");
+    // A present-but-unknown value is an error, not a silent default.
+    EXPECT_THROW(cfg.get_enum("mode", "slow", {"slow", "medium"}),
+                 std::runtime_error);
+}
+
 TEST(Config, LaterDuplicateWins)
 {
     auto cfg = Config::from_string("a = 1\na = 2\n");

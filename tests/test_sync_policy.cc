@@ -7,20 +7,15 @@
 #include <gtest/gtest.h>
 
 #include <memory>
-#include <sstream>
 
-#include "net/routing/builders.h"
-#include "net/topology.h"
 #include "sim/engine.h"
 #include "sim/sync_policy.h"
 #include "sim/system.h"
-#include "traffic/flows.h"
-#include "traffic/synthetic.h"
+#include "test_util.h"
 
 namespace hornet {
 namespace {
 
-using net::Topology;
 using sim::CycleAccurateSync;
 using sim::Engine;
 using sim::EngineOptions;
@@ -30,54 +25,8 @@ using sim::PeriodicSync;
 using sim::RunOptions;
 using sim::SyncWindow;
 using sim::System;
-
-std::unique_ptr<System>
-make_mesh_system(std::uint32_t side, double rate, std::uint64_t seed,
-                 Cycle burst_period = 0, Cycle stop_at = 0)
-{
-    Topology topo = Topology::mesh2d(side, side);
-    net::NetworkConfig cfg;
-    auto sys = std::make_unique<System>(topo, cfg, seed);
-
-    auto pattern = traffic::pattern_by_name("transpose", topo.num_nodes());
-    auto flows = traffic::flows_for_pattern(topo.num_nodes(), pattern);
-    net::routing::build_xy(sys->network(), flows);
-
-    for (NodeId n = 0; n < topo.num_nodes(); ++n) {
-        traffic::SyntheticConfig sc;
-        sc.pattern = pattern;
-        sc.packet_size = 4;
-        sc.rate = rate;
-        sc.burst_period = burst_period;
-        sc.burst_size = 2;
-        sc.stop_at = stop_at;
-        sys->add_frontend(n, std::make_unique<traffic::SyntheticInjector>(
-                                 sys->tile(n), sc));
-    }
-    return sys;
-}
-
-/** Full-fidelity snapshot fingerprint: per-tile and per-flow stats. */
-std::string
-snapshot(const SystemStats &s)
-{
-    std::ostringstream os;
-    os.precision(17);
-    for (const auto &t : s.per_tile) {
-        os << t.flits_injected << ',' << t.flits_delivered << ','
-           << t.packets_injected << ',' << t.packets_delivered << ','
-           << t.buffer_reads << ',' << t.buffer_writes << ','
-           << t.xbar_transits << ',' << t.va_grants << ','
-           << t.sa_grants << ',' << t.packet_latency.sum() << ','
-           << t.packet_latency.count() << ';';
-    }
-    os << '|';
-    for (const auto &[flow, fs] : s.per_flow) {
-        os << flow << ':' << fs.packets_delivered << ','
-           << fs.flits_delivered << ',' << fs.packet_latency.sum() << ';';
-    }
-    return os.str();
-}
+using testutil::make_mesh_system;
+using testutil::snapshot;
 
 TEST(SyncPolicy, CycleAccurateIsDeterministicAcrossThreadCounts)
 {
@@ -196,7 +145,7 @@ TEST(SyncPolicy, WindowPlanning)
     CycleAccurateSync ca;
     SyncWindow w = ca.next_window(v);
     EXPECT_FALSE(w.stop);
-    EXPECT_EQ(w.advance_to, 0u);
+    EXPECT_EQ(w.advance_to, kNoEvent); // no jump
     EXPECT_EQ(w.end, 101u);
     EXPECT_TRUE(w.lockstep);
 
@@ -222,7 +171,7 @@ TEST(SyncPolicy, FastForwardPlanning)
     // Busy system: delegate untouched.
     v.all_idle = false;
     SyncWindow w = ff.next_window(v);
-    EXPECT_EQ(w.advance_to, 0u);
+    EXPECT_EQ(w.advance_to, kNoEvent); // no jump
     EXPECT_EQ(w.end, 101u);
 
     // Idle with a far event: jump to it, then one lockstep cycle.
@@ -253,7 +202,13 @@ TEST(SyncPolicy, FastForwardPlanning)
     v.stop_when_done = false;
     v.next_event = 101;
     w = ff.next_window(v);
-    EXPECT_EQ(w.advance_to, 0u);
+    EXPECT_EQ(w.advance_to, kNoEvent);
+
+    // A jump target of cycle 0 is a legitimate (no-op) jump, not the
+    // "no jump" sentinel — the two must stay distinguishable.
+    SyncWindow zero_jump;
+    zero_jump.advance_to = 0;
+    EXPECT_NE(zero_jump.advance_to, SyncWindow{}.advance_to);
 }
 
 TEST(SyncPolicy, MakeSyncPolicyComposition)

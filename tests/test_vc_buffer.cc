@@ -43,6 +43,49 @@ TEST(VcBuffer, PushConsumesCreditImmediately)
     EXPECT_EQ(b.free_slots(), 0u);
 }
 
+TEST(VcBuffer, BatchedModeStagesUntilFlush)
+{
+    // Window-batched handoff: staged pushes consume credit and count
+    // in every producer-side logical view immediately, but stay
+    // invisible to the consumer until flush_staged() publishes them
+    // in push order.
+    VcBuffer b(4);
+    EXPECT_FALSE(b.batched());
+    b.set_batched(true);
+    EXPECT_TRUE(b.batched());
+
+    b.push(make_flit(1, 5, 0));
+    b.push(make_flit(1, 6, 1));
+    EXPECT_EQ(b.staged_count(), 2u);
+    EXPECT_EQ(b.free_slots(), 2u);      // credit view sees staged
+    EXPECT_EQ(b.logical_size(), 2u);    // occupancy view sees staged
+    EXPECT_FALSE(b.logically_empty());
+    EXPECT_TRUE(b.exclusively_holds(1)); // flow view sees staged
+    EXPECT_FALSE(b.exclusively_holds(2));
+    EXPECT_TRUE(b.empty_raw());          // physical view does not
+    EXPECT_FALSE(b.front_visible(100).has_value());
+    EXPECT_EQ(b.total_pushed(), 0u);
+
+    EXPECT_EQ(b.flush_staged(), 2u);
+    EXPECT_EQ(b.staged_count(), 0u);
+    EXPECT_EQ(b.total_pushed(), 2u);
+    EXPECT_EQ(b.free_slots(), 2u);
+    ASSERT_TRUE(b.front_visible(5).has_value());
+    EXPECT_EQ(b.front_visible(5)->seq, 0u); // push order preserved
+
+    // Disabling batching flushes any leftovers.
+    b.push(make_flit(1, 7, 2)); // still batched
+    EXPECT_EQ(b.staged_count(), 1u);
+    b.set_batched(false);
+    EXPECT_EQ(b.staged_count(), 0u);
+    EXPECT_EQ(b.total_pushed(), 3u);
+
+    // Unbatched again: pushes publish directly.
+    b.push(make_flit(1, 8, 3));
+    EXPECT_EQ(b.total_pushed(), 4u);
+    EXPECT_EQ(b.free_slots(), 0u);
+}
+
 TEST(VcBuffer, FlitInvisibleBeforeArrivalCycle)
 {
     VcBuffer b(4);
