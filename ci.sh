@@ -8,18 +8,25 @@ JOBS="${JOBS:-$(nproc)}"
 
 cmake -B build -S .
 cmake --build build -j "$JOBS"
-(cd build && ctest --output-on-failure --no-tests=error -j "$JOBS")
+# Both shard schedulers must stay green (and bitwise identical —
+# docs/ENGINE.md, "Event-driven shards").
+for schedule in poll event; do
+    echo "== ctest (HORNET_SCHEDULE=$schedule) =="
+    (cd build &&
+         HORNET_SCHEDULE="$schedule" \
+             ctest --output-on-failure --no-tests=error -j "$JOBS")
+done
 
 if command -v doxygen > /dev/null 2>&1; then
-    echo "== doxygen (API docs; src/sim must be fully documented) =="
+    echo "== doxygen (API docs; src/sim and src/net must be fully documented) =="
     mkdir -p build
     doxygen docs/Doxyfile 2> build/doxygen-warnings.log || {
         cat build/doxygen-warnings.log
         echo "doxygen failed"
         exit 1
     }
-    if grep "src/sim/" build/doxygen-warnings.log; then
-        echo "undocumented public symbols (or doc errors) in src/sim/"
+    if grep -E "src/(sim|net)/" build/doxygen-warnings.log; then
+        echo "undocumented public symbols (or doc errors) in src/sim/ or src/net/"
         exit 1
     fi
 else

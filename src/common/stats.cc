@@ -51,6 +51,16 @@ SystemStats::summary() const
        << " delivered=" << total.flits_delivered
        << " avg packet latency=" << avg_packet_latency()
        << " avg flit latency=" << avg_flit_latency();
+    if (tile_cycles_run + tile_cycles_skipped != 0) {
+        // Scheduling effectiveness: how much of the tile x cycle grid
+        // fast-forwarding and event-driven sleep avoided ticking.
+        const double skipped_frac =
+            static_cast<double>(tile_cycles_skipped) /
+            static_cast<double>(tile_cycles_run + tile_cycles_skipped);
+        os << " idle tile-cycles skipped=" << tile_cycles_skipped << " ("
+           << 100.0 * skipped_frac << "%)"
+           << " ff cycles skipped=" << ff_skipped_cycles;
+    }
     return os.str();
 }
 

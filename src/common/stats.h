@@ -179,9 +179,25 @@ struct FlowStats
 /** Whole-system statistics snapshot, merged from tiles at report time. */
 struct SystemStats
 {
+    /** System-wide totals (all tiles merged). */
     TileStats total;
+    /** Per-tile statistics, indexed by node id. */
     std::vector<TileStats> per_tile;
+    /** Per-flow delivery statistics, ordered by flow id. */
     std::map<FlowId, FlowStats> per_flow;
+
+    // Engine scheduling counters of the run that produced this
+    // snapshot (filled by sim::System::collect_stats; zero for
+    // snapshots not taken from an engine run). They make fast-forward
+    // and event-driven scheduling effectiveness observable per run.
+
+    /** Whole-system clock cycles jumped over by fast-forward. */
+    std::uint64_t ff_skipped_cycles = 0;
+    /** Tile-cycles actually ticked by the scheduler. */
+    std::uint64_t tile_cycles_run = 0;
+    /** Tile-cycles not ticked: fast-forward jumps plus event-driven
+     *  per-tile sleep. */
+    std::uint64_t tile_cycles_skipped = 0;
 
     /** Mean in-network latency of delivered packets, cycles. */
     double

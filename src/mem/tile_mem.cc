@@ -113,11 +113,11 @@ TileMemory::negedge(Cycle now)
 }
 
 bool
-TileMemory::idle(Cycle) const
+TileMemory::idle(Cycle now) const
 {
     // In shared-bridge mode the owner accounts for bridge business.
     const bool bridge_idle =
-        owned_bridge_ == nullptr || bridge_->idle();
+        owned_bridge_ == nullptr || bridge_->idle(now);
     return !txn_.valid && delayed_.empty() && dir_transients_ == 0 &&
            pending_putm_.empty() && bridge_idle;
 }
@@ -132,7 +132,7 @@ TileMemory::next_event(Cycle now) const
         best = std::min(best, txn_.ready_at);
     if (txn_.valid && (txn_.waiting_net || txn_.done))
         best = std::min(best, now + 1);
-    if (!bridge_->idle())
+    if (!bridge_->idle(now))
         best = std::min(best, now + 1);
     return best;
 }

@@ -78,7 +78,7 @@ bool
 CoreFrontend::idle(Cycle now) const
 {
     return halted_ && mem_.idle(now) && send_jobs_.empty() &&
-           !recv_.active && bridge_->idle();
+           !recv_.active && bridge_->idle(now);
 }
 
 Cycle

@@ -14,6 +14,13 @@
 
 #include "common/types.h"
 
+/**
+ * @namespace hornet::net
+ * The interconnect model: topologies, table-driven routing and VC
+ * allocation, the cycle-level router pipeline, VC buffers (the only
+ * inter-tile communication points), link arbiters, and the
+ * congestion-oblivious reference model.
+ */
 namespace hornet::net {
 
 /**
@@ -72,8 +79,11 @@ struct Flit
  */
 struct PacketDesc
 {
+    /** Flow the packet belongs to (routing-table key). */
     FlowId flow = kInvalidFlow;
+    /** Source node. */
     NodeId src = kInvalidNode;
+    /** Destination node. */
     NodeId dst = kInvalidNode;
     /** Packet length in flits (>= 1). */
     std::uint32_t size = 1;

@@ -23,16 +23,26 @@ namespace hornet::net {
 /** One traffic flow to be routed (source, destination, relative load). */
 struct FlowSpec
 {
+    /** User-assigned flow id (must stay below 2^56, see file docs). */
     FlowId id = 0;
+    /** Source node. */
     NodeId src = kInvalidNode;
+    /** Destination node. */
     NodeId dst = kInvalidNode;
     /** Relative bandwidth demand; used by the BSOR-style builder. */
     double demand = 1.0;
 };
 
+/**
+ * @namespace hornet::net::flowid
+ * The phase encoding in the top byte of a 64-bit flow id (multi-phase
+ * routing schemes rename flows in flight; see the file docs).
+ */
 namespace flowid {
 
+/** Bit position of the phase byte within a flow id. */
 inline constexpr int kPhaseShift = 56;
+/** Mask selecting the user-assigned base flow id (phase stripped). */
 inline constexpr FlowId kBaseMask = (FlowId{1} << kPhaseShift) - 1;
 
 /** Attach routing-phase @p phase (0 = unphased) to flow @p f. */

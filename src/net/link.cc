@@ -22,6 +22,18 @@ BidirLink::owner() const
     return std::min(a_->id(), b_->id());
 }
 
+NodeId
+BidirLink::node_a() const
+{
+    return a_->id();
+}
+
+NodeId
+BidirLink::node_b() const
+{
+    return b_->id();
+}
+
 void
 BidirLink::arbitrate()
 {

@@ -39,16 +39,30 @@ class BidirLink : public sim::Clocked
     /** Recompute the per-direction split for the next cycle. */
     void arbitrate();
 
-    // Clocked interface: all work happens at the negative edge.
+    /** Positive edge: nothing (all work happens at the negedge). */
     void posedge(Cycle) override {}
+    /** Negative edge: arbitrate the next cycle's bandwidth split. */
     void negedge(Cycle) override { arbitrate(); }
-    /** The arbiter holds no state of its own between cycles. */
+    /**
+     * The arbiter holds no state of its own between cycles. Note that
+     * its *output* depends on both endpoint routers' demand every
+     * cycle, which is why the event-driven scheduler pins both
+     * endpoint tiles awake instead of trying to predict the split
+     * through the wake seam (see sim::Tile::pin_awake).
+     */
     bool idle(Cycle) const override { return true; }
+    /** Never self-schedules (reacts to router demand only). */
     Cycle next_event(Cycle) const override { return kNoEvent; }
 
     /** Endpoint whose tile must step this arbiter (lower node id). */
     NodeId owner() const;
 
+    /** Node id of endpoint A (wiring/pinning introspection). */
+    NodeId node_a() const;
+    /** Node id of endpoint B (wiring/pinning introspection). */
+    NodeId node_b() const;
+
+    /** Pooled flits/cycle shared across the two directions. */
     std::uint32_t total_bandwidth() const { return total_; }
 
   private:

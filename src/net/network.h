@@ -24,6 +24,7 @@ namespace hornet::net {
 /** Network-wide configuration. */
 struct NetworkConfig
 {
+    /** Per-router hardware parameters. */
     RouterConfig router;
     /** Link latency in cycles (>= 1). */
     Cycle link_latency = 1;
@@ -48,11 +49,16 @@ class Network
             const std::vector<Rng *> &rngs,
             const std::vector<TileStats *> &stats);
 
+    /** The geometry this network was built on. */
     const Topology &topology() const { return topo_; }
+    /** The configuration this network was built with. */
     const NetworkConfig &config() const { return cfg_; }
 
+    /** Router of node @p n. */
     Router &router(NodeId n) { return *routers_.at(n); }
+    /** Router of node @p n (read-only). */
     const Router &router(NodeId n) const { return *routers_.at(n); }
+    /** Number of routers (== nodes of the topology). */
     std::uint32_t num_nodes() const
     {
         return static_cast<std::uint32_t>(routers_.size());

@@ -83,18 +83,23 @@ class Router : public sim::Clocked
     Router(NodeId id, const std::vector<NodeId> &neighbors,
            const RouterConfig &cfg, Rng *rng, TileStats *stats);
 
+    /** Node id of this router. */
     NodeId id() const { return id_; }
+    /** Number of network-facing ports (one per neighbor). */
     std::uint32_t num_net_ports() const { return num_net_ports_; }
     /** CPU port index (== number of network ports). */
     PortId cpu_port() const { return num_net_ports_; }
+    /** Hardware parameters this router was built with. */
     const RouterConfig &config() const { return cfg_; }
 
     /** Routing table (filled by the routing builders). */
     RoutingTable &routing_table() { return table_; }
+    /** Routing table (read-only). */
     const RoutingTable &routing_table() const { return table_; }
 
     /** VCA table (filled by the VCA builders). */
     VcaTable &vca_table() { return vca_table_; }
+    /** VCA table (read-only). */
     const VcaTable &vca_table() const { return vca_table_; }
 
     /**
@@ -113,10 +118,12 @@ class Router : public sim::Clocked
 
     /** Injection buffer used by the local bridge (CPU ingress). */
     VcBuffer &injection_buffer(VcId vc);
+    /** Number of injection (CPU-ingress) VCs. */
     std::uint32_t num_injection_vcs() const { return cfg_.cpu_vcs; }
 
     /** Ejection buffer drained by the local bridge (CPU egress). */
     VcBuffer &ejection_buffer(VcId vc);
+    /** Number of ejection (CPU-egress) VCs. */
     std::uint32_t num_ejection_vcs() const { return cfg_.cpu_vcs; }
 
     /** Per-flow delivery statistics sink (optional). */

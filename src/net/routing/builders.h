@@ -36,18 +36,28 @@
 #include "net/flow.h"
 #include "net/network.h"
 
+/**
+ * @namespace hornet::net::routing
+ * Routing-table builders and deterministic path helpers (paper II-A2).
+ */
 namespace hornet::net::routing {
 
+/** Dimension-ordered XY routing on a 2D mesh. */
 void build_xy(Network &net, const std::vector<FlowSpec> &flows);
 
+/** O1TURN: XY and YX subroutes with equal weight (phases 1 and 2). */
 void build_o1turn(Network &net, const std::vector<FlowSpec> &flows);
 
+/** Two-phase ROMM: random intermediate in the minimum rectangle. */
 void build_romm(Network &net, const std::vector<FlowSpec> &flows);
 
+/** Valiant: random intermediate drawn from the whole mesh. */
 void build_valiant(Network &net, const std::vector<FlowSpec> &flows);
 
+/** Uniform PROM: weights by the number of remaining minimal paths. */
 void build_prom(Network &net, const std::vector<FlowSpec> &flows);
 
+/** Deterministic BFS shortest paths; works on any geometry. */
 void build_shortest(Network &net, const std::vector<FlowSpec> &flows);
 
 /**

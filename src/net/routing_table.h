@@ -27,17 +27,23 @@ namespace hornet::net {
 /** One weighted next-hop result. */
 struct RouteResult
 {
+    /** Next hop (== the routing node itself for delivery). */
     NodeId next_node = kInvalidNode;
+    /** Flow id the packet is renamed to on this hop. */
     FlowId next_flow = kInvalidFlow;
+    /** Selection propensity among the entry's options. */
     double weight = 1.0;
 };
 
 /** Key of a routing-table entry. */
 struct RouteKey
 {
+    /** Node the packet arrived from (== this node for injection). */
     NodeId prev_node;
+    /** Flow id carried by the packet. */
     FlowId flow;
 
+    /** Keys are equal when both fields match. */
     bool
     operator==(const RouteKey &o) const
     {
@@ -45,8 +51,10 @@ struct RouteKey
     }
 };
 
+/** Hash functor for RouteKey (unordered_map support). */
 struct RouteKeyHash
 {
+    /** Mix both key fields into a table hash. */
     std::size_t
     operator()(const RouteKey &k) const
     {
@@ -64,8 +72,10 @@ struct RouteKeyHash
 class RoutingTable
 {
   public:
+    /** Table of node @p node (the delivery sentinel). */
     explicit RoutingTable(NodeId node = kInvalidNode) : node_(node) {}
 
+    /** The node this table routes for. */
     NodeId node() const { return node_; }
 
     /** Add (accumulate) a weighted next-hop option for <prev, flow>.

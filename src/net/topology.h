@@ -62,6 +62,7 @@ class Topology
 
     // -------------------- queries --------------------
 
+    /** Number of nodes (ids are 0 .. num_nodes()-1). */
     std::uint32_t num_nodes() const { return num_nodes_; }
 
     /** Neighbours of @p n in port order. */
@@ -81,13 +82,20 @@ class Topology
 
     // ---------------- mesh metadata (when applicable) ----------------
 
+    /** True when built by a mesh/torus factory (coordinates valid). */
     bool is_mesh_like() const { return width_ > 0; }
+    /** Mesh width in nodes (0 for non-mesh geometries). */
     std::uint32_t width() const { return width_; }
+    /** Mesh height in nodes. */
     std::uint32_t height() const { return height_; }
+    /** Number of stacked layers (1 for 2D geometries). */
     std::uint32_t layers() const { return layers_; }
 
+    /** X coordinate of node @p n (mesh-like topologies only). */
     std::uint32_t x_of(NodeId n) const { return (n % (width_ * height_)) % width_; }
+    /** Y coordinate of node @p n (mesh-like topologies only). */
     std::uint32_t y_of(NodeId n) const { return (n % (width_ * height_)) / width_; }
+    /** Layer of node @p n (mesh-like topologies only). */
     std::uint32_t z_of(NodeId n) const { return n / (width_ * height_); }
 
     /** Node id from mesh coordinates. */

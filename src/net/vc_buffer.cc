@@ -23,20 +23,29 @@ VcBuffer::push(const Flit &f)
             panic("VcBuffer overflow: staged push without credit");
         count_flow();
         staged_.push_back(f);
+        if (f.arrival_cycle < staged_min_arrival_)
+            staged_min_arrival_ = f.arrival_cycle;
         staged_count_.store(static_cast<std::uint32_t>(staged_.size()),
                             std::memory_order_release);
+        // No wake yet: a staged flit is invisible to the consumer
+        // until flush_staged() publishes it.
         return;
     }
-    std::lock_guard<std::mutex> lk(tail_mx_);
-    std::uint64_t seq = pushed_.load(std::memory_order_relaxed);
-    // The credit discipline (free_slots() checked by the caller before
-    // every push) bounds physical occupancy by capacity_, so the target
-    // slot is free.
-    if (seq - popped_actual_.load(std::memory_order_acquire) >= capacity_)
-        panic("VcBuffer overflow: producer pushed without credit");
-    ring_[seq % capacity_] = f;
-    count_flow();
-    pushed_.store(seq + 1, std::memory_order_release);
+    {
+        std::lock_guard<std::mutex> lk(tail_mx_);
+        std::uint64_t seq = pushed_.load(std::memory_order_relaxed);
+        // The credit discipline (free_slots() checked by the caller
+        // before every push) bounds physical occupancy by capacity_,
+        // so the target slot is free.
+        if (seq - popped_actual_.load(std::memory_order_acquire) >=
+            capacity_)
+            panic("VcBuffer overflow: producer pushed without credit");
+        ring_[seq % capacity_] = f;
+        count_flow();
+        pushed_.store(seq + 1, std::memory_order_release);
+    }
+    if (wake_ != nullptr)
+        wake_->notify_activity(f.arrival_cycle);
 }
 
 void
@@ -52,23 +61,30 @@ VcBuffer::flush_staged()
 {
     if (staged_.empty())
         return 0;
-    std::lock_guard<std::mutex> lk(tail_mx_);
-    std::uint64_t seq = pushed_.load(std::memory_order_relaxed);
-    for (const Flit &f : staged_) {
-        if (seq - popped_actual_.load(std::memory_order_acquire) >=
-            capacity_)
-            panic("VcBuffer overflow: batched flush exceeds capacity");
-        ring_[seq % capacity_] = f;
-        ++seq;
+    std::uint32_t n = 0;
+    {
+        std::lock_guard<std::mutex> lk(tail_mx_);
+        std::uint64_t seq = pushed_.load(std::memory_order_relaxed);
+        for (const Flit &f : staged_) {
+            if (seq - popped_actual_.load(std::memory_order_acquire) >=
+                capacity_)
+                panic("VcBuffer overflow: batched flush exceeds capacity");
+            ring_[seq % capacity_] = f;
+            ++seq;
+        }
+        n = static_cast<std::uint32_t>(staged_.size());
+        staged_.clear();
+        // Publish to the ring *before* zeroing the staged count: a
+        // concurrent credit reader may double-count flits during the
+        // overlap (conservative), but can never miss them (a credit
+        // overestimate could overflow the buffer).
+        pushed_.store(seq, std::memory_order_release);
+        staged_count_.store(0, std::memory_order_release);
     }
-    const auto n = static_cast<std::uint32_t>(staged_.size());
-    staged_.clear();
-    // Publish to the ring *before* zeroing the staged count: a
-    // concurrent credit reader may double-count flits during the
-    // overlap (conservative), but can never miss them (a credit
-    // overestimate could overflow the buffer).
-    pushed_.store(seq, std::memory_order_release);
-    staged_count_.store(0, std::memory_order_release);
+    const Cycle earliest = staged_min_arrival_;
+    staged_min_arrival_ = kNoEvent;
+    if (wake_ != nullptr)
+        wake_->notify_activity(earliest);
     return n;
 }
 

@@ -47,6 +47,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "common/wakeable.h"
 #include "net/flit.h"
 
 namespace hornet::net {
@@ -66,7 +67,21 @@ class VcBuffer
     VcBuffer(const VcBuffer &) = delete;
     VcBuffer &operator=(const VcBuffer &) = delete;
 
+    /** Maximum number of buffered flits. */
     std::uint32_t capacity() const { return capacity_; }
+
+    /**
+     * Register the consumer of this buffer for push-based wake-up
+     * (the event-driven scheduler seam; wired by sim::System). When
+     * set, every publication of flits — a direct push, or the flush
+     * of a staged batch — notifies @p consumer with the earliest
+     * arrival_cycle published, from the *producer's* thread. Null
+     * (the default) disables notification entirely.
+     */
+    void set_wake_target(Wakeable *consumer) { wake_ = consumer; }
+
+    /** The registered consumer wake target (null when unset). */
+    Wakeable *wake_target() const { return wake_; }
 
     // ------------------------------------------------------------------
     // Producer (upstream) side.
@@ -237,6 +252,12 @@ class VcBuffer
     bool batched_ = false;
     std::vector<Flit> staged_;
     std::atomic<std::uint32_t> staged_count_{0};
+    /// Earliest arrival_cycle among staged flits (producer-private).
+    Cycle staged_min_arrival_ = kNoEvent;
+
+    /// Consumer wake target (event-driven scheduling seam); set once
+    /// at wiring time, before any simulation thread runs.
+    Wakeable *wake_ = nullptr;
 };
 
 } // namespace hornet::net

@@ -32,10 +32,10 @@ namespace hornet::net {
 /** Allocation discipline applied on top of the table candidates. */
 enum class VcaMode
 {
-    Dynamic,
-    StaticSet,
-    Edvca,
-    Faa,
+    Dynamic,   ///< weighted-random among free candidates
+    StaticSet, ///< table-restricted candidates, weighted-random within
+    Edvca,     ///< exclusive dynamic VCA (per-flow in-order delivery)
+    Faa,       ///< flow-aware: most free downstream space wins
 };
 
 /** Parse "dynamic" / "static" / "edvca" / "faa"; fatal() otherwise. */
@@ -47,18 +47,25 @@ const char *to_string(VcaMode mode);
 /** One weighted candidate VC. */
 struct VcaResult
 {
+    /** Candidate next-hop virtual channel. */
     VcId vc = kInvalidVc;
+    /** Selection propensity among the entry's candidates. */
     double weight = 1.0;
 };
 
 /** Key of a VCA table entry. */
 struct VcaKey
 {
+    /** Node the packet arrived from. */
     NodeId prev_node;
+    /** Flow id carried by the packet. */
     FlowId flow;
+    /** Next hop chosen during route computation. */
     NodeId next_node;
+    /** Flow id after this hop's renaming. */
     FlowId next_flow;
 
+    /** Keys are equal when all four fields match. */
     bool
     operator==(const VcaKey &o) const
     {
@@ -67,8 +74,10 @@ struct VcaKey
     }
 };
 
+/** Hash functor for VcaKey (unordered_map support). */
 struct VcaKeyHash
 {
+    /** Mix the four key fields into a table hash. */
     std::size_t
     operator()(const VcaKey &k) const
     {
@@ -89,6 +98,7 @@ struct VcaKeyHash
 class VcaTable
 {
   public:
+    /** An empty table: pure dynamic VCA everywhere. */
     VcaTable() = default;
 
     /** Add (accumulate) a candidate VC for the four-tuple key. */
@@ -97,6 +107,7 @@ class VcaTable
     /** Candidate set for the key, or nullptr (= all VCs, equal weight). */
     const std::vector<VcaResult> *lookup(const VcaKey &key) const;
 
+    /** Number of table entries (keys). */
     std::size_t size() const { return entries_.size(); }
 
   private:

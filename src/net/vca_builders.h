@@ -20,6 +20,10 @@
 
 #include "net/network.h"
 
+/**
+ * @namespace hornet::net::vca
+ * VCA-table builders for restricted allocation schemes (paper II-A3).
+ */
 namespace hornet::net::vca {
 
 /** Split each port's VCs between routing phases 1 and 2. Unphased

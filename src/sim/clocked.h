@@ -12,9 +12,18 @@
  * idleness (may the clock jump?, paper IV-B), the next self-scheduled
  * event (how far may it jump?), and workload completion (may the run
  * stop?). Keeping this surface minimal is what lets sync backends be
- * swapped (cycle-accurate barriers, periodic sync, fast-forward, and
- * future event-driven or distributed shards) without touching any
- * component code.
+ * swapped (cycle-accurate barriers, periodic sync, fast-forward,
+ * event-driven shards, and future distributed shards) without touching
+ * any component code.
+ *
+ * The event-driven scheduler sharpens these queries into a *wake-seam
+ * contract* (docs/ENGINE.md, "Event-driven shards"): while a component
+ * is idle, ticking it must be a no-op (no state change, no PRNG
+ * draws), its next_event() must be an absolute cycle that does not
+ * depend on how often it was queried or ticked, and any future
+ * done()-flip must be announced by next_event() — because an idle
+ * component may not be ticked again until that cycle, or until work
+ * arrives in one of its buffers.
  */
 #ifndef HORNET_SIM_CLOCKED_H
 #define HORNET_SIM_CLOCKED_H
@@ -52,7 +61,9 @@ class Clocked
     /**
      * True when the component holds no buffered work and would not act
      * at cycle @p now — i.e. it would not mind the clock jumping
-     * forward (fast-forward, paper IV-B).
+     * forward (fast-forward, paper IV-B). While idle, ticking the
+     * component must be a no-op: the event-driven scheduler may skip
+     * its ticks entirely until next_event() or an external push.
      */
     virtual bool idle(Cycle now) const = 0;
 
@@ -61,14 +72,21 @@ class Clocked
      * own (given an otherwise idle system). kNoEvent when it will
      * never self-schedule again. Components that cannot predict (e.g.
      * running CPU cores) must return now + 1, which disables
-     * fast-forward while they run.
+     * fast-forward while they run. Precision contract (event-driven
+     * shards): the hint may be early but never late, for an idle
+     * component it must be an absolute cycle (stable under clock
+     * jumps while idle), and a pending done()-flip at cycle T with no
+     * other action must be announced as next_event() <= T.
      */
     virtual Cycle next_event(Cycle now) const = 0;
 
     /**
      * True once the component has finished its workload entirely.
      * Components with no notion of a finite workload (routers, link
-     * arbiters) report done by default.
+     * arbiters) report done by default. A false→true flip without an
+     * intervening tick must be announced via next_event() (see
+     * there); flips back to false only happen when new work arrives,
+     * which always wakes the owning tile.
      */
     virtual bool done(Cycle /*now*/) const { return true; }
 };

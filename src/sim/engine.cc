@@ -1,8 +1,8 @@
 #include "sim/engine.h"
 
 #include <algorithm>
-#include <atomic>
-#include <thread>
+#include <cstdlib>
+#include <string>
 #include <unordered_map>
 
 #include "common/log.h"
@@ -10,18 +10,402 @@
 
 namespace hornet::sim {
 
+namespace {
+
+/**
+ * Scheduler selection when EngineOptions::event_driven is unset: the
+ * HORNET_SCHEDULE environment variable ("poll" or "event"; unset or
+ * empty selects polling). This is how CI runs the whole test suite
+ * under both schedulers without touching every call site.
+ */
+bool
+env_event_default()
+{
+    const char *e = std::getenv("HORNET_SCHEDULE");
+    if (e == nullptr || *e == '\0')
+        return false;
+    const std::string v(e);
+    if (v == "poll")
+        return false;
+    if (v == "event")
+        return true;
+    fatal("HORNET_SCHEDULE must be \"poll\" or \"event\", got \"" + v +
+          "\"");
+}
+
+} // namespace
+
+// ----------------------------------------------------------------------
+// Shard: run lifecycle.
+// ----------------------------------------------------------------------
+
+void
+Shard::prepare_run(bool event_driven, bool track_done)
+{
+    ticks_ = 0;
+    event_ = event_driven && !tiles_.empty();
+    track_done_ = track_done;
+    if (tiles_.empty())
+        return;
+    now_ = tiles_.front()->now();
+    if (!event_)
+        return;
+    // Every tile starts active: the first cycle ticks the whole shard
+    // (exactly like polling) and the idle tiles retire to the wake
+    // heap at its negedge. This avoids trusting any pre-run component
+    // state and makes resumed runs trivially correct.
+    slots_.assign(tiles_.size(), Slot{});
+    active_ = tiles_;
+    pending_active_.clear();
+    heap_ = {};
+    sleeping_not_done_ = 0;
+    {
+        std::lock_guard<std::mutex> lk(mailbox_mx_);
+        mailbox_.clear();
+    }
+    mailbox_any_.store(false, std::memory_order_release);
+    run_thread_ = std::thread::id{};
+    for (std::size_t i = 0; i < tiles_.size(); ++i) {
+        tiles_[i]->set_sched_slot(i);
+        tiles_[i]->set_wake_sink(this);
+    }
+}
+
+void
+Shard::bind_thread()
+{
+    run_thread_ = std::this_thread::get_id();
+}
+
+void
+Shard::finish_run()
+{
+    if (!event_)
+        return;
+    for (std::size_t i = 0; i < tiles_.size(); ++i) {
+        // Sleeping tiles' clocks lag the shard clock; catch them up so
+        // the tiles are in a consistent post-run state (poll runs,
+        // statistics, and a future engine see one global clock).
+        if (slots_[i].sleeping)
+            tiles_[i]->advance_to(now_);
+        tiles_[i]->set_wake_sink(nullptr);
+    }
+    active_.clear();
+    pending_active_.clear();
+    slots_.clear();
+    heap_ = {};
+    sleeping_not_done_ = 0;
+    event_ = false;
+}
+
+// ----------------------------------------------------------------------
+// Shard: wake bookkeeping (event mode).
+// ----------------------------------------------------------------------
+
+void
+Shard::wake(Tile &t, Cycle at)
+{
+    if (std::this_thread::get_id() == run_thread_) {
+        apply_wake(t.sched_slot(), at);
+        return;
+    }
+    // Cross-thread wake (a producer in another shard): post to the
+    // mailbox; the owning thread drains it at its next cycle boundary.
+    {
+        std::lock_guard<std::mutex> lk(mailbox_mx_);
+        mailbox_.emplace_back(at, t.sched_slot());
+    }
+    mailbox_any_.store(true, std::memory_order_release);
+}
+
+void
+Shard::apply_wake(std::size_t slot, Cycle at)
+{
+    Slot &s = slots_[slot];
+    if (!s.sleeping)
+        return; // active tiles re-evaluate their state every negedge
+    const Cycle eff = std::max(at, now_);
+    if (eff < s.wake_at) {
+        // Lazy re-sort: push a superseding entry; the old one is
+        // dropped when it surfaces (settle_heap).
+        s.wake_at = eff;
+        heap_.emplace(eff, slot);
+    }
+}
+
+void
+Shard::drain_mailbox()
+{
+    std::vector<WakeEntry> posted;
+    {
+        std::lock_guard<std::mutex> lk(mailbox_mx_);
+        posted.swap(mailbox_);
+        mailbox_any_.store(false, std::memory_order_release);
+    }
+    for (const auto &[at, slot] : posted)
+        apply_wake(slot, at);
+}
+
+void
+Shard::settle_heap() const
+{
+    while (!heap_.empty()) {
+        const auto &[c, slot] = heap_.top();
+        if (slots_[slot].sleeping && slots_[slot].wake_at == c)
+            break;
+        heap_.pop(); // superseded or already woken: stale entry
+    }
+}
+
+void
+Shard::activate(std::size_t slot)
+{
+    Slot &s = slots_[slot];
+    s.sleeping = false;
+    if (track_done_ && !s.done_at_sleep)
+        --sleeping_not_done_;
+    Tile *t = tiles_[slot];
+    // The tile slept through provably idle cycles; its clock catches
+    // up in one jump (the per-tile analogue of paper IV-B). The
+    // aggregate cache is dropped unconditionally: a producer's
+    // invalidation may have raced the fold that put the tile to
+    // sleep (the fold re-publishes a pre-push value), and a zero-
+    // cycle sleep would make the advance_to a non-invalidating no-op.
+    t->advance_to(now_);
+    t->invalidate_aggregates();
+    pending_active_.push_back(t);
+}
+
+void
+Shard::activate_due()
+{
+    while (true) {
+        settle_heap();
+        if (heap_.empty() || heap_.top().first > now_)
+            break;
+        const std::size_t slot = heap_.top().second;
+        heap_.pop();
+        activate(slot);
+    }
+}
+
+void
+Shard::cycle_begin()
+{
+    if (mailbox_any_.load(std::memory_order_acquire))
+        drain_mailbox();
+    activate_due();
+    if (!pending_active_.empty()) {
+        // Keep the active set in node-id order so the tick order of
+        // awake tiles matches the polling scheduler exactly. The
+        // newly woken few are sorted and merged rather than re-sorting
+        // the whole set.
+        auto by_id = [](const Tile *a, const Tile *b) {
+            return a->id() < b->id();
+        };
+        std::sort(pending_active_.begin(), pending_active_.end(), by_id);
+        const std::size_t mid = active_.size();
+        active_.insert(active_.end(), pending_active_.begin(),
+                       pending_active_.end());
+        std::inplace_merge(active_.begin(),
+                           active_.begin() +
+                               static_cast<std::ptrdiff_t>(mid),
+                           active_.end(), by_id);
+        pending_active_.clear();
+    }
+}
+
+void
+Shard::retire_idle()
+{
+    std::size_t w = 0;
+    for (Tile *t : active_) {
+        bool keep = t->pinned_awake() || t->busy();
+        Cycle nxt = kNoEvent;
+        if (!keep) {
+            nxt = t->next_event();
+            // A next_event at or before the current cycle means the
+            // component is due immediately (or broke the wake-seam
+            // contract); stay awake — conservative and always safe.
+            if (nxt <= now_)
+                keep = true;
+        }
+        if (keep) {
+            active_[w++] = t;
+            continue;
+        }
+        Slot &s = slots_[t->sched_slot()];
+        s.sleeping = true;
+        s.wake_at = nxt;
+        if (track_done_) {
+            s.done_at_sleep = t->done();
+            if (!s.done_at_sleep)
+                ++sleeping_not_done_;
+        }
+        if (nxt != kNoEvent)
+            heap_.emplace(nxt, t->sched_slot());
+    }
+    active_.resize(w);
+}
+
+// ----------------------------------------------------------------------
+// Shard: cycle execution.
+// ----------------------------------------------------------------------
+
+void
+Shard::posedge()
+{
+    if (!event_) {
+        for (Tile *t : tiles_)
+            t->posedge();
+        return;
+    }
+    cycle_begin();
+    for (Tile *t : active_)
+        t->posedge();
+}
+
+void
+Shard::negedge()
+{
+    if (!event_) {
+        for (Tile *t : tiles_)
+            t->negedge();
+        ticks_ += tiles_.size();
+        return;
+    }
+    for (Tile *t : active_)
+        t->negedge();
+    ticks_ += active_.size();
+    ++now_;
+    retire_idle();
+}
+
+void
+Shard::run_until(Cycle end)
+{
+    if (tiles_.empty())
+        return;
+    if (!event_) {
+        while (now() < end) {
+            posedge();
+            negedge();
+        }
+        return;
+    }
+    while (now_ < end) {
+        cycle_begin();
+        if (active_.empty()) {
+            // Every tile sleeps: jump straight to the earliest wake
+            // (or the window end). This is what makes free-running
+            // windows O(active) instead of O(cycles x tiles).
+            settle_heap();
+            Cycle target = end;
+            if (!heap_.empty() && heap_.top().first < end)
+                target = heap_.top().first;
+            now_ = target;
+            continue; // re-drain the mailbox before deciding again
+        }
+        for (Tile *t : active_)
+            t->posedge();
+        negedge();
+    }
+}
+
+void
+Shard::advance_to(Cycle c)
+{
+    if (!event_) {
+        for (Tile *t : tiles_)
+            t->advance_to(c);
+        return;
+    }
+    for (Tile *t : active_)
+        t->advance_to(c);
+    if (c > now_)
+        now_ = c;
+}
+
+// ----------------------------------------------------------------------
+// Shard: rendezvous summaries.
+// ----------------------------------------------------------------------
+
+void
+Shard::prepare_summaries()
+{
+    if (!event_)
+        return;
+    cycle_begin();
+}
+
+bool
+Shard::busy() const
+{
+    // Event mode: a sleeping tile is not busy by construction (it
+    // retired idle and every external push since would have woken it
+    // via the drained mailbox), so only the active set is scanned.
+    const std::vector<Tile *> &set = event_ ? active_ : tiles_;
+    for (const Tile *t : set)
+        if (t->busy())
+            return true;
+    return false;
+}
+
+bool
+Shard::done() const
+{
+    if (event_ && track_done_) {
+        if (sleeping_not_done_ != 0)
+            return false;
+        for (const Tile *t : active_)
+            if (!t->done())
+                return false;
+        return true;
+    }
+    // Polling — or an untracked event run (possible when a policy
+    // introspects doneness the engine did not announce): fold over
+    // every tile; sleeping tiles answer from their aggregate cache.
+    for (const Tile *t : tiles_)
+        if (!t->done())
+            return false;
+    return true;
+}
+
+Cycle
+Shard::next_event() const
+{
+    Cycle best = kNoEvent;
+    if (event_) {
+        settle_heap();
+        if (!heap_.empty())
+            best = heap_.top().first; // min wake over sleeping tiles
+        for (const Tile *t : active_)
+            best = std::min(best, t->next_event());
+        return best;
+    }
+    for (const Tile *t : tiles_)
+        best = std::min(best, t->next_event());
+    return best;
+}
+
+// ----------------------------------------------------------------------
+// Engine.
+// ----------------------------------------------------------------------
+
 Engine::Engine(const std::vector<Tile *> &tiles, unsigned threads)
 {
     // threads == 0 degenerates to sequential, like the pre-engine API.
     const unsigned T =
         std::min<unsigned>(std::max(threads, 1u),
                            static_cast<unsigned>(tiles.size()));
-    shards_.resize(std::max(1u, T));
+    shards_.reserve(std::max(1u, T));
+    for (unsigned i = 0; i < std::max(1u, T); ++i)
+        shards_.push_back(std::make_unique<Shard>());
     // Contiguous block partition: equal shares (paper II-C) while
     // keeping mesh neighbours in the same thread, which minimizes
     // cross-thread links and thus loose-synchronization skew error.
     for (std::size_t i = 0; i < tiles.size(); ++i)
-        shards_[(i * T) / tiles.size()].add_tile(tiles[i]);
+        shards_[(i * T) / tiles.size()]->add_tile(tiles[i]);
 
     // Find the buffers that straddle the partition: each tile declares
     // the downstream buffers it produces into and the node consuming
@@ -29,14 +413,14 @@ Engine::Engine(const std::vector<Tile *> &tiles, unsigned threads)
     // shard's cross-shard set (traffic feedback + batched handoff).
     std::unordered_map<NodeId, std::size_t> shard_of;
     for (std::size_t s = 0; s < shards_.size(); ++s)
-        for (const Tile *t : shards_[s].tiles())
+        for (const Tile *t : shards_[s]->tiles())
             shard_of.emplace(t->id(), s);
     for (std::size_t s = 0; s < shards_.size(); ++s) {
-        for (Tile *t : shards_[s].tiles()) {
+        for (Tile *t : shards_[s]->tiles()) {
             for (const auto &[consumer, buf] : t->egress_buffers()) {
                 auto it = shard_of.find(consumer);
                 if (it != shard_of.end() && it->second != s)
-                    shards_[s].add_cross_buffer(buf);
+                    shards_[s]->add_cross_buffer(buf);
             }
         }
     }
@@ -48,17 +432,23 @@ Engine::run(SyncPolicy &policy, const EngineOptions &opts)
     if (opts.max_cycles == 0)
         fatal("Engine::run: max_cycles must be nonzero "
               "(absolute cycle target)");
-    if (shards_.empty() || shards_[0].empty())
+    if (shards_.empty() || shards_[0]->empty())
         return 0;
 
     const unsigned T = static_cast<unsigned>(shards_.size());
+    const bool event = opts.event_driven.value_or(env_event_default());
+    const Cycle start_cycle = shards_[0]->now();
 
     // Per-shard summaries cost a full component scan each; publish
     // only what the policy and the run options will actually read.
     const ViewNeeds needs = policy.needs();
     const bool need_idle = needs.idleness || opts.stop_when_done;
     const bool need_done = opts.stop_when_done;
-    const bool need_next = needs.next_event;
+    // stop_when_done also needs next_event: a pending wake (a flit
+    // pushed toward a sleeping tile of another shard) shows up there
+    // and must veto completion, since the event scheduler's busy()
+    // does not scan sleeping tiles.
+    const bool need_next = needs.next_event || opts.stop_when_done;
     const bool need_cross = needs.cross_traffic;
     const bool batching = opts.batch_cross_shard && T > 1;
 
@@ -67,8 +457,14 @@ Engine::run(SyncPolicy &policy, const EngineOptions &opts)
     // of this system already pushed.
     std::uint64_t cross_base = 0;
     if (need_cross)
-        for (const Shard &s : shards_)
-            cross_base += s.cross_pushed();
+        for (const auto &s : shards_)
+            cross_base += s->cross_pushed();
+
+    // Wake sinks must be registered before any worker can push into
+    // another shard's buffers, so the schedules are built serially
+    // here rather than at worker entry.
+    for (auto &s : shards_)
+        s->prepare_run(event, need_done);
 
     struct Shared
     {
@@ -79,6 +475,7 @@ Engine::run(SyncPolicy &policy, const EngineOptions &opts)
         std::vector<char> done;
         std::vector<Cycle> min_next;
         std::vector<std::uint64_t> cross;
+        std::uint64_t ff_skipped = 0; ///< leader-only (under barrier)
         explicit Shared(unsigned t)
             : barrier(t), busy(t, 1), done(t, 0), min_next(t, kNoEvent),
               cross(t, 0)
@@ -90,9 +487,10 @@ Engine::run(SyncPolicy &policy, const EngineOptions &opts)
     // let the policy plan the next window.
     auto leader_plan = [&] {
         EngineView view;
-        view.now = shards_[0].now();
+        view.now = shards_[0]->now();
         view.horizon = opts.max_cycles;
         view.stop_when_done = opts.stop_when_done;
+        view.skipped_cycles = sh.ff_skipped;
         view.all_idle =
             need_idle &&
             std::none_of(sh.busy.begin(), sh.busy.end(),
@@ -114,7 +512,11 @@ Engine::run(SyncPolicy &policy, const EngineOptions &opts)
             sh.stop.store(true, std::memory_order_relaxed);
             return;
         }
-        if (opts.stop_when_done && view.all_done && view.all_idle) {
+        if (opts.stop_when_done && view.all_done && view.all_idle &&
+            view.next_event == kNoEvent) {
+            // A genuinely finished system schedules nothing: any
+            // remaining next_event is an in-flight wake (event mode)
+            // or a component that will still act, and vetoes the stop.
             sh.stop.store(true, std::memory_order_relaxed);
             return;
         }
@@ -129,6 +531,7 @@ Engine::run(SyncPolicy &policy, const EngineOptions &opts)
             w.advance_to = std::min(w.advance_to, opts.max_cycles);
             if (w.advance_to < view.now)
                 panic("SyncPolicy: clocks may only jump forward");
+            sh.ff_skipped += w.advance_to - view.now;
         }
         const Cycle base =
             w.advance_to == kNoEvent ? view.now : w.advance_to;
@@ -141,7 +544,8 @@ Engine::run(SyncPolicy &policy, const EngineOptions &opts)
     };
 
     auto worker = [&](unsigned tid) {
-        Shard &my = shards_[tid];
+        Shard &my = *shards_[tid];
+        my.bind_thread();
         if (batching)
             my.set_cross_batched(true);
         while (true) {
@@ -155,6 +559,7 @@ Engine::run(SyncPolicy &policy, const EngineOptions &opts)
                 my.flush_cross();
 
             // Publish this shard's state for the leader's decision.
+            my.prepare_summaries();
             if (need_idle)
                 sh.busy[tid] =
                     (my.busy() || (batching && my.cross_in_flight()))
@@ -219,10 +624,26 @@ Engine::run(SyncPolicy &policy, const EngineOptions &opts)
     // final rendezvous flushed every staged flit, so this is a
     // bookkeeping reset, not a publication point.
     if (batching)
-        for (Shard &s : shards_)
-            s.set_cross_batched(false);
+        for (auto &s : shards_)
+            s->set_cross_batched(false);
 
-    return shards_[0].now();
+    const Cycle end_cycle = shards_[0]->now();
+
+    run_stats_ = EngineRunStats{};
+    run_stats_.event_driven = event;
+    run_stats_.ff_skipped_cycles = sh.ff_skipped;
+    std::uint64_t total_tile_cycles = 0;
+    for (const auto &s : shards_) {
+        run_stats_.tile_cycles_run += s->tile_cycles_run();
+        total_tile_cycles += static_cast<std::uint64_t>(
+                                 s->tiles().size()) *
+                             (end_cycle - start_cycle);
+        s->finish_run();
+    }
+    run_stats_.tile_cycles_skipped =
+        total_tile_cycles - run_stats_.tile_cycles_run;
+
+    return end_cycle;
 }
 
 } // namespace hornet::sim

@@ -15,11 +15,34 @@
  * One thread is the degenerate case of the same machinery, so a
  * sequential run is simply an Engine with a single shard — there is no
  * separate sequential code path.
+ *
+ * Each shard runs under one of two schedulers (EngineOptions::
+ * event_driven, orthogonal to the SyncPolicy):
+ *
+ *  - polling: every tile is ticked every cycle — O(tiles) per cycle;
+ *  - event-driven: the shard keeps an *active set* of awake tiles plus
+ *    a min-heap of (wake_cycle, tile) for the sleeping ones, ticks only
+ *    the active set, and re-sorts lazily when a wake moves — O(active)
+ *    per cycle. Sleeping is sound because ticking an idle tile is a
+ *    no-op by construction, and pushes into a sleeping tile's VC
+ *    buffers wake it through the Tile::notify_activity seam. Results
+ *    are bitwise identical to the polling scheduler for lockstep
+ *    windows and single-shard runs; loose multi-shard windows keep
+ *    their own scheduler-independent timing nondeterminism, with the
+ *    same conservation guarantees under either scheduler
+ *    (docs/ENGINE.md, "Event-driven shards").
  */
 #ifndef HORNET_SIM_ENGINE_H
 #define HORNET_SIM_ENGINE_H
 
-#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
@@ -43,8 +66,17 @@ namespace hornet::sim {
  * thread, so they carry the cross-shard traffic counter the adaptive
  * sync policy feeds on, and they are where window-batched message
  * handoff is staged and flushed.
+ *
+ * Under the event-driven scheduler the shard additionally owns the
+ * wake bookkeeping for its tiles: the active set (ticked each cycle,
+ * kept in node-id order so tick order matches the polling scheduler),
+ * the wake heap for sleeping tiles, and a mailbox for wakes posted by
+ * other threads (cross-shard pushes), which is drained at cycle
+ * boundaries — the synchronization points where, under lockstep
+ * windows, an unbatched push would first become visible, keeping
+ * event-driven lockstep runs bitwise identical to sequential ones.
  */
-class Shard
+class Shard final : public Tile::WakeSink
 {
   public:
     /** An empty shard; the Engine fills it at partition time. */
@@ -106,77 +138,151 @@ class Shard
             b->flush_staged();
     }
 
-    /** Local clock (tiles agree; undefined on an empty shard). */
-    Cycle now() const { return tiles_.front()->now(); }
+    // ------------------------------------------------------------------
+    // Run lifecycle (Engine only).
+    // ------------------------------------------------------------------
 
-    /** Positive edge of the current cycle for every tile. */
-    void
-    posedge()
+    /**
+     * Prepare for one engine run: reset the tick counters, initialize
+     * the shard clock from the tiles, and — with @p event_driven —
+     * build the wake schedule (all tiles start active; sleepers peel
+     * off after the first cycle) and register this shard as its tiles'
+     * wake sink. @p track_done records each tile's done() at sleep
+     * time so done() stays O(active); pass it only when the run needs
+     * completion detection (it costs a component scan per sleep).
+     * Called serially, before any worker thread starts, so
+     * cross-shard producers can never race a sink registration.
+     */
+    void prepare_run(bool event_driven, bool track_done = false);
+
+    /** Bind the event scheduler to the executing worker thread (wakes
+     *  from this thread are applied directly; any other thread posts
+     *  to the mailbox). Called at worker entry. */
+    void bind_thread();
+
+    /** End one engine run: catch sleeping tiles' clocks up to the
+     *  shard clock and deregister the wake sinks. Called serially,
+     *  after all worker threads joined. */
+    void finish_run();
+
+    /** Local clock (tiles agree at cycle boundaries; sleeping tiles
+     *  lag and are caught up on wake). Undefined on an empty shard. */
+    Cycle
+    now() const
     {
-        for (Tile *t : tiles_)
-            t->posedge();
+        return event_ ? now_ : tiles_.front()->now();
     }
 
-    /** Negative edge of the current cycle for every tile (advances
-     *  the clocks). */
-    void
-    negedge()
-    {
-        for (Tile *t : tiles_)
-            t->negedge();
-    }
+    // ------------------------------------------------------------------
+    // Cycle execution (Engine worker loop).
+    // ------------------------------------------------------------------
 
-    /** Free-run whole cycles until the clock reaches @p end. */
-    void
-    run_until(Cycle end)
-    {
-        while (!tiles_.empty() && now() < end) {
-            posedge();
-            negedge();
-        }
-    }
+    /** Positive edge of the current cycle for every scheduled tile. */
+    void posedge();
 
-    /** Jump every clock forward to @p c (fast-forward). */
-    void
-    advance_to(Cycle c)
-    {
-        for (Tile *t : tiles_)
-            t->advance_to(c);
-    }
+    /** Negative edge of the current cycle for every scheduled tile
+     *  (advances the clocks; event mode also retires idle tiles to
+     *  the wake heap). */
+    void negedge();
+
+    /** Free-run whole cycles until the clock reaches @p end. The
+     *  event scheduler jumps over stretches where every tile sleeps. */
+    void run_until(Cycle end);
+
+    /** Jump every scheduled clock forward to @p c (fast-forward). */
+    void advance_to(Cycle c);
+
+    // ------------------------------------------------------------------
+    // Rendezvous summaries (Engine worker, between windows).
+    // ------------------------------------------------------------------
+
+    /**
+     * Bring the wake bookkeeping up to date before summary queries:
+     * drain the cross-thread wake mailbox and activate tiles whose
+     * wake cycle has been reached. No-op under the polling scheduler.
+     */
+    void prepare_summaries();
 
     /** Any component in the shard holds work right now. */
-    bool
-    busy() const
-    {
-        for (const Tile *t : tiles_)
-            if (t->busy())
-                return true;
-        return false;
-    }
+    bool busy() const;
 
     /** Every component in the shard finished its workload. */
-    bool
-    done() const
-    {
-        for (const Tile *t : tiles_)
-            if (!t->done())
-                return false;
-        return true;
-    }
+    bool done() const;
 
     /** Min next self-scheduled event over the shard's components. */
-    Cycle
-    next_event() const
+    Cycle next_event() const;
+
+    // ------------------------------------------------------------------
+    // Introspection (tests, engine statistics).
+    // ------------------------------------------------------------------
+
+    /** Tile-cycles actually ticked during the current/last run. */
+    std::uint64_t tile_cycles_run() const { return ticks_; }
+
+    /** Tiles currently awake (== all tiles under polling). */
+    std::size_t
+    active_tiles() const
     {
-        Cycle best = kNoEvent;
-        for (const Tile *t : tiles_)
-            best = std::min(best, t->next_event());
-        return best;
+        return event_ ? active_.size() : tiles_.size();
     }
 
+    /** Tile::WakeSink — tile @p t has work actionable at @p at. */
+    void wake(Tile &t, Cycle at) override;
+
   private:
+    /// Scheduling state of one tile (event mode only).
+    struct Slot
+    {
+        bool sleeping = false;
+        /// Wake cycle while sleeping (kNoEvent = only an external
+        /// notify can wake it). A heap entry is valid iff the tile is
+        /// sleeping and the entry's cycle equals wake_at (lazy
+        /// deletion of superseded entries).
+        Cycle wake_at = 0;
+        /// done() recorded at sleep time; valid while sleeping (the
+        /// wake-seam contract forbids done() flips without a wake).
+        bool done_at_sleep = false;
+    };
+
+    /// Min-heap entry: (wake cycle, slot index).
+    using WakeEntry = std::pair<Cycle, std::size_t>;
+
+    void drain_mailbox();
+    void apply_wake(std::size_t slot, Cycle at);
+    void activate_due();
+    void activate(std::size_t slot);
+    /// Drop stale heap entries; afterwards top() (if any) is valid.
+    /// Logically const (lazy cleanup only), hence the mutable heap.
+    void settle_heap() const;
+    /// Move tiles that went idle at this negedge to the wake heap.
+    void retire_idle();
+    /// Top-of-cycle bookkeeping: drain wakes, activate due sleepers.
+    void cycle_begin();
+
     std::vector<Tile *> tiles_;
     std::vector<net::VcBuffer *> cross_bufs_;
+
+    // Event-driven scheduling state.
+    bool event_ = false;
+    bool track_done_ = false;
+    Cycle now_ = 0;
+    std::vector<Slot> slots_;
+    std::vector<Tile *> active_; ///< awake tiles, kept in id order
+    std::vector<Tile *> pending_active_; ///< woken, not yet merged
+    /// Min-heap of pending wakes; mutable because stale-entry cleanup
+    /// (settle_heap) is logically const.
+    mutable std::priority_queue<WakeEntry, std::vector<WakeEntry>,
+                                std::greater<WakeEntry>>
+        heap_;
+    std::size_t sleeping_not_done_ = 0;
+    std::uint64_t ticks_ = 0;
+    std::thread::id run_thread_{};
+
+    /// Wakes posted by other threads (cross-shard pushes), drained at
+    /// cycle boundaries.
+    mutable std::mutex mailbox_mx_;
+    std::vector<WakeEntry> mailbox_;
+    std::atomic<bool> mailbox_any_{false};
 };
 
 /** Engine run parameters (policy-independent). */
@@ -201,6 +307,34 @@ struct EngineOptions
      * error envelope. Ignored on single-shard runs.
      */
     bool batch_cross_shard = false;
+    /**
+     * Shard scheduler selection: true = event-driven (tick only awake
+     * tiles, O(active tiles) per cycle), false = polling (tick every
+     * tile, O(tiles) per cycle). Unset (the default) defers to the
+     * HORNET_SCHEDULE environment variable ("event" or "poll"; unset
+     * or empty = poll), which is how CI runs the whole suite under
+     * both schedulers. Results are bitwise identical either way for
+     * lockstep windows and single-shard runs; loose multi-shard
+     * windows are timing-nondeterministic under either scheduler.
+     */
+    std::optional<bool> event_driven;
+};
+
+/** Per-run engine scheduling statistics (fast-forward and
+ *  event-driven effectiveness; see SystemStats for the report). */
+struct EngineRunStats
+{
+    /** Whole-system clock cycles jumped over by SyncPolicy
+     *  fast-forwarding during the run. */
+    std::uint64_t ff_skipped_cycles = 0;
+    /** Tile-cycles actually ticked (posedge+negedge pairs summed over
+     *  tiles). */
+    std::uint64_t tile_cycles_run = 0;
+    /** Tile-cycles *not* ticked: fast-forward jumps plus, under the
+     *  event-driven scheduler, cycles individual tiles slept. */
+    std::uint64_t tile_cycles_skipped = 0;
+    /** True when the run used the event-driven shard scheduler. */
+    bool event_driven = false;
 };
 
 /**
@@ -222,7 +356,7 @@ class Engine
     /** Number of shards (== execution threads) of the partition. */
     std::size_t num_shards() const { return shards_.size(); }
     /** Shard @p i of the partition (introspection: tests). */
-    Shard &shard(std::size_t i) { return shards_.at(i); }
+    Shard &shard(std::size_t i) { return *shards_.at(i); }
 
     /**
      * Advance all shards until @p policy stops the run, the horizon
@@ -231,8 +365,12 @@ class Engine
      */
     Cycle run(SyncPolicy &policy, const EngineOptions &opts);
 
+    /** Scheduling statistics of the most recent run() call. */
+    const EngineRunStats &last_run_stats() const { return run_stats_; }
+
   private:
-    std::vector<Shard> shards_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+    EngineRunStats run_stats_;
 };
 
 } // namespace hornet::sim

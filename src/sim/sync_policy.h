@@ -46,6 +46,14 @@ struct EngineView
      * rendezvous are meaningful; zero on single-shard runs.
      */
     std::uint64_t cross_flits = 0;
+    /**
+     * Cumulative clock cycles jumped over by fast-forward windows
+     * (SyncWindow::advance_to) since the engine run began. Maintained
+     * by the leader at no scan cost, so no ViewNeeds flag guards it;
+     * policies and the post-run statistics report use it to observe
+     * fast-forward effectiveness.
+     */
+    std::uint64_t skipped_cycles = 0;
 };
 
 /**

@@ -57,14 +57,30 @@ System::System(const net::Topology &topo, const net::NetworkConfig &cfg,
     // Declare each tile's inter-tile egress buffers: the egress of a
     // toward b produces into the ingress buffers of b's port facing a.
     // The engine intersects this registry with its shard partition to
-    // find the buffers that cross thread boundaries.
+    // find the buffers that cross thread boundaries. Each buffer also
+    // gets its consumer tile as wake target, so a push into it wakes
+    // the consumer under the event-driven scheduler — the only way a
+    // sleeping tile acquires work.
     for (NodeId a = 0; a < n; ++a) {
         const auto &nbrs = topo.neighbors(a);
         for (PortId p = 0; p < nbrs.size(); ++p) {
             const NodeId b = nbrs[p];
             for (net::VcBuffer *buf :
-                 network_->router(b).ingress_buffers(topo.port_to(b, a)))
+                 network_->router(b).ingress_buffers(topo.port_to(b, a))) {
                 tiles_[a]->add_egress_buffer(b, buf);
+                buf->set_wake_target(tiles_[b].get());
+            }
+        }
+    }
+
+    // A bidirectional-link arbiter reads *both* endpoint routers'
+    // published demand every cycle; that coupling lives outside the
+    // VC-buffer wake seam, so its endpoint tiles are pinned awake
+    // (the event-driven scheduler never sleeps them).
+    for (NodeId a = 0; a < n; ++a) {
+        for (net::BidirLink *l : network_->links_owned_by(a)) {
+            tiles_[l->node_a()]->pin_awake();
+            tiles_[l->node_b()]->pin_awake();
         }
     }
 }
@@ -99,6 +115,13 @@ System::run(const RunOptions &opts)
     eng_opts.max_cycles = opts.max_cycles;
     eng_opts.stop_when_done = opts.stop_when_done;
     eng_opts.batch_cross_shard = opts.batch_handoff;
+    if (opts.schedule == "poll")
+        eng_opts.event_driven = false;
+    else if (opts.schedule == "event")
+        eng_opts.event_driven = true;
+    else if (!opts.schedule.empty())
+        fatal("run: unknown schedule \"" + opts.schedule +
+              "\" (expected poll or event)");
     return run(*policy, eng_opts, opts.threads);
 }
 
@@ -112,7 +135,9 @@ System::run(SyncPolicy &policy, const EngineOptions &opts,
     for (auto &t : tiles_)
         tiles.push_back(t.get());
     Engine engine(tiles, threads);
-    return engine.run(policy, opts);
+    const Cycle end = engine.run(policy, opts);
+    last_engine_stats_ = engine.last_run_stats();
+    return end;
 }
 
 void
@@ -126,6 +151,9 @@ SystemStats
 System::collect_stats() const
 {
     SystemStats out;
+    out.ff_skipped_cycles = last_engine_stats_.ff_skipped_cycles;
+    out.tile_cycles_run = last_engine_stats_.tile_cycles_run;
+    out.tile_cycles_skipped = last_engine_stats_.tile_cycles_skipped;
     out.per_tile.reserve(tiles_.size());
     for (const auto &t : tiles_) {
         out.per_tile.push_back(t->stats());

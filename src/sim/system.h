@@ -55,6 +55,15 @@ struct RunOptions
      *  (see EngineOptions::batch_cross_shard). Usually enabled
      *  together with the adaptive backend. */
     bool batch_handoff = false;
+    /**
+     * Shard scheduler by name: "poll" ticks every tile every cycle,
+     * "event" ticks only awake tiles (O(active) per cycle; bitwise
+     * identical results for lockstep/single-shard runs — see
+     * EngineOptions::event_driven for the loose-window caveat). Left
+     * empty, the HORNET_SCHEDULE environment variable decides
+     * (default poll).
+     */
+    std::string schedule;
     /** Also stop as soon as every frontend is done and the network has
      *  drained (used by application workloads). Checked at window
      *  rendezvous: with sync_period k > 1 the run may overshoot the
@@ -113,11 +122,19 @@ class System
     Cycle run(SyncPolicy &policy, const EngineOptions &opts,
               unsigned threads = 1);
 
-    /** Merge all per-tile statistics into a snapshot. */
+    /** Merge all per-tile statistics into a snapshot (includes the
+     *  engine scheduling counters of the most recent run). */
     SystemStats collect_stats() const;
 
     /** Clear all per-tile statistics (end-of-warmup, paper Table I). */
     void reset_stats();
+
+    /** Engine scheduling statistics of the most recent run() call
+     *  (fast-forward jumps, tile-cycles ticked vs skipped). */
+    const EngineRunStats &last_engine_stats() const
+    {
+        return last_engine_stats_;
+    }
 
   private:
     /** Give destination-only tiles a discarding consumer. */
@@ -126,6 +143,7 @@ class System
     std::vector<std::unique_ptr<Tile>> tiles_;
     std::unique_ptr<net::Network> network_;
     bool sinks_attached_ = false;
+    EngineRunStats last_engine_stats_;
 };
 
 } // namespace hornet::sim

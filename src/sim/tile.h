@@ -12,10 +12,19 @@
  * reproducible: frontends tick before the router at the positive edge
  * (so their pushes surface next cycle), and the router commits before
  * the frontends, followed by the link arbiters, at the negative edge.
+ *
+ * For the event-driven scheduler the tile is also the unit of
+ * sleeping: it caches its aggregate busy()/next_event()/done() folds
+ * (valid until the next tick or wake), and implements Wakeable so that
+ * producers pushing into its ingress VC buffers — possibly from
+ * another thread — can announce new work via notify_activity(), which
+ * invalidates the cache and forwards the wake to the owning shard's
+ * scheduler (docs/ENGINE.md, "Event-driven shards").
  */
 #ifndef HORNET_SIM_TILE_H
 #define HORNET_SIM_TILE_H
 
+#include <atomic>
 #include <memory>
 #include <unordered_map>
 #include <utility>
@@ -25,6 +34,7 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/types.h"
+#include "common/wakeable.h"
 #include "net/link.h"
 #include "net/router.h"
 #include "sim/clocked.h"
@@ -33,9 +43,26 @@
 namespace hornet::sim {
 
 /** One simulated tile with its own clock. */
-class Tile
+class Tile : public Wakeable
 {
   public:
+    /**
+     * Receiver of tile wake-ups (implemented by the event-driven shard
+     * scheduler). wake() may be invoked from any thread — the producer
+     * of a cross-shard flit wakes the *consumer's* tile from its own
+     * thread — and must record the wake for application at the
+     * receiving scheduler's next synchronization point.
+     */
+    class WakeSink
+    {
+      public:
+        /** Sinks are owned by the engine, not by tiles. */
+        virtual ~WakeSink() = default;
+        /** Tile @p t has externally produced work actionable at cycle
+         *  @p at; schedule it no later than that. */
+        virtual void wake(Tile &t, Cycle at) = 0;
+    };
+
     /** @param id this tile's node id; @param seed its private PRNG seed. */
     Tile(NodeId id, std::uint64_t seed) : id_(id), rng_(seed) {}
 
@@ -73,7 +100,75 @@ class Tile
         if (c < now_)
             panic(strcat("Tile ", id_, ": clock may only move forward "
                          "(now=", now_, ", target=", c, ")"));
-        now_ = c;
+        if (c != now_) {
+            now_ = c;
+            // The aggregates are queried at the new clock value; an
+            // idle component may have become due (e.g. an injector
+            // whose injection cycle was just reached).
+            invalidate_aggregates();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event-driven scheduling seam (docs/ENGINE.md).
+    // ------------------------------------------------------------------
+
+    /**
+     * Register (or, with nullptr, deregister) the scheduler interested
+     * in this tile's wake-ups. Set by the engine before its worker
+     * threads start and cleared after they join; notify_activity()
+     * without a sink only invalidates the aggregate cache.
+     */
+    void set_wake_sink(WakeSink *sink) { wake_sink_ = sink; }
+
+    /**
+     * Announce externally produced work actionable at cycle @p at
+     * (Wakeable; invoked by the VC buffers this tile consumes from, on
+     * the producer's thread). Invalidates the cached aggregates and
+     * forwards the wake to the registered scheduler, if any.
+     */
+    void
+    notify_activity(Cycle at) override
+    {
+        invalidate_aggregates();
+        if (wake_sink_ != nullptr)
+            wake_sink_->wake(*this, at);
+    }
+
+    /**
+     * Exclude this tile from event-driven sleeping: it is ticked every
+     * cycle like under the polling scheduler. Set by System for tiles
+     * coupled to state outside the wake seam — the endpoints of
+     * bidirectional-link arbiters, whose bandwidth split depends on
+     * *both* routers' published demand every cycle.
+     */
+    void pin_awake() { pinned_awake_ = true; }
+
+    /** True when the tile must be ticked every cycle (never sleeps). */
+    bool pinned_awake() const { return pinned_awake_; }
+
+    /** Scheduler-private slot index (set by the owning Shard). */
+    void set_sched_slot(std::size_t slot) { sched_slot_ = slot; }
+
+    /** Scheduler-private slot index of this tile within its shard. */
+    std::size_t sched_slot() const { return sched_slot_; }
+
+    /**
+     * Drop the cached aggregate folds. Called at every tick and clock
+     * jump (owning thread), from notify_activity() (any thread), and
+     * by the scheduler when it re-activates a sleeping tile — a
+     * producer's invalidation can race the owner's concurrent fill
+     * (the fill would re-publish a fold computed before the push), so
+     * wake application always invalidates once more on the owning
+     * thread. Only the validity flags are touched cross-thread; the
+     * cached values themselves are written by the owning thread alone.
+     */
+    void
+    invalidate_aggregates() const
+    {
+        busy_valid_.store(false, std::memory_order_release);
+        next_valid_.store(false, std::memory_order_release);
+        done_valid_.store(false, std::memory_order_release);
     }
 
     /** Attach this tile's router (wired by System). */
@@ -135,6 +230,7 @@ class Tile
     {
         if (order_dirty_)
             rebuild_order();
+        invalidate_aggregates();
         for (Clocked *c : posedge_order_)
             c->posedge(now_);
     }
@@ -146,27 +242,46 @@ class Tile
     {
         if (order_dirty_)
             rebuild_order();
+        invalidate_aggregates();
         for (Clocked *c : negedge_order_)
             c->negedge(now_);
         ++now_;
     }
 
-    /** Anything buffered or scheduled right now (fast-forward test)? */
+    /**
+     * Anything buffered or scheduled right now (fast-forward test)?
+     * The fold over the components is cached: for a sleeping tile —
+     * whose components, by the wake-seam contract, cannot change state
+     * without a tick or a notify_activity() — repeated scheduler
+     * queries are O(1) instead of a component re-poll.
+     */
     bool
     busy() const
     {
+        if (busy_valid_.load(std::memory_order_acquire))
+            return busy_cache_;
         if (order_dirty_)
             rebuild_order();
-        for (const Clocked *c : negedge_order_)
-            if (!c->idle(now_))
-                return true;
-        return false;
+        bool b = false;
+        for (const Clocked *c : negedge_order_) {
+            if (!c->idle(now_)) {
+                b = true;
+                break;
+            }
+        }
+        busy_cache_ = b;
+        busy_valid_.store(true, std::memory_order_release);
+        return b;
     }
 
-    /** Earliest future component event (kNoEvent when none). */
+    /** Earliest future component event (kNoEvent when none); cached
+     *  like busy(). For a non-busy tile the result is an absolute
+     *  cycle independent of the current clock (wake-seam contract). */
     Cycle
     next_event() const
     {
+        if (next_valid_.load(std::memory_order_acquire))
+            return next_cache_;
         if (order_dirty_)
             rebuild_order();
         Cycle best = kNoEvent;
@@ -175,6 +290,8 @@ class Tile
             if (e < best)
                 best = e;
         }
+        next_cache_ = best;
+        next_valid_.store(true, std::memory_order_release);
         return best;
     }
 
@@ -187,16 +304,25 @@ class Tile
         flow_stats_.clear();
     }
 
-    /** All components report their workloads finished. */
+    /** All components report their workloads finished; cached like
+     *  busy(). */
     bool
     done() const
     {
+        if (done_valid_.load(std::memory_order_acquire))
+            return done_cache_;
         if (order_dirty_)
             rebuild_order();
-        for (const Clocked *c : negedge_order_)
-            if (!c->done(now_))
-                return false;
-        return true;
+        bool d = true;
+        for (const Clocked *c : negedge_order_) {
+            if (!c->done(now_)) {
+                d = false;
+                break;
+            }
+        }
+        done_cache_ = d;
+        done_valid_.store(true, std::memory_order_release);
+        return d;
     }
 
   private:
@@ -238,6 +364,19 @@ class Tile
     mutable std::vector<Clocked *> negedge_order_;
     mutable bool order_dirty_ = true;
     Cycle now_ = 0;
+
+    // Cached aggregate folds (see busy()); values are owner-thread
+    // private, validity flags may be cleared by producer threads.
+    mutable std::atomic<bool> busy_valid_{false};
+    mutable std::atomic<bool> next_valid_{false};
+    mutable std::atomic<bool> done_valid_{false};
+    mutable bool busy_cache_ = false;
+    mutable Cycle next_cache_ = kNoEvent;
+    mutable bool done_cache_ = false;
+
+    WakeSink *wake_sink_ = nullptr;
+    bool pinned_awake_ = false;
+    std::size_t sched_slot_ = 0;
 };
 
 } // namespace hornet::sim

@@ -91,7 +91,11 @@ Bridge::posedge(Cycle now)
         if (cfg_.rx_capacity_flits != 0 &&
             rx_backlog_flits_ >= cfg_.rx_capacity_flits)
             break; // DMA buffer full: backpressure the network
-        VcId v = (rx_rr_ + i) % evcs;
+        // Round-robin drain start, derived from the clock (not a tick
+        // counter) so that a bridge whose tile slept or fast-forwarded
+        // through idle cycles drains in exactly the order a
+        // ticked-every-cycle bridge would.
+        VcId v = static_cast<VcId>((now + i) % evcs);
         auto &buf = router_->ejection_buffer(v);
         while (rx_budget > 0) {
             auto f = buf.front_visible(now);
@@ -124,7 +128,6 @@ Bridge::posedge(Cycle now)
                 break;
         }
     }
-    rx_rr_ = evcs == 0 ? 0 : (rx_rr_ + 1) % evcs;
 
     // ------------------------------------------------------------------
     // Transmit side: inject queued packets flit-by-flit (DMA model).

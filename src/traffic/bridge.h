@@ -83,19 +83,33 @@ class Bridge
     /** Commit ejection-buffer pops; call at the tile negedge. */
     void negedge(Cycle now);
 
-    /** Nothing queued, in flight, or awaiting pickup on this bridge. */
+    /**
+     * Nothing queued, in flight, or awaiting pickup on this bridge.
+     * Takes the local cycle like every Clocked idle() query — the
+     * bridge is the idleness oracle its owning frontend delegates to,
+     * so the signatures match even though the bridge's idleness is
+     * currently clock-independent (@p now is unused).
+     */
     bool
-    idle() const
+    idle(Cycle now) const
     {
+        (void)now;
         return tx_queue_.empty() && !tx_active_ && rx_partial_.empty() &&
                rx_queue_.empty();
     }
 
-    /** As idle(), but ignores packets waiting in the receive queue
-     *  (an idle network can fast-forward past an unread mailbox). */
+    /**
+     * The mailbox-ignoring idleness variant: as idle(), but packets
+     * already reassembled and waiting in the receive queue do not
+     * count (an idle network may fast-forward past an unread mailbox
+     * — nothing will change until the application reads it). Use
+     * idle() for done-detection and quiescent_tx() for "may the clock
+     * jump" checks of frontends that poll their mailbox lazily.
+     */
     bool
-    quiescent_tx() const
+    quiescent_tx(Cycle now) const
     {
+        (void)now;
         return tx_queue_.empty() && !tx_active_ && rx_partial_.empty();
     }
 
@@ -125,7 +139,6 @@ class Bridge
     std::map<PacketId, Partial> rx_partial_;
     std::deque<RxPacket> rx_queue_;
     std::uint32_t rx_backlog_flits_ = 0;
-    VcId rx_rr_ = 0; ///< round-robin drain pointer
 };
 
 } // namespace hornet::traffic

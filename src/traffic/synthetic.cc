@@ -98,7 +98,7 @@ SyntheticInjector::negedge(Cycle now)
 bool
 SyntheticInjector::idle(Cycle now) const
 {
-    if (!bridge_->idle())
+    if (!bridge_->idle(now))
         return false;
     if (cfg_.stop_at != 0 && now >= cfg_.stop_at)
         return true;
@@ -110,8 +110,15 @@ SyntheticInjector::next_event(Cycle now) const
 {
     if (cfg_.stop_at != 0 && now >= cfg_.stop_at)
         return kNoEvent;
-    if (!bridge_->idle())
+    if (!bridge_->idle(now))
         return now + 1;
+    // Precise wake hints (wake-seam contract): done() flips from
+    // false to true at stop_at without any injection happening, so
+    // stop_at itself is the next event when no injection precedes it
+    // — a scheduler sleeping until next_inject_ would otherwise
+    // discover completion late.
+    if (cfg_.stop_at != 0 && next_inject_ >= cfg_.stop_at)
+        return std::max<Cycle>(cfg_.stop_at, now + 1);
     return std::max(next_inject_, now + 1);
 }
 
@@ -119,7 +126,7 @@ bool
 SyntheticInjector::done(Cycle now) const
 {
     if (cfg_.stop_at != 0 && now >= cfg_.stop_at)
-        return bridge_->idle();
+        return bridge_->idle(now);
     return false;
 }
 

@@ -88,6 +88,9 @@ run_options_from_config(const Config &cfg)
         static_cast<std::uint32_t>(cfg.get_int("sim.sync_period", 1));
     ro.fast_forward = cfg.get_bool("sim.fast_forward", false);
     ro.stop_when_done = cfg.get_bool("sim.stop_when_done", false);
+    const std::string schedule = cfg.get_enum(
+        "sim.schedule", "auto", {"auto", "poll", "event"});
+    ro.schedule = schedule == "auto" ? "" : schedule;
     ro.batch_handoff =
         cfg.get_bool("sim.batch_handoff", ro.sync == "adaptive");
     ro.adaptive.min_period = static_cast<std::uint32_t>(

@@ -143,7 +143,7 @@ TraceInjector::negedge(Cycle now)
 bool
 TraceInjector::idle(Cycle now) const
 {
-    if (!bridge_->idle())
+    if (!bridge_->idle(now))
         return false;
     return heap_.empty() || heap_.top().cycle > now;
 }
@@ -151,7 +151,7 @@ TraceInjector::idle(Cycle now) const
 Cycle
 TraceInjector::next_event(Cycle now) const
 {
-    if (!bridge_->idle())
+    if (!bridge_->idle(now))
         return now + 1;
     if (heap_.empty())
         return kNoEvent;
@@ -159,9 +159,9 @@ TraceInjector::next_event(Cycle now) const
 }
 
 bool
-TraceInjector::done(Cycle) const
+TraceInjector::done(Cycle now) const
 {
-    return heap_.empty() && bridge_->idle();
+    return heap_.empty() && bridge_->idle(now);
 }
 
 } // namespace hornet::traffic
