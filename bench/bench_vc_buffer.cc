@@ -1,0 +1,172 @@
+/**
+ * @file
+ * VC-buffer fabric microbenchmark: push/pop throughput of a single
+ * buffer on the paths the simulator actually exercises — same-thread
+ * (synchronized and unsynchronized/local), cross-thread, and batched
+ * (window) handoff — plus a 16x16 uniform-random mesh sweep across
+ * thread counts, where VC buffers are the only inter-tile
+ * communication points and therefore the hot path of every cycle.
+ * Before/after numbers for the lock-free refactor are recorded in
+ * docs/BENCHMARKS.md ("The communication fabric").
+ *
+ * The cross-thread loops yield when they stall (no credit / nothing
+ * visible): on machines with fewer free cores than threads a bare spin
+ * burns whole scheduler quanta and measures the OS, not the buffer.
+ */
+#include <cstdio>
+#include <thread>
+
+#include "bench_util.h"
+#include "net/vc_buffer.h"
+
+namespace {
+
+using namespace hornet;
+using net::Flit;
+using net::VcBuffer;
+
+Flit
+make_flit(FlowId flow, Cycle arrival, std::uint32_t seq)
+{
+    Flit f;
+    f.flow = flow;
+    f.original_flow = flow;
+    f.arrival_cycle = arrival;
+    f.seq = seq;
+    return f;
+}
+
+constexpr Cycle kAlways = ~Cycle{0};
+constexpr std::uint32_t kCap = 8;
+
+/** Same-thread fill/drain cycles, optionally on the local fast path. */
+double
+single_thread_mflits(std::uint64_t flits, bool local)
+{
+    VcBuffer b(kCap);
+    b.set_local(local);
+    const double s = benchutil::wall_seconds([&] {
+        std::uint64_t sent = 0;
+        while (sent < flits) {
+            while (b.free_slots() > 0 && sent < flits)
+                b.push(make_flit(1, 0, static_cast<std::uint32_t>(sent++)));
+            while (b.front_visible(kAlways).has_value())
+                b.pop();
+            b.commit_negedge();
+        }
+    });
+    return static_cast<double>(flits) / s / 1e6;
+}
+
+/** Same-thread staged window + flush + drain cycles. */
+double
+single_thread_batched_mflits(std::uint64_t flits)
+{
+    VcBuffer b(kCap);
+    b.set_batched(true);
+    const double s = benchutil::wall_seconds([&] {
+        std::uint64_t sent = 0;
+        while (sent < flits) {
+            while (b.free_slots() > 0 && sent < flits)
+                b.push(make_flit(1, 0, static_cast<std::uint32_t>(sent++)));
+            b.flush_staged();
+            while (b.front_visible(kAlways).has_value())
+                b.pop();
+            b.commit_negedge();
+        }
+    });
+    return static_cast<double>(flits) / s / 1e6;
+}
+
+/** Producer thread vs consumer thread, direct or batched pushes. */
+double
+cross_thread_mflits(std::uint64_t flits, bool batched)
+{
+    VcBuffer b(kCap);
+    b.set_batched(batched);
+    const double s = benchutil::wall_seconds([&] {
+        std::thread producer([&] {
+            std::uint64_t sent = 0;
+            while (sent < flits) {
+                while (b.free_slots() > 0 && sent < flits)
+                    b.push(make_flit(1, 0,
+                                     static_cast<std::uint32_t>(sent++)));
+                if (batched)
+                    b.flush_staged();
+                if (b.free_slots() == 0)
+                    std::this_thread::yield();
+            }
+        });
+        std::uint64_t got = 0;
+        while (got < flits) {
+            if (b.front_visible(kAlways).has_value()) {
+                b.pop();
+                ++got;
+                if ((got & 7) == 0)
+                    b.commit_negedge();
+            } else {
+                b.commit_negedge();
+                std::this_thread::yield();
+            }
+        }
+        producer.join();
+        b.commit_negedge();
+    });
+    return static_cast<double>(flits) / s / 1e6;
+}
+
+} // namespace
+
+int
+main()
+{
+    // ------------------------------------------------------------------
+    // Microbenchmark: one buffer, the four fabric paths.
+    // ------------------------------------------------------------------
+    constexpr std::uint64_t kSingle = 4'000'000;
+    constexpr std::uint64_t kCross = 2'000'000;
+
+    std::printf("path,Mflit_per_s\n");
+    std::printf("single_thread_sync,%.1f\n",
+                single_thread_mflits(kSingle, false));
+    std::fflush(stdout);
+    std::printf("single_thread_local,%.1f\n",
+                single_thread_mflits(kSingle, true));
+    std::fflush(stdout);
+    std::printf("single_thread_batched,%.1f\n",
+                single_thread_batched_mflits(kSingle));
+    std::fflush(stdout);
+    std::printf("cross_thread_direct,%.1f\n",
+                cross_thread_mflits(kCross, false));
+    std::fflush(stdout);
+    std::printf("cross_thread_batched,%.1f\n",
+                cross_thread_mflits(kCross, true));
+    std::fflush(stdout);
+
+    // ------------------------------------------------------------------
+    // Mesh sweep: 16x16 uniform random at 0.1 flits/node/cycle, the
+    // whole simulator on top of the fabric. Lockstep (period 1) runs
+    // must deliver identical flit counts at every thread count.
+    // ------------------------------------------------------------------
+    const net::Topology topo = net::Topology::mesh2d(16, 16);
+    net::NetworkConfig cfg;
+    std::printf("threads,sync_period,wall_s,flits_delivered\n");
+    for (unsigned threads : {1u, 2u, 8u}) {
+        for (std::uint32_t period : {1u, 32u}) {
+            auto sys = benchutil::make_synthetic(topo, cfg, "uniform",
+                                                 0.1, 4, 42, "xy");
+            sim::RunOptions ro;
+            ro.max_cycles = 3000;
+            ro.threads = threads;
+            ro.sync_period = period;
+            const double s =
+                benchutil::wall_seconds([&] { sys->run(ro); });
+            const auto st = sys->collect_stats();
+            std::printf("%u,%u,%.2f,%llu\n", threads, period, s,
+                        static_cast<unsigned long long>(
+                            st.total.flits_delivered));
+            std::fflush(stdout);
+        }
+    }
+    return 0;
+}

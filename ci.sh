@@ -1,10 +1,29 @@
 #!/usr/bin/env bash
 # Tier-1 verify wrapper: configure, build, test, and (when available)
 # check formatting. Mirrors .github/workflows/ci.yml for local use.
+#
+#   ./ci.sh          # regular build, both shard schedulers
+#   ./ci.sh --tsan   # ThreadSanitizer build of the full test suite
 set -euo pipefail
 cd "$(dirname "$0")"
 
 JOBS="${JOBS:-$(nproc)}"
+
+if [[ "${1:-}" == "--tsan" ]]; then
+    # ThreadSanitizer leg: the lock-free VC-buffer fabric and the
+    # engine's cross-shard seams must be race-clean. Run under the
+    # event scheduler — it exercises the cross-thread wake path on top
+    # of the ring protocol — with second-deadlock detection on.
+    cmake -B build-tsan -S . -DHORNET_TSAN=ON
+    cmake --build build-tsan -j "$JOBS"
+    echo "== ctest (ThreadSanitizer, HORNET_SCHEDULE=event) =="
+    (cd build-tsan &&
+         HORNET_SCHEDULE=event \
+             TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+             ctest --output-on-failure --no-tests=error -j "$JOBS")
+    echo "TSAN OK"
+    exit 0
+fi
 
 cmake -B build -S .
 cmake --build build -j "$JOBS"
@@ -18,15 +37,15 @@ for schedule in poll event; do
 done
 
 if command -v doxygen > /dev/null 2>&1; then
-    echo "== doxygen (API docs; src/sim and src/net must be fully documented) =="
+    echo "== doxygen (API docs; src/sim, src/net and src/mem must be fully documented) =="
     mkdir -p build
     doxygen docs/Doxyfile 2> build/doxygen-warnings.log || {
         cat build/doxygen-warnings.log
         echo "doxygen failed"
         exit 1
     }
-    if grep -E "src/(sim|net)/" build/doxygen-warnings.log; then
-        echo "undocumented public symbols (or doc errors) in src/sim/ or src/net/"
+    if grep -E "src/(sim|net|mem)/" build/doxygen-warnings.log; then
+        echo "undocumented public symbols (or doc errors) in src/sim/, src/net/ or src/mem/"
         exit 1
     fi
 else

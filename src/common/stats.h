@@ -10,6 +10,7 @@
 #ifndef HORNET_COMMON_STATS_H
 #define HORNET_COMMON_STATS_H
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -99,13 +100,18 @@ class Histogram
             ++overflow_;
     }
 
+    /** Accumulate @p o into this histogram. Counts in @p o's buckets
+     *  beyond this histogram's range fold into the overflow bucket
+     *  (by bucket index), so total() is always conserved even when
+     *  the two histograms were built with different bucket counts. */
     void
     merge(const Histogram &o)
     {
-        for (std::size_t i = 0; i < buckets_.size() && i < o.buckets_.size();
-             ++i) {
+        const std::size_t both = std::min(buckets_.size(), o.buckets_.size());
+        for (std::size_t i = 0; i < both; ++i)
             buckets_[i] += o.buckets_[i];
-        }
+        for (std::size_t i = both; i < o.buckets_.size(); ++i)
+            overflow_ += o.buckets_[i];
         overflow_ += o.overflow_;
     }
 

@@ -15,14 +15,23 @@
 namespace hornet::mem {
 
 /** MSI line state. */
-enum class LineState : std::uint8_t { Invalid, Shared, Modified };
+enum class LineState : std::uint8_t
+{
+    Invalid,  ///< not present
+    Shared,   ///< read-only copy, possibly replicated
+    Modified, ///< exclusive dirty copy
+};
 
 /** One cache line. */
 struct CacheLine
 {
+    /** Line tag (line address for simplicity). */
     std::uint64_t tag = 0;
+    /** MSI state of the line. */
     LineState state = LineState::Invalid;
+    /** Last-access stamp for LRU replacement. */
     std::uint64_t lru = 0;
+    /** Backing bytes (line_size long). */
     std::vector<std::uint8_t> data;
 };
 
@@ -33,10 +42,14 @@ struct CacheLine
 class Cache
 {
   public:
+    /** @param sets number of sets; @param ways associativity;
+     *  @param line_size line length in bytes (power of two). */
     Cache(std::uint32_t sets, std::uint32_t ways, std::uint32_t line_size);
 
+    /** Line length in bytes. */
     std::uint32_t line_size() const { return line_size_; }
 
+    /** Line-aligned base address of @p addr. */
     std::uint64_t
     line_addr(std::uint64_t addr) const
     {
@@ -45,6 +58,7 @@ class Cache
 
     /** Line holding @p addr or nullptr when not present (any state). */
     CacheLine *find(std::uint64_t addr);
+    /** Line holding @p addr or nullptr when not present (read-only). */
     const CacheLine *find(std::uint64_t addr) const;
 
     /** find() + LRU touch. */
@@ -67,7 +81,9 @@ class Cache
     /** Write @p len bytes at @p addr (must hit in state Modified). */
     void write(std::uint64_t addr, std::uint32_t len, std::uint64_t value);
 
+    /** Number of sets. */
     std::uint32_t sets() const { return sets_; }
+    /** Associativity (ways per set). */
     std::uint32_t ways() const { return ways_; }
 
     /** Number of valid lines (tests). */

@@ -25,13 +25,16 @@ enum class MemMode
     Nuca,
 };
 
+/** Memory-hierarchy parameters (paper Table I memory knobs). */
 struct MemConfig
 {
+    /** Coherence/organization mode. */
     MemMode mode = MemMode::MsiDirectory;
     /** Cache-line size in bytes (power of two). */
     std::uint32_t line_size = 32;
-    /** L1 geometry. */
+    /** L1 sets. */
     std::uint32_t l1_sets = 64;
+    /** L1 associativity. */
     std::uint32_t l1_ways = 4;
     /** L1 hit latency in cycles. */
     Cycle l1_hit_latency = 1;

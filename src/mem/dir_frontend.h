@@ -16,22 +16,29 @@ namespace hornet::mem {
 class DirectoryFrontend : public sim::Frontend
 {
   public:
+    /** @param tile hosting tile; @param fabric shared address map. */
     DirectoryFrontend(sim::Tile &tile, Fabric *fabric)
         : mem_(tile, fabric)
     {}
 
+    /** Step the memory endpoint's positive edge. */
     void posedge(Cycle now) override { mem_.posedge(now); }
+    /** Step the memory endpoint's negative edge. */
     void negedge(Cycle now) override { mem_.negedge(now); }
+    /** Idle when the endpoint has no transaction in flight. */
     bool idle(Cycle now) const override { return mem_.idle(now); }
 
+    /** The endpoint's next self-scheduled action. */
     Cycle
     next_event(Cycle now) const override
     {
         return mem_.next_event(now);
     }
 
+    /** A directory is done whenever it is idle (purely reactive). */
     bool done(Cycle now) const override { return mem_.idle(now); }
 
+    /** The wrapped memory endpoint. */
     TileMemory &memory() { return mem_; }
 
   private:

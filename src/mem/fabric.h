@@ -24,15 +24,19 @@ namespace hornet::mem {
 class Fabric
 {
   public:
+    /** @param cfg hierarchy parameters; @param num_tiles system size. */
     Fabric(const MemConfig &cfg, std::uint32_t num_tiles);
 
+    /** The hierarchy parameters this fabric was built with. */
     const MemConfig &config() const { return cfg_; }
+    /** Number of tiles the address space is distributed over. */
     std::uint32_t num_tiles() const { return num_tiles_; }
 
     /** Home tile of the line containing @p addr. MSI mode interleaves
      *  lines across the memory controllers; NUCA across all tiles. */
     NodeId home_of(std::uint64_t addr) const;
 
+    /** The shared in-flight message pool. */
     MessagePool &pool() { return pool_; }
 
     /**
@@ -48,8 +52,9 @@ class Fabric
     /** Initialization/debug read of @p len bytes (little-endian). */
     std::uint64_t peek(std::uint64_t addr, std::uint32_t len);
 
-    /** Convenience 32-bit accessors for loaders and tests. */
+    /** Convenience 32-bit write for loaders and tests. */
     void poke32(std::uint64_t addr, std::uint32_t value);
+    /** Convenience 32-bit read for loaders and tests. */
     std::uint32_t peek32(std::uint64_t addr);
 
   private:

@@ -35,19 +35,22 @@ enum class MsgType : std::uint8_t
     DataWb,    ///< old owner's writeback to home after FwdGetS
     ChownDone, ///< old owner confirms ownership transfer after FwdGetM
     // NUCA remote access.
-    RdReq,
-    RdResp,
-    WrReq,
-    WrAck,
+    RdReq,  ///< remote read request (aux: unused)
+    RdResp, ///< remote read response (aux: word value)
+    WrReq,  ///< remote write request (aux: word value)
+    WrAck,  ///< remote write acknowledged
 };
 
+/** Printable name of a message type. */
 const char *to_string(MsgType t);
 
 /** One memory-system message. */
 struct MemMsg
 {
+    /** What this message asks for or delivers. */
     MsgType type = MsgType::GetS;
     std::uint64_t addr = 0; ///< line-aligned for coherence msgs
+    /** Node that sent this message. */
     NodeId sender = kInvalidNode;
     /** Original requester (forwarded transactions). */
     NodeId requester = kInvalidNode;

@@ -35,16 +35,16 @@ namespace hornet::mem {
 /** Memory-access statistics of one tile. */
 struct MemStats
 {
-    std::uint64_t loads = 0;
-    std::uint64_t stores = 0;
-    std::uint64_t l1_hits = 0;
-    std::uint64_t l1_misses = 0;
-    std::uint64_t evictions = 0;
-    std::uint64_t invalidations_received = 0;
-    std::uint64_t forwards_served = 0;
-    std::uint64_t dir_requests = 0;
+    std::uint64_t loads = 0;      ///< core load requests issued
+    std::uint64_t stores = 0;     ///< core store requests issued
+    std::uint64_t l1_hits = 0;    ///< requests served by the L1
+    std::uint64_t l1_misses = 0;  ///< requests that went to the protocol
+    std::uint64_t evictions = 0;  ///< L1 victims (any state)
+    std::uint64_t invalidations_received = 0; ///< Inv messages absorbed
+    std::uint64_t forwards_served = 0; ///< FwdGetS/FwdGetM served as owner
+    std::uint64_t dir_requests = 0;    ///< requests served as home
     std::uint64_t remote_accesses = 0; ///< NUCA mode
-    RunningStat miss_latency;
+    RunningStat miss_latency; ///< issue-to-completion cycles of misses
 };
 
 /**
@@ -103,7 +103,9 @@ class TileMemory : public sim::Clocked
     /** Earliest future local event (dram completions etc.). */
     Cycle next_event(Cycle now) const override;
 
+    /** Memory-access statistics accumulated so far. */
     const MemStats &stats() const { return stats_; }
+    /** The private L1 (tests / inspection). */
     const Cache &l1() const { return *l1_; }
 
   private:

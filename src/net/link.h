@@ -25,6 +25,16 @@ class Router;
  * bandwidth pool. A Clocked component of the lower-id endpoint's tile,
  * acting at its negative edge only: it reads demand published by both
  * routers at their positive edges and sets next-cycle bandwidths.
+ * Everything it touches on the non-owning endpoint is atomic — the
+ * routers' published demand and the VC buffers' credit views — so the
+ * arbiter never synchronizes with the other tile's thread; under
+ * loose windows it sees a possibly stale snapshot of the remote side
+ * (a heuristic input to the bandwidth split, never a push credit),
+ * within the usual loose-synchronization envelope. This is also why
+ * same-shard VC buffers can drop to relaxed ordering: the only
+ * cross-thread buffer reads an arbiter performs target buffers whose
+ * producer and consumer straddle a shard boundary, which stay in
+ * synchronized mode.
  */
 class BidirLink : public sim::Clocked
 {

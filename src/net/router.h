@@ -66,9 +66,11 @@ struct RouterConfig
 
 /**
  * One router node; a Clocked component of its tile. Not thread-safe
- * except through the documented VC-buffer producer/consumer
- * interfaces; posedge()/negedge() must be called by the owning tile's
- * thread only.
+ * except through the lock-free VC-buffer producer/consumer interfaces
+ * and the atomic egress views (egress_demand / egress_free_space /
+ * set_egress_bandwidth_next, polled by link arbiters possibly on
+ * another thread); posedge()/negedge() must be called by the owning
+ * tile's thread only.
  */
 class Router : public sim::Clocked
 {
@@ -172,7 +174,18 @@ class Router : public sim::Clocked
         return egress_[port]->demand.load(std::memory_order_acquire);
     }
 
-    /** Free space across the downstream buffers of @p port. */
+    /**
+     * Free space across the downstream buffers of @p port. Safe to
+     * call from any thread (it folds the buffers' atomic credit
+     * views): the bidirectional-link arbiter polls it from the link
+     * owner's thread, which may differ from this router's. A
+     * cross-thread read is a *snapshot* that may be stale in either
+     * direction (a remote reader can miss recent pushes as easily as
+     * recent commits) — it is a bandwidth-split heuristic, never a
+     * push authorization. Only the producing router's own view is
+     * authoritative for credit, and pushes are always re-checked
+     * against it on the producer's thread.
+     */
     std::uint32_t egress_free_space(PortId port) const;
 
     /** Set next-cycle bandwidth of @p port (called by a link arbiter

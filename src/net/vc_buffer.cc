@@ -4,48 +4,187 @@
 
 namespace hornet::net {
 
+namespace {
+
+/// Compile-time memory orders per locality mode: relaxed on the
+/// same-thread fast path, acquire/release across threads. Runtime
+/// memory_order values must never reach the atomics — GCC lowers a
+/// variable order to the strongest one, turning release stores into
+/// serializing xchg instructions.
+template <bool kLocal>
+inline constexpr std::memory_order kAcquire =
+    kLocal ? std::memory_order_relaxed : std::memory_order_acquire;
+
+template <bool kLocal>
+inline constexpr std::memory_order kRelease =
+    kLocal ? std::memory_order_relaxed : std::memory_order_release;
+
+} // namespace
+
+// ----------------------------------------------------------------------
+// Flow-occupancy table (inline, fixed capacity, lock-free).
+//
+// Invariants (docs/ENGINE.md, "VcBuffer memory model"):
+//  - only the producer writes FlowSlot::flow or increments ::count;
+//  - only the consumer decrements ::count (committed pops);
+//  - a slot with count == 0 is free; its flow id is stale garbage;
+//  - the sum of counts equals the logical occupancy, which the credit
+//    discipline bounds by capacity_, so among capacity_ slots the
+//    producer always finds either its flow or a free slot.
+// ----------------------------------------------------------------------
+
+namespace {
+
+/// Add one flit of an already-claimed slot's flow. The consumer may
+/// race the count (never below what it committed), so cross-thread
+/// increments are RMW; if it drains the slot to zero just before
+/// this, the fetch_add revives it with the flow id intact — exactly
+/// one logical flit, which is correct. @p c is the count the caller
+/// observed (used only on the single-thread path).
+template <bool kLocal>
+inline void
+charge(std::atomic<std::uint32_t> &count, std::uint32_t c)
+{
+    if constexpr (kLocal)
+        count.store(c + 1, std::memory_order_relaxed);
+    else
+        count.fetch_add(1, std::memory_order_acq_rel);
+}
+
+/// Remove one committed flit. The producer may concurrently increment
+/// the same slot, so cross-thread decrements are RMW; the slot cannot
+/// vanish — only the consumer decrements, and the count covers at
+/// least the flits it committed-popped but has not discharged yet.
+template <bool kLocal>
+inline void
+discharge(std::atomic<std::uint32_t> &count, std::uint32_t c)
+{
+    if constexpr (kLocal)
+        count.store(c - 1, std::memory_order_relaxed);
+    else
+        count.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+} // namespace
+
+template <bool kLocal>
 void
-VcBuffer::push(const Flit &f)
+VcBuffer::flow_add(FlowId flow)
+{
+    // Hint first: wormhole traffic usually parks one flow per VC, so
+    // the slot touched by the previous charge almost always matches
+    // and the whole charge is O(1). A live slot matching the flow is
+    // necessarily *the* slot (at most one live slot per flow), so
+    // acting on the hint is exactly what the scan would do.
+    {
+        FlowSlot &h = flow_table_[add_hint_];
+        const std::uint32_t c = h.count.load(kAcquire<kLocal>);
+        if (c != 0 && h.flow.load(std::memory_order_relaxed) == flow) {
+            charge<kLocal>(h.count, c);
+            return;
+        }
+    }
+
+    std::size_t free_idx = flow_table_.size();
+    for (std::size_t i = 0; i < flow_table_.size(); ++i) {
+        FlowSlot &s = flow_table_[i];
+        const std::uint32_t c = s.count.load(kAcquire<kLocal>);
+        if (c == 0) {
+            if (free_idx == flow_table_.size())
+                free_idx = i;
+        } else if (s.flow.load(std::memory_order_relaxed) == flow) {
+            charge<kLocal>(s.count, c);
+            add_hint_ = i;
+            return;
+        }
+    }
+    // Not present: claim a free slot. Only the producer claims slots,
+    // so the free slot cannot be contended; the release on count
+    // pairs with readers' acquire, making the flow-id store visible
+    // before the claim is.
+    if (free_idx == flow_table_.size())
+        panic("VcBuffer flow table full: push without credit");
+    flow_table_[free_idx].flow.store(flow, std::memory_order_relaxed);
+    flow_table_[free_idx].count.store(1, kRelease<kLocal>);
+    add_hint_ = free_idx;
+}
+
+template <bool kLocal>
+void
+VcBuffer::flow_remove(FlowId flow)
+{
+    // Hint first (see flow_add); the consumer keeps its own hint.
+    {
+        FlowSlot &h = flow_table_[remove_hint_];
+        const std::uint32_t c = h.count.load(kAcquire<kLocal>);
+        if (c != 0 && h.flow.load(std::memory_order_relaxed) == flow) {
+            discharge<kLocal>(h.count, c);
+            return;
+        }
+    }
+
+    for (std::size_t i = 0; i < flow_table_.size(); ++i) {
+        FlowSlot &s = flow_table_[i];
+        const std::uint32_t c = s.count.load(kAcquire<kLocal>);
+        if (c != 0 && s.flow.load(std::memory_order_relaxed) == flow) {
+            discharge<kLocal>(s.count, c);
+            remove_hint_ = i;
+            return;
+        }
+    }
+    panic("VcBuffer flow accounting underflow");
+}
+
+// ----------------------------------------------------------------------
+// Ring protocol.
+// ----------------------------------------------------------------------
+
+template <bool kLocal>
+void
+VcBuffer::push_impl(const Flit &f)
 {
     // Flow occupancy is accounted at push time even in batched mode,
     // so the producer-side EDVCA/credit views never depend on when the
     // engine flushes. The overflow checks come first: a rejected push
     // must leave every view untouched.
-    auto count_flow = [&] {
-        std::lock_guard<std::mutex> flk(flow_mx_);
-        ++flow_counts_[f.flow];
-    };
     if (batched_) {
-        if (staged_.size() +
-                (pushed_.load(std::memory_order_relaxed) -
-                 popped_actual_.load(std::memory_order_acquire)) >=
+        if (staged_.size() + (pushed_.load(std::memory_order_relaxed) -
+                              popped_actual_.load(kAcquire<kLocal>)) >=
             capacity_)
             panic("VcBuffer overflow: staged push without credit");
-        count_flow();
+        flow_add<kLocal>(f.flow);
         staged_.push_back(f);
         if (f.arrival_cycle < staged_min_arrival_)
             staged_min_arrival_ = f.arrival_cycle;
         staged_count_.store(static_cast<std::uint32_t>(staged_.size()),
-                            std::memory_order_release);
+                            kRelease<kLocal>);
         // No wake yet: a staged flit is invisible to the consumer
         // until flush_staged() publishes it.
         return;
     }
-    {
-        std::lock_guard<std::mutex> lk(tail_mx_);
-        std::uint64_t seq = pushed_.load(std::memory_order_relaxed);
-        // The credit discipline (free_slots() checked by the caller
-        // before every push) bounds physical occupancy by capacity_,
-        // so the target slot is free.
-        if (seq - popped_actual_.load(std::memory_order_acquire) >=
-            capacity_)
-            panic("VcBuffer overflow: producer pushed without credit");
-        ring_[seq % capacity_] = f;
-        count_flow();
-        pushed_.store(seq + 1, std::memory_order_release);
-    }
+    // Only the producer writes pushed_, so the relaxed self-read is
+    // exact; the acquire on popped_actual_ pairs with the consumer's
+    // release in pop(), guaranteeing the consumer is done reading the
+    // slot we are about to overwrite.
+    const std::uint64_t seq = pushed_.load(std::memory_order_relaxed);
+    // The credit discipline (free_slots() checked by the caller
+    // before every push) bounds physical occupancy by capacity_,
+    // so the target slot is free.
+    if (seq - popped_actual_.load(kAcquire<kLocal>) >= capacity_)
+        panic("VcBuffer overflow: producer pushed without credit");
+    ring_[seq % capacity_] = f;
+    flow_add<kLocal>(f.flow);
+    // Release-publish: the consumer's acquire of pushed_ makes the
+    // slot write (and the flow-table charge) visible with it.
+    pushed_.store(seq + 1, kRelease<kLocal>);
     if (wake_ != nullptr)
         wake_->notify_activity(f.arrival_cycle);
+}
+
+void
+VcBuffer::push(const Flit &f)
+{
+    local_ ? push_impl<true>(f) : push_impl<false>(f);
 }
 
 void
@@ -56,31 +195,34 @@ VcBuffer::set_batched(bool on)
     batched_ = on;
 }
 
+template <bool kLocal>
+std::uint32_t
+VcBuffer::flush_impl()
+{
+    std::uint64_t seq = pushed_.load(std::memory_order_relaxed);
+    for (const Flit &f : staged_) {
+        if (seq - popped_actual_.load(kAcquire<kLocal>) >= capacity_)
+            panic("VcBuffer overflow: batched flush exceeds capacity");
+        ring_[seq % capacity_] = f;
+        ++seq;
+    }
+    const std::uint32_t n = static_cast<std::uint32_t>(staged_.size());
+    staged_.clear();
+    // Publish to the ring *before* zeroing the staged count: a
+    // concurrent credit reader may double-count flits during the
+    // overlap (conservative), but can never miss them (a credit
+    // overestimate could overflow the buffer).
+    pushed_.store(seq, kRelease<kLocal>);
+    staged_count_.store(0, kRelease<kLocal>);
+    return n;
+}
+
 std::uint32_t
 VcBuffer::flush_staged()
 {
     if (staged_.empty())
         return 0;
-    std::uint32_t n = 0;
-    {
-        std::lock_guard<std::mutex> lk(tail_mx_);
-        std::uint64_t seq = pushed_.load(std::memory_order_relaxed);
-        for (const Flit &f : staged_) {
-            if (seq - popped_actual_.load(std::memory_order_acquire) >=
-                capacity_)
-                panic("VcBuffer overflow: batched flush exceeds capacity");
-            ring_[seq % capacity_] = f;
-            ++seq;
-        }
-        n = static_cast<std::uint32_t>(staged_.size());
-        staged_.clear();
-        // Publish to the ring *before* zeroing the staged count: a
-        // concurrent credit reader may double-count flits during the
-        // overlap (conservative), but can never miss them (a credit
-        // overestimate could overflow the buffer).
-        pushed_.store(seq, std::memory_order_release);
-        staged_count_.store(0, std::memory_order_release);
-    }
+    const std::uint32_t n = local_ ? flush_impl<true>() : flush_impl<false>();
     const Cycle earliest = staged_min_arrival_;
     staged_min_arrival_ = kNoEvent;
     if (wake_ != nullptr)
@@ -88,12 +230,16 @@ VcBuffer::flush_staged()
     return n;
 }
 
+template <bool kLocal>
 std::optional<Flit>
-VcBuffer::front_visible(Cycle now) const
+VcBuffer::front_impl(Cycle now) const
 {
-    std::lock_guard<std::mutex> lk(head_mx_);
-    std::uint64_t head = popped_actual_.load(std::memory_order_relaxed);
-    if (head == pushed_.load(std::memory_order_acquire))
+    // Only the consumer writes popped_actual_, so the relaxed
+    // self-read is exact; the acquire on pushed_ pairs with the
+    // producer's release, making the slot contents visible.
+    const std::uint64_t head =
+        popped_actual_.load(std::memory_order_relaxed);
+    if (head == pushed_.load(kAcquire<kLocal>))
         return std::nullopt;
     const Flit &f = ring_[head % capacity_];
     if (f.arrival_cycle > now)
@@ -101,17 +247,46 @@ VcBuffer::front_visible(Cycle now) const
     return f;
 }
 
-Flit
-VcBuffer::pop()
+std::optional<Flit>
+VcBuffer::front_visible(Cycle now) const
 {
-    std::lock_guard<std::mutex> lk(head_mx_);
-    std::uint64_t head = popped_actual_.load(std::memory_order_relaxed);
-    if (head == pushed_.load(std::memory_order_acquire))
+    return local_ ? front_impl<true>(now) : front_impl<false>(now);
+}
+
+template <bool kLocal>
+Flit
+VcBuffer::pop_impl()
+{
+    const std::uint64_t head =
+        popped_actual_.load(std::memory_order_relaxed);
+    if (head == pushed_.load(kAcquire<kLocal>))
         panic("VcBuffer underflow: pop from empty buffer");
     Flit f = ring_[head % capacity_];
     pending_pop_flows_.push_back(f.flow);
-    popped_actual_.store(head + 1, std::memory_order_release);
+    // Release-free the slot: the producer's acquire of popped_actual_
+    // guarantees our read of the slot completed before it rewrites it.
+    popped_actual_.store(head + 1, kRelease<kLocal>);
     return f;
+}
+
+Flit
+VcBuffer::pop()
+{
+    return local_ ? pop_impl<true>() : pop_impl<false>();
+}
+
+template <bool kLocal>
+void
+VcBuffer::commit_impl()
+{
+    for (FlowId flow : pending_pop_flows_)
+        flow_remove<kLocal>(flow);
+    pending_pop_flows_.clear();
+    // Credit release, after the flow discharges: a producer that
+    // acquires the new committed count also sees the matching flow
+    // table state (EDVCA view consistent with the credit view).
+    popped_committed_.store(popped_actual_.load(std::memory_order_relaxed),
+                            kRelease<kLocal>);
 }
 
 void
@@ -119,36 +294,28 @@ VcBuffer::commit_negedge()
 {
     if (pending_pop_flows_.empty())
         return;
-    {
-        std::lock_guard<std::mutex> flk(flow_mx_);
-        for (FlowId flow : pending_pop_flows_) {
-            auto it = flow_counts_.find(flow);
-            if (it == flow_counts_.end() || it->second == 0)
-                panic("VcBuffer flow accounting underflow");
-            if (--it->second == 0)
-                flow_counts_.erase(it);
-        }
-    }
-    pending_pop_flows_.clear();
-    popped_committed_.store(popped_actual_.load(std::memory_order_relaxed),
-                            std::memory_order_release);
+    local_ ? commit_impl<true>() : commit_impl<false>();
 }
 
 bool
 VcBuffer::exclusively_holds(FlowId flow) const
 {
-    std::lock_guard<std::mutex> flk(flow_mx_);
-    if (flow_counts_.empty())
-        return true;
-    return flow_counts_.size() == 1 &&
-           flow_counts_.begin()->first == flow;
+    for (const FlowSlot &s : flow_table_) {
+        if (s.count.load(std::memory_order_acquire) != 0 &&
+            s.flow.load(std::memory_order_relaxed) != flow)
+            return false;
+    }
+    return true;
 }
 
 std::size_t
 VcBuffer::distinct_flows() const
 {
-    std::lock_guard<std::mutex> flk(flow_mx_);
-    return flow_counts_.size();
+    std::size_t n = 0;
+    for (const FlowSlot &s : flow_table_)
+        if (s.count.load(std::memory_order_acquire) != 0)
+            ++n;
+    return n;
 }
 
 } // namespace hornet::net

@@ -1,15 +1,18 @@
 /**
  * @file
- * Virtual-channel ingress buffer with two fine-grained locks.
+ * Lock-free single-producer/single-consumer virtual-channel buffer.
  *
  * VC buffers are the *only* communication points between tiles (paper
  * II-C). Each buffer has exactly one producer (the upstream router's
  * egress, or a local injector) and one consumer (the downstream
- * router). A lock at the tail (ingress) end and a lock at the head
- * (egress) end permit concurrent access by the two communicating
- * threads, exactly as the paper describes. The storage is a fixed ring
- * whose two ends touch disjoint slots, so the two lock domains never
- * alias.
+ * router), which makes push/pop the hottest path of every simulation.
+ * The buffer therefore uses no locks at all: the fixed ring is
+ * coordinated purely through the monotonic sequence counters, with an
+ * acquire/release protocol between the two ends, and flow occupancy
+ * (EDVCA/FAA, paper II-A3) lives in a fixed-capacity inline table of
+ * atomic counts instead of a mutex-protected map. The full memory
+ * model — who writes which atomic, which orderings pair up, and why —
+ * is documented in docs/ENGINE.md, "VcBuffer memory model".
  *
  * Determinism discipline:
  *  - a pushed flit becomes visible to the consumer only once the
@@ -19,17 +22,28 @@
  *    synchronization this makes parallel simulation bitwise identical
  *    to sequential simulation.
  *
+ * Same-shard fast path:
+ *    when the wiring layer knows producer and consumer are stepped by
+ *    the same thread — intra-tile buffers always (a tile is never
+ *    split across threads; marked by sim::System), inter-tile buffers
+ *    whose two tiles land in the same engine shard (marked per run by
+ *    sim::Engine) — the buffer is switched to *local* mode: the hot
+ *    paths (push/flush/front/pop/commit) drop to relaxed ordering and
+ *    the flow table uses plain load/store arithmetic instead of
+ *    read-modify-write ops. This is the common case for 1-thread and
+ *    large-shard runs.
+ *
  * Batched (window) handoff:
  *    when the producer and consumer run in different engine shards, the
  *    engine may put the buffer in *batched* mode: push() stages flits
  *    in a producer-private vector instead of publishing them, and
  *    flush_staged() — called by the producing shard at each window
  *    rendezvous — publishes the whole window's flits with a single
- *    tail-lock acquisition. The producer-side logical views (credits,
- *    flow occupancy for EDVCA) include staged flits, so upstream
- *    decisions are identical to unbatched operation; the consumer-side
- *    physical views exclude them until the flush. In lockstep windows
- *    the engine also flushes at every intra-window cycle barrier, so
+ *    release store. The producer-side logical views (credits, flow
+ *    occupancy for EDVCA) include staged flits, so upstream decisions
+ *    are identical to unbatched operation; the consumer-side physical
+ *    views exclude them until the flush. In lockstep windows the
+ *    engine also flushes at every intra-window cycle barrier, so
  *    observable behaviour is bitwise identical to unbatched pushes (a
  *    pushed flit only ever becomes visible at its arrival_cycle, at
  *    least one cycle after the push); in free-running windows
@@ -41,8 +55,6 @@
 
 #include <atomic>
 #include <cstdint>
-#include <map>
-#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -53,15 +65,16 @@
 namespace hornet::net {
 
 /**
- * Single-producer single-consumer bounded flit FIFO with separate
- * head and tail locks and negedge-committed credits.
+ * Single-producer single-consumer bounded flit FIFO with a lock-free
+ * acquire/release ring protocol and negedge-committed credits.
  */
 class VcBuffer
 {
   public:
     /** @param capacity maximum number of buffered flits (>= 1). */
     explicit VcBuffer(std::uint32_t capacity = 4)
-        : capacity_(capacity ? capacity : 1), ring_(capacity_)
+        : capacity_(capacity ? capacity : 1), ring_(capacity_),
+          flow_table_(capacity_)
     {}
 
     VcBuffer(const VcBuffer &) = delete;
@@ -69,6 +82,21 @@ class VcBuffer
 
     /** Maximum number of buffered flits. */
     std::uint32_t capacity() const { return capacity_; }
+
+    /**
+     * Switch the unsynchronized same-thread fast path on or off: in
+     * local mode the hot paths use relaxed ordering and the flow
+     * table skips read-modify-write ops, which is sound only while
+     * producer and consumer run on one thread. Set at wiring time by
+     * the layer that knows thread placement (sim::System for
+     * intra-tile buffers, sim::Engine per run for inter-tile buffers
+     * whose endpoints share a shard), and only while no simulation
+     * thread touches the buffer.
+     */
+    void set_local(bool on) { local_ = on; }
+
+    /** True when the unsynchronized same-thread fast path is active. */
+    bool local() const { return local_; }
 
     /**
      * Register the consumer of this buffer for push-based wake-up
@@ -91,7 +119,12 @@ class VcBuffer
      * Credits available to the producer: capacity minus flits pushed
      * (published or staged) and not yet *committed* popped.
      * Conservative (freed space shows up one negedge later), which is
-     * what makes parallel cycle-accurate runs deterministic.
+     * what makes parallel cycle-accurate runs deterministic. Exact on
+     * the producer's own thread, which is the only thread that may
+     * use it as a push authorization. Other threads may poll it (link
+     * arbiters do, as a bandwidth heuristic) but get a snapshot that
+     * can be stale in either direction — a remote reader can miss
+     * recent pushes as easily as recent commits.
      */
     std::uint32_t
     free_slots() const
@@ -100,8 +133,7 @@ class VcBuffer
         std::uint64_t popped =
             popped_committed_.load(std::memory_order_acquire);
         std::uint64_t in_use =
-            pushed - popped +
-            staged_count_.load(std::memory_order_acquire);
+            pushed - popped + staged_count_.load(std::memory_order_acquire);
         return in_use >= capacity_
                    ? 0
                    : capacity_ - static_cast<std::uint32_t>(in_use);
@@ -127,9 +159,9 @@ class VcBuffer
 
     /**
      * Publish all staged flits to the consumer in push order (one
-     * tail-lock acquisition for the whole batch). Called by the
-     * producing thread at a window rendezvous. Returns the number of
-     * flits published.
+     * release store for the whole batch). Called by the producing
+     * thread at a window rendezvous. Returns the number of flits
+     * published.
      */
     std::uint32_t flush_staged();
 
@@ -200,7 +232,8 @@ class VcBuffer
     /**
      * True when every flit logically in the buffer (pushed and not yet
      * committed-popped) belongs to @p flow — or the buffer is logically
-     * empty. This is the EDVCA exclusivity query.
+     * empty. This is the EDVCA exclusivity query (producer-side: the
+     * upstream allocator asks it about its own downstream buffers).
      */
     bool exclusively_holds(FlowId flow) const;
 
@@ -227,21 +260,73 @@ class VcBuffer
     std::size_t distinct_flows() const;
 
   private:
+    /**
+     * One entry of the inline flow-occupancy table. A slot is claimed
+     * (by the producer only) when count goes 0 -> 1, and free when
+     * count == 0; the flow id of a free slot is stale and never read.
+     * The producer is the only thread that writes `flow` and the only
+     * one that increments `count`; the consumer only decrements, at
+     * commit_negedge, for flits it popped. The credit discipline
+     * bounds logical occupancy by the buffer capacity, so `capacity_`
+     * slots always suffice (at most one slot per distinct flow).
+     */
+    struct FlowSlot
+    {
+        std::atomic<FlowId> flow{kInvalidFlow};
+        std::atomic<std::uint32_t> count{0};
+    };
+
+    // The hot paths are templated on locality so every atomic access
+    // carries a *compile-time* memory order: relaxed in the kLocal
+    // instantiation, acquire/release otherwise. (A runtime-selected
+    // memory_order defeats the point — GCC lowers it to the strongest
+    // order, turning every release store into a serializing xchg.)
+
+    /// push() body; see the class comment for the protocol.
+    template <bool kLocal> void push_impl(const Flit &f);
+
+    /// flush_staged() body.
+    template <bool kLocal> std::uint32_t flush_impl();
+
+    /// front_visible() body.
+    template <bool kLocal> std::optional<Flit> front_impl(Cycle now) const;
+
+    /// pop() body.
+    template <bool kLocal> Flit pop_impl();
+
+    /// commit_negedge() body.
+    template <bool kLocal> void commit_impl();
+
+    /// Charge one flit of @p flow to the table (producer side).
+    template <bool kLocal> void flow_add(FlowId flow);
+
+    /// Discharge one committed flit of @p flow (consumer side).
+    template <bool kLocal> void flow_remove(FlowId flow);
+
+    // Members are grouped by writer, each group on its own cache
+    // line, so one side's writes never invalidate the other side's
+    // private state (the ring and flow-table payloads live on the
+    // heap; their sharing is inherent to the protocol).
+
+    // -------- read-mostly wiring state (written while quiescent) ----
     const std::uint32_t capacity_;
     std::vector<Flit> ring_; ///< slot i holds sequence number k: k % cap == i
+    /// Flits logically present per flow; capacity_ slots.
+    std::vector<FlowSlot> flow_table_;
+    /// Consumer wake target (event-driven scheduling seam); set once
+    /// at wiring time, before any simulation thread runs.
+    Wakeable *wake_ = nullptr;
+    /// Same-thread fast path (see set_local). Plain bool: only ever
+    /// flipped while the buffer is quiescent.
+    bool local_ = false;
 
-    mutable std::mutex tail_mx_; ///< guards the push end
-    mutable std::mutex head_mx_; ///< guards the pop end
-
-    std::atomic<std::uint64_t> pushed_{0};
-    std::atomic<std::uint64_t> popped_actual_{0};
-    std::atomic<std::uint64_t> popped_committed_{0};
-
-    /// Flits logically present per flow; guarded by flow_mx_.
-    mutable std::mutex flow_mx_;
-    std::map<FlowId, std::uint32_t> flow_counts_;
-    std::vector<FlowId> pending_pop_flows_; ///< consumer-thread private
-
+    // -------- producer-written state --------------------------------
+    /// Publication counter: the ring's tail sequence number.
+    alignas(64) std::atomic<std::uint64_t> pushed_{0};
+    /// Last slot flow_add() touched. Wormhole traffic usually parks
+    /// one flow per VC, so the hinted slot hits almost always and the
+    /// charge is O(1) instead of a table scan.
+    std::size_t add_hint_ = 0;
     /// Batched-handoff state. The staged_ vector itself is
     /// producer-thread private; staged_count_ mirrors its size
     /// atomically because the credit/occupancy views above are also
@@ -250,14 +335,19 @@ class VcBuffer
     /// for staged flits happens at push time, so the logical views
     /// stay exact.
     bool batched_ = false;
-    std::vector<Flit> staged_;
     std::atomic<std::uint32_t> staged_count_{0};
+    std::vector<Flit> staged_;
     /// Earliest arrival_cycle among staged flits (producer-private).
     Cycle staged_min_arrival_ = kNoEvent;
 
-    /// Consumer wake target (event-driven scheduling seam); set once
-    /// at wiring time, before any simulation thread runs.
-    Wakeable *wake_ = nullptr;
+    // -------- consumer-written state --------------------------------
+    /// Pop counter (advances at pop; frees the ring slot).
+    alignas(64) std::atomic<std::uint64_t> popped_actual_{0};
+    /// Commit counter (advances at the negedge; frees the credit).
+    std::atomic<std::uint64_t> popped_committed_{0};
+    /// Last slot flow_remove() touched (consumer's own hint).
+    std::size_t remove_hint_ = 0;
+    std::vector<FlowId> pending_pop_flows_; ///< consumer-thread private
 };
 
 } // namespace hornet::net

@@ -16,6 +16,13 @@
  *    VC; guarantees per-flow in-order delivery;
  *  - Faa: flow-aware allocation — among allowed candidates pick the one
  *    with the most free downstream space (ties broken randomly).
+ *
+ * The occupancy queries EDVCA and FAA rely on — VcBuffer::
+ * exclusively_holds, logically_empty and free_slots on the candidate
+ * downstream buffers — are lock-free producer-side views (the
+ * allocating router *is* the buffers' producer), exact with respect to
+ * every push the router has performed and to credits committed at the
+ * consumer's negedge (docs/ENGINE.md, "VcBuffer memory model").
  */
 #ifndef HORNET_NET_VCA_H
 #define HORNET_NET_VCA_H

@@ -45,6 +45,13 @@ Shard::prepare_run(bool event_driven, bool track_done)
     ticks_ = 0;
     event_ = event_driven && !tiles_.empty();
     track_done_ = track_done;
+    // Same-shard buffers are accessed by this shard's thread only for
+    // the whole run: select their unsynchronized fast path. Set here
+    // (serially, before any worker starts) and restored in
+    // finish_run() so the buffers are safe for arbitrary use between
+    // runs.
+    for (net::VcBuffer *b : local_bufs_)
+        b->set_local(true);
     if (tiles_.empty())
         return;
     now_ = tiles_.front()->now();
@@ -80,6 +87,8 @@ Shard::bind_thread()
 void
 Shard::finish_run()
 {
+    for (net::VcBuffer *b : local_bufs_)
+        b->set_local(false);
     if (!event_)
         return;
     for (std::size_t i = 0; i < tiles_.size(); ++i) {
@@ -407,10 +416,15 @@ Engine::Engine(const std::vector<Tile *> &tiles, unsigned threads)
     for (std::size_t i = 0; i < tiles.size(); ++i)
         shards_[(i * T) / tiles.size()]->add_tile(tiles[i]);
 
-    // Find the buffers that straddle the partition: each tile declares
-    // the downstream buffers it produces into and the node consuming
-    // them; whichever land in a different shard become that producing
-    // shard's cross-shard set (traffic feedback + batched handoff).
+    // Split each tile's egress registry along the partition: each tile
+    // declares the downstream buffers it produces into and the node
+    // consuming them. Buffers whose consumer lands in a different
+    // shard become the producing shard's cross-shard set (traffic
+    // feedback + batched handoff); buffers whose consumer shares the
+    // shard are thread-private for the whole run and become its
+    // same-shard set (unsynchronized fast path, selected per run by
+    // Shard::prepare_run). With one shard every inter-tile buffer is
+    // local — a sequential run pays no synchronization at all.
     std::unordered_map<NodeId, std::size_t> shard_of;
     for (std::size_t s = 0; s < shards_.size(); ++s)
         for (const Tile *t : shards_[s]->tiles())
@@ -419,8 +433,12 @@ Engine::Engine(const std::vector<Tile *> &tiles, unsigned threads)
         for (Tile *t : shards_[s]->tiles()) {
             for (const auto &[consumer, buf] : t->egress_buffers()) {
                 auto it = shard_of.find(consumer);
-                if (it != shard_of.end() && it->second != s)
+                if (it == shard_of.end())
+                    continue;
+                if (it->second != s)
                     shards_[s]->add_cross_buffer(buf);
+                else
+                    shards_[s]->add_local_buffer(buf);
             }
         }
     }

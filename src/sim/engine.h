@@ -65,7 +65,11 @@ namespace hornet::sim {
  * only points where this shard's execution is observed by another
  * thread, so they carry the cross-shard traffic counter the adaptive
  * sync policy feeds on, and they are where window-batched message
- * handoff is staged and flushed.
+ * handoff is staged and flushed. The complementary *same-shard
+ * buffers* — producer and consumer tile both in this shard — are
+ * touched by this shard's thread only, so each run switches them to
+ * the VC buffer's unsynchronized fast path (docs/ENGINE.md,
+ * "VcBuffer memory model").
  *
  * Under the event-driven scheduler the shard additionally owns the
  * wake bookkeeping for its tiles: the active set (ticked each cycle,
@@ -97,6 +101,22 @@ class Shard final : public Tile::WakeSink
     const std::vector<net::VcBuffer *> &cross_buffers() const
     {
         return cross_bufs_;
+    }
+
+    /**
+     * Register a VC buffer whose producer *and* consumer tiles both
+     * live in this shard (Engine, at partition time). These are only
+     * ever touched by this shard's thread, so prepare_run() switches
+     * them to the buffer's unsynchronized same-thread fast path
+     * (net::VcBuffer::set_local) for the duration of the run and
+     * finish_run() restores the synchronized default.
+     */
+    void add_local_buffer(net::VcBuffer *b) { local_bufs_.push_back(b); }
+
+    /** The same-shard buffers this shard's thread owns exclusively. */
+    const std::vector<net::VcBuffer *> &local_buffers() const
+    {
+        return local_bufs_;
     }
 
     /** Cumulative flits this shard published into cross-shard buffers
@@ -261,6 +281,7 @@ class Shard final : public Tile::WakeSink
 
     std::vector<Tile *> tiles_;
     std::vector<net::VcBuffer *> cross_bufs_;
+    std::vector<net::VcBuffer *> local_bufs_;
 
     // Event-driven scheduling state.
     bool event_ = false;

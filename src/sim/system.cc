@@ -73,6 +73,21 @@ System::System(const net::Topology &topo, const net::NetworkConfig &cfg,
         }
     }
 
+    // Intra-tile buffers — the CPU-port injection buffers a tile's
+    // bridge produces into and the ejection buffers it drains — never
+    // cross a thread boundary (a tile is never split across threads),
+    // so they use the VC buffer's unsynchronized fast path
+    // permanently, whatever the engine partition. Inter-tile buffers
+    // are classified per run by the Engine (same-shard ones also go
+    // local; see Shard::prepare_run).
+    for (NodeId i = 0; i < n; ++i) {
+        net::Router &r = network_->router(i);
+        for (VcId v = 0; v < r.num_injection_vcs(); ++v)
+            r.injection_buffer(v).set_local(true);
+        for (VcId v = 0; v < r.num_ejection_vcs(); ++v)
+            r.ejection_buffer(v).set_local(true);
+    }
+
     // A bidirectional-link arbiter reads *both* endpoint routers'
     // published demand every cycle; that coupling lives outside the
     // VC-buffer wake seam, so its endpoint tiles are pinned awake

@@ -206,10 +206,13 @@ class Tile : public Wakeable
     /**
      * Register a VC buffer this tile's components produce into whose
      * consumer is the tile of node @p consumer (wired by System from
-     * the network's link map). The engine uses the registry to find
-     * the buffers that straddle its shard partition — the only points
-     * where one thread's execution is observed by another — for
-     * cross-shard traffic accounting and window-batched handoff.
+     * the network's link map). The engine splits the registry along
+     * its shard partition: buffers that straddle it — the only points
+     * where one thread's execution is observed by another — get
+     * cross-shard traffic accounting and window-batched handoff,
+     * while buffers whose two tiles share a shard are switched to the
+     * unsynchronized same-thread fast path for the run
+     * (net::VcBuffer::set_local).
      */
     void
     add_egress_buffer(NodeId consumer, net::VcBuffer *buf)

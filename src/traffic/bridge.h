@@ -10,6 +10,12 @@
  * router's ejection buffers and reassembled into packets; a finite
  * receive capacity models the DMA buffer, so an application that does
  * not consume its messages backpressures the network (paper IV-D).
+ *
+ * Both directions move flits strictly between the bridge and its own
+ * tile's router, so the buffers involved are wired by sim::System in
+ * the VC buffer's unsynchronized same-thread mode: per-flit injection
+ * and ejection cost plain loads and stores, no atomic read-modify-
+ * write and no fence, on every scheduler and thread count.
  */
 #ifndef HORNET_TRAFFIC_BRIDGE_H
 #define HORNET_TRAFFIC_BRIDGE_H

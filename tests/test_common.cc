@@ -221,6 +221,47 @@ TEST(Histogram, BucketsAndOverflow)
     EXPECT_EQ(h.overflow(), 1u);
 }
 
+TEST(Histogram, MergeSameShapeAccumulates)
+{
+    Histogram a(4, 10.0), b(4, 10.0);
+    a.add(5.0);
+    b.add(5.0);
+    b.add(15.0);
+    b.add(100.0); // overflow
+    a.merge(b);
+    EXPECT_EQ(a.buckets()[0], 2u);
+    EXPECT_EQ(a.buckets()[1], 1u);
+    EXPECT_EQ(a.overflow(), 1u);
+    EXPECT_EQ(a.total(), 4u);
+}
+
+TEST(Histogram, MergeWiderSourceConservesTotal)
+{
+    // The source has more buckets than the destination: counts beyond
+    // the destination's range must fold into overflow, not vanish.
+    Histogram dst(4, 10.0), src(8, 10.0);
+    src.add(5.0);  // bucket 0 in both
+    src.add(45.0); // bucket 4: beyond dst's 4 buckets
+    src.add(75.0); // bucket 7: beyond dst's 4 buckets
+    src.add(99.0); // src overflow
+    ASSERT_EQ(src.total(), 4u);
+    dst.merge(src);
+    EXPECT_EQ(dst.buckets()[0], 1u);
+    EXPECT_EQ(dst.overflow(), 3u);
+    EXPECT_EQ(dst.total(), src.total());
+}
+
+TEST(Histogram, MergeNarrowerSourceConservesTotal)
+{
+    Histogram dst(8, 10.0), src(4, 10.0);
+    src.add(35.0); // bucket 3
+    src.add(99.0); // src overflow
+    dst.merge(src);
+    EXPECT_EQ(dst.buckets()[3], 1u);
+    EXPECT_EQ(dst.overflow(), 1u);
+    EXPECT_EQ(dst.total(), 2u);
+}
+
 TEST(Histogram, PercentileApproximation)
 {
     Histogram h(100, 1.0);

@@ -1,8 +1,8 @@
 /**
  * @file
- * Unit tests for the two-lock VC buffer: visibility, credits,
+ * Unit tests for the lock-free VC buffer: visibility, credits,
  * negedge-committed pops, flow accounting, and producer/consumer
- * concurrency.
+ * concurrency. Contention stress lives in test_vc_buffer_stress.cc.
  */
 #include <gtest/gtest.h>
 
@@ -197,7 +197,7 @@ TEST(VcBuffer, LogicalSizeFollowsCommits)
  * Concurrency smoke: a producer thread pushes N flits (respecting
  * credits) while a consumer pops and periodically commits. All flits
  * must arrive in order with none lost — the paper's functional-
- * correctness requirement for the two-lock design.
+ * correctness requirement for the SPSC ring protocol.
  */
 TEST(VcBuffer, ConcurrentProducerConsumerPreservesOrder)
 {
