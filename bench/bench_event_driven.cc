@@ -5,18 +5,30 @@
  * methodology from "skip globally idle stretches" to "skip every idle
  * tile, every cycle".
  *
- * The sweep crosses injection rate x mesh size x scheduler under
- * cycle-accurate sync with fast-forwarding off, so the entire
- * difference comes from per-tile sleeping. At low rates most of the
- * tile x cycle grid is idle and the event scheduler's cost tracks the
- * handful of active tiles; at saturation every tile is busy every
+ * The single-thread sweep crosses injection rate x mesh size x
+ * scheduler under cycle-accurate sync with fast-forwarding off, so the
+ * entire difference comes from per-tile sleeping. At low rates most of
+ * the tile x cycle grid is idle and the event scheduler's cost tracks
+ * the handful of active tiles; at saturation every tile is busy every
  * cycle and the event scheduler must stay within noise of polling
  * (its wake bookkeeping is the only overhead). A bursty row (long
  * fully-drained gaps, the Fig 7a regime) shows the trace-replay case
  * where sleeping wins even without fast-forward.
  *
+ * The cross-thread section then re-runs the low-rate lockstep config
+ * at 2 and 4 shards: every cross-shard push wakes the consumer tile
+ * through the Shard wake mailbox, and lockstep windows drain it at
+ * every cycle barrier, so these rows measure the mailbox hand-off
+ * itself (mutex mailbox before ISSUE 5, lock-free MPSC ring after; see
+ * docs/BENCHMARKS.md). Results must stay bitwise identical across
+ * schedulers and thread counts (lockstep windows).
+ *
  * Acceptance targets (ISSUE 3): >= 2x speedup at rates <= 0.05
  * flits/node/cycle on a 16x16 mesh; <= ~5% regression at saturation.
+ *
+ * --quick runs the CI-smoke subset (8x8 mesh, shortened horizons)
+ * with unchanged row names; --json=PATH feeds the perf-regression
+ * harness (scripts/check_bench_regression.py).
  */
 #include <cstdio>
 
@@ -27,6 +39,8 @@ using namespace hornet::benchutil;
 
 namespace {
 
+JsonReport report("bench_event_driven");
+
 struct Sample
 {
     double wall_s = 0.0;
@@ -36,7 +50,7 @@ struct Sample
 
 Sample
 run_one(std::uint32_t side, const char *pattern, double rate,
-        Cycle burst_period, bool event, Cycle cycles)
+        Cycle burst_period, bool event, Cycle cycles, unsigned threads)
 {
     net::Topology topo = net::Topology::mesh2d(side, side);
     auto sys = make_synthetic(topo, {}, pattern, rate, 8, 17, "xy",
@@ -47,8 +61,7 @@ run_one(std::uint32_t side, const char *pattern, double rate,
     opts.max_cycles = cycles;
     opts.event_driven = event;
     Sample out;
-    out.wall_s =
-        wall_seconds([&] { sys->run(policy, opts, /*threads=*/1); });
+    out.wall_s = wall_seconds([&] { sys->run(policy, opts, threads); });
     auto stats = sys->collect_stats();
     const std::uint64_t grid =
         stats.tile_cycles_run + stats.tile_cycles_skipped;
@@ -64,10 +77,10 @@ void
 sweep_row(std::uint32_t side, const char *pattern, double rate,
           Cycle burst_period, Cycle cycles)
 {
-    Sample poll =
-        run_one(side, pattern, rate, burst_period, false, cycles);
-    Sample event =
-        run_one(side, pattern, rate, burst_period, true, cycles);
+    Sample poll = run_one(side, pattern, rate, burst_period, false,
+                          cycles, /*threads=*/1);
+    Sample event = run_one(side, pattern, rate, burst_period, true,
+                           cycles, /*threads=*/1);
     if (poll.delivered != event.delivered)
         fatal("scheduler changed results: delivered flits diverged");
     std::printf("%ux%u,%s,%s,%.3f,%lu,%.3f,%.3f,%.1f%%,%.2f\n", side,
@@ -75,15 +88,61 @@ sweep_row(std::uint32_t side, const char *pattern, double rate,
                 static_cast<unsigned long>(burst_period), poll.wall_s,
                 event.wall_s, 100.0 * event.skipped_frac,
                 poll.wall_s / event.wall_s);
+    char name[96];
+    std::snprintf(name, sizeof name, "%ux%u_%s_%s%.2f_%s_wall_s", side,
+                  side, pattern, burst_period ? "burst" : "r", rate,
+                  "event");
+    report.lower_is_better(name, event.wall_s);
+}
+
+/**
+ * Cross-thread lockstep rows: the wake-mailbox hand-off. Lockstep
+ * windows keep the result bitwise identical at every thread count and
+ * drain each shard's mailbox at every cycle barrier, so the event rows
+ * pay one mailbox round-trip per cross-shard push.
+ */
+void
+cross_thread_row(std::uint32_t side, double rate, Cycle cycles,
+                 unsigned threads, std::uint64_t expect_delivered)
+{
+    // Fastest of three runs per scheduler (benchutil::best_of_3):
+    // these are the mailbox regression canaries, and a single sample
+    // of a sub-second multi-thread run jitters beyond the checker's
+    // 15% gate. Bitwise identity is asserted on every repetition.
+    auto fastest = [&](bool event_sched) {
+        return best_of_3(
+            [&] {
+                Sample s = run_one(side, "uniform", rate, 0,
+                                   event_sched, cycles, threads);
+                if (s.delivered != expect_delivered)
+                    fatal("lockstep cross-thread run changed results");
+                return s;
+            },
+            [](const Sample &s) { return -s.wall_s; });
+    };
+    const Sample poll = fastest(false);
+    const Sample event = fastest(true);
+    std::printf("%ux%u,uniform,xthread%u,%.3f,0,%.3f,%.3f,%.1f%%,%.2f\n",
+                side, side, threads, rate, poll.wall_s, event.wall_s,
+                100.0 * event.skipped_frac,
+                poll.wall_s / event.wall_s);
+    char name[96];
+    std::snprintf(name, sizeof name, "xthread_t%u_event_wall_s",
+                  threads);
+    report.lower_is_better(name, event.wall_s);
+    std::snprintf(name, sizeof name, "xthread_t%u_poll_wall_s", threads);
+    report.lower_is_better(name, poll.wall_s);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto cli = BenchCli::parse(argc, argv);
+
     std::printf("# Event-driven vs polling shard scheduling "
-                "(cycle-accurate, 1 thread, no fast-forward)\n");
+                "(cycle-accurate, no fast-forward)\n");
     std::printf("mesh,pattern,mode,rate,burst_period,poll_s,event_s,"
                 "tile_cycles_slept,speedup\n");
 
@@ -91,8 +150,13 @@ main()
     // Two patterns bracket the busy-tile fraction a given rate
     // produces: shuffle (short paths, few busy routers per flit) and
     // uniform (near the longest average paths on a mesh).
-    for (std::uint32_t side : {8u, 16u}) {
-        const Cycle cycles = side >= 16 ? 15000 : 40000;
+    for (std::uint32_t side : cli.quick
+                                  ? std::vector<std::uint32_t>{8u}
+                                  : std::vector<std::uint32_t>{8u, 16u})
+    {
+        const Cycle cycles = side >= 16 ? 15000
+                             : cli.quick ? 12000
+                                         : 40000;
         for (const char *pattern : {"shuffle", "uniform"})
             for (double rate : {0.01, 0.02, 0.05})
                 sweep_row(side, pattern, rate, /*burst_period=*/0,
@@ -106,9 +170,28 @@ main()
 
     // Bursty traffic with fully drained gaps (Fig 7a regime): the
     // trace-replay-with-idle-gaps case named in the issue.
-    sweep_row(16, "bitcomp", 0.0, /*burst_period=*/4000, 40000);
+    if (!cli.quick)
+        sweep_row(16, "bitcomp", 0.0, /*burst_period=*/4000, 40000);
+
+    // Cross-thread lockstep: the wake-mailbox hand-off (see above).
+    // The expected delivered count pins bitwise identity — it must
+    // match the single-thread rows of the same config. The quick
+    // horizon is sized so even the event rows stay above the
+    // regression checker's tiny-row floor (sub-quarter-second
+    // timings jitter beyond any useful gate).
+    {
+        const std::uint32_t side = cli.quick ? 8 : 16;
+        const Cycle cycles = cli.quick ? 20000 : 15000;
+        const Sample ref = run_one(side, "uniform", 0.05, 0, false,
+                                   cycles, /*threads=*/1);
+        for (unsigned threads : {2u, 4u})
+            cross_thread_row(side, 0.05, cycles, threads,
+                             ref.delivered);
+    }
 
     std::printf("# speedup = poll_s / event_s; tile_cycles_slept is "
-                "the fraction of the tile x cycle grid not ticked\n");
+                "the fraction of the tile x cycle grid not ticked; "
+                "xthreadN rows run N lockstep shards\n");
+    report.write_if_requested(cli);
     return 0;
 }

@@ -12,8 +12,10 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/log.h"
@@ -37,6 +39,141 @@ wall_seconds(Fn &&fn)
     auto t1 = std::chrono::steady_clock::now();
     return std::chrono::duration<double>(t1 - t0).count();
 }
+
+/**
+ * Run @p measure three times and keep the sample whose @p better_key
+ * is largest (negate a wall time to keep the fastest run). Host
+ * interference can only degrade a short measurement, never improve
+ * it, so best-of-N is the stable estimate the perf-regression gate's
+ * 15% threshold needs; every row that feeds the gate goes through
+ * this.
+ */
+template <typename Fn, typename Key>
+auto
+best_of_3(Fn &&measure, Key &&better_key)
+{
+    auto best = measure();
+    for (int i = 1; i < 3; ++i) {
+        auto sample = measure();
+        if (better_key(sample) > better_key(best))
+            best = sample;
+    }
+    return best;
+}
+
+/**
+ * Common bench command line, shared by every binary that participates
+ * in the perf-regression harness (scripts/check_bench_regression.py):
+ *
+ *   --quick        run the CI-sized smoke subset only (small meshes,
+ *                  shortened loops); row *names* are unchanged so a
+ *                  quick run compares against a quick baseline
+ *   --json=PATH    additionally write the named rows as JSON for the
+ *                  baseline comparison (see JsonReport)
+ *
+ * Unknown arguments abort: a typo must not silently run the full
+ * sweep in CI.
+ */
+struct BenchCli
+{
+    /** CI smoke subset (small meshes, shortened loops). */
+    bool quick = false;
+    /** Destination of the JSON row report; empty = no report. */
+    std::string json_path;
+
+    /** Parse @p argv; fatal() on unknown arguments. */
+    static BenchCli
+    parse(int argc, char **argv)
+    {
+        BenchCli cli;
+        for (int i = 1; i < argc; ++i) {
+            const char *a = argv[i];
+            if (std::strcmp(a, "--quick") == 0)
+                cli.quick = true;
+            else if (std::strncmp(a, "--json=", 7) == 0)
+                cli.json_path = a + 7;
+            else
+                fatal(std::string("unknown bench argument: ") + a);
+        }
+        return cli;
+    }
+};
+
+/**
+ * Named numeric bench rows, writable as JSON for the perf-regression
+ * harness. Each row carries the direction in which bigger is better
+ * ("higher" for throughputs, "lower" for wall times), so the checker
+ * needs no out-of-band knowledge; the report carries the run mode
+ * ("quick" or "full") because the two modes share row names while
+ * measuring differently sized workloads — the checker refuses to
+ * compare across modes. The output is a single object:
+ *
+ * ```json
+ * {"bench": "<name>", "mode": "quick", "rows": [
+ *   {"name": "...", "value": 1.23, "better": "higher"}, ...]}
+ * ```
+ */
+class JsonReport
+{
+  public:
+    /** @param bench_name identifies the binary in the report. */
+    explicit JsonReport(std::string bench_name)
+        : bench_(std::move(bench_name))
+    {}
+
+    /** Record a throughput-style row (bigger is better). */
+    void
+    higher_is_better(const std::string &name, double value)
+    {
+        rows_.push_back({name, value, true});
+    }
+
+    /** Record a wall-time-style row (smaller is better). */
+    void
+    lower_is_better(const std::string &name, double value)
+    {
+        rows_.push_back({name, value, false});
+    }
+
+    /** Write the report to @p path, tagged with the run mode of
+     *  @p cli; fatal() when unwritable. */
+    void
+    write(const std::string &path, const BenchCli &cli) const
+    {
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (f == nullptr)
+            fatal("cannot write bench report: " + path);
+        std::fprintf(f, "{\"bench\": \"%s\", \"mode\": \"%s\", \"rows\": [",
+                     bench_.c_str(), cli.quick ? "quick" : "full");
+        for (std::size_t i = 0; i < rows_.size(); ++i)
+            std::fprintf(f,
+                         "%s\n  {\"name\": \"%s\", \"value\": %.6g, "
+                         "\"better\": \"%s\"}",
+                         i ? "," : "", rows_[i].name.c_str(),
+                         rows_[i].value,
+                         rows_[i].higher ? "higher" : "lower");
+        std::fprintf(f, "\n]}\n");
+        std::fclose(f);
+    }
+
+    /** Write to @p cli's json_path when one was given. */
+    void
+    write_if_requested(const BenchCli &cli) const
+    {
+        if (!cli.json_path.empty())
+            write(cli.json_path, cli);
+    }
+
+  private:
+    struct Row
+    {
+        std::string name;
+        double value;
+        bool higher;
+    };
+    std::string bench_;
+    std::vector<Row> rows_;
+};
 
 /**
  * Install routing tables by scheme name ("xy", "o1turn", "romm",

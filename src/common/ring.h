@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Lock-free ring and cache-line layout utilities shared by the hot
+ * cross-thread seams (the VC-buffer fabric and the engine's wake
+ * mailbox), so the sequence-counter protocol and the false-sharing
+ * padding idiom are written once instead of re-derived per site.
+ *
+ * Two things live here:
+ *
+ *  - the false-sharing granule (kCacheLineSize) and a padded wrapper
+ *    (CacheAligned) for per-thread slots of shared arrays;
+ *  - a bounded lock-free multi-producer/single-consumer ring
+ *    (MpscRing), the generalization of the acquire/release
+ *    sequence-counter protocol net::VcBuffer uses for its
+ *    single-producer ring (docs/ENGINE.md, "VcBuffer memory model") to
+ *    many producers: instead of one monotonic tail only its owner may
+ *    advance, producers claim positions with a CAS and every cell
+ *    carries its own sequence counter to publish independently.
+ */
+#ifndef HORNET_COMMON_RING_H
+#define HORNET_COMMON_RING_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace hornet::common {
+
+/**
+ * The destructive-interference (false-sharing) granule: state written
+ * by one thread and read by another should not share a granule with
+ * state the reader writes. A fixed 64 is used instead of
+ * std::hardware_destructive_interference_size because the latter is an
+ * ABI-instability warning under -Werror (GCC's -Winterference-size)
+ * and 64 bytes is the line size of every x86-64 and almost every
+ * AArch64 part this simulator targets.
+ */
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/**
+ * A value padded out to whole cache lines. Use for per-thread slots of
+ * a shared array (e.g. the engine's per-shard rendezvous summaries):
+ * adjacent slots land on distinct lines, so one thread's write never
+ * invalidates another thread's slot.
+ */
+template <typename T> struct alignas(kCacheLineSize) CacheAligned
+{
+    /** The wrapped value. */
+    T value{};
+};
+
+/**
+ * Bounded lock-free multi-producer/single-consumer FIFO ring.
+ *
+ * The protocol is the Vyukov bounded-queue scheme, restricted to one
+ * consumer: every cell carries a sequence counter; a cell is free for
+ * position p when its sequence equals p, and published when it equals
+ * p + 1. Producers claim positions with a CAS on the shared tail and
+ * publish their cell independently with a release store of its
+ * sequence; the single consumer owns the head without any
+ * atomicity at all and frees a drained cell by bumping its sequence a
+ * full lap ahead (release, pairing with the next lap's producer
+ * acquire). Claims are strictly FIFO per producer; across producers
+ * the order is the claim order.
+ *
+ * try_push() fails only when the ring is full (the caller keeps a
+ * fallback — the engine's wake mailbox falls back to a mutex-guarded
+ * overflow list); try_pop() fails when nothing is published, which
+ * includes the transient state where a producer has claimed a cell
+ * but not yet published it. A pop can therefore stall behind an
+ * in-flight push; callers drain repeatedly at their synchronization
+ * points, so a delayed element is delivered at the next drain (the
+ * wake-mailbox contract: wakes are hints, applied at cycle
+ * boundaries, never lost).
+ *
+ * The shared tail and the consumer-private head live on their own
+ * cache lines so producer claims never invalidate the consumer's
+ * cursor.
+ */
+template <typename T> class MpscRing
+{
+  public:
+    /** @param min_capacity minimum element count; rounded up to the
+     *  next power of two (>= 2). */
+    explicit MpscRing(std::size_t min_capacity)
+    {
+        std::size_t cap = 2;
+        while (cap < min_capacity)
+            cap <<= 1;
+        cells_ = std::make_unique<Cell[]>(cap);
+        mask_ = cap - 1;
+        for (std::size_t i = 0; i < cap; ++i)
+            cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+
+    MpscRing(const MpscRing &) = delete;
+    MpscRing &operator=(const MpscRing &) = delete;
+
+    /** Number of elements the ring can hold (a power of two). */
+    std::size_t capacity() const { return mask_ + 1; }
+
+    /**
+     * Publish @p v (any thread). Returns false when the ring is full —
+     * the caller must fall back to its overflow path; nothing is
+     * written in that case.
+     */
+    bool
+    try_push(const T &v)
+    {
+        std::uint64_t pos = tail_.load(std::memory_order_relaxed);
+        for (;;) {
+            Cell &c = cells_[pos & mask_];
+            // Acquire pairs with the consumer's release in try_pop:
+            // the consumer finished reading the cell's previous value
+            // before it freed the cell for this lap.
+            const std::uint64_t seq = c.seq.load(std::memory_order_acquire);
+            if (seq == pos) {
+                // Cell free for this position: claim it. Failure means
+                // another producer claimed first; retry at its
+                // published new tail.
+                if (tail_.compare_exchange_weak(
+                        pos, pos + 1, std::memory_order_relaxed))
+                {
+                    c.value = v;
+                    // Release-publish: the consumer's acquire of seq
+                    // makes the value write visible with it.
+                    c.seq.store(pos + 1, std::memory_order_release);
+                    return true;
+                }
+            } else if (static_cast<std::int64_t>(seq) -
+                           static_cast<std::int64_t>(pos) <
+                       0) {
+                // The cell still holds last lap's element: ring full.
+                return false;
+            } else {
+                // Another producer advanced the tail past pos.
+                pos = tail_.load(std::memory_order_relaxed);
+            }
+        }
+    }
+
+    /**
+     * Drain one element into @p out (the single consumer thread only).
+     * Returns false when nothing is published at the head — the ring
+     * is empty, or the head cell's producer has claimed but not yet
+     * published it (the element surfaces at a later drain).
+     */
+    bool
+    try_pop(T &out)
+    {
+        Cell &c = cells_[head_ & mask_];
+        // Acquire pairs with the producer's release publish.
+        if (c.seq.load(std::memory_order_acquire) != head_ + 1)
+            return false;
+        out = c.value;
+        // Free the cell for the producers' next lap; release pairs
+        // with their acquire of seq.
+        c.seq.store(head_ + capacity(), std::memory_order_release);
+        ++head_;
+        return true;
+    }
+
+  private:
+    /// One ring cell: the per-cell sequence counter that stands in for
+    /// a shared published-tail, plus the payload it guards.
+    struct Cell
+    {
+        std::atomic<std::uint64_t> seq{0};
+        T value{};
+    };
+
+    std::unique_ptr<Cell[]> cells_;
+    std::size_t mask_ = 0;
+    /// Producer-shared claim cursor, on its own line: claims must not
+    /// invalidate the consumer's head.
+    alignas(kCacheLineSize) std::atomic<std::uint64_t> tail_{0};
+    /// Consumer-private drain cursor (single consumer: not atomic).
+    alignas(kCacheLineSize) std::uint64_t head_ = 0;
+};
+
+} // namespace hornet::common
+
+#endif // HORNET_COMMON_RING_H

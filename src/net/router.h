@@ -28,6 +28,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/ring.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/types.h"
@@ -239,7 +240,14 @@ class Router : public sim::Clocked
         std::vector<VcBuffer *> downstream;
         std::vector<EgressVcState> vc_state;
         std::uint32_t bandwidth = 1;
-        std::atomic<std::uint32_t> bandwidth_next{1};
+        /// Link-arbiter seam, on its own cache line: bandwidth_next is
+        /// written by the BidirLink arbiter — potentially from the
+        /// other endpoint's thread — and demand is read by it, so this
+        /// cross-thread traffic must not evict the owner's hot egress
+        /// state above (the downstream buffer pointers and VC
+        /// ownership it walks every cycle).
+        alignas(common::kCacheLineSize)
+            std::atomic<std::uint32_t> bandwidth_next{1};
         std::atomic<std::uint32_t> demand{0};
     };
 

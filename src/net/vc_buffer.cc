@@ -172,7 +172,7 @@ VcBuffer::push_impl(const Flit &f)
     // so the target slot is free.
     if (seq - popped_actual_.load(kAcquire<kLocal>) >= capacity_)
         panic("VcBuffer overflow: producer pushed without credit");
-    ring_[seq % capacity_] = f;
+    ring_[seq % capacity_].flit = f;
     flow_add<kLocal>(f.flow);
     // Release-publish: the consumer's acquire of pushed_ makes the
     // slot write (and the flow-table charge) visible with it.
@@ -203,7 +203,7 @@ VcBuffer::flush_impl()
     for (const Flit &f : staged_) {
         if (seq - popped_actual_.load(kAcquire<kLocal>) >= capacity_)
             panic("VcBuffer overflow: batched flush exceeds capacity");
-        ring_[seq % capacity_] = f;
+        ring_[seq % capacity_].flit = f;
         ++seq;
     }
     const std::uint32_t n = static_cast<std::uint32_t>(staged_.size());
@@ -241,7 +241,7 @@ VcBuffer::front_impl(Cycle now) const
         popped_actual_.load(std::memory_order_relaxed);
     if (head == pushed_.load(kAcquire<kLocal>))
         return std::nullopt;
-    const Flit &f = ring_[head % capacity_];
+    const Flit &f = ring_[head % capacity_].flit;
     if (f.arrival_cycle > now)
         return std::nullopt;
     return f;
@@ -261,7 +261,7 @@ VcBuffer::pop_impl()
         popped_actual_.load(std::memory_order_relaxed);
     if (head == pushed_.load(kAcquire<kLocal>))
         panic("VcBuffer underflow: pop from empty buffer");
-    Flit f = ring_[head % capacity_];
+    Flit f = ring_[head % capacity_].flit;
     pending_pop_flows_.push_back(f.flow);
     // Release-free the slot: the producer's acquire of popped_actual_
     // guarantees our read of the slot completed before it rewrites it.

@@ -58,6 +58,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/ring.h"
 #include "common/types.h"
 #include "common/wakeable.h"
 #include "net/flit.h"
@@ -67,8 +68,11 @@ namespace hornet::net {
 /**
  * Single-producer single-consumer bounded flit FIFO with a lock-free
  * acquire/release ring protocol and negedge-committed credits.
+ * Over-aligned to the cache line so the consumer-written tail of one
+ * buffer never shares a line with the head of an adjacent object (the
+ * members are partitioned by writing side; see the layout comment).
  */
-class VcBuffer
+class alignas(common::kCacheLineSize) VcBuffer
 {
   public:
     /** @param capacity maximum number of buffered flits (>= 1). */
@@ -269,11 +273,34 @@ class VcBuffer
      * commit_negedge, for flits it popped. The credit discipline
      * bounds logical occupancy by the buffer capacity, so `capacity_`
      * slots always suffice (at most one slot per distinct flow).
+     *
+     * Deliberately *not* padded to cache-line granularity (ISSUE 5
+     * audit): producer charge and consumer discharge act on the same
+     * slot whenever they act on the same flow — wormhole traffic's
+     * common case — so that sharing is inherent, and per-slot padding
+     * only separates *different* flows of one VC. Measured on this
+     * container, line-padding these slots (and the ring slots below)
+     * inflated a 16x16 mesh's working set past cache/TLB reach and
+     * cost up to 2x wall time at low load, dwarfing any false-sharing
+     * win; see docs/BENCHMARKS.md, "The wake mailbox and the layout
+     * audit".
      */
     struct FlowSlot
     {
         std::atomic<FlowId> flow{kInvalidFlow};
         std::atomic<std::uint32_t> count{0};
+    };
+
+    /**
+     * One ring slot. Like FlowSlot, intentionally unpadded: a Flit
+     * already spans ~two cache lines, so adjacent-slot sharing is
+     * limited to one boundary line per slot, and padding every slot
+     * out to whole lines measurably lost more to footprint than it
+     * could win back from false sharing (see FlowSlot).
+     */
+    struct RingSlot
+    {
+        Flit flit;
     };
 
     // The hot paths are templated on locality so every atomic access
@@ -303,14 +330,18 @@ class VcBuffer
     /// Discharge one committed flit of @p flow (consumer side).
     template <bool kLocal> void flow_remove(FlowId flow);
 
-    // Members are grouped by writer, each group on its own cache
-    // line, so one side's writes never invalidate the other side's
-    // private state (the ring and flow-table payloads live on the
-    // heap; their sharing is inherent to the protocol).
+    // Members are grouped by writer, each group starting on its own
+    // cache line (common::kCacheLineSize), so one side's writes never
+    // invalidate the other side's private state. The class itself is
+    // over-aligned (see the declaration) so the consumer group's tail
+    // never shares a line with whatever object follows this one in an
+    // array or allocation. The heap payloads (ring, flow table) stay
+    // compact on purpose — see the FlowSlot/RingSlot comments.
 
     // -------- read-mostly wiring state (written while quiescent) ----
     const std::uint32_t capacity_;
-    std::vector<Flit> ring_; ///< slot i holds sequence number k: k % cap == i
+    /// Slot i holds sequence number k: k % cap == i.
+    std::vector<RingSlot> ring_;
     /// Flits logically present per flow; capacity_ slots.
     std::vector<FlowSlot> flow_table_;
     /// Consumer wake target (event-driven scheduling seam); set once
@@ -322,7 +353,7 @@ class VcBuffer
 
     // -------- producer-written state --------------------------------
     /// Publication counter: the ring's tail sequence number.
-    alignas(64) std::atomic<std::uint64_t> pushed_{0};
+    alignas(common::kCacheLineSize) std::atomic<std::uint64_t> pushed_{0};
     /// Last slot flow_add() touched. Wormhole traffic usually parks
     /// one flow per VC, so the hinted slot hits almost always and the
     /// charge is O(1) instead of a table scan.
@@ -342,7 +373,7 @@ class VcBuffer
 
     // -------- consumer-written state --------------------------------
     /// Pop counter (advances at pop; frees the ring slot).
-    alignas(64) std::atomic<std::uint64_t> popped_actual_{0};
+    alignas(common::kCacheLineSize) std::atomic<std::uint64_t> popped_actual_{0};
     /// Commit counter (advances at the negedge; frees the credit).
     std::atomic<std::uint64_t> popped_committed_{0};
     /// Last slot flow_remove() touched (consumer's own hint).

@@ -17,6 +17,16 @@ namespace hornet::sim {
  * function (if any) before releasing the others; this is how the
  * engine makes global decisions (fast-forward, termination) without a
  * separate coordinator thread.
+ *
+ * Deliberately mutex+condvar while the per-cycle cross-shard seams
+ * (VC buffers, the wake mailbox) are lock-free: a rendezvous is where
+ * threads must *block* — on oversubscribed hosts a spinning barrier
+ * burns the very quanta the parked shards need — and it also provides
+ * the happens-before edge the mailbox drain contract leans on (every
+ * wake posted before a barrier arrival is fully published to the
+ * draining shard after it; docs/ENGINE.md, "Wake mailbox memory
+ * model"). Not a false-sharing concern either: all state is behind
+ * the one mutex.
  */
 class Barrier
 {

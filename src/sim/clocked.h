@@ -23,7 +23,12 @@
  * depend on how often it was queried or ticked, and any future
  * done()-flip must be announced by next_event() — because an idle
  * component may not be ticked again until that cycle, or until work
- * arrives in one of its buffers.
+ * arrives in one of its buffers. Work arriving from another thread is
+ * announced through the Wakeable seam and crosses into the owning
+ * scheduler via a lock-free MPSC mailbox drained at cycle boundaries
+ * (docs/ENGINE.md, "Wake mailbox memory model"); a component never
+ * sees any of that machinery — it only has to keep the three queries
+ * honest.
  */
 #ifndef HORNET_SIM_CLOCKED_H
 #define HORNET_SIM_CLOCKED_H

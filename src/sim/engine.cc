@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "common/log.h"
+#include "common/ring.h"
 #include "sim/barrier.h"
 
 namespace hornet::sim {
@@ -66,11 +67,15 @@ Shard::prepare_run(bool event_driven, bool track_done)
     pending_active_.clear();
     heap_ = {};
     sleeping_not_done_ = 0;
+    // Discard stale wakes from a previous run (called serially, so no
+    // producer can be posting concurrently).
+    WakeEntry stale;
+    while (mailbox_.try_pop(stale)) {}
     {
-        std::lock_guard<std::mutex> lk(mailbox_mx_);
-        mailbox_.clear();
+        std::lock_guard<std::mutex> lk(overflow_mx_);
+        overflow_.clear();
     }
-    mailbox_any_.store(false, std::memory_order_release);
+    overflow_any_.store(false, std::memory_order_release);
     run_thread_ = std::thread::id{};
     for (std::size_t i = 0; i < tiles_.size(); ++i) {
         tiles_[i]->set_sched_slot(i);
@@ -119,12 +124,19 @@ Shard::wake(Tile &t, Cycle at)
         return;
     }
     // Cross-thread wake (a producer in another shard): post to the
-    // mailbox; the owning thread drains it at its next cycle boundary.
-    {
-        std::lock_guard<std::mutex> lk(mailbox_mx_);
-        mailbox_.emplace_back(at, t.sched_slot());
+    // lock-free mailbox ring; the owning thread drains it at its next
+    // cycle boundary (unconditionally — see the mailbox_ comment in
+    // engine.h for why there is deliberately no "anything posted?"
+    // flag on the ring). A full ring falls back to the overflow
+    // list — correctness never depends on ring capacity, only the
+    // fast path does.
+    if (!mailbox_.try_push(WakeEntry(at, t.sched_slot()))) {
+        {
+            std::lock_guard<std::mutex> lk(overflow_mx_);
+            overflow_.emplace_back(at, t.sched_slot());
+        }
+        overflow_any_.store(true, std::memory_order_release);
     }
-    mailbox_any_.store(true, std::memory_order_release);
 }
 
 void
@@ -145,14 +157,28 @@ Shard::apply_wake(std::size_t slot, Cycle at)
 void
 Shard::drain_mailbox()
 {
-    std::vector<WakeEntry> posted;
-    {
-        std::lock_guard<std::mutex> lk(mailbox_mx_);
-        posted.swap(mailbox_);
-        mailbox_any_.store(false, std::memory_order_release);
+    // The ring is probed unconditionally (no gating flag — see the
+    // mailbox_ comment in engine.h): an empty probe is one acquire
+    // load of the head cell. apply_wake is a commutative min per
+    // tile, so drain order (ring claim order, overflow last) cannot
+    // affect the resulting schedule.
+    WakeEntry e;
+    while (mailbox_.try_pop(e))
+        apply_wake(e.second, e.first);
+    if (overflow_any_.load(std::memory_order_acquire)) {
+        // Clear-then-swap, both sides under the same mutex ordering:
+        // a producer that lands in the overflow list after our swap
+        // necessarily took the mutex after us, so its flag-set
+        // happens-after this clear and survives for the next drain.
+        overflow_any_.store(false, std::memory_order_release);
+        std::vector<WakeEntry> posted;
+        {
+            std::lock_guard<std::mutex> lk(overflow_mx_);
+            posted.swap(overflow_);
+        }
+        for (const auto &[at, slot] : posted)
+            apply_wake(slot, at);
     }
-    for (const auto &[at, slot] : posted)
-        apply_wake(slot, at);
 }
 
 void
@@ -201,8 +227,7 @@ Shard::activate_due()
 void
 Shard::cycle_begin()
 {
-    if (mailbox_any_.load(std::memory_order_acquire))
-        drain_mailbox();
+    drain_mailbox();
     activate_due();
     if (!pending_active_.empty()) {
         // Keep the active set in node-id order so the tick order of
@@ -484,20 +509,27 @@ Engine::run(SyncPolicy &policy, const EngineOptions &opts)
     for (auto &s : shards_)
         s->prepare_run(event, need_done);
 
+    // One shard's pre-rendezvous summary. Each shard writes its own
+    // slot every window; CacheAligned keeps the slots on distinct
+    // cache lines so the publishes never contend (the seed layout —
+    // parallel byte/word vectors indexed by tid — put every shard's
+    // writes on the same line).
+    struct Summary
+    {
+        char busy = 1;
+        char done = 0;
+        Cycle min_next = kNoEvent;
+        std::uint64_t cross = 0;
+    };
+
     struct Shared
     {
         Barrier barrier;
         std::atomic<bool> stop{false};
         SyncWindow window;
-        std::vector<char> busy;
-        std::vector<char> done;
-        std::vector<Cycle> min_next;
-        std::vector<std::uint64_t> cross;
+        std::vector<common::CacheAligned<Summary>> sums;
         std::uint64_t ff_skipped = 0; ///< leader-only (under barrier)
-        explicit Shared(unsigned t)
-            : barrier(t), busy(t, 1), done(t, 0), min_next(t, kNoEvent),
-              cross(t, 0)
-        {}
+        explicit Shared(unsigned t) : barrier(t), sums(t) {}
     } sh(T);
 
     // Runs inside the rendezvous barrier, by whichever thread arrives
@@ -511,18 +543,19 @@ Engine::run(SyncPolicy &policy, const EngineOptions &opts)
         view.skipped_cycles = sh.ff_skipped;
         view.all_idle =
             need_idle &&
-            std::none_of(sh.busy.begin(), sh.busy.end(),
-                         [](char b) { return b != 0; });
+            std::none_of(sh.sums.begin(), sh.sums.end(),
+                         [](const auto &s) { return s.value.busy != 0; });
         view.all_done =
             need_done &&
-            std::all_of(sh.done.begin(), sh.done.end(),
-                        [](char d) { return d != 0; });
+            std::all_of(sh.sums.begin(), sh.sums.end(),
+                        [](const auto &s) { return s.value.done != 0; });
         if (need_next)
-            for (Cycle c : sh.min_next)
-                view.next_event = std::min(view.next_event, c);
+            for (const auto &s : sh.sums)
+                view.next_event =
+                    std::min(view.next_event, s.value.min_next);
         if (need_cross) {
-            for (std::uint64_t c : sh.cross)
-                view.cross_flits += c;
+            for (const auto &s : sh.sums)
+                view.cross_flits += s.value.cross;
             view.cross_flits -= cross_base;
         }
 
@@ -578,17 +611,18 @@ Engine::run(SyncPolicy &policy, const EngineOptions &opts)
 
             // Publish this shard's state for the leader's decision.
             my.prepare_summaries();
+            Summary &sum = sh.sums[tid].value;
             if (need_idle)
-                sh.busy[tid] =
+                sum.busy =
                     (my.busy() || (batching && my.cross_in_flight()))
                         ? 1
                         : 0;
             if (need_done)
-                sh.done[tid] = my.done() ? 1 : 0;
+                sum.done = my.done() ? 1 : 0;
             if (need_next)
-                sh.min_next[tid] = my.next_event();
+                sum.min_next = my.next_event();
             if (need_cross)
-                sh.cross[tid] = my.cross_pushed();
+                sum.cross = my.cross_pushed();
 
             sh.barrier.arrive_and_wait(leader_plan);
             if (sh.stop.load(std::memory_order_relaxed))

@@ -45,6 +45,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/ring.h"
 #include "common/types.h"
 #include "net/vc_buffer.h"
 #include "sim/sync_policy.h"
@@ -79,6 +80,10 @@ namespace hornet::sim {
  * boundaries — the synchronization points where, under lockstep
  * windows, an unbatched push would first become visible, keeping
  * event-driven lockstep runs bitwise identical to sequential ones.
+ * The mailbox is a bounded lock-free MPSC ring with a mutex-guarded
+ * overflow list behind it, so a producer shard posting a wake never
+ * blocks on the consumer shard's drain (docs/ENGINE.md, "Wake mailbox
+ * memory model").
  */
 class Shard final : public Tile::WakeSink
 {
@@ -279,12 +284,28 @@ class Shard final : public Tile::WakeSink
     /// Top-of-cycle bookkeeping: drain wakes, activate due sleepers.
     void cycle_begin();
 
+    /// Wake-mailbox ring capacity per shard. The owning thread drains
+    /// every cycle while it runs, but a shard parked at the rendezvous
+    /// barrier drains nothing while its neighbours free-run a whole
+    /// window — so the ring is sized for a window's worth of
+    /// cross-shard pushes in common configs (boundary buffers x
+    /// window cycles), not one cycle's. Larger bursts (oversubscribed
+    /// hosts can starve a consumer for a whole scheduler quantum) go
+    /// to the overflow list: correct, merely slower.
+    static constexpr std::size_t kMailboxCapacity = 1024;
+
     std::vector<Tile *> tiles_;
     std::vector<net::VcBuffer *> cross_bufs_;
     std::vector<net::VcBuffer *> local_bufs_;
 
-    // Event-driven scheduling state.
-    bool event_ = false;
+    // Event-driven scheduling state. This block — the clock, the
+    // active set, the wake heap's hot head and the tick counter — is
+    // touched by the owning thread every cycle and by nobody else;
+    // the alignas fences it off from the preceding wiring vectors and,
+    // via the mailbox's own alignment below, from everything remote
+    // threads write, so a cross-shard wake post never invalidates the
+    // scheduler's working set.
+    alignas(common::kCacheLineSize) bool event_ = false;
     bool track_done_ = false;
     Cycle now_ = 0;
     std::vector<Slot> slots_;
@@ -299,11 +320,29 @@ class Shard final : public Tile::WakeSink
     std::uint64_t ticks_ = 0;
     std::thread::id run_thread_{};
 
-    /// Wakes posted by other threads (cross-shard pushes), drained at
-    /// cycle boundaries.
-    mutable std::mutex mailbox_mx_;
-    std::vector<WakeEntry> mailbox_;
-    std::atomic<bool> mailbox_any_{false};
+    // Cross-thread wake mailbox (producer shards post, the owning
+    // thread drains at cycle boundaries): a bounded lock-free MPSC
+    // ring on the fast path — the push is a CAS claim plus a release
+    // publish, no lock, no allocation — with a mutex-guarded overflow
+    // list for the (rare, tested) case of a full ring. The ring is
+    // drained *unconditionally* every cycle: probing an empty ring is
+    // one acquire load of the head cell, exactly what an "anything
+    // posted?" flag would cost — and a flag would reintroduce the
+    // Dekker-style store->load race the old mutex mailbox was
+    // implicitly immune to (the consumer's flag-clear could reorder
+    // after its ring probes and overwrite a producer's set, stranding
+    // a published wake behind a false flag). MpscRing is itself
+    // cache-line partitioned, and its alignment starts a fresh line
+    // here, so posts touch no line the lines above care about.
+    common::MpscRing<WakeEntry> mailbox_{kMailboxCapacity};
+    /// The overflow list is non-empty. Sound as a gate — unlike a
+    /// ring flag — because both sides take overflow_mx_: a producer
+    /// that appends after the consumer's swap acquired the mutex
+    /// after it, so its flag-set happens-after the consumer's
+    /// clear-before-lock and always survives.
+    std::atomic<bool> overflow_any_{false};
+    mutable std::mutex overflow_mx_;
+    std::vector<WakeEntry> overflow_;
 };
 
 /** Engine run parameters (policy-independent). */
@@ -319,7 +358,7 @@ struct EngineOptions
     /**
      * Batch cross-shard flit handoff per window: pushes into another
      * shard's buffers are staged producer-side and published once per
-     * rendezvous (one lock acquisition per buffer per window) instead
+     * rendezvous (one release store per buffer per window) instead
      * of per push. Bitwise-neutral for lockstep windows of any length
      * (staged flits are additionally published at each intra-window
      * cycle barrier, where an unbatched push would first become

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "common/log.h"
+#include "common/ring.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/types.h"
@@ -166,9 +167,9 @@ class Tile : public Wakeable
     void
     invalidate_aggregates() const
     {
-        busy_valid_.store(false, std::memory_order_release);
-        next_valid_.store(false, std::memory_order_release);
-        done_valid_.store(false, std::memory_order_release);
+        valid_.busy.store(false, std::memory_order_release);
+        valid_.next.store(false, std::memory_order_release);
+        valid_.done.store(false, std::memory_order_release);
     }
 
     /** Attach this tile's router (wired by System). */
@@ -261,7 +262,7 @@ class Tile : public Wakeable
     bool
     busy() const
     {
-        if (busy_valid_.load(std::memory_order_acquire))
+        if (valid_.busy.load(std::memory_order_acquire))
             return busy_cache_;
         if (order_dirty_)
             rebuild_order();
@@ -273,7 +274,7 @@ class Tile : public Wakeable
             }
         }
         busy_cache_ = b;
-        busy_valid_.store(true, std::memory_order_release);
+        valid_.busy.store(true, std::memory_order_release);
         return b;
     }
 
@@ -283,7 +284,7 @@ class Tile : public Wakeable
     Cycle
     next_event() const
     {
-        if (next_valid_.load(std::memory_order_acquire))
+        if (valid_.next.load(std::memory_order_acquire))
             return next_cache_;
         if (order_dirty_)
             rebuild_order();
@@ -294,7 +295,7 @@ class Tile : public Wakeable
                 best = e;
         }
         next_cache_ = best;
-        next_valid_.store(true, std::memory_order_release);
+        valid_.next.store(true, std::memory_order_release);
         return best;
     }
 
@@ -312,7 +313,7 @@ class Tile : public Wakeable
     bool
     done() const
     {
-        if (done_valid_.load(std::memory_order_acquire))
+        if (valid_.done.load(std::memory_order_acquire))
             return done_cache_;
         if (order_dirty_)
             rebuild_order();
@@ -324,7 +325,7 @@ class Tile : public Wakeable
             }
         }
         done_cache_ = d;
-        done_valid_.store(true, std::memory_order_release);
+        valid_.done.store(true, std::memory_order_release);
         return d;
     }
 
@@ -368,11 +369,22 @@ class Tile : public Wakeable
     mutable bool order_dirty_ = true;
     Cycle now_ = 0;
 
-    // Cached aggregate folds (see busy()); values are owner-thread
-    // private, validity flags may be cleared by producer threads.
-    mutable std::atomic<bool> busy_valid_{false};
-    mutable std::atomic<bool> next_valid_{false};
-    mutable std::atomic<bool> done_valid_{false};
+    /**
+     * Validity flags of the cached aggregate folds. These are the only
+     * tile state written by *other* threads (invalidate_aggregates via
+     * notify_activity, on a producer's push), so they live on their
+     * own cache line: a cross-shard push must invalidate the cache
+     * flags, not evict the owner's adjacent hot state (clock, tick
+     * orders, the cached fold values themselves).
+     */
+    struct alignas(common::kCacheLineSize) AggregateValidity
+    {
+        std::atomic<bool> busy{false};
+        std::atomic<bool> next{false};
+        std::atomic<bool> done{false};
+    };
+    mutable AggregateValidity valid_;
+    // Cached aggregate folds (see busy()); owner-thread private.
     mutable bool busy_cache_ = false;
     mutable Cycle next_cache_ = kNoEvent;
     mutable bool done_cache_ = false;

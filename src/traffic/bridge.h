@@ -35,6 +35,7 @@ namespace hornet::traffic {
 /** A fully received packet. */
 struct RxPacket
 {
+    /** The reassembled packet's descriptor. */
     net::PacketDesc desc;
     /** In-network latency of the tail flit, cycles. */
     std::uint64_t latency = 0;
@@ -67,6 +68,8 @@ struct BridgeConfig
 class Bridge
 {
   public:
+    /** Attach to @p router's CPU port, drawing VC choices from
+     *  @p rng and reporting into @p stats (neither owned). */
     Bridge(net::Router *router, Rng *rng, TileStats *stats,
            const BridgeConfig &cfg);
 

@@ -24,6 +24,12 @@
 #include "common/rng.h"
 #include "common/types.h"
 
+/**
+ * @namespace hornet::traffic
+ * The traffic layer: packet bridges between cores/injectors and the
+ * network (paper II-D), synthetic-pattern and trace-driven frontends,
+ * flow-id conventions, and config-driven system construction.
+ */
 namespace hornet::traffic {
 
 /** Maps a source node to a destination node. */

@@ -28,6 +28,7 @@ namespace hornet::traffic {
 /** Synthetic injector configuration. */
 struct SyntheticConfig
 {
+    /** Destination pattern drawn at each injection (Table I). */
     Pattern pattern;
     /** Packet length in flits (paper Table I: avg 8). */
     std::uint32_t packet_size = 8;
@@ -41,6 +42,7 @@ struct SyntheticConfig
     Cycle phase = 0;
     /** Stop offering new packets at this cycle (0 = never). */
     Cycle stop_at = 0;
+    /** Configuration of the underlying packet bridge. */
     BridgeConfig bridge;
 };
 
@@ -51,14 +53,23 @@ struct SyntheticConfig
 class SyntheticInjector : public sim::Frontend
 {
   public:
+    /** Attach to @p tile (whose PRNG drives the draws) with @p cfg. */
     SyntheticInjector(sim::Tile &tile, const SyntheticConfig &cfg);
 
+    /** Offer due packets and pump the bridge (Clocked). */
     void posedge(Cycle now) override;
+    /** Commit the bridge's ejection pops (Clocked). */
     void negedge(Cycle now) override;
+    /** Nothing queued or in flight and no draw pending now. */
     bool idle(Cycle now) const override;
+    /** Next injection draw — or stop_at, so completion is announced
+     *  through the wake seam (docs/ENGINE.md, the wake-seam
+     *  contract). */
     Cycle next_event(Cycle now) const override;
+    /** Injection finished (stop_at passed) and everything drained. */
     bool done(Cycle now) const override;
 
+    /** The underlying packet bridge (statistics / tests). */
     const Bridge &bridge() const { return *bridge_; }
 
   private:

@@ -31,10 +31,15 @@ namespace hornet::traffic {
 /** One trace injection event. */
 struct TraceEvent
 {
+    /** Injection cycle (first firing for periodic events). */
     Cycle cycle = 0;
+    /** Flow the packet belongs to. */
     FlowId flow = 0;
+    /** Injecting node. */
     NodeId src = kInvalidNode;
+    /** Destination node. */
     NodeId dst = kInvalidNode;
+    /** Packet size in flits. */
     std::uint32_t size = 1;
     /** Repeat period; 0 = one-shot. */
     Cycle period = 0;
@@ -44,7 +49,9 @@ struct TraceEvent
 
 /** Parse a trace from text. fatal() on malformed lines. */
 std::vector<TraceEvent> parse_trace(std::istream &in);
+/** Parse a trace held in a string (parse_trace on a string stream). */
 std::vector<TraceEvent> parse_trace_string(const std::string &text);
+/** Load and parse a trace file. fatal() when unreadable. */
 std::vector<TraceEvent> load_trace_file(const std::string &path);
 
 /** Serialize events to the text format. */
@@ -61,15 +68,23 @@ std::vector<net::FlowSpec> flows_from_trace(
 class TraceInjector : public sim::Frontend
 {
   public:
+    /** Attach to @p tile and schedule @p events (all src == tile id;
+     *  @p bridge_cfg configures the packet bridge). */
     TraceInjector(sim::Tile &tile, std::vector<TraceEvent> events,
                   const BridgeConfig &bridge_cfg = {});
 
+    /** Offer events due at @p now and pump the bridge (Clocked). */
     void posedge(Cycle now) override;
+    /** Commit the bridge's ejection pops (Clocked). */
     void negedge(Cycle now) override;
+    /** No event due and nothing queued or in flight. */
     bool idle(Cycle now) const override;
+    /** Cycle of the earliest unfired event (wake-seam contract). */
     Cycle next_event(Cycle now) const override;
+    /** Every event fired and everything drained. */
     bool done(Cycle now) const override;
 
+    /** The underlying packet bridge (statistics / tests). */
     const Bridge &bridge() const { return *bridge_; }
 
   private:
