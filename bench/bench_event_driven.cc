@@ -134,6 +134,34 @@ cross_thread_row(std::uint32_t side, double rate, Cycle cycles,
     report.lower_is_better(name, poll.wall_s);
 }
 
+/**
+ * Giant-mesh footprint row (ISSUE 6): bytes of construction-arena
+ * storage per tile, from SystemStats. Deterministic — it measures the
+ * layout, not the clock — so the regression gate holds it exactly.
+ * One placement group pins the number regardless of the host's core
+ * count (per-group chunk rounding would otherwise vary it).
+ */
+void
+footprint_row(std::uint32_t side)
+{
+    net::Topology topo = net::Topology::mesh2d(side, side);
+    sim::SystemLayout layout;
+    layout.placement_groups = 1;
+    layout.pin = common::PinMode::None;
+    sim::System sys(topo, {}, /*seed=*/1, layout);
+    const SystemStats stats = sys.collect_stats();
+    std::printf("# %ux%u arena footprint: %.0f bytes/tile "
+                "(%llu used, %llu reserved)\n",
+                side, side, stats.arena_bytes_per_tile,
+                static_cast<unsigned long long>(stats.arena_bytes_used),
+                static_cast<unsigned long long>(
+                    stats.arena_bytes_reserved));
+    char name[96];
+    std::snprintf(name, sizeof name, "%ux%u_arena_bytes_per_tile",
+                  side, side);
+    report.lower_is_better(name, stats.arena_bytes_per_tile);
+}
+
 } // namespace
 
 int
@@ -172,6 +200,20 @@ main(int argc, char **argv)
     // trace-replay-with-idle-gaps case named in the issue.
     if (!cli.quick)
         sweep_row(16, "bitcomp", 0.0, /*burst_period=*/4000, 40000);
+
+    // Giant meshes (ISSUE 6): the arena-backed layout's target. Rows
+    // use the O(N)-flow shuffle pattern — all-pairs flow tables are
+    // quadratic in nodes and would swamp construction at this size —
+    // at a low rate where the event scheduler's O(active) cycles and
+    // the packed per-shard slabs both matter. The bytes/tile rows pin
+    // the construction footprint itself (deterministic, gated
+    // exactly).
+    for (std::uint32_t side : {32u, 64u}) {
+        const Cycle cycles = cli.quick ? (side == 32 ? 1500 : 400)
+                                       : (side == 32 ? 3000 : 1000);
+        sweep_row(side, "shuffle", 0.02, /*burst_period=*/0, cycles);
+        footprint_row(side);
+    }
 
     // Cross-thread lockstep: the wake-mailbox hand-off (see above).
     // The expected delivered count pins bitwise identity — it must

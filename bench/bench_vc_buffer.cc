@@ -209,6 +209,45 @@ main(int argc, char **argv)
         }
     }
 
+    // ------------------------------------------------------------------
+    // Giant meshes (ISSUE 6): single-thread lockstep on 32x32 and
+    // 64x64, where the arena layout packs every tile's rings and flow
+    // tables back to back — these rows move when the per-flit memory
+    // path changes. Shuffle keeps the flow tables O(N); all-pairs
+    // would be quadratic in nodes at this size.
+    // ------------------------------------------------------------------
+    std::printf("mesh,wall_s,flits_delivered\n");
+    for (std::uint32_t side : {32u, 64u}) {
+        const net::Topology big = net::Topology::mesh2d(side, side);
+        const Cycle cycles = cli.quick ? (side == 32 ? 800 : 250)
+                                       : (side == 32 ? 1600 : 500);
+        struct MeshSample
+        {
+            double wall_s;
+            std::uint64_t delivered;
+        };
+        const MeshSample m = benchutil::best_of_3(
+            [&] {
+                auto sys = benchutil::make_synthetic(
+                    big, cfg, "shuffle", 0.05, 4, 42, "xy");
+                sim::RunOptions ro;
+                ro.max_cycles = cycles;
+                ro.threads = 1;
+                ro.sync_period = 1;
+                const double s =
+                    benchutil::wall_seconds([&] { sys->run(ro); });
+                return MeshSample{
+                    s, sys->collect_stats().total.flits_delivered};
+            },
+            [](const MeshSample &r) { return -r.wall_s; });
+        std::printf("%ux%u,%.2f,%llu\n", side, side, m.wall_s,
+                    static_cast<unsigned long long>(m.delivered));
+        std::fflush(stdout);
+        char name[64];
+        std::snprintf(name, sizeof name, "mesh%u_t1_p1_wall_s", side);
+        report.lower_is_better(name, m.wall_s);
+    }
+
     report.write_if_requested(cli);
     return 0;
 }

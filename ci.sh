@@ -91,16 +91,23 @@ for schedule in poll event; do
              ctest --output-on-failure --no-tests=error -j "$JOBS")
 done
 
+# Giant-mesh smoke: a 64x64 (4096-tile) system must construct into the
+# per-group arenas and run under both shard schedulers with matching
+# results (docs/ENGINE.md, "Memory layout"). Named so a failure at
+# this scale is unmistakable in the log.
+echo "== 64x64 giant-mesh smoke (arena layout, both schedulers) =="
+./build/test_big_mesh --gtest_filter='BigMesh.Mesh64*'
+
 if command -v doxygen > /dev/null 2>&1; then
-    echo "== doxygen (API docs; src/sim, src/net, src/mem and src/traffic must be fully documented) =="
+    echo "== doxygen (API docs; src/common, src/sim, src/net, src/mem and src/traffic must be fully documented) =="
     mkdir -p build
     doxygen docs/Doxyfile 2> build/doxygen-warnings.log || {
         cat build/doxygen-warnings.log
         echo "doxygen failed"
         exit 1
     }
-    if grep -E "src/(sim|net|mem|traffic)/" build/doxygen-warnings.log; then
-        echo "undocumented public symbols (or doc errors) in src/sim/, src/net/, src/mem/ or src/traffic/"
+    if grep -E "src/(common|sim|net|mem|traffic)/" build/doxygen-warnings.log; then
+        echo "undocumented public symbols (or doc errors) in src/common/, src/sim/, src/net/, src/mem/ or src/traffic/"
         exit 1
     fi
 else

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Memory-footprint study for giant meshes (docs/BENCHMARKS.md, "Giant
+ * meshes: the arena-backed layout"): whole-process heap growth and
+ * wall time across System construction at 16x16 / 32x32 / 64x64,
+ * followed by a short run, plus the arena-internal view from
+ * SystemStats. This is the harness behind the before/after table —
+ * run it on the pre-arena tree and on this one to reproduce it.
+ *
+ * The heap numbers come from mallinfo2 (glibc); on other platforms
+ * the harness still runs but reports zero heap growth.
+ */
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
+#include "net/routing/builders.h"
+#include "net/topology.h"
+#include "sim/system.h"
+#include "traffic/flows.h"
+#include "traffic/patterns.h"
+#include "traffic/synthetic.h"
+
+using namespace hornet;
+
+namespace {
+
+/** Current malloc'd bytes (main arena + mmapped blocks); 0 when the
+ *  platform offers no mallinfo2. */
+std::size_t
+heap_bytes()
+{
+#if defined(__GLIBC__)
+    struct mallinfo2 mi = mallinfo2();
+    return mi.uordblks + mi.hblkhd;
+#else
+    return 0;
+#endif
+}
+
+} // namespace
+
+int
+main()
+{
+    for (std::uint32_t side : {16u, 32u, 64u}) {
+        const std::size_t before = heap_bytes();
+        auto t0 = std::chrono::steady_clock::now();
+        net::Topology topo = net::Topology::mesh2d(side, side);
+        auto sys = std::make_unique<sim::System>(
+            topo, net::NetworkConfig{}, /*seed=*/17);
+        // Shuffle keeps the flow tables O(N); all-pairs would make
+        // flow-table construction, not the mesh, the thing measured.
+        auto pattern =
+            traffic::pattern_by_name("shuffle", topo.num_nodes());
+        auto flows =
+            traffic::flows_for_pattern(topo.num_nodes(), pattern);
+        net::routing::build_xy(sys->network(), flows);
+        for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+            traffic::SyntheticConfig sc;
+            sc.pattern = pattern;
+            sc.packet_size = 8;
+            sc.rate = 0.02;
+            sys->add_frontend(
+                n, std::make_unique<traffic::SyntheticInjector>(
+                       sys->tile(n), sc));
+        }
+        auto t1 = std::chrono::steady_clock::now();
+        const std::size_t after = heap_bytes();
+        const double ctor_s =
+            std::chrono::duration<double>(t1 - t0).count();
+        const std::size_t n = topo.num_nodes();
+        std::printf(
+            "%ux%u: ctor %.3f s, heap %.1f MiB, %.0f bytes/tile\n",
+            side, side, ctor_s, (after - before) / 1048576.0,
+            static_cast<double>(after - before) / n);
+
+        // Short run to confirm it simulates, and time 200 cycles.
+        auto r0 = std::chrono::steady_clock::now();
+        sim::RunOptions ro;
+        ro.max_cycles = 200;
+        sys->run(ro);
+        auto r1 = std::chrono::steady_clock::now();
+        const SystemStats stats = sys->collect_stats();
+        std::printf("  200 cycles: %.3f s, delivered %llu\n",
+                    std::chrono::duration<double>(r1 - r0).count(),
+                    static_cast<unsigned long long>(
+                        stats.total.flits_delivered));
+        // The arena-internal view: only the simulated hardware
+        // (tiles/routers/links/VC buffers), no routing tables or
+        // frontends. Zero on a pre-arena tree.
+        if (stats.arena_bytes_used != 0)
+            std::printf("  arena: %.0f bytes/tile (%llu used, "
+                        "%llu reserved, %zu groups)\n",
+                        stats.arena_bytes_per_tile,
+                        static_cast<unsigned long long>(
+                            stats.arena_bytes_used),
+                        static_cast<unsigned long long>(
+                            stats.arena_bytes_reserved),
+                        stats.arena_per_group.size());
+    }
+    return 0;
+}

@@ -3,7 +3,7 @@
 
 Usage:
   check_bench_regression.py BASELINE.json CURRENT.json
-      [--threshold 0.15] [--warn-only]
+      [--threshold 0.15] [--warn-only] [--update]
 
 Each report is the JSON written by bench_util.h's JsonReport:
 
@@ -19,13 +19,21 @@ missing from the current report fail too — a renamed row must be
 renamed in the baseline, not silently dropped. New rows are reported
 but never fail: they have no baseline yet.
 
-Exit status: 0 when clean (or --warn-only), 1 on regression, 2 on
-malformed input. --warn-only is for shared CI runners whose timing
-jitter makes a hard gate flaky; local runs (./ci.sh --bench) hard-gate.
+With --update the comparison is skipped: CURRENT is validated (same
+schema checks as a comparison run) and then copied verbatim over
+BASELINE, creating it if absent. This is how new rows get their first
+baseline and how an intentional perf change is blessed — rerun the
+bench, eyeball the numbers, then --update.
+
+Exit status: 0 when clean (or --warn-only, or --update), 1 on
+regression, 2 on malformed input. --warn-only is for shared CI runners
+whose timing jitter makes a hard gate flaky; local runs
+(./ci.sh --bench) hard-gate.
 """
 
 import argparse
 import json
+import shutil
 import sys
 
 
@@ -62,7 +70,18 @@ def main():
     ap.add_argument("--warn-only", action="store_true",
                     help="report regressions but exit 0 "
                          "(shared/noisy runners)")
+    ap.add_argument("--update", action="store_true",
+                    help="validate CURRENT and copy it over BASELINE "
+                         "instead of comparing (blesses new rows and "
+                         "intentional perf changes)")
     args = ap.parse_args()
+
+    if args.update:
+        bench, cur_mode, cur = load_rows(args.current)
+        shutil.copyfile(args.current, args.baseline)
+        print(f"baseline updated: {args.baseline} <- {args.current} "
+              f"({bench}, {cur_mode}, {len(cur)} rows)")
+        return 0
 
     bench, base_mode, base = load_rows(args.baseline)
     _, cur_mode, cur = load_rows(args.current)

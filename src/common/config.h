@@ -25,6 +25,7 @@ namespace hornet {
 class Config
 {
   public:
+    /** Empty config; every getter returns its default. */
     Config() = default;
 
     /** Parse INI-style text: [section] headers, key = value lines,
@@ -36,21 +37,31 @@ class Config
 
     /** Set (or overwrite) a value. */
     void set(const std::string &key, const std::string &value);
+    /** Set (or overwrite) an integer value. */
     void set(const std::string &key, std::int64_t value);
+    /** Set (or overwrite) a floating-point value. */
     void set(const std::string &key, double value);
+    /** Set (or overwrite) a boolean value ("true"/"false"). */
     void set(const std::string &key, bool value);
 
     /** True when @p key is present. */
     bool has(const std::string &key) const;
 
+    /** String value of @p key, or @p def when absent. */
     std::string get_string(const std::string &key,
                            const std::string &def) const;
+    /** Integer value of @p key, or @p def when absent. */
     std::int64_t get_int(const std::string &key, std::int64_t def) const;
+    /** Floating-point value of @p key, or @p def when absent. */
     double get_double(const std::string &key, double def) const;
+    /** Boolean value of @p key, or @p def when absent. */
     bool get_bool(const std::string &key, bool def) const;
 
+    /** String value of @p key; fatal() when absent. */
     std::string require_string(const std::string &key) const;
+    /** Integer value of @p key; fatal() when absent. */
     std::int64_t require_int(const std::string &key) const;
+    /** Floating-point value of @p key; fatal() when absent. */
     double require_double(const std::string &key) const;
 
     /** Parse a comma-separated integer list, e.g. "0,7,56,63". */

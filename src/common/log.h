@@ -42,10 +42,13 @@ void warn(const std::string &msg);
  */
 [[noreturn]] void panic(const std::string &msg);
 
+/** Implementation details of strcat(); not part of the public API. */
 namespace detail {
 
+/** Recursion terminator for format_into. */
 inline void format_into(std::ostringstream &) {}
 
+/** Stream @p v and the remaining pieces into @p os, in order. */
 template <typename T, typename... Rest>
 void
 format_into(std::ostringstream &os, const T &v, const Rest &...rest)

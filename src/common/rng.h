@@ -26,6 +26,7 @@ namespace hornet {
 class Rng
 {
   public:
+    /** UniformRandomBitGenerator draw type. */
     using result_type = std::uint64_t;
 
     /** Construct from a 64-bit seed via splitmix64 expansion. */
@@ -45,7 +46,9 @@ class Rng
         }
     }
 
+    /** Smallest possible draw (UniformRandomBitGenerator). */
     static constexpr result_type min() { return 0; }
+    /** Largest possible draw (UniformRandomBitGenerator). */
     static constexpr result_type max() { return ~result_type{0}; }
 
     /** Next raw 64-bit draw. */

@@ -61,6 +61,12 @@ SystemStats::summary() const
            << 100.0 * skipped_frac << "%)"
            << " ff cycles skipped=" << ff_skipped_cycles;
     }
+    if (arena_bytes_used != 0) {
+        os << " arena bytes used=" << arena_bytes_used
+           << " reserved=" << arena_bytes_reserved << " ("
+           << arena_per_group.size() << " groups, "
+           << arena_bytes_per_tile << " bytes/tile)";
+    }
     return os.str();
 }
 

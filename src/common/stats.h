@@ -24,6 +24,7 @@ namespace hornet {
 class RunningStat
 {
   public:
+    /** Record one sample. */
     void
     add(double x)
     {
@@ -36,6 +37,7 @@ class RunningStat
             max_ = x;
     }
 
+    /** Accumulate all of @p o's samples into this accumulator. */
     void
     merge(const RunningStat &o)
     {
@@ -54,10 +56,15 @@ class RunningStat
             max_ = o.max_;
     }
 
+    /** Number of samples recorded. */
     std::uint64_t count() const { return count_; }
+    /** Sum of all samples. */
     double sum() const { return sum_; }
+    /** Mean sample (0 when empty). */
     double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    /** Smallest sample (0 when empty). */
     double min() const { return count_ ? min_ : 0.0; }
+    /** Largest sample (0 when empty). */
     double max() const { return count_ ? max_ : 0.0; }
 
     /** Population variance. */
@@ -90,6 +97,7 @@ class Histogram
         : width_(bucket_width), buckets_(num_buckets, 0), overflow_(0)
     {}
 
+    /** Record one sample into its bucket (or the overflow bucket). */
     void
     add(double x)
     {
@@ -115,6 +123,7 @@ class Histogram
         overflow_ += o.overflow_;
     }
 
+    /** Total sample count across all buckets plus overflow. */
     std::uint64_t
     total() const
     {
@@ -127,8 +136,11 @@ class Histogram
     /** Approximate p-th percentile (p in [0,1]) from bucket midpoints. */
     double percentile(double p) const;
 
+    /** Per-bucket sample counts. */
     const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+    /** Samples beyond the last bucket. */
     std::uint64_t overflow() const { return overflow_; }
+    /** Width of each bucket. */
     double bucket_width() const { return width_; }
 
   private:
@@ -148,38 +160,40 @@ class Histogram
 struct TileStats
 {
     // Traffic.
-    std::uint64_t flits_injected = 0;
-    std::uint64_t flits_delivered = 0;
-    std::uint64_t packets_injected = 0;
-    std::uint64_t packets_delivered = 0;
+    std::uint64_t flits_injected = 0;    ///< Flits entering at this tile.
+    std::uint64_t flits_delivered = 0;   ///< Flits ejected at this tile.
+    std::uint64_t packets_injected = 0;  ///< Packets entering here.
+    std::uint64_t packets_delivered = 0; ///< Packets ejected here.
 
     // Router activity (power-model inputs).
-    std::uint64_t buffer_writes = 0;
-    std::uint64_t buffer_reads = 0;
-    std::uint64_t xbar_transits = 0;
-    std::uint64_t link_transits = 0;
-    std::uint64_t va_grants = 0;
-    std::uint64_t sa_grants = 0;
+    std::uint64_t buffer_writes = 0; ///< VC-buffer write events.
+    std::uint64_t buffer_reads = 0;  ///< VC-buffer read events.
+    std::uint64_t xbar_transits = 0; ///< Crossbar traversals.
+    std::uint64_t link_transits = 0; ///< Link traversals.
+    std::uint64_t va_grants = 0;     ///< VC-allocation grants.
+    std::uint64_t sa_grants = 0;     ///< Switch-allocation grants.
 
     // Stalls (diagnostics).
-    std::uint64_t va_stalls = 0;
-    std::uint64_t sa_stalls = 0;
-    std::uint64_t credit_stalls = 0;
+    std::uint64_t va_stalls = 0;     ///< VC-allocation stalls.
+    std::uint64_t sa_stalls = 0;     ///< Switch-allocation stalls.
+    std::uint64_t credit_stalls = 0; ///< Pushes blocked on credits.
 
     // Delivered-traffic latency, measured in cycles carried by the flit.
-    RunningStat flit_latency;
-    RunningStat packet_latency;
+    RunningStat flit_latency;   ///< Per-flit delivery latency.
+    RunningStat packet_latency; ///< Per-packet delivery latency.
+    /** Packet-latency distribution (fixed 8-cycle buckets). */
     Histogram packet_latency_hist{128, 8.0};
 
+    /** Accumulate @p o's counters and latency samples into this. */
     void merge(const TileStats &o);
 };
 
 /** Per-flow delivery statistics (for fairness / starvation analysis). */
 struct FlowStats
 {
-    std::uint64_t packets_delivered = 0;
-    std::uint64_t flits_delivered = 0;
-    RunningStat packet_latency;
+    std::uint64_t packets_delivered = 0; ///< Packets delivered.
+    std::uint64_t flits_delivered = 0;   ///< Flits delivered.
+    RunningStat packet_latency;          ///< Per-packet latency.
 };
 
 /** Whole-system statistics snapshot, merged from tiles at report time. */
@@ -205,6 +219,32 @@ struct SystemStats
      *  per-tile sleep. */
     std::uint64_t tile_cycles_skipped = 0;
 
+    // Memory-footprint counters (filled by sim::System::collect_stats;
+    // zero for snapshots not taken from a System). They cover the
+    // construction arenas — the slabs holding tiles, routers, links
+    // and VC buffers — not heap-side state such as routing tables or
+    // frontends: the footprint counterpart to the scheduling counters
+    // above.
+
+    /** Arena footprint of one placement group (one slab set). */
+    struct ArenaGroupStats
+    {
+        /** Payload bytes of all chunks the group's arena reserved. */
+        std::uint64_t bytes_reserved = 0;
+        /** Bytes actually carved out of those chunks. */
+        std::uint64_t bytes_used = 0;
+    };
+
+    /** Per-placement-group arena footprint (shard-level view when the
+     *  run's thread count matches the group count). */
+    std::vector<ArenaGroupStats> arena_per_group;
+    /** Total payload bytes reserved across all arenas. */
+    std::uint64_t arena_bytes_reserved = 0;
+    /** Total bytes carved across all arenas. */
+    std::uint64_t arena_bytes_used = 0;
+    /** arena_bytes_used / number of tiles (0 when unknown). */
+    double arena_bytes_per_tile = 0.0;
+
     /** Mean in-network latency of delivered packets, cycles. */
     double
     avg_packet_latency() const
@@ -212,6 +252,7 @@ struct SystemStats
         return total.packet_latency.mean();
     }
 
+    /** Mean in-network latency of delivered flits, cycles. */
     double
     avg_flit_latency() const
     {

@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/placement.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "net/link.h"
@@ -44,10 +45,16 @@ class Network
      *
      * @param rngs  one PRNG per node (owned by the caller's tiles)
      * @param stats one TileStats per node (owned by the caller's tiles)
+     * @param placement optional node-to-arena map: each node's router
+     *        (and its buffers) is placed into placement->of(node), and
+     *        construction runs per placement group — in parallel on
+     *        pinned threads when the map asks for it, for first-touch
+     *        NUMA locality. Null falls back to one private arena.
      */
     Network(const Topology &topo, const NetworkConfig &cfg,
             const std::vector<Rng *> &rngs,
-            const std::vector<TileStats *> &stats);
+            const std::vector<TileStats *> &stats,
+            const common::NodePlacement *placement = nullptr);
 
     /** The geometry this network was built on. */
     const Topology &topology() const { return topo_; }
@@ -76,8 +83,11 @@ class Network
   private:
     Topology topo_;
     NetworkConfig cfg_;
-    std::vector<std::unique_ptr<Router>> routers_;
-    std::vector<std::unique_ptr<BidirLink>> links_;
+    /// Fallback arena when no placement map was supplied; the routers
+    /// and links below live in it (or in the caller's arenas).
+    std::unique_ptr<common::Arena> own_arena_;
+    std::vector<Router *> routers_;
+    std::vector<BidirLink *> links_;
     std::vector<std::vector<BidirLink *>> owned_links_;
 };
 

@@ -7,7 +7,8 @@
 namespace hornet::net {
 
 Router::Router(NodeId id, const std::vector<NodeId> &neighbors,
-               const RouterConfig &cfg, Rng *rng, TileStats *stats)
+               const RouterConfig &cfg, Rng *rng, TileStats *stats,
+               common::Arena *arena)
     : id_(id), num_net_ports_(static_cast<std::uint32_t>(neighbors.size())),
       cfg_(cfg), rng_(rng), stats_(stats)
 {
@@ -15,13 +16,23 @@ Router::Router(NodeId id, const std::vector<NodeId> &neighbors,
         fatal("router requires rng and stats sinks");
     table_ = RoutingTable(id);
 
+    // The router's buffers and egress ports go back-to-back into the
+    // caller's arena, so all of one shard's hot flit storage ends up
+    // contiguous. Standalone routers fall back to a private arena (one
+    // router's worth of storage fits a small chunk).
+    if (arena == nullptr) {
+        own_arena_ = std::make_unique<common::Arena>(
+            std::size_t{64} * 1024);
+        arena = own_arena_.get();
+    }
+
     // Ingress ports: one per neighbor plus the CPU injection port.
     ingress_.resize(num_net_ports_ + 1);
     for (std::uint32_t p = 0; p < num_net_ports_; ++p) {
         ingress_[p].prev_node = neighbors[p];
         for (std::uint32_t v = 0; v < cfg_.net_vcs; ++v) {
             ingress_[p].vcs.push_back(
-                std::make_unique<VcBuffer>(cfg_.net_vc_capacity));
+                arena->make<VcBuffer>(cfg_.net_vc_capacity, arena));
         }
         ingress_[p].state.resize(cfg_.net_vcs);
     }
@@ -29,33 +40,34 @@ Router::Router(NodeId id, const std::vector<NodeId> &neighbors,
     cpu_in.prev_node = id_;
     for (std::uint32_t v = 0; v < cfg_.cpu_vcs; ++v) {
         cpu_in.vcs.push_back(
-            std::make_unique<VcBuffer>(cfg_.cpu_vc_capacity));
+            arena->make<VcBuffer>(cfg_.cpu_vc_capacity, arena));
     }
     cpu_in.state.resize(cfg_.cpu_vcs);
 
     // Egress ports: network ones are wired later via connect_egress;
     // the CPU egress drains into internally owned ejection buffers.
     for (std::uint32_t p = 0; p < num_net_ports_; ++p) {
-        auto ep = std::make_unique<EgressPort>();
+        EgressPort *ep = arena->make<EgressPort>();
         ep->next_node = neighbors[p];
         ep->bandwidth = cfg_.link_bandwidth;
         ep->bandwidth_next.store(cfg_.link_bandwidth,
                                  std::memory_order_relaxed);
-        egress_.push_back(std::move(ep));
+        egress_.push_back(ep);
     }
     for (std::uint32_t v = 0; v < cfg_.cpu_vcs; ++v)
-        ejection_.push_back(std::make_unique<VcBuffer>(cfg_.cpu_vc_capacity));
-    auto cpu_ep = std::make_unique<EgressPort>();
+        ejection_.push_back(
+            arena->make<VcBuffer>(cfg_.cpu_vc_capacity, arena));
+    EgressPort *cpu_ep = arena->make<EgressPort>();
     cpu_ep->next_node = id_;
     cpu_ep->is_cpu = true;
     cpu_ep->link_latency = 1;
     cpu_ep->bandwidth = cfg_.link_bandwidth;
     cpu_ep->bandwidth_next.store(cfg_.link_bandwidth,
                                  std::memory_order_relaxed);
-    for (auto &b : ejection_)
-        cpu_ep->downstream.push_back(b.get());
+    for (auto *b : ejection_)
+        cpu_ep->downstream.push_back(b);
     cpu_ep->vc_state.resize(cfg_.cpu_vcs);
-    egress_.push_back(std::move(cpu_ep));
+    egress_.push_back(cpu_ep);
 }
 
 void
@@ -86,8 +98,8 @@ std::vector<VcBuffer *>
 Router::ingress_buffers(PortId port)
 {
     std::vector<VcBuffer *> out;
-    for (auto &b : ingress_.at(port).vcs)
-        out.push_back(b.get());
+    for (auto *b : ingress_.at(port).vcs)
+        out.push_back(b);
     return out;
 }
 

@@ -28,6 +28,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/ring.h"
 #include "common/rng.h"
 #include "common/stats.h"
@@ -82,9 +83,15 @@ class Router : public sim::Clocked
      * @param cfg        hardware parameters
      * @param rng        tile-private PRNG (not owned)
      * @param stats      tile-private statistics sink (not owned)
+     * @param arena      arena the VC buffers and egress ports are
+     *                   placed into (not owned; must outlive the
+     *                   router). Null falls back to a private arena,
+     *                   so standalone construction (tests, micro
+     *                   benches) needs no placement plumbing.
      */
     Router(NodeId id, const std::vector<NodeId> &neighbors,
-           const RouterConfig &cfg, Rng *rng, TileStats *stats);
+           const RouterConfig &cfg, Rng *rng, TileStats *stats,
+           common::Arena *arena = nullptr);
 
     /** Node id of this router. */
     NodeId id() const { return id_; }
@@ -220,7 +227,7 @@ class Router : public sim::Clocked
     struct IngressPort
     {
         NodeId prev_node = kInvalidNode; ///< table key; == id_ for CPU port
-        std::vector<std::unique_ptr<VcBuffer>> vcs;
+        std::vector<VcBuffer *> vcs; ///< arena-placed (see ctor)
         std::vector<VcState> state;
     };
 
@@ -271,9 +278,13 @@ class Router : public sim::Clocked
     VcaTable vca_table_;
     std::unordered_map<FlowId, FlowStats> *flow_stats_ = nullptr;
 
+    /// Fallback arena when none was supplied (standalone routers);
+    /// the buffers/ports below are raw pointers into whichever arena
+    /// ended up backing this router.
+    std::unique_ptr<common::Arena> own_arena_;
     std::vector<IngressPort> ingress_;
-    std::vector<std::unique_ptr<EgressPort>> egress_;
-    std::vector<std::unique_ptr<VcBuffer>> ejection_;
+    std::vector<EgressPort *> egress_;
+    std::vector<VcBuffer *> ejection_;
 
     /** (port, vc) pairs whose ownership releases at the next negedge. */
     std::vector<std::pair<PortId, VcId>> pending_releases_;

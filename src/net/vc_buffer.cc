@@ -1,8 +1,74 @@
 #include "net/vc_buffer.h"
 
+#include <cstddef>
+#include <new>
+#include <type_traits>
+
+#include "common/arena.h"
 #include "common/log.h"
 
 namespace hornet::net {
+
+namespace {
+
+/// Round @p off up to @p align (a power of two).
+constexpr std::size_t
+align_up(std::size_t off, std::size_t align)
+{
+    return (off + align - 1) & ~(align - 1);
+}
+
+} // namespace
+
+// ----------------------------------------------------------------------
+// Slab carve: [flit ring][flow table][pending pops], packed — sections
+// are aligned only to their element type, never padded out to cache
+// lines (ISSUE 5 measured per-slot padding as a 2x wall-time loss).
+// Everything is bounded by capacity_ thanks to the credit discipline,
+// so the carve is sized once and never grows.
+// ----------------------------------------------------------------------
+
+VcBuffer::VcBuffer(std::uint32_t capacity, common::Arena *arena)
+    : capacity_(capacity ? capacity : 1)
+{
+    // Trivially destructible carves only: the slab is abandoned (arena)
+    // or freed as raw bytes (owned), never destructed element-wise.
+    static_assert(std::is_trivially_destructible_v<Flit>);
+    static_assert(std::is_trivially_destructible_v<FlowSlot>);
+    static_assert(std::is_trivially_destructible_v<FlowId>);
+
+    const std::size_t ring_bytes =
+        std::size_t{capacity_} * sizeof(Flit);
+    const std::size_t flow_off = align_up(ring_bytes, alignof(FlowSlot));
+    const std::size_t pend_off = align_up(
+        flow_off + std::size_t{capacity_} * sizeof(FlowSlot),
+        alignof(FlowId));
+    const std::size_t total =
+        pend_off + std::size_t{capacity_} * sizeof(FlowId);
+
+    std::byte *base;
+    if (arena != nullptr) {
+        base = static_cast<std::byte *>(
+            arena->allocate(total, alignof(Flit)));
+    } else {
+        owned_block_ = ::operator new(total);
+        base = static_cast<std::byte *>(owned_block_);
+    }
+    ring_ = reinterpret_cast<Flit *>(base);
+    flow_table_ = reinterpret_cast<FlowSlot *>(base + flow_off);
+    pending_pop_flows_ = reinterpret_cast<FlowId *>(base + pend_off);
+    for (std::uint32_t i = 0; i < capacity_; ++i) {
+        ::new (static_cast<void *>(ring_ + i)) Flit();
+        ::new (static_cast<void *>(flow_table_ + i)) FlowSlot();
+        ::new (static_cast<void *>(pending_pop_flows_ + i)) FlowId();
+    }
+}
+
+VcBuffer::~VcBuffer()
+{
+    if (owned_block_ != nullptr)
+        ::operator delete(owned_block_);
+}
 
 namespace {
 
@@ -85,12 +151,12 @@ VcBuffer::flow_add(FlowId flow)
         }
     }
 
-    std::size_t free_idx = flow_table_.size();
-    for (std::size_t i = 0; i < flow_table_.size(); ++i) {
+    std::size_t free_idx = capacity_;
+    for (std::size_t i = 0; i < capacity_; ++i) {
         FlowSlot &s = flow_table_[i];
         const std::uint32_t c = s.count.load(kAcquire<kLocal>);
         if (c == 0) {
-            if (free_idx == flow_table_.size())
+            if (free_idx == capacity_)
                 free_idx = i;
         } else if (s.flow.load(std::memory_order_relaxed) == flow) {
             charge<kLocal>(s.count, c);
@@ -102,7 +168,7 @@ VcBuffer::flow_add(FlowId flow)
     // so the free slot cannot be contended; the release on count
     // pairs with readers' acquire, making the flow-id store visible
     // before the claim is.
-    if (free_idx == flow_table_.size())
+    if (free_idx == capacity_)
         panic("VcBuffer flow table full: push without credit");
     flow_table_[free_idx].flow.store(flow, std::memory_order_relaxed);
     flow_table_[free_idx].count.store(1, kRelease<kLocal>);
@@ -123,7 +189,7 @@ VcBuffer::flow_remove(FlowId flow)
         }
     }
 
-    for (std::size_t i = 0; i < flow_table_.size(); ++i) {
+    for (std::size_t i = 0; i < capacity_; ++i) {
         FlowSlot &s = flow_table_[i];
         const std::uint32_t c = s.count.load(kAcquire<kLocal>);
         if (c != 0 && s.flow.load(std::memory_order_relaxed) == flow) {
@@ -148,16 +214,15 @@ VcBuffer::push_impl(const Flit &f)
     // engine flushes. The overflow checks come first: a rejected push
     // must leave every view untouched.
     if (batched_) {
-        if (staged_.size() + (pushed_.load(std::memory_order_relaxed) -
-                              popped_actual_.load(kAcquire<kLocal>)) >=
+        if (staged_size_ + (pushed_.load(std::memory_order_relaxed) -
+                            popped_actual_.load(kAcquire<kLocal>)) >=
             capacity_)
             panic("VcBuffer overflow: staged push without credit");
         flow_add<kLocal>(f.flow);
-        staged_.push_back(f);
+        staged_[staged_size_++] = f;
         if (f.arrival_cycle < staged_min_arrival_)
             staged_min_arrival_ = f.arrival_cycle;
-        staged_count_.store(static_cast<std::uint32_t>(staged_.size()),
-                            kRelease<kLocal>);
+        staged_count_.store(staged_size_, kRelease<kLocal>);
         // No wake yet: a staged flit is invisible to the consumer
         // until flush_staged() publishes it.
         return;
@@ -172,7 +237,7 @@ VcBuffer::push_impl(const Flit &f)
     // so the target slot is free.
     if (seq - popped_actual_.load(kAcquire<kLocal>) >= capacity_)
         panic("VcBuffer overflow: producer pushed without credit");
-    ring_[seq % capacity_].flit = f;
+    ring_[seq % capacity_] = f;
     flow_add<kLocal>(f.flow);
     // Release-publish: the consumer's acquire of pushed_ makes the
     // slot write (and the flow-table charge) visible with it.
@@ -192,6 +257,12 @@ VcBuffer::set_batched(bool on)
 {
     if (batched_ && !on)
         flush_staged();
+    // The window array is lazily allocated on the first enable so the
+    // vast majority of buffers — same-shard ones never batch — don't
+    // carry it. This is a cold path (called at run setup/teardown by
+    // the engine, never per cycle), so a heap allocation is fine.
+    if (on && staged_ == nullptr)
+        staged_ = std::make_unique<Flit[]>(capacity_);
     batched_ = on;
 }
 
@@ -200,14 +271,14 @@ std::uint32_t
 VcBuffer::flush_impl()
 {
     std::uint64_t seq = pushed_.load(std::memory_order_relaxed);
-    for (const Flit &f : staged_) {
+    for (std::uint32_t i = 0; i < staged_size_; ++i) {
         if (seq - popped_actual_.load(kAcquire<kLocal>) >= capacity_)
             panic("VcBuffer overflow: batched flush exceeds capacity");
-        ring_[seq % capacity_].flit = f;
+        ring_[seq % capacity_] = staged_[i];
         ++seq;
     }
-    const std::uint32_t n = static_cast<std::uint32_t>(staged_.size());
-    staged_.clear();
+    const std::uint32_t n = staged_size_;
+    staged_size_ = 0;
     // Publish to the ring *before* zeroing the staged count: a
     // concurrent credit reader may double-count flits during the
     // overlap (conservative), but can never miss them (a credit
@@ -220,7 +291,7 @@ VcBuffer::flush_impl()
 std::uint32_t
 VcBuffer::flush_staged()
 {
-    if (staged_.empty())
+    if (staged_size_ == 0)
         return 0;
     const std::uint32_t n = local_ ? flush_impl<true>() : flush_impl<false>();
     const Cycle earliest = staged_min_arrival_;
@@ -241,7 +312,7 @@ VcBuffer::front_impl(Cycle now) const
         popped_actual_.load(std::memory_order_relaxed);
     if (head == pushed_.load(kAcquire<kLocal>))
         return std::nullopt;
-    const Flit &f = ring_[head % capacity_].flit;
+    const Flit &f = ring_[head % capacity_];
     if (f.arrival_cycle > now)
         return std::nullopt;
     return f;
@@ -261,8 +332,14 @@ VcBuffer::pop_impl()
         popped_actual_.load(std::memory_order_relaxed);
     if (head == pushed_.load(kAcquire<kLocal>))
         panic("VcBuffer underflow: pop from empty buffer");
-    Flit f = ring_[head % capacity_].flit;
-    pending_pop_flows_.push_back(f.flow);
+    Flit f = ring_[head % capacity_];
+    // The pending-pop carve has exactly capacity_ slots: enough for
+    // any consumer that lets the producer's credit view govern pushes
+    // (pending pops <= pushed - committed <= capacity). Overflow means
+    // the credit discipline was violated upstream.
+    if (pending_pop_count_ >= capacity_)
+        panic("VcBuffer pending-pop overflow: pops outran credit");
+    pending_pop_flows_[pending_pop_count_++] = f.flow;
     // Release-free the slot: the producer's acquire of popped_actual_
     // guarantees our read of the slot completed before it rewrites it.
     popped_actual_.store(head + 1, kRelease<kLocal>);
@@ -279,9 +356,9 @@ template <bool kLocal>
 void
 VcBuffer::commit_impl()
 {
-    for (FlowId flow : pending_pop_flows_)
-        flow_remove<kLocal>(flow);
-    pending_pop_flows_.clear();
+    for (std::uint32_t i = 0; i < pending_pop_count_; ++i)
+        flow_remove<kLocal>(pending_pop_flows_[i]);
+    pending_pop_count_ = 0;
     // Credit release, after the flow discharges: a producer that
     // acquires the new committed count also sees the matching flow
     // table state (EDVCA view consistent with the credit view).
@@ -292,7 +369,7 @@ VcBuffer::commit_impl()
 void
 VcBuffer::commit_negedge()
 {
-    if (pending_pop_flows_.empty())
+    if (pending_pop_count_ == 0)
         return;
     local_ ? commit_impl<true>() : commit_impl<false>();
 }
@@ -300,7 +377,8 @@ VcBuffer::commit_negedge()
 bool
 VcBuffer::exclusively_holds(FlowId flow) const
 {
-    for (const FlowSlot &s : flow_table_) {
+    for (std::uint32_t i = 0; i < capacity_; ++i) {
+        const FlowSlot &s = flow_table_[i];
         if (s.count.load(std::memory_order_acquire) != 0 &&
             s.flow.load(std::memory_order_relaxed) != flow)
             return false;
@@ -312,8 +390,8 @@ std::size_t
 VcBuffer::distinct_flows() const
 {
     std::size_t n = 0;
-    for (const FlowSlot &s : flow_table_)
-        if (s.count.load(std::memory_order_acquire) != 0)
+    for (std::uint32_t i = 0; i < capacity_; ++i)
+        if (flow_table_[i].count.load(std::memory_order_acquire) != 0)
             ++n;
     return n;
 }

@@ -36,7 +36,7 @@
  * Batched (window) handoff:
  *    when the producer and consumer run in different engine shards, the
  *    engine may put the buffer in *batched* mode: push() stages flits
- *    in a producer-private vector instead of publishing them, and
+ *    in a producer-private window array instead of publishing them, and
  *    flush_staged() — called by the producing shard at each window
  *    rendezvous — publishes the whole window's flits with a single
  *    release store. The producer-side logical views (credits, flow
@@ -49,19 +49,32 @@
  *    least one cycle after the push); in free-running windows
  *    visibility is deferred to the next rendezvous, which is exactly
  *    the loose-synchronization error envelope.
+ *
+ * Storage (ISSUE 6): all hot per-buffer arrays — the flit ring, the
+ * flow table, and the pending-pop list — are carved from one packed
+ * slab, optionally placed in a caller-supplied common::Arena so that
+ * every buffer of one engine shard sits back-to-back in that shard's
+ * memory. The credit discipline bounds each array by `capacity`
+ * entries, so nothing ever grows. Only the batching window (a cold,
+ * cross-shard-only feature) is heap-allocated, lazily, on the first
+ * set_batched(true).
  */
 #ifndef HORNET_NET_VC_BUFFER_H
 #define HORNET_NET_VC_BUFFER_H
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
-#include <vector>
 
 #include "common/ring.h"
 #include "common/types.h"
 #include "common/wakeable.h"
 #include "net/flit.h"
+
+namespace hornet::common {
+class Arena;
+}
 
 namespace hornet::net {
 
@@ -75,11 +88,18 @@ namespace hornet::net {
 class alignas(common::kCacheLineSize) VcBuffer
 {
   public:
-    /** @param capacity maximum number of buffered flits (>= 1). */
-    explicit VcBuffer(std::uint32_t capacity = 4)
-        : capacity_(capacity ? capacity : 1), ring_(capacity_),
-          flow_table_(capacity_)
-    {}
+    /**
+     * @param capacity maximum number of buffered flits (>= 1).
+     * @param arena    optional arena to carve the ring/flow-table slab
+     *                 from; the buffer then holds raw pointers into it
+     *                 and must not outlive the arena. Null (default)
+     *                 falls back to a private heap block.
+     */
+    explicit VcBuffer(std::uint32_t capacity = 4,
+                      common::Arena *arena = nullptr);
+
+    /** Frees the private slab when no arena was supplied. */
+    ~VcBuffer();
 
     VcBuffer(const VcBuffer &) = delete;
     VcBuffer &operator=(const VcBuffer &) = delete;
@@ -154,7 +174,9 @@ class alignas(common::kCacheLineSize) VcBuffer
      * Enable or disable batched (window) handoff. Producer-side only:
      * must be called by the producing thread, or while no thread
      * touches the buffer (e.g. before an engine run starts or after it
-     * ends). Disabling flushes any staged flits.
+     * ends). Disabling flushes any staged flits. The first enable
+     * allocates the window array (heap, not slab: only cross-shard
+     * buffers ever batch, and never on the lockstep fast path).
      */
     void set_batched(bool on);
 
@@ -279,28 +301,15 @@ class alignas(common::kCacheLineSize) VcBuffer
      * slot whenever they act on the same flow — wormhole traffic's
      * common case — so that sharing is inherent, and per-slot padding
      * only separates *different* flows of one VC. Measured on this
-     * container, line-padding these slots (and the ring slots below)
-     * inflated a 16x16 mesh's working set past cache/TLB reach and
-     * cost up to 2x wall time at low load, dwarfing any false-sharing
-     * win; see docs/BENCHMARKS.md, "The wake mailbox and the layout
-     * audit".
+     * container, line-padding these slots (and the flit ring) inflated
+     * a 16x16 mesh's working set past cache/TLB reach and cost up to
+     * 2x wall time at low load, dwarfing any false-sharing win; see
+     * docs/BENCHMARKS.md, "The wake mailbox and the layout audit".
      */
     struct FlowSlot
     {
         std::atomic<FlowId> flow{kInvalidFlow};
         std::atomic<std::uint32_t> count{0};
-    };
-
-    /**
-     * One ring slot. Like FlowSlot, intentionally unpadded: a Flit
-     * already spans ~two cache lines, so adjacent-slot sharing is
-     * limited to one boundary line per slot, and padding every slot
-     * out to whole lines measurably lost more to footprint than it
-     * could win back from false sharing (see FlowSlot).
-     */
-    struct RingSlot
-    {
-        Flit flit;
     };
 
     // The hot paths are templated on locality so every atomic access
@@ -335,21 +344,31 @@ class alignas(common::kCacheLineSize) VcBuffer
     // invalidate the other side's private state. The class itself is
     // over-aligned (see the declaration) so the consumer group's tail
     // never shares a line with whatever object follows this one in an
-    // array or allocation. The heap payloads (ring, flow table) stay
-    // compact on purpose — see the FlowSlot/RingSlot comments.
+    // array or allocation. The slab payloads (ring, flow table,
+    // pending pops) are one packed carve — see the ctor — compact on
+    // purpose per the FlowSlot comment.
 
     // -------- read-mostly wiring state (written while quiescent) ----
     const std::uint32_t capacity_;
-    /// Slot i holds sequence number k: k % cap == i.
-    std::vector<RingSlot> ring_;
-    /// Flits logically present per flow; capacity_ slots.
-    std::vector<FlowSlot> flow_table_;
+    /// Flit ring: slot i holds sequence number k with k % cap == i.
+    /// First section of the slab carve.
+    Flit *ring_ = nullptr;
+    /// Flits logically present per flow; capacity_ slots (slab carve).
+    FlowSlot *flow_table_ = nullptr;
     /// Consumer wake target (event-driven scheduling seam); set once
     /// at wiring time, before any simulation thread runs.
     Wakeable *wake_ = nullptr;
     /// Same-thread fast path (see set_local). Plain bool: only ever
     /// flipped while the buffer is quiescent.
     bool local_ = false;
+    /// Slab block owned by this buffer when constructed without an
+    /// arena (tests, standalone routers); null for arena carves.
+    void *owned_block_ = nullptr;
+    /// Pending-pop ring: flows popped since the last commit (consumer
+    /// -thread private; capacity_ slots of the slab carve). Only the
+    /// *pointer* lives here with the wiring state — the contents and
+    /// pending_pop_count_ below belong to the consumer.
+    FlowId *pending_pop_flows_ = nullptr;
 
     // -------- producer-written state --------------------------------
     /// Publication counter: the ring's tail sequence number.
@@ -358,16 +377,18 @@ class alignas(common::kCacheLineSize) VcBuffer
     /// one flow per VC, so the hinted slot hits almost always and the
     /// charge is O(1) instead of a table scan.
     std::size_t add_hint_ = 0;
-    /// Batched-handoff state. The staged_ vector itself is
-    /// producer-thread private; staged_count_ mirrors its size
-    /// atomically because the credit/occupancy views above are also
-    /// read by link arbiters on other threads (Router::
-    /// egress_free_space from BidirLink::arbitrate). Flow counting
-    /// for staged flits happens at push time, so the logical views
-    /// stay exact.
+    /// Batched-handoff state. The staged_ window itself is
+    /// producer-thread private (lazily heap-allocated by the first
+    /// set_batched(true) — only cross-shard buffers ever batch);
+    /// staged_count_ mirrors staged_size_ atomically because the
+    /// credit/occupancy views above are also read by link arbiters on
+    /// other threads (Router::egress_free_space from
+    /// BidirLink::arbitrate). Flow counting for staged flits happens
+    /// at push time, so the logical views stay exact.
     bool batched_ = false;
     std::atomic<std::uint32_t> staged_count_{0};
-    std::vector<Flit> staged_;
+    std::unique_ptr<Flit[]> staged_;
+    std::uint32_t staged_size_ = 0;
     /// Earliest arrival_cycle among staged flits (producer-private).
     Cycle staged_min_arrival_ = kNoEvent;
 
@@ -378,7 +399,8 @@ class alignas(common::kCacheLineSize) VcBuffer
     std::atomic<std::uint64_t> popped_committed_{0};
     /// Last slot flow_remove() touched (consumer's own hint).
     std::size_t remove_hint_ = 0;
-    std::vector<FlowId> pending_pop_flows_; ///< consumer-thread private
+    /// Pops staged in pending_pop_flows_ since the last commit.
+    std::uint32_t pending_pop_count_ = 0;
 };
 
 } // namespace hornet::net

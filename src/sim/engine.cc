@@ -62,7 +62,9 @@ Shard::prepare_run(bool event_driven, bool track_done)
     // (exactly like polling) and the idle tiles retire to the wake
     // heap at its negedge. This avoids trusting any pre-run component
     // state and makes resumed runs trivially correct.
-    slots_.assign(tiles_.size(), Slot{});
+    wake_at_.assign(tiles_.size(), 0);
+    sleeping_.assign(tiles_.size(), 0);
+    done_at_sleep_.assign(tiles_.size(), 0);
     active_ = tiles_;
     pending_active_.clear();
     heap_ = {};
@@ -100,13 +102,15 @@ Shard::finish_run()
         // Sleeping tiles' clocks lag the shard clock; catch them up so
         // the tiles are in a consistent post-run state (poll runs,
         // statistics, and a future engine see one global clock).
-        if (slots_[i].sleeping)
+        if (sleeping_[i])
             tiles_[i]->advance_to(now_);
         tiles_[i]->set_wake_sink(nullptr);
     }
     active_.clear();
     pending_active_.clear();
-    slots_.clear();
+    wake_at_.clear();
+    sleeping_.clear();
+    done_at_sleep_.clear();
     heap_ = {};
     sleeping_not_done_ = 0;
     event_ = false;
@@ -142,14 +146,13 @@ Shard::wake(Tile &t, Cycle at)
 void
 Shard::apply_wake(std::size_t slot, Cycle at)
 {
-    Slot &s = slots_[slot];
-    if (!s.sleeping)
+    if (!sleeping_[slot])
         return; // active tiles re-evaluate their state every negedge
     const Cycle eff = std::max(at, now_);
-    if (eff < s.wake_at) {
+    if (eff < wake_at_[slot]) {
         // Lazy re-sort: push a superseding entry; the old one is
         // dropped when it surfaces (settle_heap).
-        s.wake_at = eff;
+        wake_at_[slot] = eff;
         heap_.emplace(eff, slot);
     }
 }
@@ -186,7 +189,7 @@ Shard::settle_heap() const
 {
     while (!heap_.empty()) {
         const auto &[c, slot] = heap_.top();
-        if (slots_[slot].sleeping && slots_[slot].wake_at == c)
+        if (sleeping_[slot] && wake_at_[slot] == c)
             break;
         heap_.pop(); // superseded or already woken: stale entry
     }
@@ -195,9 +198,8 @@ Shard::settle_heap() const
 void
 Shard::activate(std::size_t slot)
 {
-    Slot &s = slots_[slot];
-    s.sleeping = false;
-    if (track_done_ && !s.done_at_sleep)
+    sleeping_[slot] = 0;
+    if (track_done_ && !done_at_sleep_[slot])
         --sleeping_not_done_;
     Tile *t = tiles_[slot];
     // The tile slept through provably idle cycles; its clock catches
@@ -268,12 +270,12 @@ Shard::retire_idle()
             active_[w++] = t;
             continue;
         }
-        Slot &s = slots_[t->sched_slot()];
-        s.sleeping = true;
-        s.wake_at = nxt;
+        const std::size_t slot = t->sched_slot();
+        sleeping_[slot] = 1;
+        wake_at_[slot] = nxt;
         if (track_done_) {
-            s.done_at_sleep = t->done();
-            if (!s.done_at_sleep)
+            done_at_sleep_[slot] = t->done() ? 1 : 0;
+            if (!done_at_sleep_[slot])
                 ++sleeping_not_done_;
         }
         if (nxt != kNoEvent)
@@ -439,7 +441,7 @@ Engine::Engine(const std::vector<Tile *> &tiles, unsigned threads)
     // keeping mesh neighbours in the same thread, which minimizes
     // cross-thread links and thus loose-synchronization skew error.
     for (std::size_t i = 0; i < tiles.size(); ++i)
-        shards_[(i * T) / tiles.size()]->add_tile(tiles[i]);
+        shards_[common::block_of(i, tiles.size(), T)]->add_tile(tiles[i]);
 
     // Split each tile's egress registry along the partition: each tile
     // declares the downstream buffers it produces into and the node
@@ -594,7 +596,16 @@ Engine::run(SyncPolicy &policy, const EngineOptions &opts)
         sh.window = w;
     };
 
+    // Affinity: resolved once so every worker agrees on the mode.
+    // Compact pinning puts shard i on core i — the same mapping the
+    // System's construction groups used, so each shard's arena pages
+    // stay on the NUMA node that first touched them. Worker 0 runs on
+    // the calling thread; ScopedThreadPin restores its prior mask on
+    // return so Engine::run never leaks affinity to the caller.
+    const common::PinMode pin = common::resolve_pin_mode(opts.pin_threads);
+
     auto worker = [&](unsigned tid) {
+        common::ScopedThreadPin pin_guard(pin, tid, T);
         Shard &my = *shards_[tid];
         my.bind_thread();
         if (batching)
@@ -683,6 +694,7 @@ Engine::run(SyncPolicy &policy, const EngineOptions &opts)
 
     run_stats_ = EngineRunStats{};
     run_stats_.event_driven = event;
+    run_stats_.threads_pinned = pin != common::PinMode::None;
     run_stats_.ff_skipped_cycles = sh.ff_skipped;
     std::uint64_t total_tile_cycles = 0;
     for (const auto &s : shards_) {

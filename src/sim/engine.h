@@ -45,6 +45,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/placement.h"
 #include "common/ring.h"
 #include "common/types.h"
 #include "net/vc_buffer.h"
@@ -255,19 +256,24 @@ class Shard final : public Tile::WakeSink
     void wake(Tile &t, Cycle at) override;
 
   private:
-    /// Scheduling state of one tile (event mode only).
-    struct Slot
-    {
-        bool sleeping = false;
-        /// Wake cycle while sleeping (kNoEvent = only an external
-        /// notify can wake it). A heap entry is valid iff the tile is
-        /// sleeping and the entry's cycle equals wake_at (lazy
-        /// deletion of superseded entries).
-        Cycle wake_at = 0;
-        /// done() recorded at sleep time; valid while sleeping (the
-        /// wake-seam contract forbids done() flips without a wake).
-        bool done_at_sleep = false;
-    };
+    // Per-tile scheduling state (event mode only), kept as parallel
+    // packed arrays instead of an array-of-structs: the hot consumers
+    // — settle_heap's validity test and apply_wake's sleeping check —
+    // read only `sleeping` and `wake_at`, so splitting the fields
+    // stops those scans from dragging the cold done-at-sleep bytes
+    // (and AoS padding) through the cache. Indexed by tile position in
+    // tiles_; all three are resized together by prepare_run.
+    //
+    //  - wake_at_[i]: wake cycle while sleeping (kNoEvent = only an
+    //    external notify can wake it). A heap entry is valid iff the
+    //    tile is sleeping and the entry's cycle equals wake_at_ (lazy
+    //    deletion of superseded entries).
+    //  - sleeping_[i]: nonzero while the tile is parked in the heap
+    //    (uint8_t, not bool: a packed byte array with no bitmask
+    //    read-modify-write on the scheduling path).
+    //  - done_at_sleep_[i]: done() recorded at sleep time; valid while
+    //    sleeping (the wake-seam contract forbids done() flips without
+    //    a wake). Cold: only touched when a tile retires or activates.
 
     /// Min-heap entry: (wake cycle, slot index).
     using WakeEntry = std::pair<Cycle, std::size_t>;
@@ -308,7 +314,9 @@ class Shard final : public Tile::WakeSink
     alignas(common::kCacheLineSize) bool event_ = false;
     bool track_done_ = false;
     Cycle now_ = 0;
-    std::vector<Slot> slots_;
+    std::vector<Cycle> wake_at_;            ///< see the Slot-split comment
+    std::vector<std::uint8_t> sleeping_;    ///< packed hot flags
+    std::vector<std::uint8_t> done_at_sleep_; ///< cold completion cache
     std::vector<Tile *> active_; ///< awake tiles, kept in id order
     std::vector<Tile *> pending_active_; ///< woken, not yet merged
     /// Min-heap of pending wakes; mutable because stale-entry cleanup
@@ -378,6 +386,14 @@ struct EngineOptions
      * windows are timing-nondeterministic under either scheduler.
      */
     std::optional<bool> event_driven;
+    /**
+     * Worker thread affinity (resolved via common::resolve_pin_mode):
+     * pin worker t so shard t stays on the core whose NUMA node holds
+     * the shard's first-touched arena (see sim::SystemLayout). Worker
+     * 0 runs on the calling thread; its previous affinity is restored
+     * when run() returns. Never affects results.
+     */
+    common::PinMode pin_threads = common::PinMode::None;
 };
 
 /** Per-run engine scheduling statistics (fast-forward and
@@ -395,6 +411,9 @@ struct EngineRunStats
     std::uint64_t tile_cycles_skipped = 0;
     /** True when the run used the event-driven shard scheduler. */
     bool event_driven = false;
+    /** True when worker threads were pinned (pin_threads resolved to
+     *  an affinity mode the platform could apply). */
+    bool threads_pinned = false;
 };
 
 /**

@@ -1,5 +1,7 @@
 #include "sim/system.h"
 
+#include <algorithm>
+#include <thread>
 #include <utility>
 
 #include "common/log.h"
@@ -35,18 +37,51 @@ make_sync_policy(const RunOptions &opts)
 }
 
 System::System(const net::Topology &topo, const net::NetworkConfig &cfg,
-               std::uint64_t seed)
+               std::uint64_t seed, const SystemLayout &layout)
 {
     const std::uint32_t n = topo.num_nodes();
-    tiles_.reserve(n);
+
+    // Placement groups: one arena per group, nodes dealt in the same
+    // contiguous blocks the engine uses for shards. Default: one group
+    // per hardware thread so any later thread count <= that finds its
+    // shards' storage in whole arenas.
+    unsigned groups = layout.placement_groups;
+    if (groups == 0)
+        groups = std::max(1u, std::thread::hardware_concurrency());
+    groups = std::min<unsigned>(groups, std::max(1u, n));
+    arenas_.reserve(groups);
+    for (unsigned g = 0; g < groups; ++g)
+        arenas_.push_back(std::make_unique<common::Arena>());
+    placement_.arena_of_node.resize(n);
+    for (NodeId i = 0; i < n; ++i)
+        placement_.arena_of_node[i] =
+            arenas_[common::block_of(i, n, groups)].get();
+    placement_.groups = groups;
+    placement_.parallel = groups > 1;
+    placement_.pin = layout.pin;
+
+    // Tiles go into their group's arena first (they head the arena's
+    // destructor list, so they are destroyed last within the group),
+    // each group on its own — possibly pinned — thread: the first
+    // touch of the arena pages happens on the core that will later run
+    // the matching shard. Tile construction is order-independent (tile
+    // i's PRNG seeds from i alone), so parallel construction is
+    // bitwise-equivalent to serial.
+    tiles_.assign(n, nullptr);
+    common::for_each_group(placement_, [&](unsigned g) {
+        for (NodeId i = 0; i < n; ++i) {
+            if (common::block_of(i, n, groups) == g)
+                tiles_[i] = arenas_[g]->make<Tile>(i, seed + i);
+        }
+    });
     std::vector<Rng *> rngs;
     std::vector<TileStats *> stats;
     for (NodeId i = 0; i < n; ++i) {
-        tiles_.push_back(std::make_unique<Tile>(i, seed + i));
-        rngs.push_back(&tiles_.back()->rng());
-        stats.push_back(&tiles_.back()->stats());
+        rngs.push_back(&tiles_[i]->rng());
+        stats.push_back(&tiles_[i]->stats());
     }
-    network_ = std::make_unique<net::Network>(topo, cfg, rngs, stats);
+    network_ = std::make_unique<net::Network>(topo, cfg, rngs, stats,
+                                              &placement_);
     for (NodeId i = 0; i < n; ++i) {
         tiles_[i]->set_router(&network_->router(i));
         network_->router(i).set_flow_stats(&tiles_[i]->flow_stats());
@@ -68,7 +103,7 @@ System::System(const net::Topology &topo, const net::NetworkConfig &cfg,
             for (net::VcBuffer *buf :
                  network_->router(b).ingress_buffers(topo.port_to(b, a))) {
                 tiles_[a]->add_egress_buffer(b, buf);
-                buf->set_wake_target(tiles_[b].get());
+                buf->set_wake_target(tiles_[b]);
             }
         }
     }
@@ -113,7 +148,7 @@ System::attach_default_sinks()
         return;
     // Destination-only tiles get a discarding consumer so their
     // ejection buffers drain.
-    for (auto &t : tiles_) {
+    for (auto *t : tiles_) {
         if (t->frontends().empty())
             t->add_frontend(std::make_unique<EjectionSink>(t->router()));
     }
@@ -137,6 +172,8 @@ System::run(const RunOptions &opts)
     else if (!opts.schedule.empty())
         fatal("run: unknown schedule \"" + opts.schedule +
               "\" (expected poll or event)");
+    eng_opts.pin_threads = common::pin_mode_from_string(
+        opts.pin.empty() ? "auto" : opts.pin);
     return run(*policy, eng_opts, opts.threads);
 }
 
@@ -145,11 +182,7 @@ System::run(SyncPolicy &policy, const EngineOptions &opts,
             unsigned threads)
 {
     attach_default_sinks();
-    std::vector<Tile *> tiles;
-    tiles.reserve(tiles_.size());
-    for (auto &t : tiles_)
-        tiles.push_back(t.get());
-    Engine engine(tiles, threads);
+    Engine engine(tiles_, threads);
     const Cycle end = engine.run(policy, opts);
     last_engine_stats_ = engine.last_run_stats();
     return end;
@@ -158,7 +191,7 @@ System::run(SyncPolicy &policy, const EngineOptions &opts,
 void
 System::reset_stats()
 {
-    for (auto &t : tiles_)
+    for (auto *t : tiles_)
         t->reset_stats();
 }
 
@@ -169,8 +202,19 @@ System::collect_stats() const
     out.ff_skipped_cycles = last_engine_stats_.ff_skipped_cycles;
     out.tile_cycles_run = last_engine_stats_.tile_cycles_run;
     out.tile_cycles_skipped = last_engine_stats_.tile_cycles_skipped;
+    out.arena_per_group.reserve(arenas_.size());
+    for (const auto &a : arenas_) {
+        out.arena_per_group.push_back(
+            {a->bytes_reserved(), a->bytes_used()});
+        out.arena_bytes_reserved += a->bytes_reserved();
+        out.arena_bytes_used += a->bytes_used();
+    }
+    if (!tiles_.empty())
+        out.arena_bytes_per_tile =
+            static_cast<double>(out.arena_bytes_used) /
+            static_cast<double>(tiles_.size());
     out.per_tile.reserve(tiles_.size());
-    for (const auto &t : tiles_) {
+    for (const auto *t : tiles_) {
         out.per_tile.push_back(t->stats());
         out.total.merge(t->stats());
         // Tile flow stats are unordered (hot path); the ordered view

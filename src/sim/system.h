@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.h"
+#include "common/placement.h"
 #include "common/stats.h"
 #include "net/network.h"
 #include "net/topology.h"
@@ -70,6 +72,14 @@ struct RunOptions
      *  completion cycle by up to k-1 cycles — for any thread count,
      *  where the old engine checked every cycle when threads == 1. */
     bool stop_when_done = false;
+    /**
+     * Worker thread affinity by name: "auto" (pin compactly on
+     * multi-NUMA hosts, else leave the OS scheduler alone), "none",
+     * "compact", "spread" (see common::PinMode). Empty means "auto".
+     * Affinity keeps each shard on the core whose NUMA node holds the
+     * shard's first-touched arena; it never changes results.
+     */
+    std::string pin;
 };
 
 /**
@@ -82,7 +92,31 @@ struct RunOptions
 std::unique_ptr<SyncPolicy> make_sync_policy(const RunOptions &opts);
 
 /**
- * Owns the tiles and the network, and runs the simulation.
+ * How the system's object graph is laid onto memory and threads at
+ * construction time (ISSUE 6). Placement never changes simulation
+ * results — only where objects live and which thread first touches
+ * them.
+ */
+struct SystemLayout
+{
+    /**
+     * Number of placement groups == per-group arenas. Tiles are dealt
+     * into groups with the same contiguous block partition the engine
+     * uses for shards, so when a later run's thread count equals the
+     * group count, each shard's working set is one contiguous arena.
+     * 0 (default) = one group per hardware thread (capped by the tile
+     * count).
+     */
+    unsigned placement_groups = 0;
+    /** Affinity of the per-group construction threads (first touch). */
+    common::PinMode pin = common::PinMode::Auto;
+};
+
+/**
+ * Owns the tiles and the network, and runs the simulation. All
+ * per-node objects (tiles, routers, links, VC buffers) live in the
+ * per-group construction arenas owned here; everything handed out is
+ * a raw pointer into them, valid for the System's lifetime.
  */
 class System
 {
@@ -90,9 +124,11 @@ class System
     /**
      * Build a system: one tile and one router per node of @p topo.
      * @param seed master seed; tile i uses seed + i for its PRNG.
+     * @param layout memory/thread placement of the object graph
+     *               (defaults to one arena group per hardware thread).
      */
     System(const net::Topology &topo, const net::NetworkConfig &cfg,
-           std::uint64_t seed);
+           std::uint64_t seed, const SystemLayout &layout = {});
 
     /** The simulated network (routers + links). */
     net::Network &network() { return *network_; }
@@ -136,11 +172,27 @@ class System
         return last_engine_stats_;
     }
 
+    /** Number of placement groups (== construction arenas). */
+    unsigned placement_groups() const
+    {
+        return static_cast<unsigned>(arenas_.size());
+    }
+
+    /** Construction arena of placement group @p g (footprint checks). */
+    const common::Arena &arena(unsigned g) const { return *arenas_.at(g); }
+
   private:
     /** Give destination-only tiles a discarding consumer. */
     void attach_default_sinks();
 
-    std::vector<std::unique_ptr<Tile>> tiles_;
+    /// Per-group construction arenas. Declared before everything that
+    /// points into them: members destroy in reverse order, so the
+    /// arenas (which run the tiles'/routers' destructors) go last.
+    std::vector<std::unique_ptr<common::Arena>> arenas_;
+    /// Node-to-arena map handed to net::Network; pins the block
+    /// partition used at construction time.
+    common::NodePlacement placement_;
+    std::vector<Tile *> tiles_; ///< arena-placed, non-owning
     std::unique_ptr<net::Network> network_;
     bool sinks_attached_ = false;
     EngineRunStats last_engine_stats_;

@@ -93,6 +93,8 @@ run_options_from_config(const Config &cfg)
     ro.schedule = schedule == "auto" ? "" : schedule;
     ro.batch_handoff =
         cfg.get_bool("sim.batch_handoff", ro.sync == "adaptive");
+    ro.pin = cfg.get_enum("sim.pin", "auto",
+                          {"auto", "none", "compact", "spread"});
     ro.adaptive.min_period = static_cast<std::uint32_t>(
         cfg.get_int("sim.adaptive_min_period", 1));
     ro.adaptive.max_period = static_cast<std::uint32_t>(
