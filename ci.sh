@@ -2,11 +2,13 @@
 # Tier-1 verify wrapper: configure, build, test, and (when available)
 # check formatting. Mirrors .github/workflows/ci.yml for local use.
 #
-#   ./ci.sh          # regular build, both shard schedulers
-#   ./ci.sh --tsan   # ThreadSanitizer build of the full test suite
-#   ./ci.sh --asan   # AddressSanitizer+UBSan build of the full suite
-#   ./ci.sh --bench  # perf-regression smoke: bench --quick --json vs
-#                    # bench/baselines/, hard-gated (>15% fails)
+#   ./ci.sh            # regular build, all three shard schedulers,
+#                      # plus the full differential sweep (`long`)
+#   ./ci.sh --tsan     # ThreadSanitizer build of the test suite
+#   ./ci.sh --asan     # AddressSanitizer+UBSan build of the suite
+#   ./ci.sh --bench    # perf-regression smoke: bench --quick --json vs
+#                      # bench/baselines/, hard-gated (>15% fails)
+#   ./ci.sh --coverage # gcov line-coverage run with a summary artifact
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -18,13 +20,21 @@ if [[ "${1:-}" == "--tsan" ]]; then
     # race-clean. Run under the event scheduler — it exercises the
     # cross-thread wake path on top of the ring protocols — with
     # second-deadlock detection on.
+    # Both event schedulers get a leg; the differential harness inside
+    # each run covers poll/event/event-fine explicitly, so the env
+    # loop only needs the wake-path variants. The full `long` sweep
+    # stays in the uninstrumented run (it would dominate a sanitizer
+    # leg); its quick subset runs here.
     cmake -B build-tsan -S . -DHORNET_TSAN=ON
     cmake --build build-tsan -j "$JOBS"
-    echo "== ctest (ThreadSanitizer, HORNET_SCHEDULE=event) =="
-    (cd build-tsan &&
-         HORNET_SCHEDULE=event \
-             TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
-             ctest --output-on-failure --no-tests=error -j "$JOBS")
+    for schedule in event event-fine; do
+        echo "== ctest (ThreadSanitizer, HORNET_SCHEDULE=$schedule) =="
+        (cd build-tsan &&
+             HORNET_SCHEDULE="$schedule" \
+                 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+                 ctest --output-on-failure --no-tests=error -LE long \
+                 -j "$JOBS")
+    done
     echo "TSAN OK"
     exit 0
 fi
@@ -35,13 +45,62 @@ if [[ "${1:-}" == "--asan" ]]; then
     # types) across the same full suite, under the event scheduler.
     cmake -B build-asan -S . -DHORNET_ASAN=ON
     cmake --build build-asan -j "$JOBS"
-    echo "== ctest (ASan+UBSan, HORNET_SCHEDULE=event) =="
-    (cd build-asan &&
-         HORNET_SCHEDULE=event \
-             ASAN_OPTIONS="halt_on_error=1 detect_leaks=0" \
-             UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
-             ctest --output-on-failure --no-tests=error -j "$JOBS")
+    for schedule in event event-fine; do
+        echo "== ctest (ASan+UBSan, HORNET_SCHEDULE=$schedule) =="
+        (cd build-asan &&
+             HORNET_SCHEDULE="$schedule" \
+                 ASAN_OPTIONS="halt_on_error=1 detect_leaks=0" \
+                 UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
+                 ctest --output-on-failure --no-tests=error -LE long \
+                 -j "$JOBS")
+    done
     echo "ASAN OK"
+    exit 0
+fi
+
+if [[ "${1:-}" == "--coverage" ]]; then
+    # Coverage leg (ISSUE 7): instrumented build, the suite minus the
+    # `long` sweep, and a line-coverage summary artifact at
+    # build-cov/coverage-summary.txt. Uses gcovr or lcov when
+    # installed; falls back to aggregating raw gcov output.
+    cmake -B build-cov -S . -DHORNET_COVERAGE=ON
+    cmake --build build-cov -j "$JOBS"
+    echo "== ctest (coverage build) =="
+    (cd build-cov &&
+         ctest --output-on-failure --no-tests=error -LE long -j "$JOBS")
+    SUMMARY="build-cov/coverage-summary.txt"
+    if command -v gcovr > /dev/null 2>&1; then
+        gcovr --root . --filter src/ build-cov --txt "$SUMMARY"
+        tail -5 "$SUMMARY"
+    elif command -v lcov > /dev/null 2>&1; then
+        lcov --capture --directory build-cov \
+             -o build-cov/coverage.info > /dev/null
+        lcov --extract build-cov/coverage.info "*/src/*" \
+             -o build-cov/coverage-src.info > /dev/null
+        lcov --list build-cov/coverage-src.info | tee "$SUMMARY"
+    else
+        # Raw gcov fallback: per-file "Lines executed" for src/ plus a
+        # library-wide total.
+        (cd build-cov &&
+             find CMakeFiles/hornet.dir -name '*.gcda' -print0 |
+                 xargs -0 gcov 2> /dev/null |
+                 awk "/^File/ { f=\$2; gsub(/'/, \"\", f) }
+                      /^Lines executed/ && f ~ /src\\// {
+                          split(\$0, a, /[:% ]+/)
+                          pct=a[3]; n=a[5]
+                          hit += int(pct * n / 100 + 0.5); total += n
+                          printf \"%7.2f%% %6d  %s\n\", pct, n, f
+                          f=\"\"
+                      }
+                      END {
+                          if (total)
+                              printf \"TOTAL  %.2f%% of %d lines\n\",
+                                     100 * hit / total, total
+                      }") | tee "$SUMMARY"
+        rm -f build-cov/*.gcov
+    fi
+    test -s "$SUMMARY" || { echo "no coverage data produced"; exit 1; }
+    echo "COVERAGE OK (summary: $SUMMARY)"
     exit 0
 fi
 
@@ -82,14 +141,20 @@ fi
 
 cmake -B build -S .
 cmake --build build -j "$JOBS"
-# Both shard schedulers must stay green (and bitwise identical —
-# docs/ENGINE.md, "Event-driven shards").
-for schedule in poll event; do
+# All three shard schedulers must stay green (and bitwise identical —
+# docs/ENGINE.md, "Event-driven shards" / "Component-granularity
+# wakes"). The `long` differential sweep ignores the env (it sets
+# schedules explicitly), so it runs once, outside the loop.
+for schedule in poll event event-fine; do
     echo "== ctest (HORNET_SCHEDULE=$schedule) =="
     (cd build &&
          HORNET_SCHEDULE="$schedule" \
-             ctest --output-on-failure --no-tests=error -j "$JOBS")
+             ctest --output-on-failure --no-tests=error -LE long \
+             -j "$JOBS")
 done
+echo "== ctest (full differential sweep, label 'long') =="
+(cd build &&
+     ctest --output-on-failure --no-tests=error -L long -j "$JOBS")
 
 # Giant-mesh smoke: a 64x64 (4096-tile) system must construct into the
 # per-group arenas and run under both shard schedulers with matching

@@ -61,6 +61,15 @@ SystemStats::summary() const
            << 100.0 * skipped_frac << "%)"
            << " ff cycles skipped=" << ff_skipped_cycles;
     }
+    if (comp_cycles_run + comp_cycles_skipped != 0) {
+        // Finer-grain counterpart: component x cycle grid coverage
+        // (differs from the tile fraction only under event-fine).
+        const double comp_frac =
+            static_cast<double>(comp_cycles_skipped) /
+            static_cast<double>(comp_cycles_run + comp_cycles_skipped);
+        os << " idle component-cycles skipped=" << comp_cycles_skipped
+           << " (" << 100.0 * comp_frac << "%)";
+    }
     if (arena_bytes_used != 0) {
         os << " arena bytes used=" << arena_bytes_used
            << " reserved=" << arena_bytes_reserved << " ("

@@ -218,6 +218,12 @@ struct SystemStats
     /** Tile-cycles not ticked: fast-forward jumps plus event-driven
      *  per-tile sleep. */
     std::uint64_t tile_cycles_skipped = 0;
+    /** Component-cycles actually ticked (fine-grain scheduling ticks
+     *  only awake components inside awake tiles). */
+    std::uint64_t comp_cycles_run = 0;
+    /** Component-cycles not ticked out of the component x cycle
+     *  grid. */
+    std::uint64_t comp_cycles_skipped = 0;
 
     // Memory-footprint counters (filled by sim::System::collect_stats;
     // zero for snapshots not taken from a System). They cover the

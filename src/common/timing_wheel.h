@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Hierarchical timing wheel (calendar queue) for wake scheduling.
+ *
+ * The event-driven shard scheduler and the fine-grain component
+ * scheduler both need the same primitive: schedule (cycle, id) pairs,
+ * pop everything due at the current cycle, and answer "earliest
+ * pending cycle" for free-run jumps — with *lazy deletion*, because a
+ * wake can be superseded by an earlier one (the caller keeps the
+ * authoritative per-id wake cycle and drops entries that no longer
+ * match it). A binary heap makes schedule/pop O(log n); the wheel
+ * makes both O(1) amortized, which matters at low injection rates
+ * where almost every tile sleeps and wakes once per injection.
+ *
+ * Layout: two levels plus an overflow heap.
+ *  - Level 0: 256 width-1 buckets covering the rest of the current
+ *    256-cycle page. A bucket holds ids only; the cycle is implied.
+ *  - Level 1: 64 width-256 buckets covering the following 63 pages
+ *    (~16k cycles). Entries keep their exact cycle and are migrated
+ *    into level 0 when their page is reached — each entry migrates at
+ *    most once, so scheduling stays O(1) amortized.
+ *  - Overflow: a min-heap for the rare wake beyond the 64-page
+ *    horizon (e.g. a far stop_at). Heap costs only apply to these.
+ * Occupancy bitmaps over both levels make "earliest pending cycle"
+ * a few find-first-set scans instead of a bucket walk.
+ */
+#ifndef HORNET_COMMON_TIMING_WHEEL_H
+#define HORNET_COMMON_TIMING_WHEEL_H
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/log.h"
+#include "common/types.h"
+
+namespace hornet::common {
+
+/**
+ * Calendar queue of (cycle, id) wake entries with O(1) amortized
+ * schedule and pop. Duplicate and stale entries are expected: the
+ * caller filters them through the validity predicate it passes to
+ * pop_due()/settle_min(), exactly like lazy deletion on a heap.
+ */
+class TimingWheel
+{
+  public:
+    /** An empty wheel based at cycle 0. */
+    TimingWheel() { reset(0); }
+
+    /** Drop every entry and restart the wheel at @p base. */
+    void
+    reset(Cycle base)
+    {
+        for (auto &b : l0_)
+            b.clear();
+        for (auto &b : l1_)
+            b.clear();
+        l0_bits_.fill(0);
+        l1_bits_ = 0;
+        overflow_ = {};
+        wheel_count_ = 0;
+        base_ = base;
+    }
+
+    /** Entries may only be scheduled at or after this cycle; advanced
+     *  by pop_due() to the cycle it was called with. */
+    Cycle base() const { return base_; }
+
+    /** Entries currently stored (valid and stale alike). */
+    std::size_t size() const { return wheel_count_ + overflow_.size(); }
+
+    /** No entries stored at all. */
+    bool empty() const { return size() == 0; }
+
+    /**
+     * Add a wake for @p id at cycle @p at (>= base(); scheduling into
+     * the past would strand the entry behind the cursor). kNoEvent is
+     * rejected — "never" is represented by not scheduling.
+     */
+    void
+    schedule(Cycle at, std::uint64_t id)
+    {
+        if (at < base_)
+            panic("TimingWheel::schedule: cycle below wheel base");
+        if (at == kNoEvent)
+            panic("TimingWheel::schedule: kNoEvent is not schedulable");
+        const Cycle page = at >> kL0Bits;
+        const Cycle base_page = base_ >> kL0Bits;
+        if (page == base_page) {
+            const std::size_t slot = at & kL0Mask;
+            l0_[slot].push_back(id);
+            l0_bits_[slot >> 6] |= std::uint64_t{1} << (slot & 63);
+            ++wheel_count_;
+        } else if (page - base_page <= kL1Size - 1) {
+            const std::size_t slot = page & kL1Mask;
+            l1_[slot].emplace_back(at, id);
+            l1_bits_ |= std::uint64_t{1} << slot;
+            ++wheel_count_;
+        } else {
+            overflow_.emplace(at, id);
+        }
+    }
+
+    /**
+     * Pop every entry with cycle <= @p now, invoking fn(cycle, id)
+     * for each (order within the due set is unspecified; callers use
+     * commutative application). Advances base() to @p now — entries
+     * *at* @p now remain schedulable afterwards. @p fn must not
+     * schedule into this wheel re-entrantly.
+     */
+    template <typename Fn>
+    void
+    pop_due(Cycle now, Fn &&fn)
+    {
+        if (now < base_)
+            return;
+        while (true) {
+            if (wheel_count_ == 0) {
+                base_ = now;
+                break;
+            }
+            const Cycle page_last = base_ | kL0Mask;
+            const Cycle lim = std::min(now, page_last);
+            pop_l0_range(base_ & kL0Mask, lim & kL0Mask, fn);
+            if (now <= page_last) {
+                base_ = now;
+                break;
+            }
+            // Cross into the next page: migrate its level-1 bucket
+            // down (each entry moves at most once).
+            base_ = page_last + 1;
+            const std::size_t slot = (base_ >> kL0Bits) & kL1Mask;
+            if (l1_bits_ & (std::uint64_t{1} << slot)) {
+                for (const auto &[at, id] : l1_[slot]) {
+                    const std::size_t s = at & kL0Mask;
+                    l0_[s].push_back(id);
+                    l0_bits_[s >> 6] |= std::uint64_t{1} << (s & 63);
+                }
+                l1_[slot].clear();
+                l1_bits_ &= ~(std::uint64_t{1} << slot);
+            }
+        }
+        while (!overflow_.empty() && overflow_.top().first <= now) {
+            const auto [at, id] = overflow_.top();
+            overflow_.pop();
+            fn(at, id);
+        }
+    }
+
+    /**
+     * Earliest cycle holding a valid entry, or kNoEvent. Stale
+     * entries encountered on the way — those for which
+     * valid(cycle, id) is false — are removed (lazy deletion); valid
+     * entries are left in place.
+     */
+    template <typename Pred>
+    Cycle
+    settle_min(Pred &&valid)
+    {
+        Cycle best = kNoEvent;
+        // Level 0: the first non-empty bucket (width 1: all entries
+        // in it share the implied cycle) with a valid survivor wins;
+        // every level-1/overflow cycle is larger than any level-0 one.
+        const Cycle page_start = base_ & ~kL0Mask;
+        bool l0_hit = false;
+        for (std::size_t w = (base_ & kL0Mask) >> 6; w < kL0Words && !l0_hit;
+             ++w) {
+            std::uint64_t bits = l0_bits_[w];
+            if (w == ((base_ & kL0Mask) >> 6))
+                bits &= ~std::uint64_t{0} << (base_ & 63);
+            while (bits != 0) {
+                const auto b = static_cast<std::size_t>(
+                    std::countr_zero(bits));
+                const std::size_t slot = w * 64 + b;
+                const Cycle cycle = page_start + slot;
+                filter_bucket(l0_[slot], [&](std::uint64_t id) {
+                    return valid(cycle, id);
+                });
+                if (!l0_[slot].empty()) {
+                    best = cycle;
+                    l0_hit = true;
+                    break;
+                }
+                bits &= bits - 1;
+                l0_bits_[w] &= ~(std::uint64_t{1} << b);
+            }
+        }
+        if (!l0_hit) {
+            // Level 1: pages in increasing order; the first page with
+            // a valid survivor bounds the level-1 minimum (cycles
+            // within a page are unordered, so take the bucket's min).
+            const Cycle base_page = base_ >> kL0Bits;
+            for (Cycle p = base_page + 1; p <= base_page + kL1Size - 1;
+                 ++p) {
+                const std::size_t slot = p & kL1Mask;
+                if ((l1_bits_ & (std::uint64_t{1} << slot)) == 0)
+                    continue;
+                filter_bucket(l1_[slot], [&](const Entry &e) {
+                    return valid(e.first, e.second);
+                });
+                if (l1_[slot].empty()) {
+                    l1_bits_ &= ~(std::uint64_t{1} << slot);
+                    continue;
+                }
+                for (const auto &[at, id] : l1_[slot])
+                    best = std::min(best, at);
+                break;
+            }
+        }
+        while (!overflow_.empty() &&
+               !valid(overflow_.top().first, overflow_.top().second))
+            overflow_.pop();
+        if (!overflow_.empty())
+            best = std::min(best, overflow_.top().first);
+        return best;
+    }
+
+  private:
+    /// A (cycle, id) pair as stored in level 1 and the overflow heap.
+    using Entry = std::pair<Cycle, std::uint64_t>;
+
+    static constexpr std::size_t kL0Bits = 8;
+    static constexpr std::size_t kL0Size = std::size_t{1} << kL0Bits;
+    static constexpr std::size_t kL0Mask = kL0Size - 1;
+    static constexpr std::size_t kL0Words = kL0Size / 64;
+    static constexpr std::size_t kL1Size = 64;
+    static constexpr std::size_t kL1Mask = kL1Size - 1;
+
+    /// Erase every element failing @p keep; wheel_count_ follows.
+    template <typename Vec, typename Keep>
+    void
+    filter_bucket(Vec &v, Keep &&keep)
+    {
+        const auto it = std::remove_if(
+            v.begin(), v.end(),
+            [&](const auto &e) { return !keep(e); });
+        wheel_count_ -= static_cast<std::size_t>(v.end() - it);
+        v.erase(it, v.end());
+    }
+
+    /// Pop all level-0 entries in bucket slots [lo, hi] of the
+    /// current page into @p fn and clear the buckets.
+    template <typename Fn>
+    void
+    pop_l0_range(std::size_t lo, std::size_t hi, Fn &&fn)
+    {
+        const Cycle page_start = base_ & ~kL0Mask;
+        for (std::size_t w = lo >> 6; w <= hi >> 6; ++w) {
+            std::uint64_t bits = l0_bits_[w];
+            if (w == lo >> 6)
+                bits &= ~std::uint64_t{0} << (lo & 63);
+            if (w == hi >> 6 && (hi & 63) != 63)
+                bits &= (std::uint64_t{1} << ((hi & 63) + 1)) - 1;
+            while (bits != 0) {
+                const auto b = static_cast<std::size_t>(
+                    std::countr_zero(bits));
+                const std::size_t slot = w * 64 + b;
+                const Cycle cycle = page_start + slot;
+                for (const std::uint64_t id : l0_[slot])
+                    fn(cycle, id);
+                wheel_count_ -= l0_[slot].size();
+                l0_[slot].clear();
+                bits &= bits - 1;
+                l0_bits_[w] &= ~(std::uint64_t{1} << b);
+            }
+        }
+    }
+
+    Cycle base_ = 0;
+    std::array<std::vector<std::uint64_t>, kL0Size> l0_;
+    std::array<std::uint64_t, kL0Words> l0_bits_{};
+    std::array<std::vector<Entry>, kL1Size> l1_;
+    std::uint64_t l1_bits_ = 0;
+    std::size_t wheel_count_ = 0;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
+        overflow_;
+};
+
+} // namespace hornet::common
+
+#endif // HORNET_COMMON_TIMING_WHEEL_H

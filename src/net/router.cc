@@ -1,6 +1,7 @@
 #include "net/router.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/log.h"
 
@@ -68,6 +69,89 @@ Router::Router(NodeId id, const std::vector<NodeId> &neighbors,
         cpu_ep->downstream.push_back(b);
     cpu_ep->vc_state.resize(cfg_.cpu_vcs);
     egress_.push_back(cpu_ep);
+
+    // Fine-grain scheduling plumbing: one occupancy-mask word per
+    // ingress port and one wake record per ingress (port, vc). Both
+    // are sized here, once, and never resized — the records are wired
+    // into the VC buffers by address when set_fine(true) interposes
+    // them.
+    fine_supported_ = cfg_.net_vcs <= 64 && cfg_.cpu_vcs <= 64;
+    ingress_mask_ =
+        std::make_unique<std::atomic<std::uint64_t>[]>(ingress_.size());
+    for (std::size_t p = 0; p < ingress_.size(); ++p)
+        ingress_mask_[p].store(0, std::memory_order_relaxed);
+    std::size_t total_vcs = 0;
+    for (const auto &ip : ingress_)
+        total_vcs += ip.vcs.size();
+    wake_records_.resize(total_vcs);
+    std::size_t r = 0;
+    for (PortId p = 0; p < ingress_.size(); ++p) {
+        for (VcId v = 0; v < ingress_[p].vcs.size(); ++v, ++r) {
+            wake_records_[r].router = this;
+            wake_records_[r].port = p;
+            wake_records_[r].vc = v;
+        }
+    }
+}
+
+void
+Router::set_fine(bool on)
+{
+    if (on == fine_)
+        return;
+    if (on && !fine_supported_)
+        panic(strcat("router ", id_,
+                     ": fine-grain mode needs <= 64 VCs per port"));
+    std::size_t r = 0;
+    for (PortId p = 0; p < ingress_.size(); ++p) {
+        std::uint64_t mask = 0;
+        for (VcId v = 0; v < ingress_[p].vcs.size(); ++v, ++r) {
+            VcBuffer *b = ingress_[p].vcs[v];
+            IngressWake &rec = wake_records_[r];
+            if (on) {
+                if (b->size_raw() != 0)
+                    mask |= std::uint64_t{1} << v;
+                rec.next = b->wake_target();
+                b->set_wake_target(&rec);
+            } else {
+                b->set_wake_target(rec.next);
+                rec.next = nullptr;
+            }
+        }
+        ingress_mask_[p].store(on ? mask : 0, std::memory_order_release);
+    }
+    pending_wake_.store(kNoEvent, std::memory_order_release);
+    popped_dirty_.clear();
+    fine_ = on;
+}
+
+void
+Router::note_ingress_push(PortId port, VcId vc, Cycle at)
+{
+    ingress_mask_[port].fetch_or(std::uint64_t{1} << vc,
+                                 std::memory_order_acq_rel);
+    Cycle cur = pending_wake_.load(std::memory_order_relaxed);
+    while (at < cur && !pending_wake_.compare_exchange_weak(
+                           cur, at, std::memory_order_release,
+                           std::memory_order_relaxed)) {
+    }
+}
+
+Cycle
+Router::take_pending_wake()
+{
+    if (pending_wake_.load(std::memory_order_acquire) == kNoEvent)
+        return kNoEvent;
+    return pending_wake_.exchange(kNoEvent, std::memory_order_acq_rel);
+}
+
+bool
+Router::has_ejection_flits() const
+{
+    for (const auto &b : ejection_)
+        if (b->size_raw() != 0)
+            return true;
+    return false;
 }
 
 void
@@ -203,7 +287,8 @@ Router::try_vc_allocate(IngressPort &ip, VcState &st, const Flit &f,
     // Build the candidate set: the table's entries, or every VC of the
     // egress port with equal weight (pure dynamic VCA).
     scratch_vcs_.clear();
-    std::vector<double> weights;
+    auto &weights = scratch_weights_;
+    weights.clear();
     if (opts != nullptr) {
         for (const auto &o : *opts) {
             if (o.vc < ep.vc_state.size()) {
@@ -230,8 +315,10 @@ Router::try_vc_allocate(IngressPort &ip, VcState &st, const Flit &f,
         ++stats_->va_grants;
     };
 
-    std::vector<VcId> grantable;
-    std::vector<double> gweights;
+    auto &grantable = scratch_grantable_;
+    auto &gweights = scratch_gweights_;
+    grantable.clear();
+    gweights.clear();
 
     if (cfg_.vca_mode == VcaMode::Edvca) {
         // EDVCA (paper II-A3 / [14]): a flow may occupy at most one VC
@@ -315,14 +402,46 @@ Router::posedge(Cycle now)
     // Stage A: route computation + VC allocation for packets whose head
     // flit is at the front of a VC buffer. The order in which
     // next-in-line packets are considered is randomized (paper II-A5).
+    //
+    // Fine-grain mode walks the occupancy masks instead of every
+    // (port, vc) — bit order is ascending, so the candidate set and
+    // hence every PRNG draw below is identical to the full scan, which
+    // also only ever finds occupied buffers.
     // ------------------------------------------------------------------
     auto &cands = scratch_candidates_;
     cands.clear();
-    for (PortId p = 0; p < ingress_.size(); ++p) {
-        IngressPort &ip = ingress_[p];
-        for (VcId v = 0; v < ip.vcs.size(); ++v) {
-            if (ip.vcs[v]->front_visible(now).has_value())
-                cands.emplace_back(p, v);
+    if (fine_) {
+        for (PortId p = 0; p < ingress_.size(); ++p) {
+            IngressPort &ip = ingress_[p];
+            std::uint64_t m =
+                ingress_mask_[p].load(std::memory_order_acquire);
+            while (m != 0) {
+                const VcId v = static_cast<VcId>(std::countr_zero(m));
+                m &= m - 1;
+                if (ip.vcs[v]->size_raw() == 0) {
+                    settle_ingress_bit(p, v); // stale bit: drained
+                    continue;
+                }
+                if (ip.vcs[v]->front_visible(now).has_value())
+                    cands.emplace_back(p, v);
+            }
+        }
+        // Nothing routable and nothing to release: the tick reduces to
+        // the demand publish below. (Stage A/B over an empty candidate
+        // set touch no state and draw nothing from the PRNG, so this
+        // early exit is bitwise neutral on every scheduler.)
+        if (cands.empty() && pending_releases_.empty()) {
+            for (auto &ep : egress_)
+                ep->demand.store(0, std::memory_order_release);
+            return;
+        }
+    } else {
+        for (PortId p = 0; p < ingress_.size(); ++p) {
+            IngressPort &ip = ingress_[p];
+            for (VcId v = 0; v < ip.vcs.size(); ++v) {
+                if (ip.vcs[v]->front_visible(now).has_value())
+                    cands.emplace_back(p, v);
+            }
         }
     }
     rng_->shuffle(cands);
@@ -351,9 +470,10 @@ Router::posedge(Cycle now)
     // per-egress bandwidth (link), one flit per downstream VC per cycle,
     // downstream credit, and the total crossbar bandwidth.
     // ------------------------------------------------------------------
-    std::vector<std::pair<PortId, VcId>> sb;
-    sb.reserve(cands.size());
-    std::vector<std::uint32_t> demand(egress_.size(), 0);
+    auto &sb = scratch_sb_;
+    sb.clear();
+    auto &demand = scratch_demand_;
+    demand.assign(egress_.size(), 0);
     for (auto [p, v] : cands) {
         VcState &st = ingress_[p].state[v];
         if (st.vc_allocated && st.alloc_cycle < now) {
@@ -363,14 +483,23 @@ Router::posedge(Cycle now)
     }
     rng_->shuffle(sb);
 
-    std::vector<bool> in_port_used(ingress_.size(), false);
-    std::vector<std::uint32_t> eg_bw_left(egress_.size(), 0);
+    auto &in_port_used = scratch_in_port_used_;
+    in_port_used.assign(ingress_.size(), 0);
+    auto &eg_bw_left = scratch_eg_bw_left_;
+    eg_bw_left.resize(egress_.size());
     for (std::size_t e = 0; e < egress_.size(); ++e)
         eg_bw_left[e] = egress_[e]->bandwidth;
-    // Downstream-VC single-write flags, indexed per egress port.
-    std::vector<std::vector<bool>> out_vc_used(egress_.size());
-    for (std::size_t e = 0; e < egress_.size(); ++e)
-        out_vc_used[e].assign(egress_[e]->vc_state.size(), false);
+    // Downstream-VC single-write flags, flattened over all egress
+    // ports (scratch_vc_base_[e] + vc indexes port e's VC vc).
+    auto &vc_base = scratch_vc_base_;
+    vc_base.resize(egress_.size());
+    std::size_t total_out_vcs = 0;
+    for (std::size_t e = 0; e < egress_.size(); ++e) {
+        vc_base[e] = total_out_vcs;
+        total_out_vcs += egress_[e]->vc_state.size();
+    }
+    auto &out_vc_used = scratch_out_vc_used_;
+    out_vc_used.assign(total_out_vcs, 0);
     std::uint32_t xbar_left =
         cfg_.xbar_bandwidth ? cfg_.xbar_bandwidth : ~0u;
 
@@ -379,9 +508,9 @@ Router::posedge(Cycle now)
         VcState &st = ip.state[v];
         EgressPort &ep = *egress_[st.out_port];
 
-        if (in_port_used[p] || xbar_left == 0 ||
+        if (in_port_used[p] != 0 || xbar_left == 0 ||
             eg_bw_left[st.out_port] == 0 ||
-            out_vc_used[st.out_port][st.out_vc]) {
+            out_vc_used[vc_base[st.out_port] + st.out_vc] != 0) {
             ++stats_->sa_stalls;
             continue;
         }
@@ -392,9 +521,11 @@ Router::posedge(Cycle now)
 
         // ST: move the flit across the crossbar and onto the link.
         Flit f = ip.vcs[v]->pop();
-        in_port_used[p] = true;
+        if (fine_)
+            popped_dirty_.emplace_back(p, v);
+        in_port_used[p] = 1;
         --eg_bw_left[st.out_port];
-        out_vc_used[st.out_port][st.out_vc] = true;
+        out_vc_used[vc_base[st.out_port] + st.out_vc] = 1;
         if (xbar_left != ~0u)
             --xbar_left;
 
@@ -452,9 +583,23 @@ Router::posedge(Cycle now)
 void
 Router::negedge(Cycle)
 {
-    for (auto &ip : ingress_)
-        for (auto &b : ip.vcs)
-            b->commit_negedge();
+    if (fine_) {
+        // Only buffers popped this cycle hold staged pops (the one-
+        // flit-per-ingress-port crossbar constraint bounds the list by
+        // the port count); committing an un-popped buffer is a no-op,
+        // so skipping the full scan is bitwise neutral. Settling after
+        // the commit retires the occupancy bit of drained buffers.
+        for (auto [p, v] : popped_dirty_) {
+            ingress_[p].vcs[v]->commit_negedge();
+            if (ingress_[p].vcs[v]->size_raw() == 0)
+                settle_ingress_bit(p, v);
+        }
+        popped_dirty_.clear();
+    } else {
+        for (auto &ip : ingress_)
+            for (auto &b : ip.vcs)
+                b->commit_negedge();
+    }
     for (auto [p, v] : pending_releases_)
         egress_[p]->vc_state[v].owned = false;
     pending_releases_.clear();
@@ -463,6 +608,25 @@ Router::negedge(Cycle)
 bool
 Router::has_buffered_flits() const
 {
+    if (fine_) {
+        // Exact, not conservative: a set bit only counts after it
+        // survives a settle against the buffer, so the answer always
+        // matches the full scan (the fold feeds Tile::busy and hence
+        // fast-forward decisions, which must not diverge between
+        // schedulers).
+        for (PortId p = 0; p < ingress_.size(); ++p) {
+            std::uint64_t m =
+                ingress_mask_[p].load(std::memory_order_acquire);
+            while (m != 0) {
+                const VcId v = static_cast<VcId>(std::countr_zero(m));
+                m &= m - 1;
+                if (ingress_[p].vcs[v]->size_raw() != 0)
+                    return true;
+                settle_ingress_bit(p, v);
+            }
+        }
+        return has_ejection_flits();
+    }
     for (const auto &ip : ingress_)
         for (const auto &b : ip.vcs)
             if (b->size_raw() != 0)

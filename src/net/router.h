@@ -168,8 +168,63 @@ class Router : public sim::Clocked
     }
 
     /** Any flit physically buffered here (fast-forward test)?
-     *  Includes ejection buffers not yet drained by the bridge. */
+     *  Includes ejection buffers not yet drained by the bridge. In
+     *  fine-grain mode the ingress half of the answer comes from the
+     *  occupancy masks (O(occupied VCs), exact — stale bits are
+     *  settled against the buffers before answering). */
     bool has_buffered_flits() const;
+
+    // ------------------------------------------------------------------
+    // Fine-grain (component-granularity) event scheduling
+    // (docs/ENGINE.md, "Component-granularity wakes").
+    // ------------------------------------------------------------------
+
+    /**
+     * True when this router can run in fine-grain mode: the per-port
+     * occupancy masks are 64 bits wide, so every ingress port must
+     * have at most 64 VCs. Routers beyond that are simply never
+     * retired by the tile's fine scheduler (they keep the full scans),
+     * which is correct, just not faster.
+     */
+    bool fine_supported() const { return fine_supported_; }
+
+    /**
+     * Enter or leave fine-grain mode. On enable the per-port ingress
+     * occupancy masks are rebuilt from the buffers' current contents
+     * and a wake record is interposed between each ingress VC buffer
+     * and its previous wake target, so that every producer push also
+     * lands in the masks and in the pending-wake cycle; on disable the
+     * previous wake targets are restored. Must be called while no
+     * simulation thread touches the router (the engine calls it from
+     * the serial prepare/finish phases of a run), and only on routers
+     * with fine_supported().
+     */
+    void set_fine(bool on);
+
+    /** True while fine-grain mode is active. */
+    bool fine() const { return fine_; }
+
+    /**
+     * Producer-side push note (any thread): a flit with arrival cycle
+     * @p at was published into ingress buffer (@p port, @p vc). Sets
+     * the (port, vc) occupancy bit and folds @p at into the pending
+     * wake cycle; called by the interposed ingress wake records on the
+     * pushing thread.
+     */
+    void note_ingress_push(PortId port, VcId vc, Cycle at);
+
+    /**
+     * Consume the earliest pending ingress arrival posted by
+     * note_ingress_push() since the last take (kNoEvent when none).
+     * Owner thread only; the tile's fine scheduler calls it at each
+     * cycle begin to decide when a sleeping router must wake.
+     */
+    Cycle take_pending_wake();
+
+    /** Any flit sitting in an ejection buffer, drained or not (owner
+     *  thread; the tile's fine scheduler keeps frontends awake while
+     *  this holds, so delivered flits are always drained on time). */
+    bool has_ejection_flits() const;
 
     // ------------------------------------------------------------------
     // Bidirectional-link support (paper II-A4).
@@ -258,9 +313,55 @@ class Router : public sim::Clocked
         std::atomic<std::uint32_t> demand{0};
     };
 
+    /**
+     * Wake record interposed between one ingress VC buffer and its
+     * previous wake target while fine-grain mode is active. Producers
+     * notify on their own thread; the record marks the (port, vc)
+     * occupancy bit and the pending wake cycle on the router, then
+     * forwards the wake unchanged to the previous target (the owning
+     * tile for inter-tile buffers), so tile-level scheduling is
+     * untouched. One record per ingress (port, vc), allocated eagerly
+     * in the constructor and never moved (buffers point at them).
+     */
+    struct IngressWake : Wakeable
+    {
+        Router *router = nullptr;   ///< record owner
+        PortId port = kInvalidPort; ///< ingress port of the buffer
+        VcId vc = kInvalidVc;       ///< VC of the buffer
+        Wakeable *next = nullptr;   ///< previous wake target (may be null)
+
+        /** Mark occupancy + pending wake, then forward to `next`. */
+        void
+        notify_activity(Cycle at) override
+        {
+            router->note_ingress_push(port, vc, at);
+            if (next != nullptr)
+                next->notify_activity(at);
+        }
+    };
+
     void do_route_compute(IngressPort &ip, VcState &st, const Flit &f);
     bool try_vc_allocate(IngressPort &ip, VcState &st, const Flit &f,
                          Cycle now);
+
+    /**
+     * Clear the occupancy bit of (@p port, @p vc), then re-set it if
+     * the buffer turns out to be non-empty. The clear-then-verify
+     * order makes concurrent producer pushes safe: the RMWs on the
+     * mask word are totally ordered, so if our clear lands after a
+     * producer's set, the acquire side of the clear also sees the
+     * producer's earlier publication of the flit and the size check
+     * re-sets the bit; if it lands before, the producer's set simply
+     * survives. Either way no occupied buffer ever ends up unmasked.
+     */
+    void
+    settle_ingress_bit(PortId port, VcId vc) const
+    {
+        const std::uint64_t bit = std::uint64_t{1} << vc;
+        ingress_mask_[port].fetch_and(~bit, std::memory_order_acq_rel);
+        if (ingress_[port].vcs[vc]->size_raw() != 0)
+            ingress_mask_[port].fetch_or(bit, std::memory_order_acq_rel);
+    }
 
     /** Downstream credit for (egress port, vc). */
     std::uint32_t
@@ -289,9 +390,49 @@ class Router : public sim::Clocked
     /** (port, vc) pairs whose ownership releases at the next negedge. */
     std::vector<std::pair<PortId, VcId>> pending_releases_;
 
+    // -------- fine-grain scheduling state (see set_fine) ------------
+    /** Fine-grain mode active (owner thread; flipped serially). */
+    bool fine_ = false;
+    /** Every ingress port fits a 64-bit occupancy mask. */
+    bool fine_supported_ = true;
+    /**
+     * Per-ingress-port VC occupancy masks: bit v of word p is set when
+     * buffer (p, v) may hold flits. Producers set bits (via the wake
+     * records, any thread); the owner settles stale bits with
+     * settle_ingress_bit(). Maintained only while fine_ is active;
+     * mutable because the owner settles bits from const queries
+     * (has_buffered_flits) — the masks are scheduler bookkeeping, not
+     * simulation state.
+     */
+    std::unique_ptr<std::atomic<std::uint64_t>[]> ingress_mask_;
+    /** Earliest arrival posted by note_ingress_push since the last
+     *  take_pending_wake (any thread; kNoEvent when none). */
+    std::atomic<Cycle> pending_wake_{kNoEvent};
+    /** One wake record per ingress (port, vc), in (port, vc) order;
+     *  sized in the ctor and never resized (buffers point into it). */
+    std::vector<IngressWake> wake_records_;
+    /** Ingress buffers popped this cycle (bounded by the one-flit-per-
+     *  ingress-port crossbar constraint); in fine mode the negedge
+     *  commits exactly these instead of scanning every buffer. */
+    std::vector<std::pair<PortId, VcId>> popped_dirty_;
+
     /** Scratch vectors reused across cycles to avoid allocation. */
     std::vector<std::pair<PortId, VcId>> scratch_candidates_;
     std::vector<VcId> scratch_vcs_;
+    // Stage-B scratch, hoisted out of posedge() (it used to heap-
+    // allocate four vectors per tick, on every scheduler).
+    std::vector<std::pair<PortId, VcId>> scratch_sb_;
+    std::vector<std::uint32_t> scratch_demand_;
+    std::vector<char> scratch_in_port_used_;
+    std::vector<std::uint32_t> scratch_eg_bw_left_;
+    /** Flattened per-(egress, out vc) single-write flags... indexed by
+     *  scratch_vc_base_[egress] + vc. */
+    std::vector<char> scratch_out_vc_used_;
+    std::vector<std::size_t> scratch_vc_base_;
+    // VCA scratch, hoisted out of try_vc_allocate for the same reason.
+    std::vector<double> scratch_weights_;
+    std::vector<VcId> scratch_grantable_;
+    std::vector<double> scratch_gweights_;
 };
 
 } // namespace hornet::net

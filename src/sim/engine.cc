@@ -11,27 +11,36 @@
 
 namespace hornet::sim {
 
+Schedule
+schedule_from_name(const std::string &name)
+{
+    if (name == "poll")
+        return Schedule::Poll;
+    if (name == "event")
+        return Schedule::Event;
+    if (name == "event-fine")
+        return Schedule::EventFine;
+    fatal("schedule must be \"poll\", \"event\" or \"event-fine\", "
+          "got \"" +
+          name + "\"");
+}
+
 namespace {
 
 /**
- * Scheduler selection when EngineOptions::event_driven is unset: the
- * HORNET_SCHEDULE environment variable ("poll" or "event"; unset or
- * empty selects polling). This is how CI runs the whole test suite
- * under both schedulers without touching every call site.
+ * Scheduler selection when EngineOptions::schedule is unset: the
+ * HORNET_SCHEDULE environment variable ("poll", "event" or
+ * "event-fine"; unset or empty selects polling). This is how CI runs
+ * the whole test suite under every scheduler without touching every
+ * call site.
  */
-bool
-env_event_default()
+Schedule
+env_schedule_default()
 {
     const char *e = std::getenv("HORNET_SCHEDULE");
     if (e == nullptr || *e == '\0')
-        return false;
-    const std::string v(e);
-    if (v == "poll")
-        return false;
-    if (v == "event")
-        return true;
-    fatal("HORNET_SCHEDULE must be \"poll\" or \"event\", got \"" + v +
-          "\"");
+        return Schedule::Poll;
+    return schedule_from_name(e);
 }
 
 } // namespace
@@ -41,10 +50,11 @@ env_event_default()
 // ----------------------------------------------------------------------
 
 void
-Shard::prepare_run(bool event_driven, bool track_done)
+Shard::prepare_run(Schedule sched, bool track_done)
 {
     ticks_ = 0;
-    event_ = event_driven && !tiles_.empty();
+    event_ = sched != Schedule::Poll && !tiles_.empty();
+    fine_ = sched == Schedule::EventFine && !tiles_.empty();
     track_done_ = track_done;
     // Same-shard buffers are accessed by this shard's thread only for
     // the whole run: select their unsynchronized fast path. Set here
@@ -67,7 +77,7 @@ Shard::prepare_run(bool event_driven, bool track_done)
     done_at_sleep_.assign(tiles_.size(), 0);
     active_ = tiles_;
     pending_active_.clear();
-    heap_ = {};
+    wheel_.reset(now_);
     sleeping_not_done_ = 0;
     // Discard stale wakes from a previous run (called serially, so no
     // producer can be posting concurrently).
@@ -82,6 +92,13 @@ Shard::prepare_run(bool event_driven, bool track_done)
     for (std::size_t i = 0; i < tiles_.size(); ++i) {
         tiles_[i]->set_sched_slot(i);
         tiles_[i]->set_wake_sink(this);
+        // Component-granularity mode: pinned tiles stay coarse (their
+        // owned links read neighbour state every cycle, outside the
+        // wake seam), everything else ticks only components with
+        // pending events. Tile::set_fine is itself a no-op on pinned
+        // tiles; the check just documents the contract.
+        if (fine_ && !tiles_[i]->pinned_awake())
+            tiles_[i]->set_fine(true);
     }
 }
 
@@ -104,6 +121,7 @@ Shard::finish_run()
         // statistics, and a future engine see one global clock).
         if (sleeping_[i])
             tiles_[i]->advance_to(now_);
+        tiles_[i]->set_fine(false);
         tiles_[i]->set_wake_sink(nullptr);
     }
     active_.clear();
@@ -111,9 +129,10 @@ Shard::finish_run()
     wake_at_.clear();
     sleeping_.clear();
     done_at_sleep_.clear();
-    heap_ = {};
+    wheel_.reset(now_);
     sleeping_not_done_ = 0;
     event_ = false;
+    fine_ = false;
 }
 
 // ----------------------------------------------------------------------
@@ -150,10 +169,10 @@ Shard::apply_wake(std::size_t slot, Cycle at)
         return; // active tiles re-evaluate their state every negedge
     const Cycle eff = std::max(at, now_);
     if (eff < wake_at_[slot]) {
-        // Lazy re-sort: push a superseding entry; the old one is
-        // dropped when it surfaces (settle_heap).
+        // Lazy re-sort: schedule a superseding entry; the old one is
+        // dropped when it surfaces (the wheel's validity predicate).
         wake_at_[slot] = eff;
-        heap_.emplace(eff, slot);
+        wheel_.schedule(eff, slot);
     }
 }
 
@@ -184,15 +203,12 @@ Shard::drain_mailbox()
     }
 }
 
-void
-Shard::settle_heap() const
+Cycle
+Shard::settled_min_wake() const
 {
-    while (!heap_.empty()) {
-        const auto &[c, slot] = heap_.top();
-        if (sleeping_[slot] && wake_at_[slot] == c)
-            break;
-        heap_.pop(); // superseded or already woken: stale entry
-    }
+    return wheel_.settle_min([this](Cycle c, std::uint64_t slot) {
+        return sleeping_[slot] != 0 && wake_at_[slot] == c;
+    });
 }
 
 void
@@ -216,14 +232,13 @@ Shard::activate(std::size_t slot)
 void
 Shard::activate_due()
 {
-    while (true) {
-        settle_heap();
-        if (heap_.empty() || heap_.top().first > now_)
-            break;
-        const std::size_t slot = heap_.top().second;
-        heap_.pop();
-        activate(slot);
-    }
+    // Stale entries (superseded or already woken) fail the validity
+    // test and are simply dropped; activation order within one cycle
+    // is irrelevant because cycle_begin sorts pending_active_ by id.
+    wheel_.pop_due(now_, [this](Cycle c, std::uint64_t slot) {
+        if (sleeping_[slot] != 0 && wake_at_[slot] == c)
+            activate(slot);
+    });
 }
 
 void
@@ -279,7 +294,7 @@ Shard::retire_idle()
                 ++sleeping_not_done_;
         }
         if (nxt != kNoEvent)
-            heap_.emplace(nxt, t->sched_slot());
+            wheel_.schedule(nxt, slot);
     }
     active_.resize(w);
 }
@@ -335,11 +350,7 @@ Shard::run_until(Cycle end)
             // Every tile sleeps: jump straight to the earliest wake
             // (or the window end). This is what makes free-running
             // windows O(active) instead of O(cycles x tiles).
-            settle_heap();
-            Cycle target = end;
-            if (!heap_.empty() && heap_.top().first < end)
-                target = heap_.top().first;
-            now_ = target;
+            now_ = std::min(end, settled_min_wake());
             continue; // re-drain the mailbox before deciding again
         }
         for (Tile *t : active_)
@@ -412,9 +423,7 @@ Shard::next_event() const
 {
     Cycle best = kNoEvent;
     if (event_) {
-        settle_heap();
-        if (!heap_.empty())
-            best = heap_.top().first; // min wake over sleeping tiles
+        best = settled_min_wake(); // min wake over sleeping tiles
         for (const Tile *t : active_)
             best = std::min(best, t->next_event());
         return best;
@@ -481,8 +490,19 @@ Engine::run(SyncPolicy &policy, const EngineOptions &opts)
         return 0;
 
     const unsigned T = static_cast<unsigned>(shards_.size());
-    const bool event = opts.event_driven.value_or(env_event_default());
+    const Schedule sched = opts.schedule.value_or(env_schedule_default());
     const Cycle start_cycle = shards_[0]->now();
+
+    // Baselines for the per-run component-tick counters: the tiles'
+    // comp_cycles_run() totals are lifetime-cumulative, so the run's
+    // contribution is differenced across the run.
+    std::uint64_t comp_before = 0;
+    std::uint64_t comps_total = 0;
+    for (const auto &s : shards_)
+        for (const Tile *t : s->tiles()) {
+            comp_before += t->comp_cycles_run();
+            comps_total += t->num_components();
+        }
 
     // Per-shard summaries cost a full component scan each; publish
     // only what the policy and the run options will actually read.
@@ -509,7 +529,7 @@ Engine::run(SyncPolicy &policy, const EngineOptions &opts)
     // another shard's buffers, so the schedules are built serially
     // here rather than at worker entry.
     for (auto &s : shards_)
-        s->prepare_run(event, need_done);
+        s->prepare_run(sched, need_done);
 
     // One shard's pre-rendezvous summary. Each shard writes its own
     // slot every window; CacheAligned keeps the slots on distinct
@@ -693,9 +713,18 @@ Engine::run(SyncPolicy &policy, const EngineOptions &opts)
     const Cycle end_cycle = shards_[0]->now();
 
     run_stats_ = EngineRunStats{};
-    run_stats_.event_driven = event;
+    run_stats_.event_driven = sched != Schedule::Poll;
+    run_stats_.event_fine = sched == Schedule::EventFine;
     run_stats_.threads_pinned = pin != common::PinMode::None;
     run_stats_.ff_skipped_cycles = sh.ff_skipped;
+    std::uint64_t comp_after = 0;
+    for (const auto &s : shards_)
+        for (const Tile *t : s->tiles())
+            comp_after += t->comp_cycles_run();
+    run_stats_.comp_cycles_run = comp_after - comp_before;
+    run_stats_.comp_cycles_skipped =
+        comps_total * (end_cycle - start_cycle) -
+        run_stats_.comp_cycles_run;
     std::uint64_t total_tile_cycles = 0;
     for (const auto &s : shards_) {
         run_stats_.tile_cycles_run += s->tile_cycles_run();

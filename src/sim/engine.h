@@ -16,21 +16,28 @@
  * sequential run is simply an Engine with a single shard — there is no
  * separate sequential code path.
  *
- * Each shard runs under one of two schedulers (EngineOptions::
- * event_driven, orthogonal to the SyncPolicy):
+ * Each shard runs under one of three schedulers (EngineOptions::
+ * schedule, orthogonal to the SyncPolicy):
  *
  *  - polling: every tile is ticked every cycle — O(tiles) per cycle;
  *  - event-driven: the shard keeps an *active set* of awake tiles plus
- *    a min-heap of (wake_cycle, tile) for the sleeping ones, ticks only
- *    the active set, and re-sorts lazily when a wake moves — O(active)
- *    per cycle. Sleeping is sound because ticking an idle tile is a
- *    no-op by construction, and pushes into a sleeping tile's VC
- *    buffers wake it through the Tile::notify_activity seam. Results
- *    are bitwise identical to the polling scheduler for lockstep
- *    windows and single-shard runs; loose multi-shard windows keep
- *    their own scheduler-independent timing nondeterminism, with the
- *    same conservation guarantees under either scheduler
- *    (docs/ENGINE.md, "Event-driven shards").
+ *    a timing wheel of (wake_cycle, tile) for the sleeping ones, ticks
+ *    only the active set, and re-sorts lazily when a wake moves —
+ *    O(active) per cycle. Sleeping is sound because ticking an idle
+ *    tile is a no-op by construction, and pushes into a sleeping
+ *    tile's VC buffers wake it through the Tile::notify_activity seam.
+ *  - event-fine: event-driven, plus component granularity *inside*
+ *    each awake tile — idle components (frontends between injections,
+ *    routers with no buffered flits) are skipped individually, and
+ *    the router's per-VC occupancy masks make its tick O(occupied
+ *    VCs) instead of O(ports x VCs) (docs/ENGINE.md,
+ *    "Component-granularity wakes").
+ *
+ * Results are bitwise identical across all three for lockstep windows
+ * and single-shard runs; loose multi-shard windows keep their own
+ * scheduler-independent timing nondeterminism, with the same
+ * conservation guarantees under every scheduler (docs/ENGINE.md,
+ * "Event-driven shards").
  */
 #ifndef HORNET_SIM_ENGINE_H
 #define HORNET_SIM_ENGINE_H
@@ -40,19 +47,41 @@
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <queue>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/placement.h"
 #include "common/ring.h"
+#include "common/timing_wheel.h"
 #include "common/types.h"
 #include "net/vc_buffer.h"
 #include "sim/sync_policy.h"
 #include "sim/tile.h"
 
 namespace hornet::sim {
+
+/**
+ * Shard scheduler selection (see the file comment): polling ticks
+ * every tile every cycle; event-driven ticks only awake tiles;
+ * event-fine additionally skips idle components inside awake tiles.
+ * All three produce bitwise-identical results for lockstep windows
+ * and single-shard runs.
+ */
+enum class Schedule
+{
+    Poll,     ///< tick every tile every cycle
+    Event,    ///< tile-granularity wake scheduling
+    EventFine ///< component-granularity wake scheduling
+};
+
+/**
+ * Parse a scheduler name: "poll", "event" or "event-fine" (the
+ * spelling used by HORNET_SCHEDULE, RunOptions::schedule and the
+ * `[sim] schedule` config key). Anything else is fatal.
+ */
+Schedule schedule_from_name(const std::string &name);
 
 /**
  * The set of tiles stepped by one execution thread. Tiles within a
@@ -170,16 +199,18 @@ class Shard final : public Tile::WakeSink
 
     /**
      * Prepare for one engine run: reset the tick counters, initialize
-     * the shard clock from the tiles, and — with @p event_driven —
+     * the shard clock from the tiles, and — under an event @p sched —
      * build the wake schedule (all tiles start active; sleepers peel
      * off after the first cycle) and register this shard as its tiles'
-     * wake sink. @p track_done records each tile's done() at sleep
-     * time so done() stays O(active); pass it only when the run needs
+     * wake sink; Schedule::EventFine additionally switches every
+     * non-pinned tile to component-granularity scheduling.
+     * @p track_done records each tile's done() at sleep time so
+     * done() stays O(active); pass it only when the run needs
      * completion detection (it costs a component scan per sleep).
      * Called serially, before any worker thread starts, so
      * cross-shard producers can never race a sink registration.
      */
-    void prepare_run(bool event_driven, bool track_done = false);
+    void prepare_run(Schedule sched, bool track_done = false);
 
     /** Bind the event scheduler to the executing worker thread (wakes
      *  from this thread are applied directly; any other thread posts
@@ -265,7 +296,7 @@ class Shard final : public Tile::WakeSink
     // tiles_; all three are resized together by prepare_run.
     //
     //  - wake_at_[i]: wake cycle while sleeping (kNoEvent = only an
-    //    external notify can wake it). A heap entry is valid iff the
+    //    external notify can wake it). A wheel entry is valid iff the
     //    tile is sleeping and the entry's cycle equals wake_at_ (lazy
     //    deletion of superseded entries).
     //  - sleeping_[i]: nonzero while the tile is parked in the heap
@@ -275,17 +306,18 @@ class Shard final : public Tile::WakeSink
     //    sleeping (the wake-seam contract forbids done() flips without
     //    a wake). Cold: only touched when a tile retires or activates.
 
-    /// Min-heap entry: (wake cycle, slot index).
+    /// Mailbox entry: (wake cycle, slot index).
     using WakeEntry = std::pair<Cycle, std::size_t>;
 
     void drain_mailbox();
     void apply_wake(std::size_t slot, Cycle at);
     void activate_due();
     void activate(std::size_t slot);
-    /// Drop stale heap entries; afterwards top() (if any) is valid.
-    /// Logically const (lazy cleanup only), hence the mutable heap.
-    void settle_heap() const;
-    /// Move tiles that went idle at this negedge to the wake heap.
+    /// Earliest valid pending wake (kNoEvent if none); drops stale
+    /// wheel entries on the way. Logically const (lazy cleanup only),
+    /// hence the mutable wheel.
+    Cycle settled_min_wake() const;
+    /// Move tiles that went idle at this negedge to the wake wheel.
     void retire_idle();
     /// Top-of-cycle bookkeeping: drain wakes, activate due sleepers.
     void cycle_begin();
@@ -305,13 +337,14 @@ class Shard final : public Tile::WakeSink
     std::vector<net::VcBuffer *> local_bufs_;
 
     // Event-driven scheduling state. This block — the clock, the
-    // active set, the wake heap's hot head and the tick counter — is
+    // active set, the wake wheel's hot head and the tick counter — is
     // touched by the owning thread every cycle and by nobody else;
     // the alignas fences it off from the preceding wiring vectors and,
     // via the mailbox's own alignment below, from everything remote
     // threads write, so a cross-shard wake post never invalidates the
     // scheduler's working set.
     alignas(common::kCacheLineSize) bool event_ = false;
+    bool fine_ = false; ///< component-granularity tiles (EventFine)
     bool track_done_ = false;
     Cycle now_ = 0;
     std::vector<Cycle> wake_at_;            ///< see the Slot-split comment
@@ -319,11 +352,10 @@ class Shard final : public Tile::WakeSink
     std::vector<std::uint8_t> done_at_sleep_; ///< cold completion cache
     std::vector<Tile *> active_; ///< awake tiles, kept in id order
     std::vector<Tile *> pending_active_; ///< woken, not yet merged
-    /// Min-heap of pending wakes; mutable because stale-entry cleanup
-    /// (settle_heap) is logically const.
-    mutable std::priority_queue<WakeEntry, std::vector<WakeEntry>,
-                                std::greater<WakeEntry>>
-        heap_;
+    /// Calendar queue of pending wakes (O(1) amortized schedule/pop;
+    /// see common/timing_wheel.h). Mutable because stale-entry
+    /// cleanup (settled_min_wake) is logically const.
+    mutable common::TimingWheel wheel_;
     std::size_t sleeping_not_done_ = 0;
     std::uint64_t ticks_ = 0;
     std::thread::id run_thread_{};
@@ -376,16 +408,15 @@ struct EngineOptions
      */
     bool batch_cross_shard = false;
     /**
-     * Shard scheduler selection: true = event-driven (tick only awake
-     * tiles, O(active tiles) per cycle), false = polling (tick every
-     * tile, O(tiles) per cycle). Unset (the default) defers to the
-     * HORNET_SCHEDULE environment variable ("event" or "poll"; unset
-     * or empty = poll), which is how CI runs the whole suite under
-     * both schedulers. Results are bitwise identical either way for
-     * lockstep windows and single-shard runs; loose multi-shard
-     * windows are timing-nondeterministic under either scheduler.
+     * Shard scheduler selection (see Schedule). Unset (the default)
+     * defers to the HORNET_SCHEDULE environment variable ("poll",
+     * "event" or "event-fine"; unset or empty = poll), which is how
+     * CI runs the whole suite under every scheduler. Results are
+     * bitwise identical across schedulers for lockstep windows and
+     * single-shard runs; loose multi-shard windows are
+     * timing-nondeterministic under every scheduler.
      */
-    std::optional<bool> event_driven;
+    std::optional<Schedule> schedule;
     /**
      * Worker thread affinity (resolved via common::resolve_pin_mode):
      * pin worker t so shard t stays on the core whose NUMA node holds
@@ -409,8 +440,21 @@ struct EngineRunStats
     /** Tile-cycles *not* ticked: fast-forward jumps plus, under the
      *  event-driven scheduler, cycles individual tiles slept. */
     std::uint64_t tile_cycles_skipped = 0;
-    /** True when the run used the event-driven shard scheduler. */
+    /** Component-cycles actually ticked (summed over tiles; a coarse
+     *  tile tick counts every component, a fine one only the awake
+     *  ones). */
+    std::uint64_t comp_cycles_run = 0;
+    /** Component-cycles *not* ticked out of the component x cycle
+     *  grid: tile-level sleeping and fast-forward plus, under
+     *  Schedule::EventFine, per-component sleeping inside awake
+     *  tiles. */
+    std::uint64_t comp_cycles_skipped = 0;
+    /** True when the run used an event-driven shard scheduler
+     *  (Schedule::Event or Schedule::EventFine). */
     bool event_driven = false;
+    /** True when the run used component-granularity scheduling
+     *  (Schedule::EventFine). */
+    bool event_fine = false;
     /** True when worker threads were pinned (pin_threads resolved to
      *  an affinity mode the platform could apply). */
     bool threads_pinned = false;

@@ -165,13 +165,8 @@ System::run(const RunOptions &opts)
     eng_opts.max_cycles = opts.max_cycles;
     eng_opts.stop_when_done = opts.stop_when_done;
     eng_opts.batch_cross_shard = opts.batch_handoff;
-    if (opts.schedule == "poll")
-        eng_opts.event_driven = false;
-    else if (opts.schedule == "event")
-        eng_opts.event_driven = true;
-    else if (!opts.schedule.empty())
-        fatal("run: unknown schedule \"" + opts.schedule +
-              "\" (expected poll or event)");
+    if (!opts.schedule.empty())
+        eng_opts.schedule = schedule_from_name(opts.schedule);
     eng_opts.pin_threads = common::pin_mode_from_string(
         opts.pin.empty() ? "auto" : opts.pin);
     return run(*policy, eng_opts, opts.threads);
@@ -202,6 +197,8 @@ System::collect_stats() const
     out.ff_skipped_cycles = last_engine_stats_.ff_skipped_cycles;
     out.tile_cycles_run = last_engine_stats_.tile_cycles_run;
     out.tile_cycles_skipped = last_engine_stats_.tile_cycles_skipped;
+    out.comp_cycles_run = last_engine_stats_.comp_cycles_run;
+    out.comp_cycles_skipped = last_engine_stats_.comp_cycles_skipped;
     out.arena_per_group.reserve(arenas_.size());
     for (const auto &a : arenas_) {
         out.arena_per_group.push_back(

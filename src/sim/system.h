@@ -59,11 +59,12 @@ struct RunOptions
     bool batch_handoff = false;
     /**
      * Shard scheduler by name: "poll" ticks every tile every cycle,
-     * "event" ticks only awake tiles (O(active) per cycle; bitwise
-     * identical results for lockstep/single-shard runs — see
-     * EngineOptions::event_driven for the loose-window caveat). Left
-     * empty, the HORNET_SCHEDULE environment variable decides
-     * (default poll).
+     * "event" ticks only awake tiles (O(active) per cycle),
+     * "event-fine" additionally skips idle components inside awake
+     * tiles (bitwise identical results for lockstep/single-shard
+     * runs — see EngineOptions::schedule for the loose-window
+     * caveat). Left empty, the HORNET_SCHEDULE environment variable
+     * decides (default poll).
      */
     std::string schedule;
     /** Also stop as soon as every frontend is done and the network has

@@ -155,6 +155,85 @@ class Tile : public Wakeable
     std::size_t sched_slot() const { return sched_slot_; }
 
     /**
+     * Enter or leave fine-grain (component-granularity) scheduling
+     * (docs/ENGINE.md, "Component-granularity wakes"). While active,
+     * an awake tile ticks only the components with pending work:
+     * every component keeps a sleeping flag and an absolute wake
+     * cycle, idle components retire after each negedge, and pushes
+     * wake exactly the component that consumes them — the router via
+     * its interposed ingress wake records, the frontends via a wake
+     * record interposed on the ejection buffers. Bitwise neutral by
+     * the wake-seam contract (ticking an idle component is a no-op).
+     * Called serially by the owning Shard's prepare_run/finish_run;
+     * pinned tiles stay coarse (their link arbiters are coupled to
+     * both endpoint routers' demand outside the wake seam).
+     */
+    void
+    set_fine(bool on)
+    {
+        if (on == fine_)
+            return;
+        if (on && pinned_awake_)
+            return; // pinned tiles tick every component every cycle
+        if (order_dirty_)
+            rebuild_order();
+        if (on) {
+            comp_awake_.assign(negedge_order_.size(), 1);
+            comp_wake_at_.assign(negedge_order_.size(), kNoEvent);
+            router_fine_ =
+                router_ != nullptr && router_->fine_supported();
+            if (router_fine_)
+                router_->set_fine(true);
+            ej_pending_ = kNoEvent;
+            saved_ej_targets_.clear();
+            if (router_ != nullptr) {
+                for (VcId v = 0; v < router_->num_ejection_vcs(); ++v) {
+                    net::VcBuffer &b = router_->ejection_buffer(v);
+                    saved_ej_targets_.push_back(b.wake_target());
+                    b.set_wake_target(&ej_wake_);
+                }
+            }
+        } else {
+            if (router_ != nullptr) {
+                for (VcId v = 0; v < router_->num_ejection_vcs(); ++v)
+                    router_->ejection_buffer(v).set_wake_target(
+                        saved_ej_targets_[v]);
+                saved_ej_targets_.clear();
+            }
+            if (router_fine_)
+                router_->set_fine(false);
+            router_fine_ = false;
+            comp_awake_.clear();
+            comp_wake_at_.clear();
+        }
+        fine_ = on;
+    }
+
+    /** True while fine-grain (component-granularity) scheduling is
+     *  active on this tile. */
+    bool fine() const { return fine_; }
+
+    /**
+     * Lifetime-cumulative count of component ticks actually executed
+     * (both edges of one cycle count once). Under coarse scheduling an
+     * awake tile ticks every component; under fine-grain scheduling
+     * only the awake ones — the engine differences this across a run
+     * to report how many component ticks the scheduler skipped.
+     */
+    std::uint64_t comp_cycles_run() const { return comp_cycles_; }
+
+    /** Number of clocked components this tile ticks per cycle
+     *  (router, frontends, owned link arbiters): the denominator of
+     *  the component x cycle grid comp_cycles_run() covers. */
+    std::size_t
+    num_components() const
+    {
+        if (order_dirty_)
+            rebuild_order();
+        return negedge_order_.size();
+    }
+
+    /**
      * Drop the cached aggregate folds. Called at every tick and clock
      * jump (owning thread), from notify_activity() (any thread), and
      * by the scheduler when it re-activates a sleeping tile — a
@@ -228,28 +307,52 @@ class Tile : public Wakeable
         return egress_buffers_;
     }
 
-    /** Positive edge: tick every component in posedge order. */
+    /** Positive edge: tick every component in posedge order (under
+     *  fine-grain scheduling, only the awake ones, after applying the
+     *  cycle's pending component wakes). */
     void
     posedge()
     {
         if (order_dirty_)
             rebuild_order();
         invalidate_aggregates();
-        for (Clocked *c : posedge_order_)
-            c->posedge(now_);
+        if (!fine_) {
+            for (Clocked *c : posedge_order_)
+                c->posedge(now_);
+            return;
+        }
+        fine_cycle_begin();
+        for (std::size_t k = 0; k < posedge_order_.size(); ++k)
+            if (comp_awake_[posedge_comp_[k]] != 0)
+                posedge_order_[k]->posedge(now_);
     }
 
-    /** Negative edge: commit every component in negedge order, then
-     *  advance the clock. */
+    /** Negative edge: commit every component in negedge order (under
+     *  fine-grain scheduling, only the awake ones), advance the clock,
+     *  then retire components that went idle. */
     void
     negedge()
     {
         if (order_dirty_)
             rebuild_order();
         invalidate_aggregates();
-        for (Clocked *c : negedge_order_)
-            c->negedge(now_);
+        if (!fine_) {
+            for (Clocked *c : negedge_order_)
+                c->negedge(now_);
+            comp_cycles_ += negedge_order_.size();
+            ++now_;
+            return;
+        }
+        std::uint64_t awake = 0;
+        for (std::size_t i = 0; i < negedge_order_.size(); ++i) {
+            if (comp_awake_[i] != 0) {
+                negedge_order_[i]->negedge(now_);
+                ++awake;
+            }
+        }
+        comp_cycles_ += awake;
         ++now_;
+        fine_retire();
     }
 
     /**
@@ -343,17 +446,102 @@ class Tile : public Wakeable
     {
         posedge_order_.clear();
         negedge_order_.clear();
+        comp_kind_.clear();
         for (const auto &fe : frontends_)
             posedge_order_.push_back(fe.get());
         if (router_ != nullptr) {
             posedge_order_.push_back(router_);
             negedge_order_.push_back(router_);
+            comp_kind_.push_back(kCompRouter);
         }
-        for (const auto &fe : frontends_)
+        for (const auto &fe : frontends_) {
             negedge_order_.push_back(fe.get());
-        for (auto *l : owned_links_)
+            comp_kind_.push_back(kCompFrontend);
+        }
+        for (auto *l : owned_links_) {
             negedge_order_.push_back(l);
+            comp_kind_.push_back(kCompLink);
+        }
+        // Map each posedge position to its component's negedge index
+        // (the canonical index of the fine-grain state arrays):
+        // frontends follow the router in negedge order, the router —
+        // last at the posedge — is index 0.
+        posedge_comp_.clear();
+        const std::size_t fe_base = router_ != nullptr ? 1 : 0;
+        for (std::size_t i = 0; i < frontends_.size(); ++i)
+            posedge_comp_.push_back(fe_base + i);
+        if (router_ != nullptr)
+            posedge_comp_.push_back(0);
         order_dirty_ = false;
+    }
+
+    /**
+     * Start-of-cycle wake application (fine-grain mode): fold the
+     * router's pending ingress arrivals and the pending ejection wake
+     * into the component wake cycles, then wake every component whose
+     * wake cycle is due. Pending wakes for a component that is already
+     * awake are dropped — an awake router drains its buffers anyway
+     * and cannot retire while they hold flits, so nothing is lost.
+     */
+    void
+    fine_cycle_begin()
+    {
+        if (router_fine_) {
+            const Cycle p = router_->take_pending_wake();
+            if (p != kNoEvent && comp_awake_[0] == 0 &&
+                p < comp_wake_at_[0])
+                comp_wake_at_[0] = p;
+        }
+        if (ej_pending_ != kNoEvent) {
+            for (std::size_t i = 0; i < negedge_order_.size(); ++i) {
+                if (comp_kind_[i] == kCompFrontend &&
+                    comp_awake_[i] == 0 &&
+                    ej_pending_ < comp_wake_at_[i])
+                    comp_wake_at_[i] = ej_pending_;
+            }
+            ej_pending_ = kNoEvent;
+        }
+        for (std::size_t i = 0; i < negedge_order_.size(); ++i) {
+            if (comp_awake_[i] == 0 && comp_wake_at_[i] <= now_) {
+                comp_awake_[i] = 1;
+                comp_wake_at_[i] = kNoEvent;
+            }
+        }
+    }
+
+    /**
+     * End-of-cycle component retire (fine-grain mode; the clock has
+     * already advanced): put idle components to sleep until their next
+     * self-scheduled event. Link arbiters never retire (their output
+     * depends on both routers' demand, outside the wake seam), a
+     * router without mask support never retires, and frontends stay
+     * awake while ejection buffers hold flits — a bridge may report
+     * idle with undrained deliveries pending, and sleeping it would
+     * strand them.
+     */
+    void
+    fine_retire()
+    {
+        const bool ej =
+            router_ != nullptr && router_->has_ejection_flits();
+        for (std::size_t i = 0; i < negedge_order_.size(); ++i) {
+            if (comp_awake_[i] == 0)
+                continue;
+            if (comp_kind_[i] == kCompLink)
+                continue;
+            if (comp_kind_[i] == kCompRouter && !router_fine_)
+                continue;
+            if (comp_kind_[i] == kCompFrontend && ej)
+                continue;
+            const Clocked *c = negedge_order_[i];
+            if (!c->idle(now_))
+                continue;
+            const Cycle nxt = c->next_event(now_);
+            if (nxt <= now_)
+                continue;
+            comp_awake_[i] = 0;
+            comp_wake_at_[i] = nxt;
+        }
     }
 
     NodeId id_;
@@ -392,6 +580,61 @@ class Tile : public Wakeable
     WakeSink *wake_sink_ = nullptr;
     bool pinned_awake_ = false;
     std::size_t sched_slot_ = 0;
+
+    // ---------------- fine-grain scheduling state -------------------
+
+    /**
+     * Wake record interposed on the ejection buffers while fine-grain
+     * mode is active: the router delivers to the CPU port on the
+     * owning thread, so a plain min-fold of the arrival cycle is
+     * enough; the pending value wakes every frontend at the next
+     * cycle begin (conservative — waking a frontend with nothing to
+     * drain is a no-op by the wake-seam contract).
+     */
+    struct EjectionWake : Wakeable
+    {
+        /** @param t the owning tile. */
+        explicit EjectionWake(Tile *t) : tile(t) {}
+        Tile *tile; ///< record owner
+        /** Fold @p at into the tile's pending ejection wake. */
+        void
+        notify_activity(Cycle at) override
+        {
+            if (at < tile->ej_pending_)
+                tile->ej_pending_ = at;
+        }
+    };
+
+    /// Component kinds, indexed like negedge_order_ (fine-grain
+    /// scheduling treats the kinds differently at retire time).
+    enum : std::uint8_t
+    {
+        kCompRouter = 0,
+        kCompFrontend = 1,
+        kCompLink = 2
+    };
+
+    bool fine_ = false;        ///< component-granularity mode active
+    bool router_fine_ = false; ///< router participates in retiring
+    /// Awake flag per component, indexed like negedge_order_.
+    std::vector<std::uint8_t> comp_awake_;
+    /// Absolute wake cycle per sleeping component (kNoEvent: external
+    /// wakes only), indexed like negedge_order_.
+    std::vector<Cycle> comp_wake_at_;
+    /// Component kind per negedge_order_ index (rebuild_order).
+    mutable std::vector<std::uint8_t> comp_kind_;
+    /// posedge_order_ position -> negedge_order_ index (rebuild_order).
+    mutable std::vector<std::size_t> posedge_comp_;
+    /// Earliest undrained ejection arrival (owner thread; kNoEvent
+    /// when none). Folded into the frontends' wake cycles at the next
+    /// cycle begin.
+    Cycle ej_pending_ = kNoEvent;
+    /// Ejection-buffer wake targets saved across an interposition.
+    std::vector<Wakeable *> saved_ej_targets_;
+    /// The one ejection wake record (all ejection VCs share it).
+    EjectionWake ej_wake_{this};
+    /// Lifetime component ticks executed (see comp_cycles_run()).
+    std::uint64_t comp_cycles_ = 0;
 };
 
 } // namespace hornet::sim

@@ -15,78 +15,54 @@
 
 #include <memory>
 
-#include "net/routing/builders.h"
-#include "net/topology.h"
 #include "sim/system.h"
 #include "test_util.h"
-#include "traffic/flows.h"
-#include "traffic/patterns.h"
-#include "traffic/synthetic.h"
 
 namespace hornet {
 namespace {
 
-/** side x side shuffle mesh with one injector per node, with an
- *  explicit memory layout. */
-std::unique_ptr<sim::System>
-make_big_mesh(std::uint32_t side, double rate, std::uint64_t seed,
-              const sim::SystemLayout &layout)
-{
-    net::Topology topo = net::Topology::mesh2d(side, side);
-    net::NetworkConfig cfg;
-    auto sys = std::make_unique<sim::System>(topo, cfg, seed, layout);
-    auto pattern =
-        traffic::pattern_by_name("shuffle", topo.num_nodes());
-    auto flows = traffic::flows_for_pattern(topo.num_nodes(), pattern);
-    net::routing::build_xy(sys->network(), flows);
-    for (NodeId n = 0; n < topo.num_nodes(); ++n) {
-        traffic::SyntheticConfig sc;
-        sc.pattern = pattern;
-        sc.packet_size = 4;
-        sc.rate = rate;
-        sys->add_frontend(n,
-                          std::make_unique<traffic::SyntheticInjector>(
-                              sys->tile(n), sc));
-    }
-    return sys;
-}
+using testutil::make_big_mesh;
 
-TEST(BigMesh, Mesh64RunsUnderBothSchedulers)
+TEST(BigMesh, Mesh64RunsUnderAllSchedulers)
 {
     // The headline acceptance case: 4096 tiles construct into the
-    // per-group arenas and run. Poll and event legs must agree on
+    // per-group arenas and run. All scheduler legs must agree on
     // delivered traffic (full bitwise identity is asserted on the
     // cheaper 32x32 below).
-    std::uint64_t delivered[2];
-    for (int event = 0; event < 2; ++event) {
-        auto sys = make_big_mesh(64, 0.02, /*seed=*/11, {});
+    std::uint64_t delivered[3];
+    int i = 0;
+    for (const char *sched : {"poll", "event", "event-fine"}) {
+        auto sys = make_big_mesh(64, 0.02, /*seed=*/11);
         ASSERT_EQ(sys->num_tiles(), 4096u);
         sim::RunOptions ro;
         ro.max_cycles = 150;
-        ro.schedule = event ? "event" : "poll";
+        ro.schedule = sched;
         sys->run(ro);
-        delivered[event] =
-            sys->collect_stats().total.flits_delivered;
+        delivered[i++] = sys->collect_stats().total.flits_delivered;
     }
     EXPECT_GT(delivered[0], 0u);
     EXPECT_EQ(delivered[0], delivered[1]);
+    EXPECT_EQ(delivered[0], delivered[2]);
 }
 
-TEST(BigMesh, Mesh32PollEventBitwiseIdentical)
+TEST(BigMesh, Mesh32SchedulersBitwiseIdentical)
 {
     // Single-shard event-driven scheduling carries the paper's
     // determinism contract to giant meshes: the full per-tile /
-    // per-flow fingerprint must match the polling leg exactly.
-    std::string snaps[2];
-    for (int event = 0; event < 2; ++event) {
-        auto sys = make_big_mesh(32, 0.05, /*seed=*/23, {});
+    // per-flow fingerprint must match the polling leg exactly, at
+    // tile and at component granularity.
+    std::string snaps[3];
+    int i = 0;
+    for (const char *sched : {"poll", "event", "event-fine"}) {
+        auto sys = make_big_mesh(32, 0.05, /*seed=*/23);
         sim::RunOptions ro;
         ro.max_cycles = 400;
-        ro.schedule = event ? "event" : "poll";
+        ro.schedule = sched;
         sys->run(ro);
-        snaps[event] = testutil::snapshot(sys->collect_stats());
+        snaps[i++] = testutil::snapshot(sys->collect_stats());
     }
     EXPECT_EQ(snaps[0], snaps[1]);
+    EXPECT_EQ(snaps[0], snaps[2]);
 }
 
 TEST(BigMesh, PlacementGroupsNeverChangeResults)

@@ -28,40 +28,33 @@ using sim::EngineOptions;
 using sim::FastForwardSync;
 using sim::PeriodicSync;
 using sim::RunOptions;
+using sim::Schedule;
 using sim::System;
 using testutil::make_mesh_system;
+using testutil::run_scheduled;
 using testutil::snapshot;
-
-/** Run @p sys under an explicit scheduler selection. */
-Cycle
-run_scheduled(System &sys, sim::SyncPolicy &policy, bool event,
-              unsigned threads, Cycle max_cycles, bool batch = false)
-{
-    EngineOptions opts;
-    opts.max_cycles = max_cycles;
-    opts.batch_cross_shard = batch;
-    opts.event_driven = event;
-    return sys.run(policy, opts, threads);
-}
 
 TEST(EventDriven, MatchesPollBitwiseUnderCycleAccurate)
 {
-    // Acceptance: 8x8 mesh, cycle-accurate sync — the event-driven
-    // scheduler must produce bitwise-identical statistics to the
+    // Acceptance: 8x8 mesh, cycle-accurate sync — both event-driven
+    // schedulers must produce bitwise-identical statistics to the
     // polling scheduler, sequentially and with 4 threads.
     auto ref_sys = make_mesh_system(8, 0.15, 7);
     CycleAccurateSync ref_policy;
-    run_scheduled(*ref_sys, ref_policy, /*event=*/false, 1, 2000);
+    run_scheduled(*ref_sys, ref_policy, Schedule::Poll, 1, 2000);
     const std::string ref = snapshot(ref_sys->collect_stats());
 
-    for (unsigned threads : {1u, 4u}) {
-        auto sys = make_mesh_system(8, 0.15, 7);
-        CycleAccurateSync policy;
-        Cycle end =
-            run_scheduled(*sys, policy, /*event=*/true, threads, 2000);
-        EXPECT_EQ(end, 2000u);
-        EXPECT_EQ(snapshot(sys->collect_stats()), ref)
-            << "threads=" << threads;
+    for (Schedule sched : {Schedule::Event, Schedule::EventFine}) {
+        for (unsigned threads : {1u, 4u}) {
+            auto sys = make_mesh_system(8, 0.15, 7);
+            CycleAccurateSync policy;
+            Cycle end =
+                run_scheduled(*sys, policy, sched, threads, 2000);
+            EXPECT_EQ(end, 2000u);
+            EXPECT_EQ(snapshot(sys->collect_stats()), ref)
+                << "fine=" << (sched == Schedule::EventFine)
+                << " threads=" << threads;
+        }
     }
 }
 
@@ -72,13 +65,16 @@ TEST(EventDriven, MatchesPollBitwiseUnderPeriodicFreeRun)
     // stay bitwise.
     auto ref_sys = make_mesh_system(4, 0.0, 5, /*burst_period=*/300);
     PeriodicSync ref_policy(16);
-    run_scheduled(*ref_sys, ref_policy, /*event=*/false, 1, 6000);
+    run_scheduled(*ref_sys, ref_policy, Schedule::Poll, 1, 6000);
     const std::string ref = snapshot(ref_sys->collect_stats());
 
-    auto sys = make_mesh_system(4, 0.0, 5, /*burst_period=*/300);
-    PeriodicSync policy(16);
-    run_scheduled(*sys, policy, /*event=*/true, 1, 6000);
-    EXPECT_EQ(snapshot(sys->collect_stats()), ref);
+    for (Schedule sched : {Schedule::Event, Schedule::EventFine}) {
+        auto sys = make_mesh_system(4, 0.0, 5, /*burst_period=*/300);
+        PeriodicSync policy(16);
+        run_scheduled(*sys, policy, sched, 1, 6000);
+        EXPECT_EQ(snapshot(sys->collect_stats()), ref)
+            << "fine=" << (sched == Schedule::EventFine);
+    }
 }
 
 TEST(EventDriven, MatchesPollBitwiseUnderAdaptiveBatchedLockstep)
@@ -92,15 +88,18 @@ TEST(EventDriven, MatchesPollBitwiseUnderAdaptiveBatchedLockstep)
 
     auto ref_sys = make_mesh_system(8, 0.15, 7);
     AdaptiveSync ref_policy(pinned);
-    run_scheduled(*ref_sys, ref_policy, /*event=*/false, 1, 2000);
+    run_scheduled(*ref_sys, ref_policy, Schedule::Poll, 1, 2000);
     const std::string ref = snapshot(ref_sys->collect_stats());
 
-    for (bool batch : {false, true}) {
-        auto sys = make_mesh_system(8, 0.15, 7);
-        AdaptiveSync policy(pinned);
-        run_scheduled(*sys, policy, /*event=*/true, 4, 2000, batch);
-        EXPECT_EQ(snapshot(sys->collect_stats()), ref)
-            << "batch=" << batch;
+    for (Schedule sched : {Schedule::Event, Schedule::EventFine}) {
+        for (bool batch : {false, true}) {
+            auto sys = make_mesh_system(8, 0.15, 7);
+            AdaptiveSync policy(pinned);
+            run_scheduled(*sys, policy, sched, 4, 2000, batch);
+            EXPECT_EQ(snapshot(sys->collect_stats()), ref)
+                << "fine=" << (sched == Schedule::EventFine)
+                << " batch=" << batch;
+        }
     }
 }
 
@@ -110,15 +109,19 @@ TEST(EventDriven, MatchesPollBitwiseUnderFastForward)
     // (per-tile sleep): same results, and both skip counters move.
     auto ref_sys = make_mesh_system(4, 0.0, 9, /*burst_period=*/500);
     FastForwardSync ref_policy(std::make_unique<CycleAccurateSync>());
-    run_scheduled(*ref_sys, ref_policy, /*event=*/false, 1, 5000);
+    run_scheduled(*ref_sys, ref_policy, Schedule::Poll, 1, 5000);
     const std::string ref = snapshot(ref_sys->collect_stats());
 
-    for (unsigned threads : {1u, 3u}) {
-        auto sys = make_mesh_system(4, 0.0, 9, /*burst_period=*/500);
-        FastForwardSync policy(std::make_unique<CycleAccurateSync>());
-        run_scheduled(*sys, policy, /*event=*/true, threads, 5000);
-        EXPECT_EQ(snapshot(sys->collect_stats()), ref)
-            << "threads=" << threads;
+    for (Schedule sched : {Schedule::Event, Schedule::EventFine}) {
+        for (unsigned threads : {1u, 3u}) {
+            auto sys = make_mesh_system(4, 0.0, 9, /*burst_period=*/500);
+            FastForwardSync policy(
+                std::make_unique<CycleAccurateSync>());
+            run_scheduled(*sys, policy, sched, threads, 5000);
+            EXPECT_EQ(snapshot(sys->collect_stats()), ref)
+                << "fine=" << (sched == Schedule::EventFine)
+                << " threads=" << threads;
+        }
     }
 }
 
@@ -134,7 +137,7 @@ TEST(EventDriven, AdaptiveBatchedMultiThreadConservesAllTraffic)
     EngineOptions opts;
     opts.max_cycles = 16000;
     opts.batch_cross_shard = true;
-    opts.event_driven = true;
+    opts.schedule = Schedule::Event;
     sys->run(policy, opts, /*threads=*/4);
     auto s = sys->collect_stats();
     EXPECT_GT(s.total.packets_injected, 0u);
@@ -150,7 +153,7 @@ TEST(EventDriven, PeriodicMultiThreadConservesAllTraffic)
         PeriodicSync policy(period);
         EngineOptions opts;
         opts.max_cycles = 16000;
-        opts.event_driven = true;
+        opts.schedule = Schedule::Event;
         sys->run(policy, opts, /*threads=*/4);
         auto s = sys->collect_stats();
         EXPECT_GT(s.total.packets_injected, 0u) << "period=" << period;
@@ -182,18 +185,20 @@ TEST(EventDriven, WakeOrderingAcrossBatchedCrossShardPush)
 
     auto ref_sys = build();
     CycleAccurateSync ref_policy;
-    run_scheduled(*ref_sys, ref_policy, /*event=*/false, 1, 400);
+    run_scheduled(*ref_sys, ref_policy, Schedule::Poll, 1, 400);
     const std::string ref = snapshot(ref_sys->collect_stats());
     EXPECT_EQ(ref_sys->collect_stats().total.packets_delivered, 2u);
 
-    for (bool event : {false, true}) {
+    for (Schedule sched :
+         {Schedule::Poll, Schedule::Event, Schedule::EventFine}) {
         for (bool batch : {false, true}) {
             auto sys = build();
             CycleAccurateSync policy;
-            run_scheduled(*sys, policy, event, /*threads=*/2, 400,
+            run_scheduled(*sys, policy, sched, /*threads=*/2, 400,
                           batch);
             EXPECT_EQ(snapshot(sys->collect_stats()), ref)
-                << "event=" << event << " batch=" << batch;
+                << "sched=" << static_cast<int>(sched)
+                << " batch=" << batch;
         }
     }
 }
@@ -226,15 +231,19 @@ TEST(EventDriven, BidirectionalLinkEndpointsArePinnedAndStayExact)
 
     auto ref_sys = build();
     CycleAccurateSync ref_policy;
-    run_scheduled(*ref_sys, ref_policy, /*event=*/false, 1, 1500);
+    run_scheduled(*ref_sys, ref_policy, Schedule::Poll, 1, 1500);
     const std::string ref = snapshot(ref_sys->collect_stats());
 
-    auto sys = build();
-    CycleAccurateSync policy;
-    run_scheduled(*sys, policy, /*event=*/true, 2, 1500);
-    EXPECT_EQ(snapshot(sys->collect_stats()), ref);
-    // Every tile is a bidir-link endpoint here: all pinned, none slept.
-    EXPECT_EQ(sys->last_engine_stats().tile_cycles_skipped, 0u);
+    for (Schedule sched : {Schedule::Event, Schedule::EventFine}) {
+        auto sys = build();
+        CycleAccurateSync policy;
+        run_scheduled(*sys, policy, sched, 2, 1500);
+        EXPECT_EQ(snapshot(sys->collect_stats()), ref)
+            << "fine=" << (sched == Schedule::EventFine);
+        // Every tile is a bidir-link endpoint: all pinned, none slept
+        // (and pinned tiles never switch to component granularity).
+        EXPECT_EQ(sys->last_engine_stats().tile_cycles_skipped, 0u);
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -344,7 +353,7 @@ TEST(EventDriven, SkippedCycleCountersAreReported)
     // Fast-forward, polling: global jumps show up in both counters.
     auto ff_sys = make_mesh_system(4, 0.0, 9, /*burst_period=*/500);
     FastForwardSync ff(std::make_unique<CycleAccurateSync>());
-    run_scheduled(*ff_sys, ff, /*event=*/false, 1, horizon);
+    run_scheduled(*ff_sys, ff, Schedule::Poll, 1, horizon);
     auto ff_stats = ff_sys->collect_stats();
     EXPECT_GT(ff_stats.ff_skipped_cycles, 0u);
     EXPECT_GT(ff_stats.tile_cycles_skipped, 0u);
@@ -357,7 +366,7 @@ TEST(EventDriven, SkippedCycleCountersAreReported)
     // tile-cycle counter, while no global jumps happen.
     auto ev_sys = make_mesh_system(4, 0.0, 9, /*burst_period=*/500);
     CycleAccurateSync ca;
-    run_scheduled(*ev_sys, ca, /*event=*/true, 1, horizon);
+    run_scheduled(*ev_sys, ca, Schedule::Event, 1, horizon);
     auto ev_stats = ev_sys->collect_stats();
     EXPECT_EQ(ev_stats.ff_skipped_cycles, 0u);
     EXPECT_GT(ev_stats.tile_cycles_skipped, 0u);
@@ -367,10 +376,41 @@ TEST(EventDriven, SkippedCycleCountersAreReported)
     // Polling without fast-forward skips nothing.
     auto po_sys = make_mesh_system(4, 0.0, 9, /*burst_period=*/500);
     CycleAccurateSync ca2;
-    run_scheduled(*po_sys, ca2, /*event=*/false, 1, horizon);
+    run_scheduled(*po_sys, ca2, Schedule::Poll, 1, horizon);
     auto po_stats = po_sys->collect_stats();
     EXPECT_EQ(po_stats.tile_cycles_skipped, 0u);
     EXPECT_EQ(po_stats.tile_cycles_run, 16u * horizon);
+}
+
+TEST(EventDriven, ComponentCycleCountersAreReported)
+{
+    const Cycle horizon = 5000;
+
+    // The component x cycle grid is invariant across schedulers; the
+    // run/skip split is not. Fine-grain scheduling must tick strictly
+    // fewer component-cycles than the coarse event scheduler on a
+    // sparse workload (same results — the differential harness pins
+    // that; here only the counters are of interest).
+    auto ev_sys = make_mesh_system(4, 0.01, 9);
+    CycleAccurateSync ca;
+    run_scheduled(*ev_sys, ca, Schedule::Event, 1, horizon);
+    auto ev = ev_sys->collect_stats();
+
+    auto fi_sys = make_mesh_system(4, 0.01, 9);
+    CycleAccurateSync ca2;
+    run_scheduled(*fi_sys, ca2, Schedule::EventFine, 1, horizon);
+    auto fi = fi_sys->collect_stats();
+
+    EXPECT_EQ(ev.comp_cycles_run + ev.comp_cycles_skipped,
+              fi.comp_cycles_run + fi.comp_cycles_skipped);
+    EXPECT_GT(ev.comp_cycles_run, 0u);
+    EXPECT_LT(fi.comp_cycles_run, ev.comp_cycles_run);
+    // Coarse schedulers tick whole tiles, so their component split is
+    // the tile split scaled by the (uniform) per-tile component count.
+    ASSERT_GT(ev.tile_cycles_run, 0u);
+    EXPECT_EQ(ev.comp_cycles_run % ev.tile_cycles_run, 0u);
+    EXPECT_NE(fi.summary().find("idle component-cycles skipped"),
+              std::string::npos);
 }
 
 // ----------------------------------------------------------------------
@@ -385,10 +425,17 @@ TEST(EventDriven, RunOptionsScheduleSelection)
     ro.schedule = "event";
     sys->run(ro);
     EXPECT_TRUE(sys->last_engine_stats().event_driven);
+    EXPECT_FALSE(sys->last_engine_stats().event_fine);
+
+    ro.schedule = "event-fine";
+    sys->run(ro);
+    EXPECT_TRUE(sys->last_engine_stats().event_driven);
+    EXPECT_TRUE(sys->last_engine_stats().event_fine);
 
     ro.schedule = "poll";
     sys->run(ro);
     EXPECT_FALSE(sys->last_engine_stats().event_driven);
+    EXPECT_FALSE(sys->last_engine_stats().event_fine);
 
     ro.schedule = "bogus";
     EXPECT_THROW(sys->run(ro), std::runtime_error);
@@ -398,6 +445,10 @@ TEST(EventDriven, ConfigScheduleKey)
 {
     Config cfg = Config::from_string("[sim]\nschedule = event\n");
     EXPECT_EQ(traffic::run_options_from_config(cfg).schedule, "event");
+
+    Config fine = Config::from_string("[sim]\nschedule = event-fine\n");
+    EXPECT_EQ(traffic::run_options_from_config(fine).schedule,
+              "event-fine");
 
     Config dflt = Config::from_string("");
     EXPECT_EQ(traffic::run_options_from_config(dflt).schedule, "");
@@ -421,6 +472,11 @@ TEST(EventDriven, EnvironmentSelectsSchedulerWhenUnset)
     ::setenv("HORNET_SCHEDULE", "event", 1);
     sys->run(ro);
     EXPECT_TRUE(sys->last_engine_stats().event_driven);
+
+    ::setenv("HORNET_SCHEDULE", "event-fine", 1);
+    sys->run(ro);
+    EXPECT_TRUE(sys->last_engine_stats().event_driven);
+    EXPECT_TRUE(sys->last_engine_stats().event_fine);
 
     // An explicit selection beats the environment.
     ro.schedule = "poll";

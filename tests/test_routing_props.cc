@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Property tests for the oblivious routing builders (ISSUE 7
+ * satellite): on randomized mesh topologies and random flows,
+ * O1TURN/ROMM/PROM table walks must deliver on *minimal* paths (every
+ * hop a neighbor strictly decreasing the Manhattan distance — which
+ * also rules out cycles, the deadlock-safety proxy for table walks),
+ * O1TURN walks must realize exactly the XY or YX subroute, and table
+ * construction must be deterministic: two networks built from the
+ * same seeds route identically pick-for-pick.
+ *
+ * Complements tests/test_routing_tables.cc (hand-picked worked
+ * examples, e.g. the paper's ROMM node-4 case) with randomized
+ * coverage.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "net/flow.h"
+#include "net/network.h"
+#include "net/routing/builders.h"
+#include "net/routing/paths.h"
+#include "net/routing_table.h"
+#include "net/topology.h"
+#include "traffic/flows.h"
+
+namespace hornet::net {
+namespace {
+
+/** Owns the per-node RNG/stats a Network needs. */
+struct NetHarness
+{
+    std::vector<std::unique_ptr<Rng>> rngs;
+    std::vector<std::unique_ptr<TileStats>> stats;
+    std::unique_ptr<Network> net;
+
+    explicit NetHarness(const Topology &topo, NetworkConfig cfg = {})
+    {
+        std::vector<Rng *> rp;
+        std::vector<TileStats *> sp;
+        for (NodeId i = 0; i < topo.num_nodes(); ++i) {
+            rngs.push_back(std::make_unique<Rng>(1000 + i));
+            stats.push_back(std::make_unique<TileStats>());
+            rp.push_back(rngs.back().get());
+            sp.push_back(stats.back().get());
+        }
+        net = std::make_unique<Network>(topo, cfg, rp, sp);
+    }
+};
+
+/** Tiny deterministic generator for the property sweep itself. */
+struct Draw
+{
+    std::uint64_t s;
+    explicit Draw(std::uint64_t seed) : s(seed) {}
+    std::uint64_t
+    operator()()
+    {
+        s += 0x9e3779b97f4a7c15ull;
+        std::uint64_t z = s;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e9b5ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+    std::uint64_t
+    below(std::uint64_t n)
+    {
+        return (*this)() % n;
+    }
+};
+
+std::uint32_t
+manhattan(const Topology &topo, NodeId a, NodeId b)
+{
+    const std::uint32_t w = topo.width();
+    const auto ax = a % w, ay = a / w, bx = b % w, by = b / w;
+    return (ax > bx ? ax - bx : bx - ax) + (ay > by ? ay - by : by - ay);
+}
+
+/**
+ * Walk the routing tables from @p src like a packet would (weighted
+ * random picks, flow renaming) and return the realized node path,
+ * ending at the delivery node. Fails the walk (short path, no
+ * delivery sentinel) after @p max_steps.
+ */
+std::vector<NodeId>
+walk_path(Network &net, NodeId src, FlowId flow, Rng &rng,
+          std::size_t max_steps = 200)
+{
+    std::vector<NodeId> path{src};
+    NodeId node = src;
+    NodeId prev = src;
+    FlowId f = flow;
+    for (std::size_t i = 0; i < max_steps; ++i) {
+        const RouteResult &r =
+            net.router(node).routing_table().pick(prev, f, rng);
+        if (r.next_node == node)
+            return path; // delivered to the CPU port
+        prev = node;
+        node = r.next_node;
+        f = r.next_flow;
+        path.push_back(node);
+    }
+    return path;
+}
+
+/** Random (src, dst) flows on @p nodes, src != dst. */
+std::vector<FlowSpec>
+random_flows(Draw &d, std::uint32_t nodes, std::size_t count)
+{
+    std::vector<FlowSpec> flows;
+    for (std::size_t i = 0; i < count; ++i) {
+        const NodeId s = static_cast<NodeId>(d.below(nodes));
+        NodeId t = static_cast<NodeId>(d.below(nodes - 1));
+        if (t >= s)
+            ++t;
+        // flows_for_pattern-style: at most one flow per (src, dst)
+        // pair; duplicates would accumulate builder weights.
+        const FlowId id = traffic::pair_flow(s, t);
+        bool dup = false;
+        for (const auto &fl : flows)
+            dup = dup || fl.id == id;
+        if (!dup)
+            flows.push_back({id, s, t, 1.0});
+    }
+    return flows;
+}
+
+/** Assert every hop of @p path is a strict Manhattan step toward
+ *  @p dst, and the path is exactly minimal. */
+void
+expect_minimal(const Topology &topo, const std::vector<NodeId> &path,
+               NodeId src, NodeId dst)
+{
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.front(), src);
+    ASSERT_EQ(path.back(), dst) << "walk did not deliver";
+    ASSERT_EQ(path.size(), manhattan(topo, src, dst) + 1u)
+        << "path not minimal";
+    for (std::size_t i = 1; i < path.size(); ++i) {
+        EXPECT_EQ(manhattan(topo, path[i - 1], path[i]), 1u)
+            << "hop " << i << " not a neighbor step";
+        EXPECT_EQ(manhattan(topo, path[i], dst),
+                  manhattan(topo, path[i - 1], dst) - 1)
+            << "hop " << i << " moves away from the destination";
+    }
+}
+
+using Builder = void (*)(Network &, const std::vector<FlowSpec> &);
+
+/** Randomized-topology minimality sweep shared by the three schemes. */
+void
+sweep_minimal(Builder build, std::uint64_t salt)
+{
+    Draw d(salt);
+    for (int topo_case = 0; topo_case < 6; ++topo_case) {
+        const std::uint32_t w = static_cast<std::uint32_t>(2 + d.below(5));
+        const std::uint32_t h = static_cast<std::uint32_t>(2 + d.below(5));
+        const Topology topo = Topology::mesh2d(w, h);
+        SCOPED_TRACE(std::to_string(w) + "x" + std::to_string(h));
+        NetHarness net(topo);
+        const auto flows = random_flows(d, w * h, 10);
+        build(*net.net, flows);
+        for (const auto &fl : flows)
+            for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+                SCOPED_TRACE("flow " + std::to_string(fl.id) +
+                             " seed " + std::to_string(seed));
+                Rng rng(seed);
+                expect_minimal(topo,
+                               walk_path(*net.net, fl.src, fl.id, rng),
+                               fl.src, fl.dst);
+            }
+    }
+}
+
+TEST(RoutingProps, O1turnWalksAreMinimal)
+{
+    sweep_minimal(&routing::build_o1turn, 0xa1);
+}
+
+TEST(RoutingProps, RommWalksAreMinimal)
+{
+    sweep_minimal(&routing::build_romm, 0xb2);
+}
+
+TEST(RoutingProps, PromWalksAreMinimal)
+{
+    sweep_minimal(&routing::build_prom, 0xc3);
+}
+
+TEST(RoutingProps, O1turnRealizesExactlyXyOrYxSubroutes)
+{
+    Draw d(0xd4);
+    for (int topo_case = 0; topo_case < 4; ++topo_case) {
+        const std::uint32_t w = static_cast<std::uint32_t>(2 + d.below(5));
+        const std::uint32_t h = static_cast<std::uint32_t>(2 + d.below(5));
+        const Topology topo = Topology::mesh2d(w, h);
+        NetHarness net(topo);
+        const auto flows = random_flows(d, w * h, 8);
+        routing::build_o1turn(*net.net, flows);
+        for (const auto &fl : flows) {
+            const auto xy = routing::xy_path(topo, fl.src, fl.dst);
+            const auto yx = routing::yx_path(topo, fl.src, fl.dst);
+            bool saw_xy = false, saw_yx = false;
+            for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+                Rng rng(seed);
+                const auto p =
+                    walk_path(*net.net, fl.src, fl.id, rng);
+                EXPECT_TRUE(p == xy || p == yx)
+                    << "walk is neither the XY nor the YX subroute";
+                saw_xy = saw_xy || p == xy;
+                saw_yx = saw_yx || p == yx;
+            }
+            // Both subroutes carry equal weight: 32 draws miss one
+            // only with probability 2^-31 (when they differ at all).
+            if (xy != yx) {
+                EXPECT_TRUE(saw_xy) << "XY subroute never drawn";
+                EXPECT_TRUE(saw_yx) << "YX subroute never drawn";
+            }
+        }
+    }
+}
+
+/** Same seeds, two networks: pick-for-pick identical routing. ROMM
+ *  draws its intermediates from the node RNGs at build time, so this
+ *  pins construction determinism, not just table lookup. */
+void
+sweep_deterministic(Builder build, std::uint64_t salt)
+{
+    Draw d(salt);
+    const std::uint32_t w = static_cast<std::uint32_t>(3 + d.below(3));
+    const std::uint32_t h = static_cast<std::uint32_t>(3 + d.below(3));
+    const Topology topo = Topology::mesh2d(w, h);
+    NetHarness a(topo);
+    NetHarness b(topo);
+    const auto flows = random_flows(d, w * h, 12);
+    build(*a.net, flows);
+    build(*b.net, flows);
+    for (const auto &fl : flows)
+        for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+            Rng ra(seed), rb(seed);
+            EXPECT_EQ(walk_path(*a.net, fl.src, fl.id, ra),
+                      walk_path(*b.net, fl.src, fl.id, rb))
+                << "flow " << fl.id << " seed " << seed;
+        }
+}
+
+TEST(RoutingProps, O1turnConstructionIsDeterministic)
+{
+    sweep_deterministic(&routing::build_o1turn, 0xe5);
+}
+
+TEST(RoutingProps, RommConstructionIsDeterministic)
+{
+    sweep_deterministic(&routing::build_romm, 0xf6);
+}
+
+TEST(RoutingProps, PromConstructionIsDeterministic)
+{
+    sweep_deterministic(&routing::build_prom, 0x17);
+}
+
+} // namespace
+} // namespace hornet::net

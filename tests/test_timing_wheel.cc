@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Unit tests for common::TimingWheel: bucket/page/overflow placement,
+ * cursor advancement, lazy deletion through the validity predicate,
+ * and a randomized differential check against a reference heap —
+ * exactly the lazy-min-heap semantics the shard scheduler relies on.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/timing_wheel.h"
+#include "common/types.h"
+
+namespace hornet::common {
+namespace {
+
+using Popped = std::vector<std::pair<Cycle, std::uint64_t>>;
+
+Popped
+pop_all(TimingWheel &w, Cycle now)
+{
+    Popped out;
+    w.pop_due(now, [&](Cycle c, std::uint64_t id) {
+        out.emplace_back(c, id);
+    });
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+TEST(TimingWheel, StartsEmpty)
+{
+    TimingWheel w;
+    EXPECT_TRUE(w.empty());
+    EXPECT_EQ(w.settle_min([](Cycle, std::uint64_t) { return true; }),
+              kNoEvent);
+    EXPECT_TRUE(pop_all(w, 1000).empty());
+    EXPECT_EQ(w.base(), 1000u);
+}
+
+TEST(TimingWheel, PopsDueEntriesAndKeepsFutureOnes)
+{
+    TimingWheel w;
+    w.schedule(5, 1);
+    w.schedule(10, 2);
+    w.schedule(10, 3);
+    w.schedule(11, 4);
+    const Popped due = pop_all(w, 10);
+    ASSERT_EQ(due.size(), 3u);
+    EXPECT_EQ(due[0], std::make_pair(Cycle{5}, std::uint64_t{1}));
+    EXPECT_EQ(due[1], std::make_pair(Cycle{10}, std::uint64_t{2}));
+    EXPECT_EQ(due[2], std::make_pair(Cycle{10}, std::uint64_t{3}));
+    EXPECT_EQ(w.size(), 1u);
+    // base() == now afterwards: same-cycle scheduling still works
+    // (the shard re-enters cycle_begin at one cycle several times).
+    w.schedule(10, 5);
+    const Popped again = pop_all(w, 10);
+    ASSERT_EQ(again.size(), 1u);
+    EXPECT_EQ(again[0], std::make_pair(Cycle{10}, std::uint64_t{5}));
+}
+
+TEST(TimingWheel, SchedulingBelowBasePanics)
+{
+    TimingWheel w;
+    pop_all(w, 100);
+    EXPECT_THROW(w.schedule(99, 1), std::logic_error);
+    EXPECT_THROW(w.schedule(kNoEvent, 1), std::logic_error);
+    w.schedule(100, 1); // at the base is fine
+}
+
+TEST(TimingWheel, CrossesPagesAndHorizons)
+{
+    TimingWheel w;
+    // Level 0 (same page), level 1 (later page), overflow (past the
+    // ~16k-cycle horizon) — all must surface exactly once.
+    w.schedule(3, 1);
+    w.schedule(700, 2);
+    w.schedule(5000, 3);
+    w.schedule(100000, 4);
+    EXPECT_EQ(w.size(), 4u);
+    const Popped due = pop_all(w, 200000);
+    ASSERT_EQ(due.size(), 4u);
+    EXPECT_EQ(due[0].second, 1u);
+    EXPECT_EQ(due[1].second, 2u);
+    EXPECT_EQ(due[2].second, 3u);
+    EXPECT_EQ(due[3].second, 4u);
+    EXPECT_TRUE(w.empty());
+}
+
+TEST(TimingWheel, GiantJumpOverEmptyStretchIsCheap)
+{
+    TimingWheel w;
+    w.schedule(7, 1);
+    EXPECT_EQ(pop_all(w, 1u << 30).size(), 1u);
+    EXPECT_EQ(w.base(), Cycle{1} << 30);
+    w.schedule((Cycle{1} << 30) + 3, 2);
+    EXPECT_EQ(pop_all(w, (Cycle{1} << 30) + 3).size(), 1u);
+}
+
+TEST(TimingWheel, SettleMinSkipsStaleEntries)
+{
+    TimingWheel w;
+    std::map<std::uint64_t, Cycle> truth; // id -> authoritative cycle
+    auto valid = [&](Cycle c, std::uint64_t id) {
+        auto it = truth.find(id);
+        return it != truth.end() && it->second == c;
+    };
+    // id 1 superseded from 50 to 30; id 2 woken (no longer pending).
+    w.schedule(50, 1);
+    w.schedule(40, 2);
+    truth[1] = 30;
+    w.schedule(30, 1);
+    EXPECT_EQ(w.settle_min(valid), 30u);
+    // The valid entry survives settling (repeat queries agree); only
+    // stale entries *ahead* of the minimum are dropped lazily.
+    EXPECT_EQ(w.settle_min(valid), 30u);
+    truth.clear();
+    EXPECT_EQ(w.settle_min(valid), kNoEvent);
+    EXPECT_TRUE(w.empty());
+}
+
+TEST(TimingWheel, SettleMinSeesAllThreeLevels)
+{
+    auto all = [](Cycle, std::uint64_t) { return true; };
+    {
+        TimingWheel w;
+        w.schedule(9, 1);
+        w.schedule(600, 2);
+        w.schedule(90000, 3);
+        EXPECT_EQ(w.settle_min(all), 9u);
+    }
+    {
+        TimingWheel w;
+        w.schedule(600, 2);
+        w.schedule(90000, 3);
+        EXPECT_EQ(w.settle_min(all), 600u);
+    }
+    {
+        TimingWheel w;
+        w.schedule(90000, 3);
+        EXPECT_EQ(w.settle_min(all), 90000u);
+    }
+    {
+        // After a large jump an old overflow entry can undercut the
+        // wheel levels; the min must still be exact.
+        TimingWheel w;
+        w.schedule(100000, 3);
+        pop_all(w, 99990);
+        w.schedule(99990 + 5000, 2);
+        EXPECT_EQ(w.settle_min(all), 100000u);
+    }
+}
+
+TEST(TimingWheel, ResetDropsEverything)
+{
+    TimingWheel w;
+    w.schedule(5, 1);
+    w.schedule(90000, 2);
+    w.reset(42);
+    EXPECT_TRUE(w.empty());
+    EXPECT_EQ(w.base(), 42u);
+    EXPECT_THROW(w.schedule(41, 1), std::logic_error);
+}
+
+/**
+ * Randomized differential test against a reference model: the wheel
+ * must pop exactly the reference's due set at every step and report
+ * the same settled minimum, across schedule/supersede/invalidate/jump
+ * sequences — the access pattern Shard generates.
+ */
+TEST(TimingWheel, MatchesReferenceModelUnderRandomizedUse)
+{
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        Rng rng(seed);
+        TimingWheel w;
+        // Reference: authoritative per-id wake cycle; an entry is
+        // valid iff it matches (mirrors Shard's wake_at_/sleeping_).
+        std::map<std::uint64_t, Cycle> truth;
+        auto valid = [&](Cycle c, std::uint64_t id) {
+            auto it = truth.find(id);
+            return it != truth.end() && it->second == c;
+        };
+        Cycle now = 0;
+        for (int step = 0; step < 400; ++step) {
+            const std::uint64_t op = rng.below(100);
+            if (op < 50) {
+                // Schedule (possibly superseding) a pending wake.
+                const std::uint64_t id = rng.below(32);
+                const Cycle at =
+                    now + 1 + rng.below(rng.below(10) == 0 ? 40000 : 300);
+                auto it = truth.find(id);
+                if (it == truth.end() || at < it->second) {
+                    truth[id] = at;
+                    w.schedule(at, id);
+                }
+            } else if (op < 65) {
+                // Invalidate a pending wake (tile woken externally).
+                if (!truth.empty()) {
+                    auto it = truth.begin();
+                    std::advance(it, static_cast<long>(
+                                         rng.below(truth.size())));
+                    truth.erase(it);
+                }
+            } else if (op < 90) {
+                // Advance time and pop; every valid due id must
+                // surface exactly once at its authoritative cycle.
+                now += rng.below(rng.below(20) == 0 ? 5000 : 64);
+                std::map<std::uint64_t, Cycle> due;
+                for (auto it = truth.begin(); it != truth.end();) {
+                    if (it->second <= now) {
+                        due.insert(*it);
+                        it = truth.erase(it);
+                    } else {
+                        ++it;
+                    }
+                }
+                std::map<std::uint64_t, Cycle> got;
+                w.pop_due(now, [&](Cycle c, std::uint64_t id) {
+                    auto it = due.find(id);
+                    if (it != due.end() && it->second == c) {
+                        got.insert(*it);
+                        due.erase(it);
+                    }
+                });
+                EXPECT_TRUE(due.empty())
+                    << "seed " << seed << ": wheel missed due entries";
+            } else {
+                Cycle expect = kNoEvent;
+                for (const auto &[id, c] : truth)
+                    expect = std::min(expect, c);
+                EXPECT_EQ(w.settle_min(valid), expect)
+                    << "seed " << seed << " at step " << step;
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace hornet::common

@@ -1,7 +1,8 @@
 /**
  * @file
  * Shared helpers for the engine/sync-policy test suites: the canonical
- * transpose-mesh system builder and the full-fidelity statistics
+ * transpose-mesh and giant-shuffle-mesh system builders, the
+ * explicit-scheduler run wrapper, and the full-fidelity statistics
  * fingerprint used by every bitwise-determinism assertion.
  */
 #ifndef HORNET_TESTS_TEST_UTIL_H
@@ -48,6 +49,46 @@ make_mesh_system(std::uint32_t side, double rate, std::uint64_t seed,
                               sys->tile(n), sc));
     }
     return sys;
+}
+
+/** side x side shuffle mesh with one injector per node and an explicit
+ *  memory layout. Giant-mesh suites use the shuffle pattern because
+ *  flow tables are built per source-destination pair: all-pairs
+ *  traffic would make construction quadratic in nodes. */
+inline std::unique_ptr<sim::System>
+make_big_mesh(std::uint32_t side, double rate, std::uint64_t seed,
+              const sim::SystemLayout &layout = {})
+{
+    net::Topology topo = net::Topology::mesh2d(side, side);
+    net::NetworkConfig cfg;
+    auto sys = std::make_unique<sim::System>(topo, cfg, seed, layout);
+    auto pattern =
+        traffic::pattern_by_name("shuffle", topo.num_nodes());
+    auto flows = traffic::flows_for_pattern(topo.num_nodes(), pattern);
+    net::routing::build_xy(sys->network(), flows);
+    for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+        traffic::SyntheticConfig sc;
+        sc.pattern = pattern;
+        sc.packet_size = 4;
+        sc.rate = rate;
+        sys->add_frontend(n,
+                          std::make_unique<traffic::SyntheticInjector>(
+                              sys->tile(n), sc));
+    }
+    return sys;
+}
+
+/** Run @p sys under an explicit scheduler selection. */
+inline Cycle
+run_scheduled(sim::System &sys, sim::SyncPolicy &policy,
+              sim::Schedule sched, unsigned threads, Cycle max_cycles,
+              bool batch = false)
+{
+    sim::EngineOptions opts;
+    opts.max_cycles = max_cycles;
+    opts.batch_cross_shard = batch;
+    opts.schedule = sched;
+    return sys.run(policy, opts, threads);
 }
 
 /** Full-fidelity snapshot fingerprint: per-tile and per-flow stats.

@@ -143,7 +143,7 @@ struct SleepingShard
                 static_cast<NodeId>(i), /*seed=*/i + 1));
             shard.add_tile(tiles.back().get());
         }
-        shard.prepare_run(/*event_driven=*/true);
+        shard.prepare_run(sim::Schedule::Event);
         shard.posedge();
         shard.negedge();
         EXPECT_EQ(shard.active_tiles(), 0u);
@@ -225,7 +225,7 @@ TEST(WakeMailbox, WakeForActiveTileIsNoOp)
             static_cast<NodeId>(i), /*seed=*/i + 1));
         shard.add_tile(tiles.back().get());
     }
-    shard.prepare_run(/*event_driven=*/true); // all tiles start active
+    shard.prepare_run(sim::Schedule::Event); // all tiles start active
     EXPECT_EQ(shard.active_tiles(), kTiles);
 
     std::thread poster([&] {
@@ -272,7 +272,7 @@ TEST(WakeMailbox, LockstepMultiShardRunStaysBitwiseIdentical)
     sim::CycleAccurateSync ref_policy;
     sim::EngineOptions ref_opts;
     ref_opts.max_cycles = 1500;
-    ref_opts.event_driven = false;
+    ref_opts.schedule = sim::Schedule::Poll;
     ref_sys->run(ref_policy, ref_opts, /*threads=*/1);
     const std::string ref = testutil::snapshot(ref_sys->collect_stats());
 
@@ -280,7 +280,7 @@ TEST(WakeMailbox, LockstepMultiShardRunStaysBitwiseIdentical)
     sim::CycleAccurateSync policy;
     sim::EngineOptions opts;
     opts.max_cycles = 1500;
-    opts.event_driven = true;
+    opts.schedule = sim::Schedule::Event;
     sys->run(policy, opts, /*threads=*/4);
     EXPECT_EQ(testutil::snapshot(sys->collect_stats()), ref);
 }
