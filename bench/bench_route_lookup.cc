@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Route-table lookup microbench (ISSUE 8): the per-flit lookup cost of
+ * the map-era `std::unordered_map<RouteKey, std::vector<RouteResult>>`
+ * tables against the frozen common::FlatTable form the routing/VCA
+ * tables now compile into before the first run.
+ *
+ * Each measured lookup does the work Router::do_route_compute's
+ * weighted pick needs: resolve the key to its option list, read the
+ * first option, and obtain the options' total weight. The map path
+ * pays a bucket-pointer chase into a heap node, an indirection into
+ * the option vector, and a per-lookup left-to-right weight
+ * accumulation (what Rng::pick_weighted did); the flat path pays one
+ * hash, a short linear probe in one contiguous slot array, and reads
+ * the precomputed total. Both paths accumulate the same checksum, so
+ * the bench doubles as a differential check.
+ *
+ * Two regimes bracket the simulator's behaviour: `hot` keeps one
+ * small router table resident in cache (the steady state of a busy
+ * router re-resolving its few active flows), `cold` strides across
+ * many router tables so every lookup starts from a cold line (the
+ * many-router sweep of a large mesh time-slice). The flat_over_map
+ * ratio rows carry the ISSUE 8 acceptance target (>= 3x on the hot
+ * rows); all rows feed the perf-regression harness
+ * (scripts/check_bench_regression.py) via --json=PATH, and --quick
+ * shortens the repetition counts with unchanged row names.
+ */
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/flat_table.h"
+#include "net/routing_table.h"
+
+using namespace hornet;
+using namespace hornet::benchutil;
+
+namespace {
+
+JsonReport report("bench_route_lookup");
+
+using MapTable = std::unordered_map<net::RouteKey,
+                                    std::vector<net::RouteResult>,
+                                    net::RouteKeyHash>;
+using FlatTable = common::FlatTable<net::RouteKey, net::RouteResult,
+                                    net::RouteKeyHash>;
+
+/** Split-mix PRNG: stable workload across standard libraries. */
+struct Draw
+{
+    std::uint64_t s;
+    explicit Draw(std::uint64_t seed) : s(seed) {}
+    std::uint64_t
+    operator()()
+    {
+        s += 0x9e3779b97f4a7c15ull;
+        std::uint64_t z = s;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e9b5ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+    std::uint64_t
+    below(std::uint64_t n)
+    {
+        return (*this)() % n;
+    }
+};
+
+/** One lookup of the sequence: which table, which key. */
+using Probe = std::pair<std::uint32_t, net::RouteKey>;
+
+/** The two table forms plus the shuffled lookup sequence. */
+struct Workload
+{
+    std::vector<MapTable> maps;
+    std::vector<FlatTable> flats;
+    std::vector<Probe> seq;
+};
+
+Workload
+make_workload(std::uint32_t tables, std::uint32_t keys_per_table,
+              std::uint64_t seed)
+{
+    Draw d(seed);
+    Workload w;
+    w.maps.resize(tables);
+    w.flats.resize(tables);
+    for (std::uint32_t t = 0; t < tables; ++t) {
+        MapTable &m = w.maps[t];
+        while (m.size() < keys_per_table) {
+            net::RouteKey k{static_cast<NodeId>(d.below(5)),
+                            static_cast<FlowId>(d.below(1u << 20))};
+            auto &opts = m[k];
+            if (!opts.empty())
+                continue; // duplicate draw
+            const std::size_t n = 1 + d.below(2);
+            for (std::size_t i = 0; i < n; ++i)
+                opts.push_back({static_cast<NodeId>(d.below(64)),
+                                k.flow,
+                                0.5 * static_cast<double>(1 + d.below(4))});
+            w.seq.emplace_back(t, k);
+        }
+        w.flats[t].build(m);
+    }
+    // Shuffle the probe order (Fisher-Yates on the stable PRNG): the
+    // cold regime must not walk tables in construction order.
+    for (std::size_t i = w.seq.size(); i > 1; --i)
+        std::swap(w.seq[i - 1], w.seq[d.below(i)]);
+    return w;
+}
+
+/** Map-era lookup work, as Router::do_route_compute actually paid it:
+ *  one find for the option scan, a second find inside pick() (the old
+ *  RoutingTable::pick re-probed the map), each a bucket chase plus a
+ *  vector indirection, plus the per-pick weight accumulation. Returns
+ *  the checksum. */
+double
+run_map(const Workload &w, unsigned reps)
+{
+    double acc = 0.0;
+    for (unsigned r = 0; r < reps; ++r) {
+        for (const auto &[t, key] : w.seq) {
+            // The option scan (route-validity / adaptivity checks).
+            const auto it = w.maps[t].find(key);
+            acc += static_cast<double>(it->second.front().next_node);
+            // The weighted pick: the map era re-resolved the key.
+            const auto it2 = w.maps[t].find(key);
+            const std::vector<net::RouteResult> &opts = it2->second;
+            double total = 0.0;
+            for (const net::RouteResult &o : opts)
+                total = total + o.weight;
+            acc += total;
+        }
+    }
+    return acc;
+}
+
+/** Frozen lookup work: one probe, precomputed total. Returns the
+ *  checksum (must equal run_map's bitwise). */
+double
+run_flat(const Workload &w, unsigned reps)
+{
+    double acc = 0.0;
+    for (unsigned r = 0; r < reps; ++r) {
+        for (const auto &[t, key] : w.seq) {
+            const FlatTable::Entry *e = w.flats[t].lookup(key);
+            acc += static_cast<double>(e->front().next_node);
+            acc += e->total_weight;
+        }
+    }
+    return acc;
+}
+
+/** Dead-code-elimination sink: every timed run's checksum lands here,
+ *  so the optimizer cannot drop the lookup loops. */
+volatile double g_sink;
+
+/** Fastest of three timed repetitions, in Mlookups/s. @p fn returns
+ *  its checksum (stored into g_sink so the work is observable). */
+template <typename Fn>
+double
+rate_of(Fn fn, std::uint64_t lookups)
+{
+    double best = 0.0;
+    for (int i = 0; i < 3; ++i) {
+        const double secs = wall_seconds([&] { g_sink = fn(); });
+        best = std::max(best, static_cast<double>(lookups) / secs / 1e6);
+    }
+    return best;
+}
+
+/** Measure one regime and emit its three rows. */
+double
+regime(const char *name, const Workload &w, unsigned reps)
+{
+    const std::uint64_t lookups =
+        static_cast<std::uint64_t>(w.seq.size()) * reps;
+    // Checksum equality doubles as a differential check: both paths
+    // accumulate option weights left to right over identical data.
+    const double map_acc = run_map(w, 1);
+    const double flat_acc = run_flat(w, 1);
+    if (map_acc != flat_acc)
+        fatal("flat table diverged from the map reference");
+
+    const double map_rate =
+        rate_of([&] { return run_map(w, reps); }, lookups);
+    const double flat_rate =
+        rate_of([&] { return run_flat(w, reps); }, lookups);
+    const double ratio = flat_rate / map_rate;
+    std::printf("%s,%zu,%.1f,%.1f,%.2f\n", name, w.seq.size(), map_rate,
+                flat_rate, ratio);
+    char row[64];
+    std::snprintf(row, sizeof row, "%s_map_mlookups_s", name);
+    report.higher_is_better(row, map_rate);
+    std::snprintf(row, sizeof row, "%s_flat_mlookups_s", name);
+    report.higher_is_better(row, flat_rate);
+    std::snprintf(row, sizeof row, "%s_flat_over_map", name);
+    report.higher_is_better(row, ratio);
+    return ratio;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto cli = BenchCli::parse(argc, argv);
+
+    std::printf("# Frozen flat route tables vs unordered_map lookup\n");
+    std::printf("regime,keys,map_mlookups_s,flat_mlookups_s,"
+                "flat_over_map\n");
+
+    // Hot: one router-sized table, resident in cache.
+    const Workload hot = make_workload(1, 256, 0x407e);
+    const double hot_ratio =
+        regime("hot", hot, cli.quick ? 4000 : 16000);
+
+    // Cold: many router tables, each probe starting from a cold line.
+    const Workload cold = make_workload(128, 512, 0xc01d);
+    regime("cold", cold, cli.quick ? 8 : 32);
+
+    // ISSUE 8 acceptance: >= 3x on the cache-resident lookup path.
+    if (hot_ratio < 3.0)
+        fatal("hot flat_over_map ratio below the 3x acceptance floor");
+
+    report.write_if_requested(cli);
+    return 0;
+}

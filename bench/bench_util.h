@@ -244,6 +244,9 @@ run_trace(const net::Topology &topo, const net::NetworkConfig &cfg,
                                      sys->tile(n), per_node[n]));
     }
     RunResult out;
+    // Freeze the lookup tables outside the timed section (one-time
+    // construction work; see make_synthetic).
+    sys->freeze_tables();
     out.wall_s = wall_seconds([&] {
         sim::RunOptions ro;
         ro.threads = opts.threads;
@@ -288,6 +291,11 @@ make_synthetic(const net::Topology &topo, const net::NetworkConfig &cfg,
         sys->add_frontend(n, std::make_unique<traffic::SyntheticInjector>(
                                  sys->tile(n), sc));
     }
+    // Compile the frozen lookup tables here, at construction time:
+    // run() would otherwise do it lazily inside the first timed
+    // section, charging one-time table compilation (substantial for
+    // all-pairs flow sets) to whatever wall_seconds wraps that run.
+    sys->freeze_tables();
     return sys;
 }
 

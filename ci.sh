@@ -9,6 +9,9 @@
 #   ./ci.sh --bench    # perf-regression smoke: bench --quick --json vs
 #                      # bench/baselines/, hard-gated (>15% fails)
 #   ./ci.sh --coverage # gcov line-coverage run with a summary artifact
+#   ./ci.sh --profile  # frame-pointer build + gprofng experiment over
+#                      # the low-rate event-fine workload; summary at
+#                      # build-prof/profile-summary.txt
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -115,7 +118,7 @@ if [[ "${1:-}" == "--bench" ]]; then
     # both attempts anyway.
     cmake -B build -S .
     cmake --build build -j "$JOBS" \
-        --target bench_vc_buffer bench_event_driven
+        --target bench_vc_buffer bench_event_driven bench_route_lookup
     mkdir -p build/bench-reports
     check_bench() { # <name>: run <name> --quick and compare
         local name="$1" attempt
@@ -135,7 +138,31 @@ if [[ "${1:-}" == "--bench" ]]; then
     echo "== bench smoke (--quick) =="
     check_bench bench_vc_buffer
     check_bench bench_event_driven
+    check_bench bench_route_lookup
     echo "BENCH OK"
+    exit 0
+fi
+
+if [[ "${1:-}" == "--profile" ]]; then
+    # Profiling leg (ISSUE 8): frame-pointer build plus a gprofng
+    # experiment over the low-rate scheduling workload whose per-flit
+    # lookup path the frozen flat tables target. The function summary
+    # lands in build-prof/profile-summary.txt — this is the evidence
+    # trail behind the before/after numbers in docs/BENCHMARKS.md.
+    command -v gprofng > /dev/null 2>&1 || {
+        echo "gprofng (binutils) not installed; cannot profile"
+        exit 1
+    }
+    cmake -B build-prof -S . \
+        -DCMAKE_CXX_FLAGS="-fno-omit-frame-pointer"
+    cmake --build build-prof -j "$JOBS" --target bench_event_driven
+    rm -rf build-prof/profile.er
+    echo "== gprofng collect (bench_event_driven --quick) =="
+    gprofng collect app -o build-prof/profile.er \
+        ./build-prof/bench_event_driven --quick > /dev/null
+    gprofng display text -functions build-prof/profile.er |
+        head -40 | tee build-prof/profile-summary.txt
+    echo "PROFILE OK (experiment: build-prof/profile.er)"
     exit 0
 fi
 

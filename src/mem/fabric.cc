@@ -16,6 +16,11 @@ Fabric::Fabric(const MemConfig &cfg, std::uint32_t num_tiles)
             fatal(strcat("memory controller ", mc, " out of range"));
     if ((cfg_.line_size & (cfg_.line_size - 1)) != 0)
         fatal("line size must be a power of two");
+    // Pre-size each home tile's line map so first-touch allocation in
+    // the simulated run does not rehash while a tile thread holds a
+    // line reference (reserve is per home, so memory stays O(tiles)).
+    for (auto &m : store_)
+        m.reserve(256);
 }
 
 NodeId

@@ -68,6 +68,11 @@ struct MemMsg
 class MessagePool
 {
   public:
+    /** Pre-sizes the id map: the in-flight population is bounded by
+     *  the per-tile MSHR budget, so a generous reserve keeps put()
+     *  from rehashing under the pool mutex mid-run. */
+    MessagePool() { msgs_.reserve(1024); }
+
     /** Store @p msg under the caller-chosen unique @p id. */
     void put(std::uint64_t id, MemMsg msg);
 

@@ -26,6 +26,7 @@ Router::Router(NodeId id, const std::vector<NodeId> &neighbors,
             std::size_t{64} * 1024);
         arena = own_arena_.get();
     }
+    arena_ = arena;
 
     // Ingress ports: one per neighbor plus the CPU injection port.
     ingress_.resize(num_net_ports_ + 1);
@@ -212,10 +213,13 @@ Router::egress_free_space(PortId port) const
 void
 Router::do_route_compute(IngressPort &ip, VcState &st, const Flit &f)
 {
+    // One probe serves both the option scan and the weighted pick
+    // below (pick_from) — the map era paid the lookup twice.
     const auto *opts = table_.lookup(ip.prev_node, f.flow);
     if (opts == nullptr || opts->empty()) {
         panic(strcat("router ", id_, ": no route for flow ", f.flow,
-                     " from prev ", ip.prev_node));
+                     " from prev ", ip.prev_node, " (",
+                     table_.describe(), ")"));
     }
 
     const RouteResult *chosen = nullptr;
@@ -250,7 +254,7 @@ Router::do_route_compute(IngressPort &ip, VcState &st, const Flit &f)
                      ? maxima.front()
                      : maxima[rng_->below(maxima.size())];
     } else {
-        chosen = &table_.pick(ip.prev_node, f.flow, *rng_);
+        chosen = &table_.pick_from(*opts, *rng_);
     }
 
     st.next_node = chosen->next_node;
@@ -267,7 +271,7 @@ Router::do_route_compute(IngressPort &ip, VcState &st, const Flit &f)
         }
         if (st.out_port == kInvalidPort)
             panic(strcat("router ", id_, ": route to non-neighbor ",
-                         chosen->next_node));
+                         chosen->next_node, " (", table_.describe(), ")"));
     }
     st.route_valid = true;
 }
@@ -279,7 +283,7 @@ Router::try_vc_allocate(IngressPort &ip, VcState &st, const Flit &f,
     EgressPort &ep = *egress_[st.out_port];
     if (ep.downstream.empty())
         panic(strcat("router ", id_, ": egress port ", st.out_port,
-                     " not wired"));
+                     " not wired (VCA ", vca_table_.describe(), ")"));
 
     VcaKey key{ip.prev_node, f.flow, st.next_node, st.next_flow};
     const auto *opts = vca_table_.lookup(key);
@@ -549,7 +553,7 @@ Router::posedge(Cycle now)
             ++stats_->flits_delivered;
             stats_->flit_latency.add(static_cast<double>(f.latency));
             if (flow_stats_ != nullptr)
-                ++(*flow_stats_)[f.original_flow].flits_delivered;
+                ++flow_stats_->at(f.original_flow).flits_delivered;
             if (f.tail) {
                 // Packet latency spans head injection to tail delivery:
                 // the tail's carried latency plus its (source-local)
@@ -560,7 +564,7 @@ Router::posedge(Cycle now)
                 stats_->packet_latency.add(pkt_lat);
                 stats_->packet_latency_hist.add(pkt_lat);
                 if (flow_stats_ != nullptr) {
-                    auto &fs = (*flow_stats_)[f.original_flow];
+                    auto &fs = flow_stats_->at(f.original_flow);
                     ++fs.packets_delivered;
                     fs.packet_latency.add(pkt_lat);
                 }

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/arena.h"
+#include "common/flow_stats_table.h"
 #include "common/ring.h"
 #include "common/rng.h"
 #include "common/stats.h"
@@ -113,6 +114,21 @@ class Router : public sim::Clocked
     const VcaTable &vca_table() const { return vca_table_; }
 
     /**
+     * Compile the routing and VCA tables into their frozen flat forms
+     * (common::FlatTable), carving storage from the arena this router
+     * was constructed into, so its per-flit probes stay in its own
+     * placement group's cache/NUMA lines. Called by sim::System before
+     * the first run, once table building is complete; idempotent.
+     * After it, table add() panics.
+     */
+    void
+    freeze_tables()
+    {
+        table_.freeze(arena_);
+        vca_table_.freeze(arena_);
+    }
+
+    /**
      * Wire network egress @p port to the downstream router's ingress
      * buffers @p downstream (one per VC), with the given link latency.
      */
@@ -138,7 +154,7 @@ class Router : public sim::Clocked
 
     /** Per-flow delivery statistics sink (optional). */
     void
-    set_flow_stats(std::unordered_map<FlowId, FlowStats> *fs)
+    set_flow_stats(common::FlowStatsTable *fs)
     {
         flow_stats_ = fs;
     }
@@ -377,12 +393,15 @@ class Router : public sim::Clocked
     TileStats *stats_;
     RoutingTable table_;
     VcaTable vca_table_;
-    std::unordered_map<FlowId, FlowStats> *flow_stats_ = nullptr;
+    common::FlowStatsTable *flow_stats_ = nullptr;
 
     /// Fallback arena when none was supplied (standalone routers);
     /// the buffers/ports below are raw pointers into whichever arena
     /// ended up backing this router.
     std::unique_ptr<common::Arena> own_arena_;
+    /// The arena backing this router (the caller's placement-group
+    /// arena or own_arena_); freeze_tables() carves from it too.
+    common::Arena *arena_ = nullptr;
     std::vector<IngressPort> ingress_;
     std::vector<EgressPort *> egress_;
     std::vector<VcBuffer *> ejection_;

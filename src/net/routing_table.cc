@@ -7,9 +7,12 @@ namespace hornet::net {
 void
 RoutingTable::add(NodeId prev_node, FlowId flow, const RouteResult &result)
 {
+    if (frozen_)
+        panic(strcat("routing table at node ", node_,
+                     ": add() after freeze() (", describe(), ")"));
     if (result.weight <= 0.0)
         fatal("routing table: weights must be positive");
-    auto &opts = entries_[RouteKey{prev_node, flow}];
+    auto &opts = entries_[RouteKey{prev_node, flow}].opts;
     for (auto &o : opts) {
         if (o.next_node == result.next_node &&
             o.next_flow == result.next_flow) {
@@ -20,38 +23,73 @@ RoutingTable::add(NodeId prev_node, FlowId flow, const RouteResult &result)
     opts.push_back(result);
 }
 
-const std::vector<RouteResult> *
+const RoutingTable::Options *
 RoutingTable::lookup(NodeId prev_node, FlowId flow) const
 {
+    if (frozen_)
+        return flat_.lookup(RouteKey{prev_node, flow});
     auto it = entries_.find(RouteKey{prev_node, flow});
-    return it == entries_.end() ? nullptr : &it->second;
+    if (it == entries_.end())
+        return nullptr;
+    const auto &opts = it->second.opts;
+    Options &view = it->second.view;
+    view.data = opts.data();
+    view.count = static_cast<std::uint32_t>(opts.size());
+    view.total_weight = common::flat_total_weight(opts.data(), opts.size());
+    return &view;
 }
 
 const RouteResult &
 RoutingTable::pick(NodeId prev_node, FlowId flow, Rng &rng) const
 {
-    const auto *opts = lookup(prev_node, flow);
+    const Options *opts = lookup(prev_node, flow);
     if (opts == nullptr || opts->empty()) {
         panic(strcat("routing table at node ", node_, ": no entry for prev=",
-                     prev_node, " flow=", flow));
+                     prev_node, " flow=", flow, " (", describe(), ")"));
     }
-    if (opts->size() == 1)
-        return opts->front();
-    std::vector<double> w;
-    w.reserve(opts->size());
-    for (const auto &o : *opts)
-        w.push_back(o.weight);
-    return (*opts)[rng.pick_weighted(w)];
+    return pick_from(*opts, rng);
+}
+
+void
+RoutingTable::freeze(common::Arena *arena)
+{
+    if (frozen_)
+        return;
+    std::size_t n_values = 0;
+    for (const auto &kv : entries_)
+        n_values += kv.second.opts.size();
+    flat_.begin_build(entries_.size(), n_values, arena);
+    for (const auto &kv : entries_)
+        flat_.add_entry(kv.first, kv.second.opts.data(),
+                        kv.second.opts.size());
+    decltype(entries_)().swap(entries_); // drop the map and its buckets
+    frozen_ = true;
 }
 
 std::vector<RouteKey>
 RoutingTable::keys() const
 {
     std::vector<RouteKey> out;
+    if (frozen_) {
+        out.reserve(flat_.size());
+        flat_.for_each_key(
+            [&](const RouteKey &k, const Options &) { out.push_back(k); });
+        return out;
+    }
     out.reserve(entries_.size());
     for (const auto &kv : entries_)
         out.push_back(kv.first);
     return out;
+}
+
+std::string
+RoutingTable::describe() const
+{
+    if (frozen_)
+        return strcat("frozen flat table: ", flat_.size(),
+                      " entries, capacity ", flat_.capacity(),
+                      ", max probe ", flat_.max_probe());
+    return strcat("unfrozen map: ", entries_.size(), " entries");
 }
 
 } // namespace hornet::net

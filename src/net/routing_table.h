@@ -11,14 +11,27 @@
  * with prev_node_id == n.
  *
  * Delivery is expressed as next_node_id == the node itself.
+ *
+ * The table has two phases. While building (the routing builders run
+ * at construction time) entries live in a mutable hash map and add()
+ * accumulates weights. freeze() then compiles the map into a
+ * common::FlatTable — single-probe open addressing with all option
+ * lists packed into one arena slab — and drops the map; the per-flit
+ * hot path (Router::do_route_compute) only ever sees the frozen form.
+ * add() after freeze() panics. Lookups work identically in both
+ * phases: they return a FlatEntry view (or nullptr when absent) whose
+ * precomputed total weight keeps the weighted pick's RNG draws
+ * bit-for-bit identical to the historical map-backed path.
  */
 #ifndef HORNET_NET_ROUTING_TABLE_H
 #define HORNET_NET_ROUTING_TABLE_H
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/flat_table.h"
 #include "common/rng.h"
 #include "common/types.h"
 
@@ -51,7 +64,7 @@ struct RouteKey
     }
 };
 
-/** Hash functor for RouteKey (unordered_map support). */
+/** Hash functor for RouteKey (map and flat-table support). */
 struct RouteKeyHash
 {
     /** Mix both key fields into a table hash. */
@@ -67,11 +80,15 @@ struct RouteKeyHash
 };
 
 /**
- * One node's routing table.
+ * One node's routing table (two-phase: mutable map while building,
+ * frozen flat table at run time — see the file comment).
  */
 class RoutingTable
 {
   public:
+    /** The option-set view lookups return. */
+    using Options = common::FlatEntry<RouteResult>;
+
     /** Table of node @p node (the delivery sentinel). */
     explicit RoutingTable(NodeId node = kInvalidNode) : node_(node) {}
 
@@ -79,26 +96,77 @@ class RoutingTable
     NodeId node() const { return node_; }
 
     /** Add (accumulate) a weighted next-hop option for <prev, flow>.
-     *  Adding an option that already exists accumulates its weight. */
+     *  Adding an option that already exists accumulates its weight.
+     *  Panics once the table is frozen. */
     void add(NodeId prev_node, FlowId flow, const RouteResult &result);
 
-    /** All options for <prev, flow>, or nullptr when absent. */
-    const std::vector<RouteResult> *lookup(NodeId prev_node,
-                                           FlowId flow) const;
+    /** All options for <prev, flow>, or nullptr when absent. The view
+     *  is stable after freeze(); while building it is invalidated by
+     *  the next add() or lookup() of the same key. */
+    const Options *lookup(NodeId prev_node, FlowId flow) const;
 
     /** Weighted random pick among the options (panics when absent). */
     const RouteResult &pick(NodeId prev_node, FlowId flow, Rng &rng) const;
 
-    /** Number of table entries (keys). */
-    std::size_t size() const { return entries_.size(); }
+    /**
+     * Weighted random pick among already-looked-up options: the hot
+     * path pairs one lookup() with one pick_from() instead of paying
+     * the probe twice. Draw-for-draw identical to the map-era pick():
+     * a single-option entry draws nothing; a multi-option entry draws
+     * one uniform scaled by the precomputed total weight and
+     * subtract-scans in option order. @p opts must be non-empty.
+     */
+    const RouteResult &
+    pick_from(const Options &opts, Rng &rng) const
+    {
+        if (opts.count == 1)
+            return opts.front();
+        double r = rng.uniform() * opts.total_weight;
+        for (std::uint32_t i = 0; i + 1 < opts.count; ++i) {
+            r -= opts[i].weight;
+            if (r < 0.0)
+                return opts[i];
+        }
+        return opts[opts.count - 1];
+    }
 
-    /** All keys (tests / table sanity checks). */
+    /**
+     * Compile the mutable map into the frozen flat form, carving slots
+     * and the packed option slab from @p arena (the owning router's
+     * placement-group arena; null falls back to a private arena), then
+     * drop the map. Idempotent; after it, add() panics.
+     */
+    void freeze(common::Arena *arena = nullptr);
+
+    /** True once freeze() has run. */
+    bool frozen() const { return frozen_; }
+
+    /** Number of table entries (keys). */
+    std::size_t
+    size() const
+    {
+        return frozen_ ? flat_.size() : entries_.size();
+    }
+
+    /** All keys (tests / table sanity checks); works in both phases. */
     std::vector<RouteKey> keys() const;
 
+    /** One-line phase/size/probe diagnostics for panic messages. */
+    std::string describe() const;
+
   private:
+    /** Building-phase entry: the option vector plus a lookup view
+     *  refreshed on each lookup (mutable: lookups are const). */
+    struct Building
+    {
+        std::vector<RouteResult> opts; ///< accumulated options
+        mutable Options view;          ///< view returned by lookup()
+    };
+
     NodeId node_;
-    std::unordered_map<RouteKey, std::vector<RouteResult>, RouteKeyHash>
-        entries_;
+    bool frozen_ = false;
+    std::unordered_map<RouteKey, Building, RouteKeyHash> entries_;
+    common::FlatTable<RouteKey, RouteResult, RouteKeyHash> flat_;
 };
 
 } // namespace hornet::net

@@ -39,9 +39,11 @@ to_string(VcaMode mode)
 void
 VcaTable::add(const VcaKey &key, const VcaResult &result)
 {
+    if (frozen_)
+        panic(strcat("VCA table: add() after freeze() (", describe(), ")"));
     if (result.weight <= 0.0)
         fatal("VCA table: weights must be positive");
-    auto &opts = entries_[key];
+    auto &opts = entries_[key].opts;
     for (auto &o : opts) {
         if (o.vc == result.vc) {
             o.weight += result.weight;
@@ -51,11 +53,46 @@ VcaTable::add(const VcaKey &key, const VcaResult &result)
     opts.push_back(result);
 }
 
-const std::vector<VcaResult> *
+const VcaTable::Options *
 VcaTable::lookup(const VcaKey &key) const
 {
+    if (frozen_)
+        return flat_.lookup(key);
     auto it = entries_.find(key);
-    return it == entries_.end() ? nullptr : &it->second;
+    if (it == entries_.end())
+        return nullptr;
+    const auto &opts = it->second.opts;
+    Options &view = it->second.view;
+    view.data = opts.data();
+    view.count = static_cast<std::uint32_t>(opts.size());
+    view.total_weight = common::flat_total_weight(opts.data(), opts.size());
+    return &view;
+}
+
+void
+VcaTable::freeze(common::Arena *arena)
+{
+    if (frozen_)
+        return;
+    std::size_t n_values = 0;
+    for (const auto &kv : entries_)
+        n_values += kv.second.opts.size();
+    flat_.begin_build(entries_.size(), n_values, arena);
+    for (const auto &kv : entries_)
+        flat_.add_entry(kv.first, kv.second.opts.data(),
+                        kv.second.opts.size());
+    decltype(entries_)().swap(entries_); // drop the map and its buckets
+    frozen_ = true;
+}
+
+std::string
+VcaTable::describe() const
+{
+    if (frozen_)
+        return strcat("frozen flat table: ", flat_.size(),
+                      " entries, capacity ", flat_.capacity(),
+                      ", max probe ", flat_.max_probe());
+    return strcat("unfrozen map: ", entries_.size(), " entries");
 }
 
 } // namespace hornet::net

@@ -32,6 +32,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/flat_table.h"
 #include "common/types.h"
 
 namespace hornet::net {
@@ -101,24 +102,63 @@ struct VcaKeyHash
  * One node's VCA table. A missing entry means "all next-hop VCs with
  * equal weight" (pure dynamic VCA), so tables only need populating for
  * restricted schemes.
+ *
+ * Two-phase like RoutingTable: a mutable map while the VCA builders
+ * run, compiled by freeze() into a single-probe common::FlatTable for
+ * the per-packet stage-A lookup (Router::try_vc_allocate); add() after
+ * freeze() panics. lookup() returns the same view type in both phases,
+ * keeping the nullptr contract.
  */
 class VcaTable
 {
   public:
+    /** The candidate-set view lookups return. */
+    using Options = common::FlatEntry<VcaResult>;
+
     /** An empty table: pure dynamic VCA everywhere. */
     VcaTable() = default;
 
-    /** Add (accumulate) a candidate VC for the four-tuple key. */
+    /** Add (accumulate) a candidate VC for the four-tuple key.
+     *  Panics once the table is frozen. */
     void add(const VcaKey &key, const VcaResult &result);
 
-    /** Candidate set for the key, or nullptr (= all VCs, equal weight). */
-    const std::vector<VcaResult> *lookup(const VcaKey &key) const;
+    /** Candidate set for the key, or nullptr (= all VCs, equal weight).
+     *  The view is stable after freeze(); while building it is
+     *  invalidated by the next add() or lookup() of the same key. */
+    const Options *lookup(const VcaKey &key) const;
+
+    /**
+     * Compile the mutable map into the frozen flat form (slots and the
+     * packed candidate slab carved from @p arena; null falls back to a
+     * private arena), then drop the map. Idempotent.
+     */
+    void freeze(common::Arena *arena = nullptr);
+
+    /** True once freeze() has run. */
+    bool frozen() const { return frozen_; }
 
     /** Number of table entries (keys). */
-    std::size_t size() const { return entries_.size(); }
+    std::size_t
+    size() const
+    {
+        return frozen_ ? flat_.size() : entries_.size();
+    }
+
+    /** One-line phase/size/probe diagnostics for panic messages. */
+    std::string describe() const;
 
   private:
-    std::unordered_map<VcaKey, std::vector<VcaResult>, VcaKeyHash> entries_;
+    /** Building-phase entry: candidate vector plus the lookup view
+     *  refreshed on each lookup (mutable: lookups are const). */
+    struct Building
+    {
+        std::vector<VcaResult> opts; ///< accumulated candidates
+        mutable Options view;        ///< view returned by lookup()
+    };
+
+    bool frozen_ = false;
+    std::unordered_map<VcaKey, Building, VcaKeyHash> entries_;
+    common::FlatTable<VcaKey, VcaResult, VcaKeyHash> flat_;
 };
 
 } // namespace hornet::net

@@ -172,11 +172,49 @@ System::run(const RunOptions &opts)
     return run(*policy, eng_opts, opts.threads);
 }
 
+void
+System::freeze_tables()
+{
+    if (tables_frozen_)
+        return;
+    const std::uint32_t n = static_cast<std::uint32_t>(tiles_.size());
+    // Each group's tables freeze into that group's arena on its own
+    // (possibly pinned) thread, mirroring construction: the frozen
+    // slot arrays and option slabs first-touch on the core that later
+    // runs the matching shard. Table contents are thread-independent,
+    // so parallel freezing is bitwise-equivalent to serial.
+    common::for_each_group(placement_, [&](unsigned g) {
+        for (NodeId i = 0; i < n; ++i) {
+            if (common::block_of(i, n, placement_.groups) != g)
+                continue;
+            net::Router &r = network_->router(i);
+            r.freeze_tables();
+            // The flows this tile can deliver: delivery entries route
+            // to the node itself, and their next_flow is the original
+            // (phase-stripped) flow id the delivered-flit stats are
+            // keyed by.
+            std::vector<FlowId> flows;
+            const net::RoutingTable &rt = r.routing_table();
+            for (const net::RouteKey &k : rt.keys()) {
+                const auto *opts = rt.lookup(k.prev_node, k.flow);
+                for (const net::RouteResult &res : *opts)
+                    if (res.next_node == i)
+                        flows.push_back(res.next_flow);
+            }
+            tiles_[i]->flow_stats().freeze(std::move(flows),
+                                           placement_.arena_of_node[i]);
+        }
+    });
+    tables_frozen_ = true;
+}
+
 Cycle
 System::run(SyncPolicy &policy, const EngineOptions &opts,
             unsigned threads)
 {
     attach_default_sinks();
+    if (freeze_enabled_)
+        freeze_tables();
     Engine engine(tiles_, threads);
     const Cycle end = engine.run(policy, opts);
     last_engine_stats_ = engine.last_run_stats();
@@ -214,17 +252,18 @@ System::collect_stats() const
     for (const auto *t : tiles_) {
         out.per_tile.push_back(t->stats());
         out.total.merge(t->stats());
-        // Tile flow stats are unordered (hot path); the ordered view
-        // is produced here, at merge time, by the per_flow std::map.
-        // Accumulation is deterministic regardless of within-tile
-        // iteration order: each flow appears at most once per tile,
-        // and tiles merge in index order.
-        for (const auto &[flow, fs] : t->flow_stats()) {
+        // Tile flow stats live in the dense frozen-index table (hot
+        // path); the ordered view is produced here, at merge time, by
+        // the per_flow std::map. Accumulation is deterministic
+        // regardless of within-tile iteration order: each flow appears
+        // at most once per tile (dense XOR overflow), and tiles merge
+        // in index order.
+        t->flow_stats().for_each([&](FlowId flow, const FlowStats &fs) {
             auto &dst = out.per_flow[flow];
             dst.packets_delivered += fs.packets_delivered;
             dst.flits_delivered += fs.flits_delivered;
             dst.packet_latency.merge(fs.packet_latency);
-        }
+        });
     }
     return out;
 }

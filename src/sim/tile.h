@@ -30,6 +30,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/flow_stats_table.h"
 #include "common/log.h"
 #include "common/ring.h"
 #include "common/rng.h"
@@ -76,13 +77,13 @@ class Tile : public Wakeable
     /** Tile-private statistics sink (read-only). */
     const TileStats &stats() const { return stats_; }
 
-    /** Per-flow delivery statistics. Unordered (hot per-flit path);
-     *  sort at stats-merge time when ordering matters. */
-    std::unordered_map<FlowId, FlowStats> &flow_stats()
-    {
-        return flow_stats_;
-    }
-    const std::unordered_map<FlowId, FlowStats> &flow_stats() const
+    /** Per-flow delivery statistics: a dense frozen-index table (hot
+     *  per-flit path; sim::System freezes the deliverable-flow set
+     *  before the first run). The ordered view is produced at
+     *  stats-merge time. */
+    common::FlowStatsTable &flow_stats() { return flow_stats_; }
+    /** Per-flow delivery statistics (read-only). */
+    const common::FlowStatsTable &flow_stats() const
     {
         return flow_stats_;
     }
@@ -547,7 +548,7 @@ class Tile : public Wakeable
     NodeId id_;
     Rng rng_;
     TileStats stats_;
-    std::unordered_map<FlowId, FlowStats> flow_stats_;
+    common::FlowStatsTable flow_stats_;
     net::Router *router_ = nullptr;
     std::vector<std::pair<NodeId, net::VcBuffer *>> egress_buffers_;
     std::vector<net::BidirLink *> owned_links_;

@@ -13,6 +13,9 @@ Bridge::Bridge(net::Router *router, Rng *rng, TileStats *stats,
         fatal("bridge requires a router, rng and stats sink");
     if (cfg_.injection_bandwidth == 0 || cfg_.ejection_bandwidth == 0)
         fatal("bridge bandwidths must be nonzero");
+    // One reassembly per ejection VC is the steady state; a generous
+    // reserve keeps even bursty interleavings from rehashing mid-run.
+    rx_partial_.reserve(4 * router_->num_ejection_vcs());
 }
 
 void

@@ -22,8 +22,8 @@
 
 #include <cstdint>
 #include <deque>
-#include <map>
 #include <optional>
+#include <unordered_map>
 
 #include "common/rng.h"
 #include "common/stats.h"
@@ -145,7 +145,11 @@ class Bridge
         std::uint32_t flits = 0;
         std::uint64_t tail_latency = 0;
     };
-    std::map<PacketId, Partial> rx_partial_;
+    /** In-flight reassemblies by packet id. Accessed by key only
+     *  (never iterated, so hashing costs no determinism); reserved at
+     *  construction so the per-flit reassembly path does not rehash
+     *  mid-run. */
+    std::unordered_map<PacketId, Partial> rx_partial_;
     std::deque<RxPacket> rx_queue_;
     std::uint32_t rx_backlog_flits_ = 0;
 };
