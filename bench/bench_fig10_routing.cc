@@ -5,10 +5,21 @@
  * network, at 2 and 4 VCs per port. O1TURN and ROMM (more path
  * diversity) beat XY, but by a modest margin — exactly the paper's
  * point that intuition overestimates the gain.
+ *
+ * The 12-point grid goes through the sweep engine: the routing scheme
+ * and VC configuration are both part of the immutable blueprint half,
+ * so each point is one Job on its own SystemBlueprint, all replaying
+ * the once-synthesized WATER trace and running concurrently on the
+ * JobEngine's workers.
  */
 #include <cstdio>
+#include <memory>
+#include <vector>
 
 #include "bench_util.h"
+#include "sim/job_engine.h"
+#include "sim/system_blueprint.h"
+#include "traffic/trace.h"
 #include "workloads/splash.h"
 
 using namespace hornet;
@@ -16,25 +27,30 @@ using namespace hornet::benchutil;
 
 namespace {
 
-double
-run_config(const std::string &routing, std::uint32_t vcs,
-           net::VcaMode mode)
+/** Blueprint for one routing x VC configuration of the 8x8 WATER
+ *  mesh; the factory replays the shared per-node trace slices. */
+std::shared_ptr<sim::SystemBlueprint>
+make_water_blueprint(const net::Topology &topo,
+                     const net::NetworkConfig &cfg,
+                     const std::string &routing,
+                     const std::vector<traffic::TraceEvent> &events)
 {
-    net::Topology topo = net::Topology::mesh2d(8, 8);
-    auto profile = workloads::splash_profile("water");
-    profile.active_rate = 0.22; // "relatively congested" (paper)
-    auto events =
-        workloads::synthesize_trace(profile, topo, {0}, 60000, 5);
-    net::NetworkConfig cfg;
-    cfg.router.net_vcs = vcs;
-    cfg.router.net_vc_capacity = 4;
-    cfg.router.vca_mode = mode;
-    TraceRunOptions opts;
-    opts.cycles = 90000;
-    opts.stop_when_done = true;
-    opts.routing = routing;
-    auto r = run_trace(topo, cfg, events, opts);
-    return r.stats.avg_packet_latency();
+    auto bp = std::make_shared<sim::SystemBlueprint>(topo, cfg);
+    build_routing(bp->network(), routing,
+                  traffic::flows_from_trace(events));
+    auto per_node = std::make_shared<
+        const std::vector<std::vector<traffic::TraceEvent>>>(
+        traffic::split_trace_by_source(events, topo.num_nodes()));
+    bp->set_frontend_factory([per_node](sim::System &sys, std::uint64_t) {
+        for (NodeId n = 0; n < sys.num_tiles(); ++n) {
+            if (!(*per_node)[n].empty())
+                sys.add_frontend(
+                    n, std::make_unique<traffic::TraceInjector>(
+                           sys.tile(n), (*per_node)[n]));
+        }
+    });
+    bp->freeze();
+    return bp;
 }
 
 } // namespace
@@ -45,16 +61,49 @@ main()
     std::printf("# Fig 10: routing x VCA on the WATER-like trace "
                 "(8x8, congested)\n");
     std::printf("vcs,routing,vca,avg_packet_latency\n");
+
+    const net::Topology topo = net::Topology::mesh2d(8, 8);
+    auto profile = workloads::splash_profile("water");
+    profile.active_rate = 0.22; // "relatively congested" (paper)
+    const auto events =
+        workloads::synthesize_trace(profile, topo, {0}, 60000, 5);
+
+    sim::RunOptions ro;
+    ro.max_cycles = 90000;
+    ro.stop_when_done = true;
+
+    struct Point
+    {
+        std::uint32_t vcs;
+        const char *routing;
+        net::VcaMode mode;
+    };
+    std::vector<Point> points;
+
+    sim::JobEngine engine;
     for (std::uint32_t vcs : {2u, 4u}) {
         for (const char *routing : {"xy", "o1turn", "romm"}) {
             for (auto mode :
                  {net::VcaMode::Dynamic, net::VcaMode::Edvca}) {
-                double lat = run_config(routing, vcs, mode);
-                std::printf("%u,%s,%s,%.2f\n", vcs, routing,
-                            net::to_string(mode), lat);
+                net::NetworkConfig cfg;
+                cfg.router.net_vcs = vcs;
+                cfg.router.net_vc_capacity = 4;
+                cfg.router.vca_mode = mode;
+                sim::Job job;
+                job.blueprint =
+                    make_water_blueprint(topo, cfg, routing, events);
+                job.run = ro;
+                engine.submit(std::move(job));
+                points.push_back({vcs, routing, mode});
             }
         }
     }
+    const auto results = engine.finish();
+
+    for (std::size_t i = 0; i < results.size(); ++i)
+        std::printf("%u,%s,%s,%.2f\n", points[i].vcs, points[i].routing,
+                    net::to_string(points[i].mode),
+                    results[i].stats.avg_packet_latency());
     std::printf("# paper shape: O1TURN/ROMM lower latency than XY, "
                 "but not dramatically\n");
     return 0;

@@ -8,10 +8,21 @@
  * a congested network (total buffering doubles, so flits queue behind
  * more in-network traffic), while doubling VCs at constant total
  * buffer (4 VCs x 4 flits) decreases it.
+ *
+ * The 12-point grid goes through the sweep engine: each grid point is
+ * a Job on its own SystemBlueprint (the VC configuration is part of
+ * the immutable half), each trace is synthesized once and shared by
+ * all its points' frontend factories, and the points run concurrently
+ * on the JobEngine's workers instead of one after another.
  */
 #include <cstdio>
+#include <memory>
+#include <vector>
 
 #include "bench_util.h"
+#include "sim/job_engine.h"
+#include "sim/system_blueprint.h"
+#include "traffic/trace.h"
 #include "workloads/splash.h"
 
 using namespace hornet;
@@ -19,27 +30,27 @@ using namespace hornet::benchutil;
 
 namespace {
 
-double
-run_config(const char *trace_name, std::uint32_t vcs,
-           std::uint32_t vc_depth, net::VcaMode mode)
+/** Blueprint for one VC configuration of the 8x8 trace-driven mesh;
+ *  the factory replays the shared per-node trace slices. */
+std::shared_ptr<sim::SystemBlueprint>
+make_trace_blueprint(const net::Topology &topo, const net::NetworkConfig &cfg,
+                     const std::vector<traffic::TraceEvent> &events)
 {
-    net::Topology topo = net::Topology::mesh2d(8, 8);
-    auto profile = workloads::splash_profile(trace_name);
-    // "Relatively congested" (paper): heavy queueing without driving
-    // the corner-MC links into deep saturation.
-    if (profile.name == "radix")
-        profile.active_rate = 0.17;
-    auto events =
-        workloads::synthesize_trace(profile, topo, {0}, 60000, 99);
-    net::NetworkConfig cfg;
-    cfg.router.net_vcs = vcs;
-    cfg.router.net_vc_capacity = vc_depth;
-    cfg.router.vca_mode = mode;
-    TraceRunOptions opts;
-    opts.cycles = 90000;
-    opts.stop_when_done = true;
-    auto r = run_trace(topo, cfg, events, opts);
-    return r.stats.avg_packet_latency();
+    auto bp = std::make_shared<sim::SystemBlueprint>(topo, cfg);
+    build_routing(bp->network(), "xy", traffic::flows_from_trace(events));
+    auto per_node = std::make_shared<
+        const std::vector<std::vector<traffic::TraceEvent>>>(
+        traffic::split_trace_by_source(events, topo.num_nodes()));
+    bp->set_frontend_factory([per_node](sim::System &sys, std::uint64_t) {
+        for (NodeId n = 0; n < sys.num_tiles(); ++n) {
+            if (!(*per_node)[n].empty())
+                sys.add_frontend(
+                    n, std::make_unique<traffic::TraceInjector>(
+                           sys.tile(n), (*per_node)[n]));
+        }
+    });
+    bp->freeze();
+    return bp;
 }
 
 } // namespace
@@ -57,16 +68,51 @@ main()
     };
     const Cfg cfgs[] = {
         {"2VCx8", 2, 8}, {"4VCx8", 4, 8}, {"4VCx4", 4, 4}};
+    const net::VcaMode modes[] = {net::VcaMode::Dynamic,
+                                  net::VcaMode::Edvca};
+    const net::Topology topo = net::Topology::mesh2d(8, 8);
+
+    sim::RunOptions ro;
+    ro.max_cycles = 90000;
+    ro.stop_when_done = true;
+
+    struct Point
+    {
+        const char *trace;
+        const char *cfg_name;
+        net::VcaMode mode;
+    };
+    std::vector<Point> points;
+
+    sim::JobEngine engine;
     for (const char *trace : {"swaptions", "radix"}) {
+        auto profile = workloads::splash_profile(trace);
+        // "Relatively congested" (paper): heavy queueing without
+        // driving the corner-MC links into deep saturation.
+        if (profile.name == "radix")
+            profile.active_rate = 0.17;
+        const auto events =
+            workloads::synthesize_trace(profile, topo, {0}, 60000, 99);
         for (const auto &c : cfgs) {
-            for (auto mode :
-                 {net::VcaMode::Dynamic, net::VcaMode::Edvca}) {
-                double lat = run_config(trace, c.vcs, c.depth, mode);
-                std::printf("%s,%s,%s,%.2f\n", trace, c.name,
-                            net::to_string(mode), lat);
+            for (auto mode : modes) {
+                net::NetworkConfig cfg;
+                cfg.router.net_vcs = c.vcs;
+                cfg.router.net_vc_capacity = c.depth;
+                cfg.router.vca_mode = mode;
+                sim::Job job;
+                job.blueprint = make_trace_blueprint(topo, cfg, events);
+                job.run = ro;
+                engine.submit(std::move(job));
+                points.push_back({trace, c.name, mode});
             }
         }
     }
+    const auto results = engine.finish();
+
+    for (std::size_t i = 0; i < results.size(); ++i)
+        std::printf("%s,%s,%s,%.2f\n", points[i].trace,
+                    points[i].cfg_name, net::to_string(points[i].mode),
+                    results[i].stats.avg_packet_latency());
     std::printf("# paper shape (congested RADIX): 4VCx8 > 2VCx8 > "
                 "4VCx4\n");
     return 0;

@@ -118,7 +118,8 @@ if [[ "${1:-}" == "--bench" ]]; then
     # both attempts anyway.
     cmake -B build -S .
     cmake --build build -j "$JOBS" \
-        --target bench_vc_buffer bench_event_driven bench_route_lookup
+        --target bench_vc_buffer bench_event_driven bench_route_lookup \
+        bench_job_engine
     mkdir -p build/bench-reports
     check_bench() { # <name>: run <name> --quick and compare
         local name="$1" attempt
@@ -139,6 +140,7 @@ if [[ "${1:-}" == "--bench" ]]; then
     check_bench bench_vc_buffer
     check_bench bench_event_driven
     check_bench bench_route_lookup
+    check_bench bench_job_engine
     echo "BENCH OK"
     exit 0
 fi
@@ -189,6 +191,12 @@ echo "== ctest (full differential sweep, label 'long') =="
 # this scale is unmistakable in the log.
 echo "== 64x64 giant-mesh smoke (arena layout, both schedulers) =="
 ./build/test_big_mesh --gtest_filter='BigMesh.Mesh64*'
+
+# Sweep-engine smoke: the backend-comparison example submits its
+# backend x seed grid through sim::JobEngine (blueprint-shared frozen
+# tables, concurrent jobs, adaptive-policy timeline at the end).
+echo "== sweep-engine smoke (example_sync_study) =="
+./build/example_sync_study > /dev/null
 
 if command -v doxygen > /dev/null 2>&1; then
     echo "== doxygen (API docs; src/common, src/sim, src/net, src/mem and src/traffic must be fully documented) =="

@@ -1,29 +1,35 @@
 /**
  * @file
- * Walkthrough: choosing (or not choosing) a synchronization backend.
+ * Walkthrough: choosing (or not choosing) a synchronization backend —
+ * as a sweep.
  *
  * The paper's central dial is speed vs timing fidelity: cycle-accurate
  * barriers make a parallel run bitwise identical to a sequential one,
  * loose (periodic) synchronization trades a little per-flit latency
- * error for much less barrier overhead (Fig 6), and fast-forward jumps
- * drained gaps entirely (IV-B). This example shows the fourth option —
- * the adaptive backend — reacting to a bursty workload: it narrows the
- * rendezvous window to lockstep while a burst is draining (accuracy
- * when it matters) and widens it toward its cap while the network is
- * quiet (speed when nothing interesting is in flight).
+ * error for much less barrier overhead (Fig 6), and the adaptive
+ * backend moves the window itself. Comparing backends is exactly the
+ * multi-run shape the sweep engine exists for, so this example builds
+ * the bursty 8x8 system *once* as a SystemBlueprint and submits the
+ * backend x seed grid through sim::JobEngine; every run shares the
+ * blueprint's frozen routing tables. A direct adaptive run (same
+ * blueprint) follows for the controller's period timeline, which
+ * needs the policy object itself.
  *
- *   $ ./examples/sync_study
+ *   $ ./examples/example_sync_study
  *
- * Prints the cycle-accurate reference, the adaptive run's statistics,
- * and the controller's period timeline.
+ * Prints the per-backend statistics table (deviation vs the same
+ * seed's cycle-accurate reference) and the adaptive period timeline.
  */
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "net/routing/builders.h"
 #include "net/topology.h"
+#include "sim/job_engine.h"
 #include "sim/sync_policy.h"
 #include "sim/system.h"
+#include "sim/system_blueprint.h"
 #include "traffic/flows.h"
 #include "traffic/patterns.h"
 #include "traffic/synthetic.h"
@@ -32,34 +38,44 @@ using namespace hornet;
 
 namespace {
 
-/** 8x8 transpose mesh that injects an 8-packet burst per node every
- *  500 cycles and is otherwise silent. */
-std::unique_ptr<sim::System>
-make_bursty_system(std::uint64_t seed)
+/** Blueprint of the 8x8 transpose mesh whose nodes inject an
+ *  8-packet burst every 500 cycles and are otherwise silent. */
+std::shared_ptr<sim::SystemBlueprint>
+make_bursty_blueprint()
 {
     net::Topology topo = net::Topology::mesh2d(8, 8);
     net::NetworkConfig cfg;
-    auto sys = std::make_unique<sim::System>(topo, cfg, seed);
+    auto bp = std::make_shared<sim::SystemBlueprint>(topo, cfg);
 
     auto pattern =
         traffic::pattern_by_name("transpose", topo.num_nodes());
-    auto flows =
-        traffic::flows_for_pattern(topo.num_nodes(), pattern);
-    net::routing::build_xy(sys->network(), flows);
+    auto flows = traffic::flows_for_pattern(topo.num_nodes(), pattern);
+    net::routing::build_xy(bp->network(), flows);
 
-    for (NodeId n = 0; n < topo.num_nodes(); ++n) {
-        traffic::SyntheticConfig sc;
-        sc.pattern = pattern;
-        sc.packet_size = 4;
-        sc.rate = 0.0;
-        sc.burst_period = 500;
-        sc.burst_size = 8;
-        sys->add_frontend(
-            n, std::make_unique<traffic::SyntheticInjector>(
-                   sys->tile(n), sc));
-    }
-    return sys;
+    bp->set_frontend_factory([pattern](sim::System &sys, std::uint64_t) {
+        for (NodeId n = 0; n < sys.num_tiles(); ++n) {
+            traffic::SyntheticConfig sc;
+            sc.pattern = pattern;
+            sc.packet_size = 4;
+            sc.rate = 0.0;
+            sc.burst_period = 500;
+            sc.burst_size = 8;
+            sys.add_frontend(n,
+                             std::make_unique<traffic::SyntheticInjector>(
+                                 sys.tile(n), sc));
+        }
+    });
+    bp->freeze();
+    return bp;
 }
+
+/** One backend of the sweep grid. */
+struct Backend
+{
+    const char *name;    ///< printed label
+    unsigned threads;    ///< engine threads
+    sim::RunOptions run; ///< everything else
+};
 
 } // namespace
 
@@ -67,57 +83,85 @@ int
 main()
 {
     constexpr Cycle kCycles = 6000;
-    constexpr std::uint64_t kSeed = 7;
     constexpr unsigned kThreads = 4;
+    const std::vector<std::uint64_t> kSeeds = {7, 8};
+
+    auto bp = make_bursty_blueprint();
 
     // ------------------------------------------------------------------
-    // 1. Reference: sequential, cycle-accurate. Every other run is
-    //    judged against this latency distribution.
+    // 1. The backend x seed grid, through the sweep engine. Backend 0
+    //    (sequential cycle-accurate) is the reference every other
+    //    backend of the same seed is judged against.
     // ------------------------------------------------------------------
-    auto ref_sys = make_bursty_system(kSeed);
-    sim::CycleAccurateSync ca;
-    sim::EngineOptions opts;
-    opts.max_cycles = kCycles;
-    ref_sys->run(ca, opts, /*threads=*/1);
-    auto ref = ref_sys->collect_stats();
-    std::printf("cycle-accurate (1 thread): %llu flits delivered, "
-                "avg flit latency %.2f cycles\n",
-                static_cast<unsigned long long>(
-                    ref.total.flits_delivered),
-                ref.avg_flit_latency());
+    std::vector<Backend> backends;
+    {
+        sim::RunOptions ro;
+        ro.max_cycles = kCycles;
+        ro.sync = "cycle-accurate";
+        ro.threads = 1;
+        backends.push_back({"cycle-accurate", 1, ro});
+        ro.sync = "periodic";
+        ro.sync_period = 16;
+        ro.threads = kThreads;
+        backends.push_back({"periodic k=16", kThreads, ro});
+        ro.sync = "adaptive";
+        ro.adaptive.min_period = 1;
+        ro.adaptive.max_period = 64;
+        ro.batch_handoff = true;
+        backends.push_back({"adaptive", kThreads, ro});
+    }
+
+    sim::JobEngine engine;
+    for (std::uint64_t seed : kSeeds) {
+        for (const Backend &b : backends) {
+            sim::Job job;
+            job.blueprint = bp;
+            job.seed = seed;
+            job.run = b.run;
+            job.name = b.name;
+            engine.submit(std::move(job));
+        }
+    }
+    const auto results = engine.finish();
+
+    std::printf("backend          seed  threads  flits   avg flit lat"
+                "   vs reference\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto &r = results[i];
+        // The same seed's cycle-accurate run heads each seed group.
+        const auto &ref = results[i - i % backends.size()];
+        const double ref_lat = ref.stats.avg_flit_latency();
+        const double dev =
+            ref_lat > 0.0 ? 100.0 *
+                                (r.stats.avg_flit_latency() - ref_lat) /
+                                ref_lat
+                          : 0.0;
+        std::printf("%-16s %4llu  %7u  %5llu        %7.2f        %+.2f%%\n",
+                    r.name.c_str(),
+                    static_cast<unsigned long long>(r.seed),
+                    backends[i % backends.size()].threads,
+                    static_cast<unsigned long long>(
+                        r.stats.total.flits_delivered),
+                    r.stats.avg_flit_latency(), dev);
+    }
 
     // ------------------------------------------------------------------
-    // 2. Adaptive backend, batched cross-shard handoff, 4 threads.
-    //    No period to hand-tune: the controller watches cross-shard
-    //    flit traffic and moves the window itself.
+    // 2. The adaptive controller's decisions need the policy object,
+    //    so this run goes direct — on a System instantiated from the
+    //    same blueprint (no rebuilt routing tables). Expect shrinks at
+    //    each burst (cycles ~0, 500, 1000, ...) and growth through
+    //    each gap.
     // ------------------------------------------------------------------
-    auto ad_sys = make_bursty_system(kSeed);
+    auto ad_sys = bp->instantiate(kSeeds.front());
     sim::AdaptiveSync::Options ao;
     ao.min_period = 1;
     ao.max_period = 64;
     sim::AdaptiveSync adaptive(ao);
+    sim::EngineOptions opts;
+    opts.max_cycles = kCycles;
     opts.batch_cross_shard = true;
     ad_sys->run(adaptive, opts, kThreads);
-    auto ad = ad_sys->collect_stats();
 
-    const double dev =
-        ref.avg_flit_latency() > 0.0
-            ? 100.0 *
-                  (ad.avg_flit_latency() - ref.avg_flit_latency()) /
-                  ref.avg_flit_latency()
-            : 0.0;
-    std::printf("adaptive       (%u threads): %llu flits delivered, "
-                "avg flit latency %.2f cycles (%+.2f%% vs reference)\n",
-                kThreads,
-                static_cast<unsigned long long>(
-                    ad.total.flits_delivered),
-                ad.avg_flit_latency(), dev);
-
-    // ------------------------------------------------------------------
-    // 3. The controller's decisions: every rendezvous-period change,
-    //    with the cycle it took effect. Expect shrinks at each burst
-    //    (cycles ~0, 500, 1000, ...) and growth through each gap.
-    // ------------------------------------------------------------------
     std::printf("\nadaptive period timeline (cycle: new period)\n");
     for (const auto &[cycle, period] : adaptive.history())
         std::printf("  %6llu: %u\n",

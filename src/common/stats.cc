@@ -1,8 +1,42 @@
 #include "common/stats.h"
 
+#include <bit>
 #include <sstream>
 
 namespace hornet {
+
+namespace {
+
+/** FNV-1a accumulator state. */
+struct Fnv
+{
+    std::uint64_t h = 1469598103934665603ull; ///< FNV-1a offset basis
+
+    /** Fold one 64-bit word, byte by byte. */
+    void
+    mix(std::uint64_t x)
+    {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (x >> (8 * i)) & 0xffu;
+            h *= 1099511628211ull; // FNV-1a prime
+        }
+    }
+
+    /** Fold a double bit-for-bit. */
+    void mix(double x) { mix(std::bit_cast<std::uint64_t>(x)); }
+
+    /** Fold a latency accumulator (count + bitwise sum/min/max). */
+    void
+    mix(const RunningStat &r)
+    {
+        mix(r.count());
+        mix(r.sum());
+        mix(r.min());
+        mix(r.max());
+    }
+};
+
+} // namespace
 
 double
 Histogram::percentile(double p) const
@@ -77,6 +111,43 @@ SystemStats::summary() const
            << arena_bytes_per_tile << " bytes/tile)";
     }
     return os.str();
+}
+
+std::uint64_t
+stats_fingerprint(const SystemStats &s)
+{
+    Fnv f;
+    f.mix(static_cast<std::uint64_t>(s.per_tile.size()));
+    for (const TileStats &t : s.per_tile) {
+        f.mix(t.flits_injected);
+        f.mix(t.flits_delivered);
+        f.mix(t.packets_injected);
+        f.mix(t.packets_delivered);
+        f.mix(t.buffer_writes);
+        f.mix(t.buffer_reads);
+        f.mix(t.xbar_transits);
+        f.mix(t.link_transits);
+        f.mix(t.va_grants);
+        f.mix(t.sa_grants);
+        f.mix(t.va_stalls);
+        f.mix(t.sa_stalls);
+        f.mix(t.credit_stalls);
+        f.mix(t.flit_latency);
+        f.mix(t.packet_latency);
+        for (std::uint64_t b : t.packet_latency_hist.buckets())
+            f.mix(b);
+        f.mix(t.packet_latency_hist.overflow());
+    }
+    // per_flow is a std::map: iteration order is flow-id order, stable
+    // across runs by construction.
+    f.mix(static_cast<std::uint64_t>(s.per_flow.size()));
+    for (const auto &[flow, fs] : s.per_flow) {
+        f.mix(static_cast<std::uint64_t>(flow));
+        f.mix(fs.packets_delivered);
+        f.mix(fs.flits_delivered);
+        f.mix(fs.packet_latency);
+    }
+    return f.h;
 }
 
 } // namespace hornet

@@ -269,6 +269,21 @@ struct SystemStats
     std::string summary() const;
 };
 
+/**
+ * Order-independent 64-bit fingerprint of a run's simulation results:
+ * an FNV-1a fold over every tile's traffic/activity/stall counters and
+ * latency accumulators (doubles bit-cast, so "equal" means bitwise
+ * equal, not approximately equal) and the per-flow delivery map. The
+ * scheduling and arena counters are deliberately excluded — they
+ * describe how the run was executed, not what it computed — so two
+ * runs of the same workload under different schedulers, thread counts
+ * or memory layouts must produce the same fingerprint whenever the
+ * engine's determinism contract says their results are bitwise
+ * identical. The sweep engine (sim::JobEngine) uses this as the
+ * per-job delivered-traffic digest.
+ */
+std::uint64_t stats_fingerprint(const SystemStats &s);
+
 } // namespace hornet
 
 #endif // HORNET_COMMON_STATS_H

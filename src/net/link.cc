@@ -14,6 +14,10 @@ BidirLink::BidirLink(Router *a, PortId port_a, Router *b, PortId port_b,
 {
     if (total_ == 0)
         fatal("bidirectional link needs nonzero bandwidth");
+    // The arbiter reads only phase-stable posedge snapshots of the two
+    // endpoints (see arbitrate); ask both routers to publish them.
+    a_->enable_free_space_snapshot(port_a_);
+    b_->enable_free_space_snapshot(port_b_);
 }
 
 NodeId
@@ -39,10 +43,14 @@ BidirLink::arbitrate()
 {
     // Effective demand in each direction: flits ready to traverse,
     // bounded by the space available at the destination (paper II-A4).
-    std::uint32_t d_ab =
-        std::min(a_->egress_demand(port_a_), a_->egress_free_space(port_a_));
-    std::uint32_t d_ba =
-        std::min(b_->egress_demand(port_b_), b_->egress_free_space(port_b_));
+    // Both inputs are posedge-published snapshots, so the split is a
+    // pure function of phase-stable state: it no longer races the
+    // remote consumer's mid-phase pop commits, which made multi-shard
+    // bidirectional runs irreproducible (ROADMAP corner (a)).
+    std::uint32_t d_ab = std::min(a_->egress_demand(port_a_),
+                                  a_->egress_free_space_snapshot(port_a_));
+    std::uint32_t d_ba = std::min(b_->egress_demand(port_b_),
+                                  b_->egress_free_space_snapshot(port_b_));
 
     std::uint32_t bw_ab;
     if (d_ab == 0 && d_ba == 0) {

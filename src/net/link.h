@@ -23,18 +23,18 @@ class Router;
 /**
  * Arbiter for one physical link A:port_a <-> B:port_b with a shared
  * bandwidth pool. A Clocked component of the lower-id endpoint's tile,
- * acting at its negative edge only: it reads demand published by both
- * routers at their positive edges and sets next-cycle bandwidths.
- * Everything it touches on the non-owning endpoint is atomic — the
- * routers' published demand and the VC buffers' credit views — so the
- * arbiter never synchronizes with the other tile's thread; under
- * loose windows it sees a possibly stale snapshot of the remote side
- * (a heuristic input to the bandwidth split, never a push credit),
- * within the usual loose-synchronization envelope. This is also why
- * same-shard VC buffers can drop to relaxed ordering: the only
- * cross-thread buffer reads an arbiter performs target buffers whose
- * producer and consumer straddle a shard boundary, which stay in
- * synchronized mode.
+ * acting at its negative edge only: it reads the demand and free-space
+ * views both routers publish at their positive edges and sets
+ * next-cycle bandwidths. Everything it touches on the non-owning
+ * endpoint is one of those posedge-published atomics, so the arbiter
+ * never synchronizes with the other tile's thread, and — because
+ * lockstep windows put a barrier between the posedge and negedge
+ * phases — its inputs are phase-stable: the split is bitwise
+ * reproducible across shard counts (ROADMAP determinism corner (a),
+ * fixed by publishing free_space at posedge like demand). Under loose
+ * windows the snapshots may lag a remote window (a heuristic input to
+ * the bandwidth split, never a push credit), within the usual
+ * loose-synchronization envelope.
  */
 class BidirLink : public sim::Clocked
 {

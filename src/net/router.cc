@@ -200,6 +200,30 @@ Router::ejection_buffer(VcId vc)
     return *ejection_.at(vc);
 }
 
+void
+Router::reset_run_state()
+{
+    if (has_buffered_flits())
+        panic(strcat("router ", id_,
+                     ": reset_run_state with flits still buffered"));
+    for (auto &ip : ingress_)
+        ip.state.assign(ip.state.size(), VcState{});
+    for (auto *ep : egress_) {
+        ep->vc_state.assign(ep->vc_state.size(), EgressVcState{});
+        ep->bandwidth = cfg_.link_bandwidth;
+        ep->bandwidth_next.store(cfg_.link_bandwidth,
+                                 std::memory_order_relaxed);
+        ep->demand.store(0, std::memory_order_relaxed);
+        if (ep->publish_free_space) {
+            std::uint32_t total = 0;
+            for (const auto *b : ep->downstream)
+                total += b->free_slots();
+            ep->free_space.store(total, std::memory_order_relaxed);
+        }
+    }
+    pending_releases_.clear();
+}
+
 std::uint32_t
 Router::egress_free_space(PortId port) const
 {
@@ -435,8 +459,10 @@ Router::posedge(Cycle now)
         // set touch no state and draw nothing from the PRNG, so this
         // early exit is bitwise neutral on every scheduler.)
         if (cands.empty() && pending_releases_.empty()) {
-            for (auto &ep : egress_)
-                ep->demand.store(0, std::memory_order_release);
+            for (PortId e = 0; e < egress_.size(); ++e) {
+                egress_[e]->demand.store(0, std::memory_order_release);
+                publish_free_space_snapshot(e);
+            }
             return;
         }
     } else {
@@ -579,9 +605,13 @@ Router::posedge(Cycle now)
         }
     }
 
-    // Publish per-egress demand for the bidirectional-link arbiters.
-    for (std::size_t e = 0; e < egress_.size(); ++e)
+    // Publish per-egress demand — and, on arbiter-facing ports, the
+    // phase-stable free-space snapshot — for the bidirectional-link
+    // arbiters.
+    for (std::size_t e = 0; e < egress_.size(); ++e) {
         egress_[e]->demand.store(demand[e], std::memory_order_release);
+        publish_free_space_snapshot(static_cast<PortId>(e));
+    }
 }
 
 void

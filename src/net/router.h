@@ -129,6 +129,35 @@ class Router : public sim::Clocked
     }
 
     /**
+     * Share @p donor's frozen routing and VCA tables instead of
+     * building and freezing private ones (the sim::SystemBlueprint
+     * seam). This router's tables must still be empty; @p donor — the
+     * blueprint prototype's router for the same node — must already be
+     * frozen and must outlive this router. After adoption the tables
+     * report frozen() and add() panics, exactly as after a private
+     * freeze; lookups are bitwise identical because they probe the
+     * very same flat tables.
+     */
+    void
+    adopt_tables(const Router &donor)
+    {
+        table_.adopt(donor.table_);
+        vca_table_.adopt(donor.vca_table_);
+    }
+
+    /**
+     * Return the router to its just-constructed dynamic state so a
+     * drained system can be reused for another run (the sim::JobEngine
+     * reset-and-rerun path): per-VC route/allocation progress, egress
+     * VC ownership, pending releases and the arbiter-facing atomics
+     * (bandwidth, demand, free-space snapshot) all reset to their
+     * construction values. The frozen tables are untouched — they are
+     * run-independent. Panics if any flit is still buffered here: a
+     * non-drained router cannot be reset without losing traffic.
+     */
+    void reset_run_state();
+
+    /**
      * Wire network egress @p port to the downstream router's ingress
      * buffers @p downstream (one per VC), with the given link latency.
      */
@@ -254,18 +283,47 @@ class Router : public sim::Clocked
     }
 
     /**
-     * Free space across the downstream buffers of @p port. Safe to
-     * call from any thread (it folds the buffers' atomic credit
-     * views): the bidirectional-link arbiter polls it from the link
-     * owner's thread, which may differ from this router's. A
-     * cross-thread read is a *snapshot* that may be stale in either
-     * direction (a remote reader can miss recent pushes as easily as
-     * recent commits) — it is a bandwidth-split heuristic, never a
-     * push authorization. Only the producing router's own view is
-     * authoritative for credit, and pushes are always re-checked
-     * against it on the producer's thread.
+     * Free space across the downstream buffers of @p port, folded from
+     * the buffers' credit views *now*. Exact on the owning thread —
+     * adaptive route computation uses it mid-posedge — but NOT
+     * phase-stable: a cross-thread reader races the consumer's pop
+     * commits. Link arbiters therefore read the posedge-published
+     * egress_free_space_snapshot() instead (the determinism fix for
+     * ROADMAP corner (a)); only the producing router's own view is
+     * ever a push authorization.
      */
     std::uint32_t egress_free_space(PortId port) const;
+
+    /**
+     * Phase-stable downstream free space of @p port, published at the
+     * end of this router's posedge exactly like `demand` (any thread).
+     * It reflects the router's own pushes up to and including the
+     * publishing cycle's stage B, and remote pop commits up to the
+     * previous negedge — both fixed by the inter-phase barrier under
+     * lockstep windows, which is what makes bidirectional-link
+     * arbitration reproducible across shard counts. Only maintained on
+     * ports marked by enable_free_space_snapshot() (zero cost
+     * elsewhere); like the demand it rides with, it is a bandwidth-
+     * split input, never a push credit.
+     */
+    std::uint32_t
+    egress_free_space_snapshot(PortId port) const
+    {
+        return egress_[port]->free_space.load(std::memory_order_acquire);
+    }
+
+    /**
+     * Ask posedge to publish the free-space snapshot of @p port.
+     * Called at wiring time by BidirLink for its two endpoint ports;
+     * ports without an arbiter skip the fold entirely.
+     */
+    void
+    enable_free_space_snapshot(PortId port)
+    {
+        egress_.at(port)->publish_free_space = true;
+        egress_[port]->free_space.store(egress_free_space(port),
+                                        std::memory_order_release);
+    }
 
     /** Set next-cycle bandwidth of @p port (called by a link arbiter
      *  during the negedge phase). */
@@ -327,6 +385,13 @@ class Router : public sim::Clocked
         alignas(common::kCacheLineSize)
             std::atomic<std::uint32_t> bandwidth_next{1};
         std::atomic<std::uint32_t> demand{0};
+        /// Phase-stable downstream free space, published at posedge
+        /// alongside demand (see egress_free_space_snapshot). Only
+        /// folded when publish_free_space is set.
+        std::atomic<std::uint32_t> free_space{0};
+        /// Posedge publishes the free-space snapshot of this port
+        /// (set by enable_free_space_snapshot for arbiter endpoints).
+        bool publish_free_space = false;
     };
 
     /**
@@ -384,6 +449,20 @@ class Router : public sim::Clocked
     downstream_credit(const EgressPort &ep, VcId vc) const
     {
         return ep.downstream[vc]->free_slots();
+    }
+
+    /** Publish the posedge free-space snapshot of @p port when the
+     *  port is arbiter-facing (see enable_free_space_snapshot). */
+    void
+    publish_free_space_snapshot(PortId port)
+    {
+        EgressPort &ep = *egress_[port];
+        if (!ep.publish_free_space)
+            return;
+        std::uint32_t total = 0;
+        for (const auto *b : ep.downstream)
+            total += b->free_slots();
+        ep.free_space.store(total, std::memory_order_release);
     }
 
     NodeId id_;

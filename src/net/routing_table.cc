@@ -1,5 +1,7 @@
 #include "net/routing_table.h"
 
+#include <algorithm>
+
 #include "common/log.h"
 
 namespace hornet::net {
@@ -27,7 +29,7 @@ const RoutingTable::Options *
 RoutingTable::lookup(NodeId prev_node, FlowId flow) const
 {
     if (frozen_)
-        return flat_.lookup(RouteKey{prev_node, flow});
+        return flat().lookup(RouteKey{prev_node, flow});
     auto it = entries_.find(RouteKey{prev_node, flow});
     if (it == entries_.end())
         return nullptr;
@@ -66,13 +68,29 @@ RoutingTable::freeze(common::Arena *arena)
     frozen_ = true;
 }
 
+void
+RoutingTable::adopt(const RoutingTable &donor)
+{
+    if (frozen_ || !entries_.empty())
+        panic(strcat("routing table at node ", node_,
+                     ": adopt() on a non-empty table (", describe(), ")"));
+    if (!donor.frozen())
+        panic(strcat("routing table at node ", node_,
+                     ": adopt() of an unfrozen donor (", donor.describe(),
+                     ")"));
+    // Chain-resolve so adopting an adopter still points at the one
+    // original storage (the blueprint prototype's).
+    shared_ = donor.shared_ != nullptr ? donor.shared_ : &donor.flat_;
+    frozen_ = true;
+}
+
 std::vector<RouteKey>
 RoutingTable::keys() const
 {
     std::vector<RouteKey> out;
     if (frozen_) {
-        out.reserve(flat_.size());
-        flat_.for_each_key(
+        out.reserve(flat().size());
+        flat().for_each_key(
             [&](const RouteKey &k, const Options &) { out.push_back(k); });
         return out;
     }
@@ -86,10 +104,26 @@ std::string
 RoutingTable::describe() const
 {
     if (frozen_)
-        return strcat("frozen flat table: ", flat_.size(),
-                      " entries, capacity ", flat_.capacity(),
-                      ", max probe ", flat_.max_probe());
+        return strcat(shared_ != nullptr ? "adopted" : "frozen",
+                      " flat table: ", flat().size(), " entries, capacity ",
+                      flat().capacity(), ", max probe ", flat().max_probe());
     return strcat("unfrozen map: ", entries_.size(), " entries");
+}
+
+std::vector<FlowId>
+deliverable_flows(const RoutingTable &table, NodeId node)
+{
+    std::vector<FlowId> flows;
+    for (const RouteKey &k : table.keys()) {
+        const RoutingTable::Options *opts = table.lookup(k.prev_node, k.flow);
+        for (std::uint32_t i = 0; i < opts->count; ++i) {
+            if ((*opts)[i].next_node == node)
+                flows.push_back((*opts)[i].next_flow);
+        }
+    }
+    std::sort(flows.begin(), flows.end());
+    flows.erase(std::unique(flows.begin(), flows.end()), flows.end());
+    return flows;
 }
 
 } // namespace hornet::net

@@ -138,14 +138,28 @@ class RoutingTable
      */
     void freeze(common::Arena *arena = nullptr);
 
-    /** True once freeze() has run. */
+    /**
+     * Share a donor's frozen flat table instead of building one: all
+     * frozen-phase reads (lookup/keys/size/describe) are served from
+     * the donor's storage, so per-run Systems instantiated from a
+     * sim::SystemBlueprint skip the whole build+freeze pass and share
+     * one read-only table across concurrent runs. Panics unless this
+     * table is empty and unfrozen and @p donor is frozen. The donor
+     * (or the blueprint owning it) must outlive this table; adoption
+     * chains resolve to the original storage, so adopting an adopter
+     * is fine. After adopt() this table reports frozen() and add()
+     * panics, exactly as after freeze().
+     */
+    void adopt(const RoutingTable &donor);
+
+    /** True once freeze() (or adopt()) has run. */
     bool frozen() const { return frozen_; }
 
     /** Number of table entries (keys). */
     std::size_t
     size() const
     {
-        return frozen_ ? flat_.size() : entries_.size();
+        return frozen_ ? flat().size() : entries_.size();
     }
 
     /** All keys (tests / table sanity checks); works in both phases. */
@@ -163,11 +177,31 @@ class RoutingTable
         mutable Options view;          ///< view returned by lookup()
     };
 
+    /** Frozen storage to read from: adopted donor's or our own. */
+    const common::FlatTable<RouteKey, RouteResult, RouteKeyHash> &
+    flat() const
+    {
+        return shared_ != nullptr ? *shared_ : flat_;
+    }
+
     NodeId node_;
     bool frozen_ = false;
     std::unordered_map<RouteKey, Building, RouteKeyHash> entries_;
     common::FlatTable<RouteKey, RouteResult, RouteKeyHash> flat_;
+    /** Donor storage when adopt() ran (null = own flat_). */
+    const common::FlatTable<RouteKey, RouteResult, RouteKeyHash> *shared_ =
+        nullptr;
 };
+
+/**
+ * Flows deliverable at @p node according to its routing table: the
+ * next_flow of every option whose next_node is the node itself (the
+ * delivery sentinel), sorted and deduplicated. This is the flow set
+ * System::freeze_tables() registers with the tile's FlowStatsTable;
+ * sim::SystemBlueprint precomputes it once per node so instantiated
+ * systems skip the walk. Works in both table phases.
+ */
+std::vector<FlowId> deliverable_flows(const RoutingTable &table, NodeId node);
 
 } // namespace hornet::net
 

@@ -57,7 +57,7 @@ const VcaTable::Options *
 VcaTable::lookup(const VcaKey &key) const
 {
     if (frozen_)
-        return flat_.lookup(key);
+        return flat().lookup(key);
     auto it = entries_.find(key);
     if (it == entries_.end())
         return nullptr;
@@ -85,13 +85,26 @@ VcaTable::freeze(common::Arena *arena)
     frozen_ = true;
 }
 
+void
+VcaTable::adopt(const VcaTable &donor)
+{
+    if (frozen_ || !entries_.empty())
+        panic(strcat("VCA table: adopt() on a non-empty table (", describe(),
+                     ")"));
+    if (!donor.frozen())
+        panic(strcat("VCA table: adopt() of an unfrozen donor (",
+                     donor.describe(), ")"));
+    shared_ = donor.shared_ != nullptr ? donor.shared_ : &donor.flat_;
+    frozen_ = true;
+}
+
 std::string
 VcaTable::describe() const
 {
     if (frozen_)
-        return strcat("frozen flat table: ", flat_.size(),
-                      " entries, capacity ", flat_.capacity(),
-                      ", max probe ", flat_.max_probe());
+        return strcat(shared_ != nullptr ? "adopted" : "frozen",
+                      " flat table: ", flat().size(), " entries, capacity ",
+                      flat().capacity(), ", max probe ", flat().max_probe());
     return strcat("unfrozen map: ", entries_.size(), " entries");
 }
 

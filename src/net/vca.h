@@ -134,14 +134,23 @@ class VcaTable
      */
     void freeze(common::Arena *arena = nullptr);
 
-    /** True once freeze() has run. */
+    /**
+     * Share a donor's frozen flat table instead of building one (the
+     * sim::SystemBlueprint seam — see RoutingTable::adopt, which this
+     * mirrors exactly). Panics unless this table is empty and unfrozen
+     * and @p donor is frozen; the donor must outlive this table;
+     * adoption chains resolve to the original storage.
+     */
+    void adopt(const VcaTable &donor);
+
+    /** True once freeze() (or adopt()) has run. */
     bool frozen() const { return frozen_; }
 
     /** Number of table entries (keys). */
     std::size_t
     size() const
     {
-        return frozen_ ? flat_.size() : entries_.size();
+        return frozen_ ? flat().size() : entries_.size();
     }
 
     /** One-line phase/size/probe diagnostics for panic messages. */
@@ -156,9 +165,18 @@ class VcaTable
         mutable Options view;        ///< view returned by lookup()
     };
 
+    /** Frozen storage to read from: adopted donor's or our own. */
+    const common::FlatTable<VcaKey, VcaResult, VcaKeyHash> &
+    flat() const
+    {
+        return shared_ != nullptr ? *shared_ : flat_;
+    }
+
     bool frozen_ = false;
     std::unordered_map<VcaKey, Building, VcaKeyHash> entries_;
     common::FlatTable<VcaKey, VcaResult, VcaKeyHash> flat_;
+    /** Donor storage when adopt() ran (null = own flat_). */
+    const common::FlatTable<VcaKey, VcaResult, VcaKeyHash> *shared_ = nullptr;
 };
 
 } // namespace hornet::net

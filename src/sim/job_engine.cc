@@ -1,0 +1,195 @@
+#include "sim/job_engine.h"
+
+#include <chrono>
+#include <unordered_map>
+#include <utility>
+
+#include "common/log.h"
+
+namespace hornet::sim {
+
+namespace {
+
+double
+wall_seconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+// Minimal JSON string escaping for job names (quotes, backslashes,
+// control characters).
+std::string
+json_escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out.push_back('\\');
+            out.push_back(c);
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            out.push_back(' ');
+        } else {
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+JobEngine::JobEngine(const JobEngineOptions &opts) : opts_(opts)
+{
+    if (opts_.queue_capacity == 0)
+        fatal("JobEngine: queue_capacity must be >= 1");
+    nworkers_ = opts_.workers != 0
+                    ? opts_.workers
+                    : std::max(1u, std::thread::hardware_concurrency());
+    threads_.reserve(nworkers_);
+    for (unsigned t = 0; t < nworkers_; ++t)
+        threads_.emplace_back([this, t] { worker_main(t); });
+}
+
+JobEngine::~JobEngine()
+{
+    finish();
+}
+
+std::size_t
+JobEngine::submit(Job job)
+{
+    if (job.blueprint == nullptr)
+        fatal("JobEngine::submit: job without a blueprint");
+    if (!job.blueprint->frozen())
+        fatal("JobEngine::submit: blueprint not frozen");
+    std::unique_lock<std::mutex> lk(mu_);
+    if (closed_)
+        panic("JobEngine::submit after finish()");
+    cv_space_.wait(lk,
+                   [&] { return queue_.size() < opts_.queue_capacity; });
+    const std::size_t index = submitted_++;
+    results_.emplace_back(); // slot filled by retire()
+    queue_.push_back(QueueItem{std::move(job), index});
+    cv_work_.notify_one();
+    return index;
+}
+
+std::vector<JobResult>
+JobEngine::finish()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (finished_)
+            return {};
+        finished_ = true;
+        closed_ = true;
+    }
+    cv_work_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+    threads_.clear();
+    return std::move(results_);
+}
+
+bool
+JobEngine::pop(QueueItem &out)
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_work_.wait(lk, [&] { return !queue_.empty() || closed_; });
+    if (queue_.empty())
+        return false;
+    out = std::move(queue_.front());
+    queue_.pop_front();
+    cv_space_.notify_one();
+    return true;
+}
+
+void
+JobEngine::retire(JobResult r)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    if (opts_.stream != nullptr) {
+        std::fprintf(
+            opts_.stream,
+            "{\"name\":\"%s\",\"index\":%zu,\"seed\":%llu,"
+            "\"end_cycle\":%llu,\"wall_s\":%.6f,\"reused\":%s,"
+            "\"digest\":\"%016llx\",\"flits_delivered\":%llu,"
+            "\"packets_delivered\":%llu,\"avg_packet_latency\":%.6f,"
+            "\"tile_cycles_run\":%llu,\"tile_cycles_skipped\":%llu}\n",
+            json_escape(r.name).c_str(), r.index,
+            static_cast<unsigned long long>(r.seed),
+            static_cast<unsigned long long>(r.end_cycle), r.wall_seconds,
+            r.reused_system ? "true" : "false",
+            static_cast<unsigned long long>(r.digest),
+            static_cast<unsigned long long>(r.stats.total.flits_delivered),
+            static_cast<unsigned long long>(
+                r.stats.total.packets_delivered),
+            r.stats.avg_packet_latency(),
+            static_cast<unsigned long long>(r.stats.tile_cycles_run),
+            static_cast<unsigned long long>(r.stats.tile_cycles_skipped));
+        std::fflush(opts_.stream);
+    }
+    results_.at(r.index) = std::move(r);
+}
+
+void
+JobEngine::worker_main(unsigned tid)
+{
+    // Worker slot w of N gets the same affinity engine shard w of N
+    // would; a sweep of single-threaded jobs thus spreads over the
+    // host exactly like one N-threaded run.
+    common::apply_thread_pin(opts_.pin, tid, nworkers_);
+
+    // Reuse cache: the last System this worker ran, per blueprint.
+    // The shared_ptr is held alongside so the blueprint (and the
+    // frozen tables the System's routers point into) cannot die
+    // while the cached System is alive.
+    struct Cached
+    {
+        std::shared_ptr<const SystemBlueprint> blueprint;
+        std::unique_ptr<System> system;
+    };
+    std::unordered_map<const SystemBlueprint *, Cached> cache;
+
+    QueueItem item;
+    while (pop(item)) {
+        Job &job = item.job;
+        const SystemBlueprint *key = job.blueprint.get();
+
+        std::unique_ptr<System> sys;
+        bool reused = false;
+        auto it = cache.find(key);
+        if (it != cache.end()) {
+            if (opts_.reuse_systems &&
+                it->second.system->reset_for_rerun(job.seed)) {
+                sys = std::move(it->second.system);
+                job.blueprint->attach_frontends(*sys, job.seed);
+                reused = true;
+            }
+            // Undrained systems are not reusable; drop them either way
+            // (the slot is refilled below).
+            cache.erase(it);
+        }
+        if (sys == nullptr)
+            sys = job.blueprint->instantiate(job.seed);
+
+        JobResult res;
+        res.name = std::move(job.name);
+        res.index = item.index;
+        res.seed = job.seed;
+        res.reused_system = reused;
+        const double t0 = wall_seconds();
+        res.end_cycle = sys->run(job.run);
+        res.wall_seconds = wall_seconds() - t0;
+        res.stats = sys->collect_stats();
+        res.engine = sys->last_engine_stats();
+        res.digest = stats_fingerprint(res.stats);
+
+        cache[key] = Cached{std::move(job.blueprint), std::move(sys)};
+        retire(std::move(res));
+    }
+}
+
+} // namespace hornet::sim

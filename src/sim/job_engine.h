@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Concurrent sweep engine: packs many independent simulation jobs
+ * onto a bounded worker pool.
+ *
+ * A sweep is embarrassingly parallel between points — each job is a
+ * complete simulation with its own System and PRNGs — so the engine's
+ * job is packing, not synchronization: a bounded work queue feeds a
+ * fixed pool of workers, each worker runs one simulation at a time,
+ * and results stream out as jobs retire. Jobs reference a
+ * sim::SystemBlueprint, so the expensive immutable half of system
+ * construction (table building + freezing) is paid once per
+ * configuration instead of once per point; a worker additionally
+ * keeps its last System per blueprint and reruns it in place
+ * (System::reset_for_rerun) when the previous run drained, skipping
+ * even the per-run construction.
+ */
+#ifndef HORNET_SIM_JOB_ENGINE_H
+#define HORNET_SIM_JOB_ENGINE_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/placement.h"
+#include "common/stats.h"
+#include "sim/system_blueprint.h"
+
+namespace hornet::sim {
+
+/** One point of a sweep: which blueprint to instantiate, with what
+ *  seed, and how to run it. */
+struct Job
+{
+    /** Immutable system half this job instantiates (shared across the
+     *  sweep; must be frozen before submission). */
+    std::shared_ptr<const SystemBlueprint> blueprint;
+    /** Master seed of the job's System (tile i uses seed + i). */
+    std::uint64_t seed = 1;
+    /** Engine run parameters for this point. */
+    RunOptions run;
+    /** Label carried into the result / streamed JSON line. */
+    std::string name;
+};
+
+/** Everything a retired job reports. */
+struct JobResult
+{
+    /** Label copied from the Job. */
+    std::string name;
+    /** Submission index (results are returned in this order). */
+    std::size_t index = 0;
+    /** Master seed the job ran with. */
+    std::uint64_t seed = 0;
+    /** Final cycle of tile 0. */
+    Cycle end_cycle = 0;
+    /** Wall-clock seconds of the run itself (excludes queue wait). */
+    double wall_seconds = 0.0;
+    /** True when the job reran a cached System in place instead of
+     *  instantiating a fresh one. Never affects results: a reset
+     *  System is bitwise-equivalent to a fresh one by contract. */
+    bool reused_system = false;
+    /** Delivered-traffic digest (hornet::stats_fingerprint of stats):
+     *  bitwise identical to the digest of a standalone fresh-built
+     *  run of the same point. */
+    std::uint64_t digest = 0;
+    /** Full statistics snapshot of the run. */
+    SystemStats stats;
+    /** Engine scheduling counters of the run. */
+    EngineRunStats engine;
+};
+
+/** Worker-pool and queue configuration. */
+struct JobEngineOptions
+{
+    /** Worker threads; 0 = one per hardware thread. */
+    unsigned workers = 0;
+    /** Bound of the work queue: submit() blocks while this many jobs
+     *  are waiting (keeps a huge sweep's memory flat). Must be >= 1. */
+    std::size_t queue_capacity = 64;
+    /** Worker affinity: worker slot w of N is pinned like engine
+     *  shard w of N (common::apply_thread_pin), so a sweep of
+     *  single-threaded jobs composes with the same placement the
+     *  `[sim] pin` option gives multi-threaded single runs. */
+    common::PinMode pin = common::PinMode::Auto;
+    /** Rerun drained cached Systems in place instead of building
+     *  fresh ones (System::reset_for_rerun). Results are unaffected;
+     *  disable only to measure the reuse win itself. */
+    bool reuse_systems = true;
+    /** When non-null, one JSON line per retired job is written (and
+     *  flushed) here as jobs finish, in retirement order — a sweep's
+     *  progress is observable long before finish() returns. */
+    std::FILE *stream = nullptr;
+};
+
+/**
+ * Bounded-queue worker pool for simulation jobs.
+ *
+ * Lifecycle: construct (workers start immediately), submit() each
+ * job — blocking when queue_capacity jobs are already waiting — then
+ * finish() exactly once to close the queue, join the workers and
+ * collect every JobResult in submission order. Jobs retire in
+ * arbitrary order; the streamed JSON lines carry the submission
+ * index. submit() after finish() panics. The destructor calls
+ * finish() if the caller did not (discarding the results).
+ */
+class JobEngine
+{
+  public:
+    /** Start the worker pool. @p opts.queue_capacity must be >= 1. */
+    explicit JobEngine(const JobEngineOptions &opts = {});
+
+    /** Joins the workers (via finish()) if still running. */
+    ~JobEngine();
+
+    JobEngine(const JobEngine &) = delete;
+    JobEngine &operator=(const JobEngine &) = delete;
+
+    /**
+     * Enqueue one job; blocks while the queue is full. @p job's
+     * blueprint must be non-null and frozen. Returns the job's
+     * submission index (== the order of submit() calls, and the
+     * position of its JobResult in finish()'s vector).
+     */
+    std::size_t submit(Job job);
+
+    /**
+     * Close the queue, run every remaining job, join the workers and
+     * return all results in submission order. Idempotent: second and
+     * later calls return an empty vector.
+     */
+    std::vector<JobResult> finish();
+
+    /** Number of worker threads in the pool. */
+    unsigned workers() const { return nworkers_; }
+
+  private:
+    /** A queued job plus its submission index. */
+    struct QueueItem
+    {
+        Job job;           ///< the submitted job
+        std::size_t index; ///< submission index
+    };
+
+    void worker_main(unsigned tid);
+    bool pop(QueueItem &out);
+    void retire(JobResult r);
+
+    JobEngineOptions opts_;
+    unsigned nworkers_;
+
+    std::mutex mu_;
+    std::condition_variable cv_space_; ///< queue has room (submitters)
+    std::condition_variable cv_work_;  ///< queue has work (workers)
+    std::deque<QueueItem> queue_;
+    bool closed_ = false;
+    std::size_t submitted_ = 0;
+    std::vector<JobResult> results_; ///< indexed by submission order
+
+    std::vector<std::thread> threads_;
+    bool finished_ = false;
+};
+
+} // namespace hornet::sim
+
+#endif // HORNET_SIM_JOB_ENGINE_H

@@ -193,19 +193,51 @@ System::freeze_tables()
             // to the node itself, and their next_flow is the original
             // (phase-stripped) flow id the delivered-flit stats are
             // keyed by.
-            std::vector<FlowId> flows;
-            const net::RoutingTable &rt = r.routing_table();
-            for (const net::RouteKey &k : rt.keys()) {
-                const auto *opts = rt.lookup(k.prev_node, k.flow);
-                for (const net::RouteResult &res : *opts)
-                    if (res.next_node == i)
-                        flows.push_back(res.next_flow);
-            }
+            tiles_[i]->flow_stats().freeze(
+                net::deliverable_flows(r.routing_table(), i),
+                placement_.arena_of_node[i]);
+        }
+    });
+    tables_frozen_ = true;
+}
+
+void
+System::adopt_frozen_tables(
+    const System &donor, const std::vector<std::vector<FlowId>> &deliverable)
+{
+    if (tables_frozen_)
+        panic("adopt_frozen_tables: tables already frozen");
+    const std::uint32_t n = static_cast<std::uint32_t>(tiles_.size());
+    if (donor.num_tiles() != n || deliverable.size() != n)
+        panic(strcat("adopt_frozen_tables: donor/deliverable shape "
+                     "mismatch (", donor.num_tiles(), "/",
+                     deliverable.size(), " vs ", n, " tiles)"));
+    common::for_each_group(placement_, [&](unsigned g) {
+        for (NodeId i = 0; i < n; ++i) {
+            if (common::block_of(i, n, placement_.groups) != g)
+                continue;
+            network_->router(i).adopt_tables(donor.network().router(i));
+            std::vector<FlowId> flows = deliverable[i];
             tiles_[i]->flow_stats().freeze(std::move(flows),
                                            placement_.arena_of_node[i]);
         }
     });
     tables_frozen_ = true;
+}
+
+bool
+System::reset_for_rerun(std::uint64_t seed)
+{
+    if (network_->has_buffered_flits())
+        return false;
+    const std::uint32_t n = static_cast<std::uint32_t>(tiles_.size());
+    for (NodeId i = 0; i < n; ++i) {
+        tiles_[i]->reset_for_rerun(seed + i);
+        network_->router(i).reset_run_state();
+    }
+    sinks_attached_ = false;
+    last_engine_stats_ = EngineRunStats{};
+    return true;
 }
 
 Cycle

@@ -172,6 +172,38 @@ class System
     void freeze_tables();
 
     /**
+     * Adopt another System's frozen lookup tables instead of freezing
+     * our own (the SystemBlueprint seam): every router's routing and
+     * VCA tables share @p donor's read-only flat storage
+     * (net::RoutingTable::adopt), and every tile's flow-stats index
+     * freezes from the precomputed @p deliverable flow set (one sorted
+     * list per node, from net::deliverable_flows) — skipping both the
+     * table-build walk and the freeze compilation, the dominant cost
+     * of System construction. Runs per placement group on that group's
+     * construction thread, like freeze_tables(). The donor must be
+     * frozen, built on the same topology/config, and must outlive this
+     * System. Panics if tables were already frozen or any router's
+     * tables are non-empty (builders must not have run here).
+     */
+    void adopt_frozen_tables(
+        const System &donor,
+        const std::vector<std::vector<FlowId>> &deliverable);
+
+    /**
+     * Return the system to its just-constructed state for another run
+     * (the sim::JobEngine reuse path): rewinds every tile's clock,
+     * reseeds its PRNG from @p seed exactly as the constructor would
+     * (tile i gets seed + i), clears statistics, drops all frontends
+     * (including default sinks — the next run attaches its own), and
+     * resets every router's arbitration state. Frozen tables are
+     * untouched. Returns false — leaving the system unchanged — when
+     * flits are still buffered anywhere (a run that stopped at
+     * max_cycles mid-traffic is not reusable); callers fall back to
+     * building a fresh System. Must not be called during a run.
+     */
+    bool reset_for_rerun(std::uint64_t seed);
+
+    /**
      * Disable (or re-enable) the automatic pre-run freeze_tables().
      * Test-only knob: the differential harness runs frozen and
      * unfrozen systems side by side to prove the freeze is bitwise

@@ -1,0 +1,42 @@
+#include "sim/system_blueprint.h"
+
+#include "common/log.h"
+#include "net/routing_table.h"
+
+namespace hornet::sim {
+
+SystemBlueprint::SystemBlueprint(const net::Topology &topo,
+                                 const net::NetworkConfig &cfg,
+                                 const SystemLayout &layout)
+    : topo_(topo), cfg_(cfg), layout_(layout),
+      // The prototype's tiles (and their PRNGs) are never exercised,
+      // so its seed is arbitrary.
+      proto_(std::make_unique<System>(topo, cfg, /*seed=*/0, layout))
+{}
+
+void
+SystemBlueprint::freeze()
+{
+    if (frozen_)
+        return;
+    proto_->freeze_tables();
+    const std::uint32_t n = proto_->num_tiles();
+    deliverable_.resize(n);
+    for (NodeId i = 0; i < n; ++i)
+        deliverable_[i] = net::deliverable_flows(
+            proto_->network().router(i).routing_table(), i);
+    frozen_ = true;
+}
+
+std::unique_ptr<System>
+SystemBlueprint::instantiate(std::uint64_t seed) const
+{
+    if (!frozen_)
+        panic("SystemBlueprint::instantiate before freeze()");
+    auto sys = std::make_unique<System>(topo_, cfg_, seed, layout_);
+    sys->adopt_frozen_tables(*proto_, deliverable_);
+    attach_frontends(*sys, seed);
+    return sys;
+}
+
+} // namespace hornet::sim

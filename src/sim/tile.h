@@ -412,6 +412,30 @@ class Tile : public Wakeable
         flow_stats_.clear();
     }
 
+    /**
+     * Return the tile to its just-constructed state for another
+     * simulation run (the sim::JobEngine reuse path; see
+     * System::reset_for_rerun). Rewinds the clock, reseeds the PRNG as
+     * the constructor would from @p seed, clears statistics, and drops
+     * the frontends (the next run attaches its own). The wiring —
+     * router, owned links, egress-buffer registry, pin_awake — is
+     * construction-time state and survives; comp_cycles_run() is
+     * lifetime-cumulative by contract and keeps counting. The caller
+     * must have verified the network is drained (a fresh tile holds no
+     * flits). Must not be called while an engine run is active.
+     */
+    void
+    reset_for_rerun(std::uint64_t seed)
+    {
+        now_ = 0;
+        rng_.reseed(seed);
+        reset_stats();
+        frontends_.clear();
+        order_dirty_ = true;
+        ej_pending_ = kNoEvent;
+        invalidate_aggregates();
+    }
+
     /** All components report their workloads finished; cached like
      *  busy(). */
     bool

@@ -10,13 +10,11 @@
  *  - one thread is bitwise for every policy and scheduler;
  *  - lockstep policies (cycle-accurate, period-1 periodic, adaptive
  *    pinned to one-cycle windows, and fast-forward around any of
- *    those) are bitwise at every thread count — except with
- *    bidirectional links, whose cross-shard arbitration reads
- *    destination credits while remote routers commit (negedge-phase
- *    read of popped_committed_), an ordering sequential execution
- *    fixes by tile index and no thread partition can reproduce (see
- *    docs/ENGINE.md); those configs get multi-thread sanity runs
- *    instead;
+ *    those) are bitwise at every thread count, bidirectional links
+ *    included: link arbitration reads only posedge-published
+ *    snapshots (demand and free space), fixed by the inter-phase
+ *    barrier, so no negedge-phase race remains (ROADMAP determinism
+ *    corner (a), fixed);
  *  - loose multi-shard windows are thread-timing dependent, so those
  *    configurations assert conservation (every injected flit
  *    delivered after the sources stop) instead of bitwise equality,
@@ -94,13 +92,14 @@ struct DiffConfig
                policy == Policy::AdaptivePinned;
     }
 
-    /** Multi-thread runs are bitwise only under lockstep windows
-     *  without bidirectional links (whose cross-shard arbitration is
-     *  ordering-dependent; see the file comment). */
+    /** Multi-thread runs are bitwise under lockstep windows —
+     *  bidirectional links included, now that link arbitration reads
+     *  only posedge-published phase-stable snapshots (see the file
+     *  comment). */
     bool
     thread_bitwise() const
     {
-        return lockstep() && !net.bidirectional_links;
+        return lockstep();
     }
 
     /** Loose runs assert a full drain: only deadlock-free XY mesh
@@ -399,16 +398,6 @@ TEST(Differential, RandomConfigsAgreeAcrossSchedulersAndThreads)
                     EXPECT_EQ(run_variant(c, sched, threads), ref)
                         << "sched=" << static_cast<int>(sched)
                         << " threads=" << threads;
-        } else if (c.lockstep()) {
-            // Lockstep + bidirectional links: multi-thread sanity runs
-            // only (sanitizer coverage of the cross-shard arbitration
-            // seam; results are ordering-dependent by design).
-            for (Schedule sched : {Schedule::Event, Schedule::EventFine}) {
-                SystemStats s;
-                run_variant(c, sched, 2, &s);
-                EXPECT_LE(s.total.flits_delivered,
-                          s.total.flits_injected);
-            }
         } else if (c.drain_safe()) {
             // Loose windows are thread-timing dependent: assert
             // conservation after a guaranteed drain instead.
