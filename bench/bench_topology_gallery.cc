@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Topology gallery (ISSUE 10): direct vs indirect geometries at
+ * matched *host* counts, under the same offered load.
+ *
+ * A mesh spends every node on both switching and injection; a fat
+ * tree or dragonfly buys path diversity (and, for the dragonfly, low
+ * diameter) with dedicated switch-only transit nodes. The gallery
+ * quantifies what that costs the simulator: per-geometry simulation
+ * throughput (kcycles/s of wall time — the fat tree simulates 3x the
+ * nodes of the equal-host mesh) and what it buys the workload
+ * (delivered flits within a fixed horizon under uniform and transpose
+ * traffic).
+ *
+ * Geometries are matched at 16 hosts in --quick mode (mesh 4x4,
+ * fat tree h=2 k=4, dragonfly 4x2x2) and 64 hosts in full mode
+ * (mesh 8x8, fat tree h=3 k=4, dragonfly 8x4x2). Each runs its
+ * canonical routing scheme: XY on the mesh, up/down on the fat tree,
+ * minimal on the dragonfly.
+ *
+ * Row semantics for the perf-regression gate
+ * (scripts/check_bench_regression.py):
+ *  - `<topo>_<pattern>_kcycles_per_s` — best-of-3 wall-rate rows,
+ *    gated at the usual 15%;
+ *  - `<topo>_<pattern>_flits_delivered` — deterministic results
+ *    anchor (cycle-accurate, single-thread): any drift means the
+ *    simulation changed, not the machine.
+ *
+ * --quick runs the CI-smoke subset with unchanged row names;
+ * --json=PATH feeds the perf-regression harness.
+ */
+#include <cstdio>
+#include <cstring>
+
+#include "bench_util.h"
+#include "traffic/patterns.h"
+
+using namespace hornet;
+using namespace hornet::benchutil;
+
+namespace {
+
+JsonReport report("bench_topology_gallery");
+
+/** Synthetic system over the topology's hosts only: patterns run on
+ *  host indices and frontends skip switch-only nodes, so direct and
+ *  indirect geometries see the same per-host offered load. */
+std::unique_ptr<sim::System>
+make_gallery_system(const net::Topology &topo, const char *scheme,
+                    const char *pattern_name, double rate,
+                    std::uint32_t packet_size, std::uint64_t seed)
+{
+    auto sys = std::make_unique<sim::System>(topo, net::NetworkConfig{},
+                                             seed);
+    const std::vector<NodeId> hosts = topo.hosts();
+    auto pattern = traffic::pattern_over_hosts(pattern_name, hosts);
+    auto flows = std::strcmp(pattern_name, "uniform") == 0
+                     ? traffic::flows_all_pairs(hosts)
+                     : traffic::flows_for_pattern(hosts, pattern);
+    build_routing(sys->network(), scheme, flows);
+    for (NodeId n : hosts) {
+        traffic::SyntheticConfig sc;
+        sc.pattern = pattern;
+        sc.packet_size = packet_size;
+        sc.rate = rate;
+        sys->add_frontend(n, std::make_unique<traffic::SyntheticInjector>(
+                                 sys->tile(n), sc));
+    }
+    // One-time table compilation stays outside the timed section.
+    sys->freeze_tables();
+    return sys;
+}
+
+struct Sample
+{
+    double wall_s = 0.0;
+    std::uint64_t delivered = 0;
+};
+
+Sample
+run_one(const net::Topology &topo, const char *scheme,
+        const char *pattern, double rate, Cycle cycles)
+{
+    auto sys = make_gallery_system(topo, scheme, pattern, rate,
+                                   /*packet_size=*/4, /*seed=*/42);
+    sim::CycleAccurateSync policy;
+    sim::EngineOptions opts;
+    opts.max_cycles = cycles;
+    opts.schedule = sim::Schedule::Poll;
+    Sample out;
+    out.wall_s = wall_seconds([&] { sys->run(policy, opts, 1); });
+    out.delivered = sys->collect_stats().total.flits_delivered;
+    return out;
+}
+
+void
+gallery_row(const net::Topology &topo, const char *scheme,
+            const char *pattern, double rate, Cycle cycles)
+{
+    const Sample best = best_of_3(
+        [&] {
+            Sample s = run_one(topo, scheme, pattern, rate, cycles);
+            return s;
+        },
+        [](const Sample &s) { return -s.wall_s; });
+    const double kcycles_per_s =
+        static_cast<double>(cycles) / best.wall_s / 1e3;
+    std::printf("%s,%u,%u,%s,%s,%.2f,%lu,%lu,%.3f,%.1f\n", //
+                topo.name().c_str(), topo.num_nodes(), topo.num_hosts(),
+                scheme, pattern, rate,
+                static_cast<unsigned long>(cycles),
+                static_cast<unsigned long>(best.delivered), best.wall_s,
+                kcycles_per_s);
+    char name[96];
+    std::snprintf(name, sizeof name, "%s_%s_kcycles_per_s",
+                  topo.name().c_str(), pattern);
+    report.higher_is_better(name, kcycles_per_s);
+    std::snprintf(name, sizeof name, "%s_%s_flits_delivered",
+                  topo.name().c_str(), pattern);
+    report.higher_is_better(name,
+                            static_cast<double>(best.delivered));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto cli = BenchCli::parse(argc, argv);
+
+    std::printf("# Topology gallery: geometries at matched host "
+                "counts (cycle-accurate, 1 thread)\n");
+    std::printf("topology,nodes,hosts,scheme,pattern,rate,cycles,"
+                "flits_delivered,wall_s,kcycles_per_s\n");
+
+    struct Entry
+    {
+        net::Topology topo;
+        const char *scheme;
+    };
+    std::vector<Entry> gallery;
+    if (cli.quick) {
+        gallery.push_back({net::Topology::mesh2d(4, 4), "xy"});
+        gallery.push_back({net::Topology::fat_tree(2, 4), "updown"});
+        gallery.push_back(
+            {net::Topology::dragonfly(4, 2, 2), "dragonfly"});
+    } else {
+        gallery.push_back({net::Topology::mesh2d(8, 8), "xy"});
+        gallery.push_back({net::Topology::fat_tree(3, 4), "updown"});
+        gallery.push_back(
+            {net::Topology::dragonfly(8, 4, 2), "dragonfly"});
+    }
+    // Horizons sized so even the fastest (mesh) wall stays well above
+    // the regression checker's useful range — sub-quarter-second
+    // timings jitter beyond the 15% gate.
+    const Cycle cycles = cli.quick ? 60000 : 40000;
+    for (const auto &e : gallery)
+        for (const char *pattern : {"uniform", "transpose"})
+            gallery_row(e.topo, e.scheme, pattern, /*rate=*/0.1,
+                        cycles);
+
+    std::printf("# kcycles_per_s = simulated cycles per wall second; "
+                "flits_delivered is deterministic (results anchor)\n");
+    report.write_if_requested(cli);
+    return 0;
+}

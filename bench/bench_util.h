@@ -177,8 +177,9 @@ class JsonReport
 
 /**
  * Install routing tables by scheme name ("xy", "o1turn", "romm",
- * "valiant") plus the matching phase-split VCA sets for multi-phase
- * schemes (required for their deadlock freedom).
+ * "valiant", "shortest", "updown", "dragonfly", "dragonfly-valiant")
+ * plus the matching phase-split VCA sets for multi-phase schemes
+ * (required for their deadlock freedom).
  */
 inline void
 build_routing(net::Network &net, const std::string &scheme,
@@ -200,6 +201,23 @@ build_routing(net::Network &net, const std::string &scheme,
     }
     if (scheme == "valiant") {
         net::routing::build_valiant(net, flows);
+        net::vca::build_phase_split(net);
+        return;
+    }
+    if (scheme == "shortest") {
+        net::routing::build_shortest(net, flows);
+        return;
+    }
+    if (scheme == "updown") {
+        net::routing::build_updown(net, flows);
+        return;
+    }
+    if (scheme == "dragonfly") {
+        net::routing::build_dragonfly_minimal(net, flows);
+        return;
+    }
+    if (scheme == "dragonfly-valiant") {
+        net::routing::build_dragonfly_valiant(net, flows);
         net::vca::build_phase_split(net);
         return;
     }

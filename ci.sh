@@ -119,7 +119,7 @@ if [[ "${1:-}" == "--bench" ]]; then
     cmake -B build -S .
     cmake --build build -j "$JOBS" \
         --target bench_vc_buffer bench_event_driven bench_route_lookup \
-        bench_job_engine
+        bench_job_engine bench_topology_gallery
     mkdir -p build/bench-reports
     check_bench() { # <name>: run <name> --quick and compare
         local name="$1" attempt
@@ -141,6 +141,7 @@ if [[ "${1:-}" == "--bench" ]]; then
     check_bench bench_event_driven
     check_bench bench_route_lookup
     check_bench bench_job_engine
+    check_bench bench_topology_gallery
     echo "BENCH OK"
     exit 0
 fi
@@ -199,15 +200,15 @@ echo "== sweep-engine smoke (example_sync_study) =="
 ./build/example_sync_study > /dev/null
 
 if command -v doxygen > /dev/null 2>&1; then
-    echo "== doxygen (API docs; src/common, src/sim, src/net, src/mem and src/traffic must be fully documented) =="
+    echo "== doxygen (API docs; every src/ subsystem must be fully documented) =="
     mkdir -p build
     doxygen docs/Doxyfile 2> build/doxygen-warnings.log || {
         cat build/doxygen-warnings.log
         echo "doxygen failed"
         exit 1
     }
-    if grep -E "src/(common|sim|net|mem|traffic)/" build/doxygen-warnings.log; then
-        echo "undocumented public symbols (or doc errors) in src/common/, src/sim/, src/net/, src/mem/ or src/traffic/"
+    if grep -E "src/(common|sim|net|mem|traffic|power|thermal|workloads)/" build/doxygen-warnings.log; then
+        echo "undocumented public symbols (or doc errors) in src/common/, src/sim/, src/net/, src/mem/, src/traffic/, src/power/, src/thermal/ or src/workloads/"
         exit 1
     fi
 else

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Topology gallery: print the figure-style geometry statistics for
+ * every built-in interconnect at matched host counts.
+ *
+ *   $ ./examples/example_topology_gallery
+ *
+ * For each geometry this computes, from the Topology graph alone:
+ *  - node/host/switch/link counts and the degree range,
+ *  - diameter and mean distance over *host* pairs (switch-only
+ *    transit nodes are not traffic endpoints),
+ *  - the id-split cut: links crossing the lower/upper half of the
+ *    host id space, a cheap stand-in for bisection bandwidth.
+ *
+ * See docs/TOPOLOGIES.md for the geometry catalog these numbers
+ * belong to.
+ */
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "net/topology.h"
+
+using namespace hornet;
+
+namespace {
+
+void
+gallery_row(const net::Topology &topo)
+{
+    const std::vector<NodeId> hosts = topo.hosts();
+
+    std::uint32_t min_deg = ~0u, max_deg = 0;
+    for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+        const auto deg =
+            static_cast<std::uint32_t>(topo.neighbors(n).size());
+        min_deg = std::min(min_deg, deg);
+        max_deg = std::max(max_deg, deg);
+    }
+
+    // Host-pair distance distribution (diameter + mean).
+    std::uint32_t diameter = 0;
+    double dist_sum = 0.0;
+    std::uint64_t pairs = 0;
+    for (NodeId s : hosts)
+        for (NodeId d : hosts) {
+            if (s == d)
+                continue;
+            const std::uint32_t hd = topo.hop_distance(s, d);
+            diameter = std::max(diameter, hd);
+            dist_sum += hd;
+            ++pairs;
+        }
+
+    // Id-split cut: links with endpoints on opposite sides of the
+    // host-id midpoint (switches count with the half their id falls
+    // in). For the mesh this is the classic bisection; for the
+    // indirect geometries it is a comparable even-split proxy.
+    const NodeId mid_host = hosts[hosts.size() / 2];
+    std::uint32_t cut = 0;
+    for (NodeId u = 0; u < topo.num_nodes(); ++u)
+        for (NodeId v : topo.neighbors(u))
+            if (u < v && (u < mid_host) != (v < mid_host))
+                ++cut;
+
+    std::printf("%-16s %6u %6u %8u %6u %5u-%-4u %8u %10.2f %8u\n",
+                topo.name().c_str(), topo.num_nodes(),
+                topo.num_hosts(), topo.num_switches(),
+                topo.num_links(), min_deg, max_deg, diameter,
+                pairs ? dist_sum / static_cast<double>(pairs) : 0.0,
+                cut);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("%-16s %6s %6s %8s %6s %9s %8s %10s %8s\n", "topology",
+                "nodes", "hosts", "switches", "links", "degree",
+                "diameter", "avg_dist", "cut");
+
+    // 16 hosts each: what a fixed endpoint budget buys per geometry.
+    gallery_row(net::Topology::mesh2d(4, 4));
+    gallery_row(net::Topology::torus2d(4, 4));
+    gallery_row(net::Topology::ring(16));
+    gallery_row(net::Topology::mesh3d(4, 2, 2, net::LayerStyle::XCube));
+    gallery_row(net::Topology::fat_tree(2, 4));
+    gallery_row(net::Topology::dragonfly(4, 2, 2));
+
+    // 64 hosts: the full-size bench gallery configurations.
+    gallery_row(net::Topology::mesh2d(8, 8));
+    gallery_row(net::Topology::fat_tree(3, 4));
+    gallery_row(net::Topology::dragonfly(8, 4, 2));
+
+    std::printf("\navg_dist averages hop distance over ordered host "
+                "pairs; cut counts links crossing the host-id "
+                "midpoint (bisection proxy).\n");
+    return 0;
+}

@@ -46,14 +46,20 @@ Network::Network(const Topology &topo, const NetworkConfig &cfg,
     // arena's pages happens here, which is what places them on the
     // constructing core's NUMA node (first touch). Each group writes
     // only its own routers_ slots, so no synchronization beyond the
-    // join in for_each_group is needed.
+    // join in for_each_group is needed. Switch-only nodes get a
+    // zero-CPU-VC variant of the router config: no injection buffers,
+    // no ejection buffers, no CPU egress capacity — a pure transit
+    // router (see Topology::is_switch).
+    RouterConfig switch_rc = cfg_.router;
+    switch_rc.cpu_vcs = 0;
     routers_.assign(n, nullptr);
     common::for_each_group(pl, [&](unsigned g) {
         const auto [first, last] = group_range(g);
         for (NodeId i = first; i < last; ++i) {
             routers_[i] = pl.of(i)->make<Router>(
-                i, topo_.neighbors(i), cfg_.router, rngs[i], stats[i],
-                pl.of(i));
+                i, topo_.neighbors(i),
+                topo_.is_switch(i) ? switch_rc : cfg_.router, rngs[i],
+                stats[i], pl.of(i));
         }
     });
 

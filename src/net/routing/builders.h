@@ -21,9 +21,18 @@
  *                      next-hop weights proportional to the number of
  *                      remaining minimal paths
  *  - build_shortest  : deterministic BFS shortest path; works on any
- *                      geometry (rings, tori, multilayer meshes)
+ *                      geometry (rings, tori, multilayer meshes,
+ *                      fat trees, dragonflies)
  *  - build_static_greedy : BSOR-style [7] bandwidth-aware static routing
  *                      (greedy load-balancing substitute for the MILP)
+ *  - build_updown    : fat-tree nearest-common-ancestor up/down routing
+ *                      (uniform random parent choice on the way up,
+ *                      deterministic descent)
+ *  - build_dragonfly_minimal : canonical dragonfly direct routing
+ *                      (local, global, local)
+ *  - build_dragonfly_valiant : Valiant-global dragonfly routing via a
+ *                      random intermediate group (two-phase flow
+ *                      renaming, ROMM-style weight merging)
  *
  * All builders assume fresh tables for the given flows; installing the
  * same flow twice accumulates weights and corrupts the distribution.
@@ -68,6 +77,42 @@ void build_shortest(Network &net, const std::vector<FlowSpec> &flows);
  */
 void build_static_greedy(Network &net, const std::vector<FlowSpec> &flows,
                          double alpha = 1.0);
+
+/**
+ * Fat-tree up/down routing: each flow climbs from its source host
+ * toward the nearest-common-ancestor level with a uniform random
+ * parent choice at every step (all minimal up/down paths, equal
+ * probability per hop), then descends deterministically to the
+ * destination host. Paths are minimal (2x the NCA level) and up/down
+ * order makes the channel-dependency graph acyclic, so no VCA split
+ * is needed. Requires a Topology::fat_tree geometry and host
+ * endpoints; fatal() otherwise.
+ */
+void build_updown(Network &net, const std::vector<FlowSpec> &flows);
+
+/**
+ * Canonical dragonfly direct routing: source host -> its switch ->
+ * (local hop to the gateway router) -> the one global link toward the
+ * destination group -> (local hop) -> destination switch -> host. At
+ * most 5 hops and minimal among single-global-hop routes; a two-global
+ * detour can occasionally be one hop shorter (the classic dragonfly
+ * property), so walks are *near*-minimal, not graph-minimal. Requires
+ * a Topology::dragonfly geometry and host endpoints.
+ */
+void build_dragonfly_minimal(Network &net,
+                             const std::vector<FlowSpec> &flows);
+
+/**
+ * Valiant-global dragonfly routing: each flow is routed minimally to a
+ * uniformly chosen intermediate group (phase 1), renamed there, and
+ * minimally onward to its destination (phase 2), exactly the ROMM
+ * renaming machinery on the dragonfly's group graph. Entries of
+ * different intermediates merge with route-count weights. Pair with
+ * vca::build_phase_split for the two phases' buffer split. Requires a
+ * Topology::dragonfly geometry and host endpoints.
+ */
+void build_dragonfly_valiant(Network &net,
+                             const std::vector<FlowSpec> &flows);
 
 /**
  * Install a single deterministic @p path for flow @p base, tagging all

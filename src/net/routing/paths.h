@@ -16,6 +16,12 @@ namespace hornet::net::routing {
  * Dimension-ordered (XY) path on a 2D mesh/torus-as-mesh: first move
  * along x to the destination column, then along y. Returns the node
  * sequence including both endpoints. fatal() on non-mesh topologies.
+ *
+ * On a torus the path never uses the wraparound links (every mesh
+ * link exists on the torus, so the path is valid, but its length is
+ * the mesh Manhattan distance, which can exceed the torus
+ * hop_distance). Use build_shortest when wraparound routing matters;
+ * tests/test_routing_props.cc pins this behavior.
  */
 std::vector<NodeId> xy_path(const Topology &topo, NodeId src, NodeId dst);
 

@@ -115,6 +115,103 @@ Topology::mesh3d(std::uint32_t width, std::uint32_t height,
     return t;
 }
 
+Topology
+Topology::fat_tree(std::uint32_t levels, std::uint32_t arity)
+{
+    if (levels == 0 || arity < 2)
+        fatal("fat_tree: need levels >= 1 and arity >= 2");
+    // arity^levels nodes per level, levels+1 levels. Node ids must
+    // stay below 2^20 (the traffic layer packs (src, dst) pairs into
+    // flow ids as src * 2^20 + dst).
+    std::uint64_t per_level = 1;
+    for (std::uint32_t l = 0; l < levels; ++l)
+        per_level *= arity;
+    const std::uint64_t total = per_level * (levels + 1);
+    if (total >= (1u << 20))
+        fatal(strcat("fat_tree: ", total,
+                     " nodes exceed the 2^20 node-id budget"));
+
+    Topology t(static_cast<std::uint32_t>(total));
+    t.ft_levels_ = levels;
+    t.ft_arity_ = arity;
+    t.name_ = strcat("fattree", levels, "x", arity);
+
+    // Levels >= 1 are switch-only; hosts occupy [0, arity^levels).
+    for (std::uint64_t n = per_level; n < total; ++n)
+        t.mark_switch(static_cast<NodeId>(n));
+
+    // Link every level-l node (a-part A, c-part C) to its arity
+    // parents at level l+1: a-part A/arity, c-part chat*arity^l + C.
+    std::uint64_t pow_l = 1; // arity^l
+    for (std::uint32_t l = 0; l < levels; ++l) {
+        const std::uint64_t num_a = per_level / (pow_l * arity);
+        for (std::uint64_t A = 0; A < num_a * arity; ++A) {
+            for (std::uint64_t C = 0; C < pow_l; ++C) {
+                const std::uint64_t child = l * per_level + A * pow_l + C;
+                for (std::uint32_t chat = 0; chat < arity; ++chat) {
+                    const std::uint64_t parent =
+                        (l + 1) * per_level + (A / arity) * (pow_l * arity) +
+                        chat * pow_l + C;
+                    t.add_link(static_cast<NodeId>(child),
+                               static_cast<NodeId>(parent));
+                }
+            }
+        }
+        pow_l *= arity;
+    }
+    return t;
+}
+
+Topology
+Topology::dragonfly(std::uint32_t groups, std::uint32_t routers_per_group,
+                    std::uint32_t hosts_per_router)
+{
+    if (groups == 0 || routers_per_group == 0 || hosts_per_router == 0)
+        fatal("dragonfly: need at least one group, router and host");
+    const std::uint64_t switches =
+        std::uint64_t{groups} * routers_per_group;
+    const std::uint64_t total = switches * (1 + hosts_per_router);
+    if (total >= (1u << 20))
+        fatal(strcat("dragonfly: ", total,
+                     " nodes exceed the 2^20 node-id budget"));
+
+    Topology t(static_cast<std::uint32_t>(total));
+    t.df_groups_ = groups;
+    t.df_routers_ = routers_per_group;
+    t.df_hosts_ = hosts_per_router;
+    t.name_ = strcat("dragonfly", groups, "x", routers_per_group, "x",
+                     hosts_per_router);
+
+    for (std::uint64_t s = 0; s < switches; ++s)
+        t.mark_switch(static_cast<NodeId>(s));
+
+    // Local links: a full mesh of routers inside each group.
+    for (std::uint32_t i = 0; i < groups; ++i)
+        for (std::uint32_t r1 = 0; r1 < routers_per_group; ++r1)
+            for (std::uint32_t r2 = r1 + 1; r2 < routers_per_group; ++r2)
+                t.add_link(i * routers_per_group + r1,
+                           i * routers_per_group + r2);
+
+    // Global links: one per group pair, endpoint routers assigned
+    // round-robin by relative group distance (the gateway formula in
+    // the class doc; routing::build_dragonfly_minimal re-derives it).
+    auto gateway = [&](std::uint32_t i, std::uint32_t j) {
+        return i * routers_per_group +
+               ((j + groups - i - 1) % groups) % routers_per_group;
+    };
+    for (std::uint32_t i = 0; i < groups; ++i)
+        for (std::uint32_t j = i + 1; j < groups; ++j)
+            t.add_link(gateway(i, j), gateway(j, i));
+
+    // Hosts: hosts_per_router per switch, ids after all switches.
+    for (std::uint64_t s = 0; s < switches; ++s)
+        for (std::uint32_t k = 0; k < hosts_per_router; ++k)
+            t.add_link(static_cast<NodeId>(switches + s * hosts_per_router +
+                                           k),
+                       static_cast<NodeId>(s));
+    return t;
+}
+
 void
 Topology::add_link(NodeId a, NodeId b)
 {
@@ -176,6 +273,112 @@ Topology::hop_distance(NodeId a, NodeId b) const
         }
     }
     fatal(strcat("topology: nodes ", a, " and ", b, " are disconnected"));
+}
+
+bool
+Topology::is_switch(NodeId n) const
+{
+    if (n >= num_nodes_)
+        fatal(strcat("topology: node out of range: ", n));
+    return !switch_.empty() && switch_[n] != 0;
+}
+
+std::vector<NodeId>
+Topology::hosts() const
+{
+    std::vector<NodeId> out;
+    out.reserve(num_hosts());
+    for (NodeId n = 0; n < num_nodes_; ++n)
+        if (!is_switch(n))
+            out.push_back(n);
+    return out;
+}
+
+void
+Topology::mark_switch(NodeId n)
+{
+    if (switch_.empty())
+        switch_.assign(num_nodes_, 0);
+    if (switch_[n] == 0) {
+        switch_[n] = 1;
+        ++num_switches_;
+    }
+}
+
+void
+Topology::require_mesh(const char *what) const
+{
+    if (!is_mesh_like())
+        fatal(strcat("topology ", name_, ": ", what,
+                     " requires a mesh-like geometry"));
+}
+
+std::uint32_t
+Topology::x_of(NodeId n) const
+{
+    require_mesh("x_of");
+    return (n % (width_ * height_)) % width_;
+}
+
+std::uint32_t
+Topology::y_of(NodeId n) const
+{
+    require_mesh("y_of");
+    return (n % (width_ * height_)) / width_;
+}
+
+std::uint32_t
+Topology::z_of(NodeId n) const
+{
+    require_mesh("z_of");
+    return n / (width_ * height_);
+}
+
+NodeId
+Topology::node_at(std::uint32_t x, std::uint32_t y, std::uint32_t z) const
+{
+    require_mesh("node_at");
+    return z * width_ * height_ + y * width_ + x;
+}
+
+std::uint32_t
+Topology::fat_tree_levels() const
+{
+    if (!is_fat_tree())
+        fatal(strcat("topology ", name_, ": not a fat tree"));
+    return ft_levels_;
+}
+
+std::uint32_t
+Topology::fat_tree_arity() const
+{
+    if (!is_fat_tree())
+        fatal(strcat("topology ", name_, ": not a fat tree"));
+    return ft_arity_;
+}
+
+std::uint32_t
+Topology::dragonfly_groups() const
+{
+    if (!is_dragonfly())
+        fatal(strcat("topology ", name_, ": not a dragonfly"));
+    return df_groups_;
+}
+
+std::uint32_t
+Topology::dragonfly_routers_per_group() const
+{
+    if (!is_dragonfly())
+        fatal(strcat("topology ", name_, ": not a dragonfly"));
+    return df_routers_;
+}
+
+std::uint32_t
+Topology::dragonfly_hosts_per_router() const
+{
+    if (!is_dragonfly())
+        fatal(strcat("topology ", name_, ": not a dragonfly"));
+    return df_hosts_;
 }
 
 } // namespace hornet::net

@@ -3,9 +3,13 @@
  * Interconnect geometry (paper II-A1).
  *
  * Nodes are configured with pairwise connections to form any geometry:
- * rings, 2D meshes, 2D tori, and the three multilayer-mesh styles of
- * paper Fig 4 (x1, x1y1, xcube). Arbitrary geometries can be built by
- * adding edges directly.
+ * rings, 2D meshes, 2D tori, the three multilayer-mesh styles of paper
+ * Fig 4 (x1, x1y1, xcube), plus the indirect/hierarchical geometries
+ * (fat trees and dragonflies) whose routers outnumber their cores.
+ * Arbitrary geometries can be built by adding edges directly.
+ *
+ * See docs/TOPOLOGIES.md for the geometry catalog, diagrams, and the
+ * node/port-numbering conventions in one place.
  */
 #ifndef HORNET_NET_TOPOLOGY_H
 #define HORNET_NET_TOPOLOGY_H
@@ -32,6 +36,13 @@ enum class LayerStyle
  * Port numbering convention: node n's network ports are indexed by the
  * order its neighbours were added; the router appends one extra
  * CPU-facing port after all network ports.
+ *
+ * Nodes are either *hosts* (CPU-facing: they inject and eject traffic)
+ * or *switch-only* (pure transit: no CPU port, no injection/ejection
+ * buffers, never a flow endpoint). All direct geometries (ring, mesh,
+ * torus, multilayer mesh) are host-only; the indirect geometries
+ * (fat_tree, dragonfly) mark their internal routers as switches, and
+ * the sim/traffic layers skip frontend attachment for them.
  */
 class Topology
 {
@@ -54,6 +65,40 @@ class Topology
      *  per @p style. id = z * width * height + y * width + x. */
     static Topology mesh3d(std::uint32_t width, std::uint32_t height,
                            std::uint32_t layers, LayerStyle style);
+
+    /**
+     * k-ary fat tree (XGFT) of @p levels switch levels above the
+     * hosts, with @p arity up- and down-links per node: every level
+     * holds arity^levels nodes, hosts are level 0 (ids
+     * [0, arity^levels)), and the node at level l with subtree index A
+     * and copy index C has id
+     *
+     *     l * arity^levels + A * arity^l + C .
+     *
+     * Each non-top node has `arity` parents and each switch `arity`
+     * children, so host-to-host minimal distance is twice the
+     * nearest-common-ancestor level. All nodes at levels >= 1 are
+     * switch-only. Pair with routing::build_updown (or
+     * build_shortest).
+     */
+    static Topology fat_tree(std::uint32_t levels, std::uint32_t arity);
+
+    /**
+     * Dragonfly of @p groups groups, @p routers_per_group routers per
+     * group (a full local crossbar mesh inside each group) and
+     * @p hosts_per_router hosts per router. Exactly one global link
+     * joins each group pair (i, j); its endpoint router in group i is
+     * ((j - i - 1) mod groups) mod routers_per_group, which spreads
+     * the group's groups-1 global links round-robin over its routers.
+     * Switch ids come first (switch r of group i = i *
+     * routers_per_group + r), then hosts (host k of switch s = groups
+     * * routers_per_group + s * hosts_per_router + k). All switches
+     * are switch-only nodes. Pair with routing::build_dragonfly_minimal,
+     * build_dragonfly_valiant, or build_shortest.
+     */
+    static Topology dragonfly(std::uint32_t groups,
+                              std::uint32_t routers_per_group,
+                              std::uint32_t hosts_per_router);
 
     // -------------------- construction --------------------
 
@@ -80,6 +125,23 @@ class Topology
     /** Minimal hop distance (BFS); used by analyses and ideal model. */
     std::uint32_t hop_distance(NodeId a, NodeId b) const;
 
+    // ------------------- host / switch partition -------------------
+
+    /** True when node @p n is switch-only (no CPU-facing port). */
+    bool is_switch(NodeId n) const;
+
+    /** True when the geometry has any switch-only nodes. */
+    bool has_switches() const { return num_switches_ > 0; }
+
+    /** Number of switch-only nodes. */
+    std::uint32_t num_switches() const { return num_switches_; }
+
+    /** Number of host (CPU-facing) nodes. */
+    std::uint32_t num_hosts() const { return num_nodes_ - num_switches_; }
+
+    /** Host node ids in ascending order (the traffic endpoints). */
+    std::vector<NodeId> hosts() const;
+
     // ---------------- mesh metadata (when applicable) ----------------
 
     /** True when built by a mesh/torus factory (coordinates valid). */
@@ -91,28 +153,56 @@ class Topology
     /** Number of stacked layers (1 for 2D geometries). */
     std::uint32_t layers() const { return layers_; }
 
-    /** X coordinate of node @p n (mesh-like topologies only). */
-    std::uint32_t x_of(NodeId n) const { return (n % (width_ * height_)) % width_; }
-    /** Y coordinate of node @p n (mesh-like topologies only). */
-    std::uint32_t y_of(NodeId n) const { return (n % (width_ * height_)) / width_; }
-    /** Layer of node @p n (mesh-like topologies only). */
-    std::uint32_t z_of(NodeId n) const { return n / (width_ * height_); }
+    /** X coordinate of node @p n; fatal() unless is_mesh_like(). */
+    std::uint32_t x_of(NodeId n) const;
+    /** Y coordinate of node @p n; fatal() unless is_mesh_like(). */
+    std::uint32_t y_of(NodeId n) const;
+    /** Layer of node @p n; fatal() unless is_mesh_like(). */
+    std::uint32_t z_of(NodeId n) const;
 
-    /** Node id from mesh coordinates. */
-    NodeId
-    node_at(std::uint32_t x, std::uint32_t y, std::uint32_t z = 0) const
-    {
-        return z * width_ * height_ + y * width_ + x;
-    }
+    /** Node id from mesh coordinates; fatal() unless is_mesh_like(). */
+    NodeId node_at(std::uint32_t x, std::uint32_t y,
+                   std::uint32_t z = 0) const;
+
+    // ------------- fat-tree metadata (when applicable) -------------
+
+    /** True when built by the fat_tree factory. */
+    bool is_fat_tree() const { return ft_levels_ > 0; }
+    /** Switch levels above the hosts; fatal() unless is_fat_tree(). */
+    std::uint32_t fat_tree_levels() const;
+    /** Up/down links per node; fatal() unless is_fat_tree(). */
+    std::uint32_t fat_tree_arity() const;
+
+    // ------------- dragonfly metadata (when applicable) -------------
+
+    /** True when built by the dragonfly factory. */
+    bool is_dragonfly() const { return df_groups_ > 0; }
+    /** Number of groups; fatal() unless is_dragonfly(). */
+    std::uint32_t dragonfly_groups() const;
+    /** Routers per group; fatal() unless is_dragonfly(). */
+    std::uint32_t dragonfly_routers_per_group() const;
+    /** Hosts per router; fatal() unless is_dragonfly(). */
+    std::uint32_t dragonfly_hosts_per_router() const;
 
     /** Human-readable geometry name (tests / reports). */
     const std::string &name() const { return name_; }
 
   private:
+    /** fatal() with @p what unless the mesh coordinates are valid. */
+    void require_mesh(const char *what) const;
+
+    /** Mark node @p n switch-only (factory use). */
+    void mark_switch(NodeId n);
+
     std::uint32_t num_nodes_;
     std::uint32_t num_links_ = 0;
     std::vector<std::vector<NodeId>> neighbors_;
+    /// Switch-only flags; empty means every node is a host.
+    std::vector<std::uint8_t> switch_;
+    std::uint32_t num_switches_ = 0;
     std::uint32_t width_ = 0, height_ = 0, layers_ = 1;
+    std::uint32_t ft_levels_ = 0, ft_arity_ = 0;
+    std::uint32_t df_groups_ = 0, df_routers_ = 0, df_hosts_ = 0;
     std::string name_ = "custom";
 };
 

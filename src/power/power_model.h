@@ -36,12 +36,12 @@ struct PowerConfig
     double vdd = 1.0;
     /** Clock frequency in GHz (converts cycles to seconds). */
     double freq_ghz = 1.0;
-    /** Base energies at 1.0 V, 128-bit flits, in picojoules. */
-    double e_buffer_write_pj = 0.60;
-    double e_buffer_read_pj = 0.45;
+    // Base energies at 1.0 V, 128-bit flits, in picojoules.
+    double e_buffer_write_pj = 0.60;  ///< per buffer write
+    double e_buffer_read_pj = 0.45;   ///< per buffer read
     double e_xbar_per_port_pj = 0.18; ///< scaled by port count
-    double e_arbiter_pj = 0.05;
-    double e_link_pj = 1.20; ///< per flit per 1 mm hop
+    double e_arbiter_pj = 0.05;       ///< per VA/SA arbitration
+    double e_link_pj = 1.20;          ///< per flit per 1 mm hop
     /** Leakage in milliwatts per flit of buffer storage. */
     double leak_per_buffer_flit_mw = 0.012;
     /** Leakage per crossbar port pair. */
@@ -53,11 +53,11 @@ struct PowerConfig
 /** Counter deltas between two statistics snapshots (power inputs). */
 struct ActivityDelta
 {
-    std::uint64_t buffer_writes = 0;
-    std::uint64_t buffer_reads = 0;
-    std::uint64_t xbar_transits = 0;
-    std::uint64_t link_transits = 0;
-    std::uint64_t arbitrations = 0; ///< VA + SA grants
+    std::uint64_t buffer_writes = 0; ///< flits written into VC buffers
+    std::uint64_t buffer_reads = 0;  ///< flits read out of VC buffers
+    std::uint64_t xbar_transits = 0; ///< crossbar traversals
+    std::uint64_t link_transits = 0; ///< inter-router link traversals
+    std::uint64_t arbitrations = 0;  ///< VA + SA grants
 };
 
 /** delta = after - before over the power-relevant counters. */
@@ -70,6 +70,8 @@ ActivityDelta activity_delta(const TileStats &before,
 class PowerModel
 {
   public:
+    /** Derive per-event energies and leakage from the router geometry
+     *  (@p router VC/buffer shape, @p num_ports) under @p cfg. */
     PowerModel(const net::RouterConfig &router, std::uint32_t num_ports,
                const PowerConfig &cfg = {});
 
@@ -82,6 +84,7 @@ class PowerModel
     /** Average power over an epoch of @p cycles, in milliwatts. */
     double epoch_power_mw(const ActivityDelta &a, Cycle cycles) const;
 
+    /** The technology/operating parameters this model was built with. */
     const PowerConfig &config() const { return cfg_; }
 
   private:
@@ -101,6 +104,8 @@ class PowerModel
 class EpochPowerSampler
 {
   public:
+    /** Sampler over @p num_tiles tiles, converting activity with
+     *  @p model (which must outlive the sampler). */
     EpochPowerSampler(std::uint32_t num_tiles, const PowerModel &model)
         : model_(&model), prev_(num_tiles), have_prev_(false)
     {}

@@ -138,6 +138,9 @@ System::System(const net::Topology &topo, const net::NetworkConfig &cfg,
 void
 System::add_frontend(NodeId n, std::unique_ptr<Frontend> fe)
 {
+    if (network_->router(n).num_injection_vcs() == 0)
+        fatal(strcat("add_frontend: node ", n,
+                     " is switch-only (no CPU-facing port)"));
     tiles_.at(n)->add_frontend(std::move(fe));
 }
 
@@ -147,9 +150,12 @@ System::attach_default_sinks()
     if (sinks_attached_)
         return;
     // Destination-only tiles get a discarding consumer so their
-    // ejection buffers drain.
+    // ejection buffers drain. Switch-only tiles (zero ejection VCs —
+    // see Topology::is_switch) never receive traffic endpoints, so
+    // they get no frontend at all.
     for (auto *t : tiles_) {
-        if (t->frontends().empty())
+        if (t->frontends().empty() &&
+            t->router()->num_ejection_vcs() > 0)
             t->add_frontend(std::make_unique<EjectionSink>(t->router()));
     }
     sinks_attached_ = true;

@@ -49,8 +49,11 @@ struct ThermalConfig
 class ThermalModel
 {
   public:
+    /** RC network over @p topo's tiles (one thermal node per node,
+     *  lateral coupling along links) with parameters @p cfg. */
     ThermalModel(const net::Topology &topo, const ThermalConfig &cfg = {});
 
+    /** Number of thermal nodes (= topology nodes). */
     std::uint32_t num_tiles() const
     {
         return static_cast<std::uint32_t>(temp_.size());
@@ -59,8 +62,9 @@ class ThermalModel
     /** Current per-tile temperatures, deg C. */
     const std::vector<double> &temperatures() const { return temp_; }
 
-    /** Reset all tiles to a given temperature (defaults to ambient). */
+    /** Reset all tiles to a given temperature. */
     void reset(double temp_c);
+    /** Reset all tiles to the ambient temperature. */
     void reset() { reset(cfg_.ambient_c); }
 
     /**
@@ -80,6 +84,7 @@ class ThermalModel
     /** Hottest tile index of a temperature field. */
     static std::uint32_t hottest(const std::vector<double> &temps);
 
+    /** The package/die parameters this model was built with. */
     const ThermalConfig &config() const { return cfg_; }
 
   private:

@@ -70,6 +70,38 @@ flows_all_pairs(std::uint32_t num_nodes)
     return flows;
 }
 
+/**
+ * flows_for_pattern restricted to @p hosts (topologies with
+ * switch-only nodes): one flow per host source, with the pattern
+ * mapping host node ids to host node ids (see pattern_over_hosts).
+ */
+inline std::vector<net::FlowSpec>
+flows_for_pattern(const std::vector<NodeId> &hosts, const Pattern &pattern)
+{
+    Rng probe(1);
+    std::vector<net::FlowSpec> flows;
+    flows.reserve(hosts.size());
+    for (NodeId s : hosts) {
+        NodeId d = pattern(s, probe);
+        flows.push_back({pair_flow(s, d), s, d, 1.0});
+    }
+    return flows;
+}
+
+/** flows_all_pairs restricted to @p hosts: every ordered host pair. */
+inline std::vector<net::FlowSpec>
+flows_all_pairs(const std::vector<NodeId> &hosts)
+{
+    std::vector<net::FlowSpec> flows;
+    if (!hosts.empty())
+        flows.reserve(hosts.size() * (hosts.size() - 1));
+    for (NodeId s : hosts)
+        for (NodeId d : hosts)
+            if (s != d)
+                flows.push_back({pair_flow(s, d), s, d, 1.0});
+    return flows;
+}
+
 } // namespace hornet::traffic
 
 #endif // HORNET_TRAFFIC_FLOWS_H

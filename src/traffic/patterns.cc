@@ -1,5 +1,8 @@
 #include "traffic/patterns.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "common/log.h"
 
 namespace hornet::traffic {
@@ -68,6 +71,29 @@ hotspot(std::vector<NodeId> hotspots)
         fatal("hotspot pattern needs at least one hotspot node");
     return [hs = std::move(hotspots)](NodeId, Rng &rng) {
         return hs[rng.below(hs.size())];
+    };
+}
+
+Pattern
+pattern_over_hosts(const std::string &name, std::vector<NodeId> hosts)
+{
+    if (hosts.empty())
+        fatal("pattern_over_hosts needs at least one host");
+    Pattern base =
+        pattern_by_name(name, static_cast<std::uint32_t>(hosts.size()));
+    // Dense node-id -> host-index map; non-hosts stay invalid so a
+    // switch source fails loudly instead of aliasing a host.
+    NodeId max_id = 0;
+    for (NodeId h : hosts)
+        max_id = std::max(max_id, h);
+    std::vector<std::uint32_t> index_of(max_id + 1, ~0u);
+    for (std::uint32_t i = 0; i < hosts.size(); ++i)
+        index_of[hosts[i]] = i;
+    return [base = std::move(base), hosts = std::move(hosts),
+            index_of = std::move(index_of)](NodeId src, Rng &rng) {
+        if (src >= index_of.size() || index_of[src] == ~0u)
+            fatal(strcat("pattern source ", src, " is not a host node"));
+        return hosts[base(index_of[src], rng)];
     };
 }
 

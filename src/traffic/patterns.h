@@ -53,6 +53,18 @@ Pattern hotspot(std::vector<NodeId> hotspots);
 /** By name: "bitcomp", "shuffle", "transpose", "uniform". */
 Pattern pattern_by_name(const std::string &name, std::uint32_t num_nodes);
 
+/**
+ * Pattern @p name restricted to @p hosts (topologies with switch-only
+ * nodes): the named pattern runs on dense host *indices* — so the
+ * power-of-two requirements of the bit patterns apply to the host
+ * count, not the node count — and the result maps back to host node
+ * ids. Sources must be members of @p hosts (fatal() otherwise);
+ * destinations always are. With hosts == all nodes this degenerates to
+ * pattern_by_name.
+ */
+Pattern pattern_over_hosts(const std::string &name,
+                           std::vector<NodeId> hosts);
+
 } // namespace hornet::traffic
 
 #endif // HORNET_TRAFFIC_PATTERNS_H

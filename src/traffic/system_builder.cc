@@ -26,6 +26,17 @@ topology_from_config(const Config &cfg)
         return net::Topology::ring(static_cast<std::uint32_t>(
             cfg.get_int("topology.nodes", 8)));
     }
+    if (kind == "fat_tree") {
+        return net::Topology::fat_tree(
+            static_cast<std::uint32_t>(cfg.get_int("topology.levels", 2)),
+            static_cast<std::uint32_t>(cfg.get_int("topology.arity", 2)));
+    }
+    if (kind == "dragonfly") {
+        return net::Topology::dragonfly(
+            static_cast<std::uint32_t>(cfg.get_int("topology.groups", 4)),
+            static_cast<std::uint32_t>(cfg.get_int("topology.routers", 4)),
+            static_cast<std::uint32_t>(cfg.get_int("topology.hosts", 1)));
+    }
     if (kind == "mesh3d") {
         const std::string style_name =
             cfg.get_string("topology.style", "xcube");
@@ -123,26 +134,37 @@ build_system(const Config &cfg)
     const std::string pattern_name =
         cfg.get_string("traffic.pattern", "uniform");
 
+    // On switch-only topologies (fat_tree, dragonfly) traffic covers
+    // the host nodes only: patterns run over host indices, flows pair
+    // hosts, and frontends attach to hosts. Host-complete topologies
+    // keep the historical node-id forms bit-for-bit.
+    const std::vector<NodeId> host_nodes = topo.hosts();
+
     std::vector<net::FlowSpec> flows;
     std::vector<std::vector<TraceEvent>> per_node_events;
     Pattern pattern;
     if (traffic_kind == "synthetic") {
-        pattern = pattern_by_name(pattern_name, topo.num_nodes());
+        pattern = topo.has_switches()
+                      ? pattern_over_hosts(pattern_name, host_nodes)
+                      : pattern_by_name(pattern_name, topo.num_nodes());
         const std::string flow_mode =
             cfg.get_string("routing.flows",
                            pattern_name == "uniform" ? "all_pairs"
                                                      : "pattern");
         flows = flow_mode == "all_pairs"
-                    ? flows_all_pairs(topo.num_nodes())
-                    : flows_for_pattern(topo.num_nodes(), pattern);
+                    ? flows_all_pairs(host_nodes)
+                    : flows_for_pattern(host_nodes, pattern);
     } else if (traffic_kind == "trace") {
+        if (topo.has_switches())
+            fatal("trace traffic requires a host-only topology, got " +
+                  topo.name());
         auto events =
             load_trace_file(cfg.require_string("traffic.trace_file"));
         flows = flows_from_trace(events);
         per_node_events =
             split_trace_by_source(events, topo.num_nodes());
     } else if (traffic_kind == "none") {
-        flows = flows_all_pairs(topo.num_nodes());
+        flows = flows_all_pairs(host_nodes);
     } else {
         fatal("unknown traffic kind: " + traffic_kind);
     }
@@ -169,6 +191,13 @@ build_system(const Config &cfg)
     } else if (scheme == "static") {
         net::routing::build_static_greedy(sys->network(), flows);
         net::vca::build_static_set(sys->network());
+    } else if (scheme == "updown") {
+        net::routing::build_updown(sys->network(), flows);
+    } else if (scheme == "dragonfly") {
+        net::routing::build_dragonfly_minimal(sys->network(), flows);
+    } else if (scheme == "dragonfly-valiant") {
+        net::routing::build_dragonfly_valiant(sys->network(), flows);
+        net::vca::build_phase_split(sys->network());
     } else {
         fatal("unknown routing scheme: " + scheme);
     }
@@ -186,7 +215,7 @@ build_system(const Config &cfg)
             cfg.get_int("traffic.burst_period", 0));
         sc.burst_size = static_cast<std::uint32_t>(
             cfg.get_int("traffic.burst_size", 1));
-        for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+        for (NodeId n : host_nodes) {
             sys->add_frontend(n, std::make_unique<SyntheticInjector>(
                                      sys->tile(n), sc));
         }

@@ -7,10 +7,17 @@
  * Recognized keys (defaults in parentheses):
  *
  *   [topology]
- *   kind   = mesh | torus | ring | mesh3d      (mesh)
+ *   kind   = mesh | torus | ring | mesh3d | fat_tree | dragonfly (mesh)
  *   width  = <int> (8)    height = <int> (8)
  *   layers = <int> (2)    style  = x1 | x1y1 | xcube   (mesh3d only)
  *   nodes  = <int> (8)    (ring only)
+ *   levels = <int> (2)    arity  = <int> (2)           (fat_tree only)
+ *   groups = <int> (4)    routers = <int> (4)          (dragonfly
+ *   hosts  = <int> (1)     hosts per router             only)
+ *
+ *   (fat_tree and dragonfly have switch-only nodes: traffic patterns,
+ *   flows and frontends cover the host nodes only — see
+ *   docs/TOPOLOGIES.md)
  *
  *   [network]
  *   vcs = <int> (4)                vc_capacity = <int> (4)
@@ -22,8 +29,12 @@
  *
  *   [routing]
  *   scheme = xy | o1turn | romm | valiant | prom | shortest | static
- *            (xy; multi-phase schemes get phase-split VCA sets, the
- *            "static" scheme additionally gets static-set VCA)
+ *            | updown | dragonfly | dragonfly-valiant
+ *            (xy; multi-phase schemes — o1turn/romm/valiant/
+ *            dragonfly-valiant — get phase-split VCA sets, the
+ *            "static" scheme additionally gets static-set VCA; updown
+ *            requires kind = fat_tree, the dragonfly schemes kind =
+ *            dragonfly)
  *   flows  = all_pairs | pattern               (pattern)
  *
  *   [traffic]

@@ -35,6 +35,7 @@ namespace hornet::workloads {
 /** Tunable description of one application's traffic character. */
 struct SplashProfile
 {
+    /** Benchmark name ("radix", "fft", ...). */
     std::string name;
     /** Mean offered load in flits/node/cycle during active phases. */
     double active_rate = 0.1;
@@ -60,10 +61,16 @@ struct SplashProfile
     Cycle mc_service_delay = 40;
 };
 
+/** RADIX: heavy, strongly phased, large MC share (Fig 8's congested
+ *  case). */
 SplashProfile radix_profile();
+/** FFT: transpose-dominated phases, moderate-heavy load. */
 SplashProfile fft_profile();
+/** WATER: moderate neighbour + reduction traffic. */
 SplashProfile water_profile();
+/** SWAPTIONS: very light traffic (Fig 8's negligible case). */
 SplashProfile swaptions_profile();
+/** OCEAN: long alternating compute/communicate phases (Fig 13). */
 SplashProfile ocean_profile();
 
 /** Profile by lower-case name ("radix", "fft", ...). */

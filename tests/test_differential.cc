@@ -35,16 +35,19 @@
 #include <string>
 #include <vector>
 
+#include "common/config.h"
 #include "net/routing/builders.h"
 #include "net/topology.h"
 #include "net/vca.h"
 #include "sim/engine.h"
 #include "sim/sync_policy.h"
 #include "sim/system.h"
+#include "sim/system_blueprint.h"
 #include "test_util.h"
 #include "traffic/flows.h"
 #include "traffic/patterns.h"
 #include "traffic/synthetic.h"
+#include "traffic/system_builder.h"
 
 namespace hornet {
 namespace {
@@ -453,6 +456,103 @@ TEST(Differential, FrozenTablesAreBitwiseNeutral)
                 run_variant(c, Schedule::EventFine, 4, nullptr, false));
         }
     }
+}
+
+/** Build + run a config-schema system (the config_run path) under one
+ *  scheduler / thread-count variant; return the stats fingerprint. */
+std::string
+run_config_variant(const std::string &text, Schedule sched,
+                   unsigned threads, Cycle horizon)
+{
+    auto sys = traffic::build_system(Config::from_string(text));
+    sim::CycleAccurateSync policy;
+    EngineOptions opts;
+    opts.max_cycles = horizon;
+    opts.schedule = sched;
+    sys->run(policy, opts, threads);
+    return snapshot(sys->collect_stats());
+}
+
+TEST(Differential, IndirectTopologiesAreBitwiseUnderLockstep)
+{
+    // ISSUE 10 acceptance: the schedulers x threads matrix must stay
+    // bitwise on at least one fat-tree and one dragonfly config. Both
+    // go through the [topology]/[routing] config schema, so this also
+    // pins the config_run path for the new geometries end to end.
+    const char *kConfigs[] = {
+        "[topology]\nkind = fat_tree\nlevels = 2\narity = 2\n"
+        "[routing]\nscheme = updown\n"
+        "[traffic]\npattern = uniform\nrate = 0.2\npacket_size = 4\n"
+        "[sim]\nseed = 7\n",
+        "[topology]\nkind = dragonfly\ngroups = 4\nrouters = 2\n"
+        "hosts = 2\n"
+        "[routing]\nscheme = dragonfly-valiant\n"
+        "[traffic]\npattern = transpose\nrate = 0.15\npacket_size = 2\n"
+        "[sim]\nseed = 11\n",
+        "[topology]\nkind = dragonfly\ngroups = 4\nrouters = 2\n"
+        "hosts = 2\n"
+        "[routing]\nscheme = dragonfly\n"
+        "[traffic]\npattern = uniform\nrate = 0.1\npacket_size = 8\n"
+        "[sim]\nseed = 3\n",
+    };
+    const Cycle horizon = 400;
+    for (const char *text : kConfigs) {
+        SCOPED_TRACE(text);
+        const std::string ref =
+            run_config_variant(text, Schedule::Poll, 1, horizon);
+        for (Schedule sched : {Schedule::Poll, Schedule::Event,
+                               Schedule::EventFine})
+            for (unsigned threads : {1u, 2u, 4u})
+                EXPECT_EQ(run_config_variant(text, sched, threads,
+                                             horizon),
+                          ref)
+                    << "sched=" << static_cast<int>(sched)
+                    << " threads=" << threads;
+    }
+}
+
+TEST(Differential, BlueprintInstantiationMatchesScratchOnFatTree)
+{
+    // The sweep engine's blueprint seam (shared frozen tables, empty
+    // deliverable sets at switches) must be invisible on switch-only
+    // topologies: a blueprint-instantiated fat-tree system and one
+    // built from scratch produce identical fingerprints.
+    const net::Topology topo = net::Topology::fat_tree(2, 2);
+    const net::NetworkConfig nc;
+    const std::uint64_t seed = 5;
+    const std::vector<NodeId> hosts = topo.hosts();
+    const auto flows = traffic::flows_all_pairs(hosts);
+    const auto pattern = traffic::pattern_over_hosts("uniform", hosts);
+    traffic::SyntheticConfig sc;
+    sc.pattern = pattern;
+    sc.packet_size = 4;
+    sc.rate = 0.2;
+    const auto attach = [&](sim::System &sys) {
+        for (NodeId n : hosts)
+            sys.add_frontend(
+                n, std::make_unique<traffic::SyntheticInjector>(
+                       sys.tile(n), sc));
+    };
+    const auto run_one = [](sim::System &sys) {
+        sim::CycleAccurateSync policy;
+        EngineOptions opts;
+        opts.max_cycles = 400;
+        sys.run(policy, opts, 1);
+        return snapshot(sys.collect_stats());
+    };
+
+    sim::SystemBlueprint bp(topo, nc);
+    net::routing::build_updown(bp.network(), flows);
+    bp.set_frontend_factory(
+        [&](sim::System &sys, std::uint64_t) { attach(sys); });
+    bp.freeze();
+    auto from_bp = bp.instantiate(seed);
+
+    auto scratch = std::make_unique<sim::System>(topo, nc, seed);
+    net::routing::build_updown(scratch->network(), flows);
+    attach(*scratch);
+
+    EXPECT_EQ(run_one(*from_bp), run_one(*scratch));
 }
 
 TEST(Differential, GeneratorIsStable)

@@ -264,5 +264,264 @@ TEST(RoutingProps, PromConstructionIsDeterministic)
     sweep_deterministic(&routing::build_prom, 0x17);
 }
 
+// ---------------------------------------------------------------------
+// Indirect topologies (ISSUE 10): fat tree and dragonfly host-to-host
+// routing over switch-only transit nodes, plus build_shortest on every
+// geometry it claims to support.
+// ---------------------------------------------------------------------
+
+/** Assert @p path walks real links from @p src to delivery at @p dst,
+ *  with every hop a topology edge (rules out teleporting tables). */
+void
+expect_valid_walk(const Topology &topo, const std::vector<NodeId> &path,
+                  NodeId src, NodeId dst)
+{
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.front(), src);
+    ASSERT_EQ(path.back(), dst) << "walk did not deliver";
+    for (std::size_t i = 1; i < path.size(); ++i)
+        ASSERT_TRUE(topo.adjacent(path[i - 1], path[i]))
+            << "hop " << path[i - 1] << " -> " << path[i]
+            << " is not a link";
+}
+
+/** Random host-to-host flows (src != dst) for switch topologies. */
+std::vector<FlowSpec>
+random_host_flows(Draw &d, const std::vector<NodeId> &hosts,
+                  std::size_t count)
+{
+    std::vector<FlowSpec> flows;
+    for (std::size_t i = 0; i < count; ++i) {
+        const NodeId s = hosts[d.below(hosts.size())];
+        NodeId t = hosts[d.below(hosts.size())];
+        if (s == t)
+            continue;
+        const FlowId id = traffic::pair_flow(s, t);
+        bool dup = false;
+        for (const auto &fl : flows)
+            dup = dup || fl.id == id;
+        if (!dup)
+            flows.push_back({id, s, t, 1.0});
+    }
+    return flows;
+}
+
+/** build_shortest walks must deliver on graph-shortest paths on any
+ *  geometry: torus (wraparound), fat tree, dragonfly. */
+TEST(RoutingProps, ShortestWalksMatchHopDistanceEverywhere)
+{
+    const Topology topos[] = {Topology::torus2d(4, 4),
+                              Topology::fat_tree(2, 3),
+                              Topology::dragonfly(4, 2, 2)};
+    Draw d(0x5a);
+    for (const auto &topo : topos) {
+        SCOPED_TRACE(topo.name());
+        NetHarness net(topo);
+        const auto flows = random_host_flows(d, topo.hosts(), 12);
+        routing::build_shortest(*net.net, flows);
+        for (const auto &fl : flows)
+            for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+                Rng rng(seed);
+                const auto p = walk_path(*net.net, fl.src, fl.id, rng);
+                expect_valid_walk(topo, p, fl.src, fl.dst);
+                EXPECT_EQ(p.size(),
+                          topo.hop_distance(fl.src, fl.dst) + 1u)
+                    << "flow " << fl.id << " not shortest";
+            }
+    }
+}
+
+/** Up/down walks on fat trees are minimal: 2 * (NCA level) hops. */
+TEST(RoutingProps, UpdownWalksAreMinimal)
+{
+    Draw d(0x6b);
+    const Topology topos[] = {Topology::fat_tree(2, 2),
+                              Topology::fat_tree(3, 2),
+                              Topology::fat_tree(2, 4)};
+    for (const auto &topo : topos) {
+        SCOPED_TRACE(topo.name());
+        NetHarness net(topo);
+        const auto flows = random_host_flows(d, topo.hosts(), 14);
+        routing::build_updown(*net.net, flows);
+        for (const auto &fl : flows)
+            for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+                Rng rng(seed);
+                const auto p = walk_path(*net.net, fl.src, fl.id, rng);
+                expect_valid_walk(topo, p, fl.src, fl.dst);
+                EXPECT_EQ(p.size(),
+                          topo.hop_distance(fl.src, fl.dst) + 1u)
+                    << "flow " << fl.id << " not minimal";
+            }
+    }
+}
+
+TEST(RoutingProps, UpdownConstructionIsDeterministic)
+{
+    Draw d(0x7c);
+    const Topology topo = Topology::fat_tree(3, 2);
+    NetHarness a(topo);
+    NetHarness b(topo);
+    const auto flows = random_host_flows(d, topo.hosts(), 16);
+    routing::build_updown(*a.net, flows);
+    routing::build_updown(*b.net, flows);
+    for (const auto &fl : flows)
+        for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+            Rng ra(seed), rb(seed);
+            EXPECT_EQ(walk_path(*a.net, fl.src, fl.id, ra),
+                      walk_path(*b.net, fl.src, fl.id, rb))
+                << "flow " << fl.id << " seed " << seed;
+        }
+}
+
+/** Dragonfly minimal walks deliver over the canonical direct route:
+ *  at most 5 hops, never shorter than the graph distance. */
+TEST(RoutingProps, DragonflyMinimalWalksAreDirect)
+{
+    Draw d(0x8d);
+    const Topology topos[] = {Topology::dragonfly(4, 2, 2),
+                              Topology::dragonfly(6, 3, 1),
+                              Topology::dragonfly(3, 2, 3)};
+    for (const auto &topo : topos) {
+        SCOPED_TRACE(topo.name());
+        NetHarness net(topo);
+        const auto flows = random_host_flows(d, topo.hosts(), 14);
+        routing::build_dragonfly_minimal(*net.net, flows);
+        for (const auto &fl : flows)
+            for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+                Rng rng(seed);
+                const auto p = walk_path(*net.net, fl.src, fl.id, rng);
+                expect_valid_walk(topo, p, fl.src, fl.dst);
+                // host, local?, global?, local?, host: <= 5 hops, and
+                // no shorter than the true graph distance.
+                EXPECT_LE(p.size(), 6u);
+                EXPECT_GE(p.size(),
+                          topo.hop_distance(fl.src, fl.dst) + 1u);
+            }
+    }
+}
+
+/** Valiant-global dragonfly walks bounce via a random intermediate
+ *  group; they must still deliver over real links, within the
+ *  two-segment bound, deterministically pick-for-pick. */
+TEST(RoutingProps, DragonflyValiantWalksDeliver)
+{
+    Draw d(0x9e);
+    const Topology topo = Topology::dragonfly(4, 2, 2);
+    NetHarness a(topo);
+    NetHarness b(topo);
+    const auto flows = random_host_flows(d, topo.hosts(), 14);
+    routing::build_dragonfly_valiant(*a.net, flows);
+    routing::build_dragonfly_valiant(*b.net, flows);
+    for (const auto &fl : flows)
+        for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+            Rng ra(seed), rb(seed);
+            const auto p = walk_path(*a.net, fl.src, fl.id, ra);
+            expect_valid_walk(topo, p, fl.src, fl.dst);
+            // Two direct segments share the intermediate router:
+            // at most 2 * 5 - 2 hops (host links only at the ends).
+            EXPECT_LE(p.size(), 9u);
+            EXPECT_EQ(p, walk_path(*b.net, fl.src, fl.id, rb))
+                << "flow " << fl.id << " seed " << seed;
+        }
+}
+
+/** Switch-only invariant: no flow originates or terminates at a
+ *  switch — every walk starts and ends at hosts, and no switch's
+ *  table can deliver anything to a CPU port. */
+TEST(RoutingProps, SwitchNodesNeverTerminateFlows)
+{
+    Draw d(0xaf);
+    struct Case
+    {
+        Topology topo;
+        Builder build;
+    };
+    const Case cases[] = {
+        {Topology::fat_tree(2, 2), &routing::build_updown},
+        {Topology::dragonfly(4, 2, 2),
+         &routing::build_dragonfly_minimal},
+        {Topology::dragonfly(4, 2, 2),
+         &routing::build_dragonfly_valiant},
+    };
+    for (const auto &c : cases) {
+        SCOPED_TRACE(c.topo.name());
+        NetHarness net(c.topo);
+        const auto flows = random_host_flows(d, c.topo.hosts(), 12);
+        c.build(*net.net, flows);
+        for (NodeId n = 0; n < c.topo.num_nodes(); ++n) {
+            if (!c.topo.is_switch(n))
+                continue;
+            EXPECT_TRUE(
+                deliverable_flows(net.net->router(n).routing_table(), n)
+                    .empty())
+                << "switch " << n << " delivers flows";
+        }
+        for (const auto &fl : flows) {
+            Rng rng(1);
+            const auto p = walk_path(*net.net, fl.src, fl.id, rng);
+            EXPECT_FALSE(c.topo.is_switch(p.front()));
+            EXPECT_FALSE(c.topo.is_switch(p.back()));
+        }
+    }
+}
+
+/** Builders reject flows whose endpoints are switch-only nodes. */
+TEST(RoutingProps, BuildersRejectSwitchEndpoints)
+{
+    const Topology ft = Topology::fat_tree(2, 2);
+    {
+        NetHarness net(ft);
+        const std::vector<FlowSpec> bad{{traffic::pair_flow(0, 5), 0, 5,
+                                         1.0}};
+        EXPECT_THROW(routing::build_updown(*net.net, bad),
+                     std::runtime_error);
+    }
+    const Topology df = Topology::dragonfly(4, 2, 2);
+    {
+        NetHarness net(df);
+        const std::vector<FlowSpec> bad{{traffic::pair_flow(8, 3), 8, 3,
+                                         1.0}};
+        EXPECT_THROW(routing::build_dragonfly_minimal(*net.net, bad),
+                     std::runtime_error);
+        EXPECT_THROW(routing::build_dragonfly_valiant(*net.net, bad),
+                     std::runtime_error);
+    }
+    // Geometry gates: updown wants a fat tree, the dragonfly builders
+    // a dragonfly.
+    {
+        NetHarness net(df);
+        const std::vector<FlowSpec> flows{
+            {traffic::pair_flow(8, 10), 8, 10, 1.0}};
+        EXPECT_THROW(routing::build_updown(*net.net, flows),
+                     std::runtime_error);
+    }
+    {
+        NetHarness net(ft);
+        const std::vector<FlowSpec> flows{
+            {traffic::pair_flow(0, 3), 0, 3, 1.0}};
+        EXPECT_THROW(routing::build_dragonfly_minimal(*net.net, flows),
+                     std::runtime_error);
+    }
+}
+
+/** Documented xy_path behavior on tori: paths.h's helpers accept a
+ *  torus but build mesh-style (non-wrapping) paths — every hop is a
+ *  torus link, length is the *mesh* Manhattan distance, which can
+ *  exceed the wraparound hop_distance. */
+TEST(RoutingProps, TorusXyPathIsMeshStyleNonWrapping)
+{
+    const Topology topo = Topology::torus2d(4, 4);
+    const auto p = routing::xy_path(topo, 0, 3);
+    ASSERT_EQ(p.size(), 4u); // 0-1-2-3, not the 0-3 wrap link
+    for (std::size_t i = 1; i < p.size(); ++i) {
+        EXPECT_EQ(p[i], p[i - 1] + 1);
+        EXPECT_TRUE(topo.adjacent(p[i - 1], p[i]));
+    }
+    EXPECT_EQ(topo.hop_distance(0, 3), 1u); // wrap is shorter
+    const auto q = routing::yx_path(topo, 0, 12);
+    ASSERT_EQ(q.size(), 4u);
+    EXPECT_EQ(topo.hop_distance(0, 12), 1u);
+}
+
 } // namespace
 } // namespace hornet::net

@@ -140,6 +140,161 @@ TEST(Topology, CustomGeometryNamesAndFactories)
     EXPECT_EQ(Topology::ring(5).name(), "ring5");
     EXPECT_EQ(Topology::mesh3d(2, 2, 2, LayerStyle::XCube).name(),
               "mesh3d-xcube-2x2x2");
+    EXPECT_EQ(Topology::fat_tree(2, 2).name(), "fattree2x2");
+    EXPECT_EQ(Topology::dragonfly(4, 2, 2).name(), "dragonfly4x2x2");
+}
+
+TEST(Topology, FatTreeStructure)
+{
+    // XGFT with h=2 levels of switches, arity 2: every level holds
+    // 2^2 = 4 nodes, hosts are level 0.
+    auto t = Topology::fat_tree(2, 2);
+    EXPECT_EQ(t.num_nodes(), 12u);
+    EXPECT_EQ(t.num_hosts(), 4u);
+    EXPECT_EQ(t.num_switches(), 8u);
+    // Each of the h * k^h child nodes has k parents.
+    EXPECT_EQ(t.num_links(), 16u);
+    // Hosts have k parents; middle switches k parents + k children;
+    // top switches k children.
+    for (NodeId n = 0; n < 4; ++n)
+        EXPECT_EQ(t.neighbors(n).size(), 2u);
+    for (NodeId n = 4; n < 8; ++n)
+        EXPECT_EQ(t.neighbors(n).size(), 4u);
+    for (NodeId n = 8; n < 12; ++n)
+        EXPECT_EQ(t.neighbors(n).size(), 2u);
+    EXPECT_TRUE(t.is_fat_tree());
+    EXPECT_FALSE(t.is_dragonfly());
+    EXPECT_EQ(t.fat_tree_levels(), 2u);
+    EXPECT_EQ(t.fat_tree_arity(), 2u);
+}
+
+TEST(Topology, FatTreeSwitchPartition)
+{
+    auto t = Topology::fat_tree(2, 2);
+    EXPECT_TRUE(t.has_switches());
+    for (NodeId n = 0; n < 4; ++n)
+        EXPECT_FALSE(t.is_switch(n));
+    for (NodeId n = 4; n < 12; ++n)
+        EXPECT_TRUE(t.is_switch(n));
+    const auto hosts = t.hosts();
+    ASSERT_EQ(hosts.size(), 4u);
+    for (NodeId n = 0; n < 4; ++n)
+        EXPECT_EQ(hosts[n], n);
+}
+
+TEST(Topology, FatTreeHopDistances)
+{
+    auto t = Topology::fat_tree(2, 2);
+    // Siblings (nearest common ancestor at level 1): 2 hops.
+    EXPECT_EQ(t.hop_distance(0, 1), 2u);
+    // Different subtrees (NCA at level 2): 4 hops.
+    EXPECT_EQ(t.hop_distance(0, 3), 4u);
+    EXPECT_EQ(t.hop_distance(0, 0), 0u);
+    // Host to its parent switch: 1 hop.
+    EXPECT_EQ(t.hop_distance(0, 4), 1u);
+}
+
+TEST(Topology, FatTreeRejectsBadParameters)
+{
+    EXPECT_THROW(Topology::fat_tree(0, 2), std::runtime_error);
+    EXPECT_THROW(Topology::fat_tree(2, 1), std::runtime_error);
+    // Node-id budget: (h+1) * k^h must stay below 2^20.
+    EXPECT_THROW(Topology::fat_tree(20, 2), std::runtime_error);
+}
+
+TEST(Topology, DragonflyStructure)
+{
+    // 4 groups x 2 routers x 2 hosts per router.
+    auto t = Topology::dragonfly(4, 2, 2);
+    EXPECT_EQ(t.num_nodes(), 24u);
+    EXPECT_EQ(t.num_switches(), 8u);
+    EXPECT_EQ(t.num_hosts(), 16u);
+    // local g*a*(a-1)/2 + global g*(g-1)/2 + host g*a*h links.
+    EXPECT_EQ(t.num_links(), 4u + 6u + 16u);
+    EXPECT_TRUE(t.is_dragonfly());
+    EXPECT_FALSE(t.is_fat_tree());
+    EXPECT_EQ(t.dragonfly_groups(), 4u);
+    EXPECT_EQ(t.dragonfly_routers_per_group(), 2u);
+    EXPECT_EQ(t.dragonfly_hosts_per_router(), 2u);
+}
+
+TEST(Topology, DragonflyAdjacency)
+{
+    auto t = Topology::dragonfly(4, 2, 2);
+    // Switches within a group form a full mesh.
+    EXPECT_TRUE(t.adjacent(0, 1));
+    EXPECT_TRUE(t.adjacent(2, 3));
+    // Exactly one global link between every group pair.
+    for (NodeId i = 0; i < 4; ++i) {
+        for (NodeId j = i + 1; j < 4; ++j) {
+            std::uint32_t cross = 0;
+            for (NodeId u = i * 2; u < i * 2 + 2; ++u)
+                for (NodeId v = j * 2; v < j * 2 + 2; ++v)
+                    cross += t.adjacent(u, v) ? 1 : 0;
+            EXPECT_EQ(cross, 1u) << "groups " << i << "," << j;
+        }
+    }
+    // Host k of switch s is node g*a + s*h + k, linked only to s.
+    EXPECT_TRUE(t.adjacent(8, 0));
+    EXPECT_TRUE(t.adjacent(9, 0));
+    EXPECT_TRUE(t.adjacent(10, 1));
+    EXPECT_EQ(t.neighbors(8).size(), 1u);
+}
+
+TEST(Topology, DragonflyHopDistances)
+{
+    auto t = Topology::dragonfly(4, 2, 2);
+    // Same switch: host - switch - host.
+    EXPECT_EQ(t.hop_distance(8, 9), 2u);
+    // Same group, different switch: host - sw - sw - host.
+    EXPECT_EQ(t.hop_distance(8, 10), 3u);
+    // Worst case is bounded by 5: host, local, global, local, host.
+    for (NodeId u = 16; u < 24; ++u)
+        for (NodeId v = 16; v < 24; ++v)
+            EXPECT_LE(t.hop_distance(u, v), 5u);
+}
+
+TEST(Topology, DragonflyRejectsBadParameters)
+{
+    EXPECT_THROW(Topology::dragonfly(0, 2, 2), std::runtime_error);
+    EXPECT_THROW(Topology::dragonfly(4, 0, 2), std::runtime_error);
+    EXPECT_THROW(Topology::dragonfly(4, 2, 0), std::runtime_error);
+}
+
+TEST(Topology, HostOnlyGeometriesHaveNoSwitches)
+{
+    auto t = Topology::mesh2d(3, 3);
+    EXPECT_FALSE(t.has_switches());
+    EXPECT_EQ(t.num_hosts(), 9u);
+    EXPECT_EQ(t.hosts().size(), 9u);
+    for (NodeId n = 0; n < 9; ++n)
+        EXPECT_FALSE(t.is_switch(n));
+}
+
+TEST(Topology, MeshAccessorsFailLoudlyOffMesh)
+{
+    // Coordinate accessors must not silently divide by a zero width on
+    // geometries without a grid; they fatal() instead.
+    auto ft = Topology::fat_tree(2, 2);
+    EXPECT_THROW(ft.x_of(0), std::runtime_error);
+    EXPECT_THROW(ft.y_of(0), std::runtime_error);
+    EXPECT_THROW(ft.z_of(0), std::runtime_error);
+    EXPECT_THROW(ft.node_at(0, 0), std::runtime_error);
+    auto ring = Topology::ring(6);
+    EXPECT_THROW(ring.x_of(0), std::runtime_error);
+    auto df = Topology::dragonfly(2, 2, 1);
+    EXPECT_THROW(df.node_at(1, 1), std::runtime_error);
+}
+
+TEST(Topology, GeometryMetadataAccessorsFailLoudlyOffKind)
+{
+    auto mesh = Topology::mesh2d(4, 4);
+    EXPECT_THROW(mesh.fat_tree_levels(), std::runtime_error);
+    EXPECT_THROW(mesh.dragonfly_groups(), std::runtime_error);
+    auto ft = Topology::fat_tree(2, 2);
+    EXPECT_THROW(ft.dragonfly_routers_per_group(), std::runtime_error);
+    auto df = Topology::dragonfly(2, 2, 1);
+    EXPECT_THROW(df.fat_tree_arity(), std::runtime_error);
 }
 
 } // namespace
